@@ -1,0 +1,136 @@
+// Package horse_test holds the benchmark harness: one bench per experiment
+// in DESIGN.md's index (the tables of EXPERIMENTS.md). The harness in
+// internal/experiments produces the full report (`go run ./cmd/horsebench`);
+// these testing.B benches time the underlying simulation kernels so
+// `go test -bench=. -benchmem` tracks regressions per experiment.
+package horse_test
+
+import (
+	"testing"
+
+	"horse"
+	"horse/internal/experiments"
+	"horse/internal/header"
+	"horse/internal/openflow"
+)
+
+// BenchmarkE1PolicyCoexistence times the Figure-1 all-policies scenario.
+func BenchmarkE1PolicyCoexistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E1PolicyCoexistence()
+	}
+}
+
+// BenchmarkE2ScaleSwitches times one fabric-size point of the scalability
+// sweep (32 hosts, ~1000 flows).
+func BenchmarkE2ScaleSwitches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2Scale([]int{8}, nil)
+	}
+}
+
+// BenchmarkE2ScaleFlows times one flow-count point of the scalability
+// sweep (λ=2000 on the fixed 8-leaf fabric).
+func BenchmarkE2ScaleFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2Scale(nil, []float64{2000})
+	}
+}
+
+// BenchmarkE3FlowLevel times the flow-level side of the accuracy scenarios.
+func BenchmarkE3FlowLevel(b *testing.B) {
+	topo := horse.LeafSpine(3, 2, 3, horse.Gig, horse.TenGig)
+	gen := horse.NewGenerator(21)
+	tr := gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 30, Horizon: horse.Second,
+		Sizes: horse.FixedSize(4e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		t2 := horse.LeafSpine(3, 2, 3, horse.Gig, horse.TenGig)
+		sim := horse.NewSimulator(horse.Config{
+			Topology: t2, Controller: horse.NewChain(&horse.ProactiveMAC{}),
+			Miss: horse.MissController,
+		})
+		sim.Load(retarget(tr))
+		b.StartTimer()
+		sim.Run(horse.Time(2 * horse.Second))
+	}
+}
+
+// BenchmarkE3PacketLevel times the packet-level side of the same scenario.
+func BenchmarkE3PacketLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo := horse.LeafSpine(3, 2, 3, horse.Gig, horse.TenGig)
+		gen := horse.NewGenerator(21)
+		tr := gen.PoissonArrivals(horse.PoissonConfig{
+			Hosts: topo.Hosts(), Lambda: 30, Horizon: horse.Second,
+			Sizes: horse.FixedSize(4e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+		})
+		sim := horse.NewPacketSimulator(horse.PacketConfig{Topology: topo, Miss: horse.MissDrop})
+		installBenchRoutes(sim)
+		sim.Load(tr)
+		b.StartTimer()
+		sim.Run(horse.Time(2 * horse.Second))
+	}
+}
+
+// retarget deep-copies a trace (flows carry no per-run state, but reusing
+// the identical slice keeps the benches honest about per-run setup).
+func retarget(tr horse.Trace) horse.Trace {
+	out := make(horse.Trace, len(tr))
+	copy(out, tr)
+	return out
+}
+
+// installBenchRoutes pre-installs proactive MAC state on the packet
+// baseline, mirroring the E3 methodology.
+func installBenchRoutes(sim *horse.PacketSimulator) {
+	net := sim.Network()
+	topo := net.Topo
+	for _, host := range topo.Hosts() {
+		next := topo.ECMPNextHops(host, horse.HopCost)
+		for _, sw := range topo.Switches() {
+			if len(next[sw]) == 0 {
+				continue
+			}
+			out := topo.PortToward(sw, next[sw][0])
+			if out == 0 {
+				continue
+			}
+			net.Switches[sw].Apply(&openflow.FlowMod{
+				Op: openflow.FlowAdd, Priority: 10,
+				Match: header.Match{}.WithEthDst(hostMAC(host)),
+				Instr: openflow.Apply(openflow.Output(out)),
+			}, 0)
+		}
+	}
+}
+
+func hostMAC(id horse.NodeID) header.MAC {
+	return header.MACFromUint64(uint64(id) + 1)
+}
+
+// BenchmarkE4IXPReplay times a 6-hour replay on a 100-member fabric.
+func BenchmarkE4IXPReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E4IXPReplay([]int{100}, 6)
+	}
+}
+
+// BenchmarkE5ConfigSweep times the full policy-configuration sweep.
+func BenchmarkE5ConfigSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E5ConfigSweep()
+	}
+}
+
+// BenchmarkE6EventQueue and BenchmarkE6FairShare time the ablation suite
+// (both axes are produced by the same harness).
+func BenchmarkE6EventQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E6Ablations()
+	}
+}

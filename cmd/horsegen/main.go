@@ -1,0 +1,84 @@
+// Command horsegen generates Horse traffic traces as CSV: Poisson arrivals
+// with heavy-tailed sizes, or IXP gravity-matrix replay with diurnal
+// modulation. Traces are deterministic per seed and replayable with
+// `horse -trace`.
+//
+// Usage:
+//
+//	horsegen -kind poisson -hosts 64 -lambda 500 -horizon 10s > trace.csv
+//	horsegen -kind ixp -members 200 -replay 24h -epoch 1h > day.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"horse/internal/ixp"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+	"horse/internal/traffic"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "poisson", "workload: poisson|ixp")
+		hosts   = flag.Int("hosts", 32, "number of hosts (poisson; IDs 0..n-1 as in leaf-spine builders)")
+		lambda  = flag.Float64("lambda", 200, "arrival rate (flows/s)")
+		horizon = flag.Duration("horizon", 5*time.Second, "workload horizon")
+		tcpFrac = flag.Float64("tcp", 0.7, "TCP fraction")
+		xmin    = flag.Float64("xmin", 1e5, "Pareto minimum flow size (bits)")
+		alpha   = flag.Float64("alpha", 1.3, "Pareto tail exponent")
+		seed    = flag.Int64("seed", 1, "generator seed")
+
+		members = flag.Int("members", 100, "IXP members")
+		replay  = flag.Duration("replay", 24*time.Hour, "IXP replay horizon")
+		epoch   = flag.Duration("epoch", time.Hour, "IXP replay epoch")
+		aggGbps = flag.Float64("agg-gbps", 50, "IXP aggregate traffic (Gbps)")
+		density = flag.Float64("density", 0.2, "IXP peering density (0..1]")
+	)
+	flag.Parse()
+
+	var tr traffic.Trace
+	switch *kind {
+	case "poisson":
+		// Host IDs follow the leaf-spine builder layout: hosts are the
+		// host-kind nodes of a fabric sized to fit the count.
+		leaves := (*hosts + 3) / 4
+		topo := netgraph.LeafSpine(leaves, 2, 4, netgraph.Gig, netgraph.TenGig)
+		ids := topo.Hosts()
+		if len(ids) > *hosts {
+			ids = ids[:*hosts]
+		}
+		g := traffic.NewGenerator(*seed)
+		tr = g.PoissonArrivals(traffic.PoissonConfig{
+			Hosts:       ids,
+			Lambda:      *lambda,
+			Horizon:     simtime.FromSeconds(horizon.Seconds()),
+			Sizes:       traffic.Pareto{XMin: *xmin, Alpha: *alpha},
+			TCPFraction: *tcpFrac,
+			CBRRateBps:  1e7,
+		})
+	case "ixp":
+		fab, err := ixp.Build(ixp.LargeIXP(*members))
+		if err != nil {
+			fatal(err)
+		}
+		tr = fab.ReplayTrace(*aggGbps*1e9, *density,
+			simtime.FromSeconds(epoch.Seconds()),
+			simtime.FromSeconds(replay.Seconds()), *seed)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	if err := tr.WriteCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "horsegen: wrote %d demands\n", len(tr))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "horsegen:", err)
+	os.Exit(1)
+}

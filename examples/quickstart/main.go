@@ -1,0 +1,51 @@
+// Quickstart: simulate a leaf-spine fabric under ECMP load balancing with
+// a Poisson mix of TCP and CBR flows, and print flow-completion-time and
+// link-utilization summaries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"horse"
+)
+
+func main() {
+	// A 4-leaf / 2-spine fabric with 8 hosts per leaf.
+	topo := horse.LeafSpine(4, 2, 8, horse.Gig, horse.TenGig)
+
+	sim := horse.NewSimulator(horse.Config{
+		Topology:   topo,
+		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
+		Miss:       horse.MissController,
+		StatsEvery: 100 * horse.Millisecond,
+	})
+
+	// 10 virtual seconds of Poisson arrivals: 80% TCP transfers with
+	// heavy-tailed sizes, 20% 10 Mbps CBR flows.
+	gen := horse.NewGenerator(42)
+	trace := gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts:       topo.Hosts(),
+		Lambda:      500,
+		Horizon:     10 * horse.Second,
+		Sizes:       horse.Pareto{XMin: 1e5, Alpha: 1.3},
+		TCPFraction: 0.8,
+		CBRRateBps:  1e7,
+	})
+	sim.Load(trace)
+
+	col := sim.Run(horse.Never)
+
+	fmt.Printf("simulated %d flows through %d events\n", len(col.Flows()), col.EventsRun)
+	fmt.Printf("completed=%d dropped=%d packet-ins=%d flow-mods=%d\n",
+		col.FlowsCompleted, col.FlowsDropped, col.PacketIns, col.FlowMods)
+
+	s := horse.Summarize(col.FCTs())
+	fmt.Printf("FCT: mean=%.4fs p50=%.4fs p90=%.4fs p99=%.4fs\n", s.Mean, s.P50, s.P90, s.P99)
+
+	mean := col.MeanLinkUtilization()
+	for _, d := range col.TopLinks(3) {
+		fmt.Printf("busiest: %s mean-utilization=%.3f\n", d, mean[d])
+	}
+}

@@ -1,0 +1,99 @@
+// Rate limiting vs TCP: the paper's motivating example that "a rate
+// limiting policy can undermine the quality of a TCP transmission". The
+// same TCP transfer runs with no policer, a generous policer, and a tight
+// policer; the tight policer degrades throughput beyond its nominal rate
+// because policer loss caps TCP via the Mathis bound.
+//
+//	go run ./examples/ratelimit-tcp
+package main
+
+import (
+	"fmt"
+
+	"horse"
+)
+
+func main() {
+	for _, rateMbps := range []float64{0, 500, 50} {
+		fct, sent := run(rateMbps)
+		label := "no policer"
+		if rateMbps > 0 {
+			label = fmt.Sprintf("policer %4.0f Mbps", rateMbps)
+		}
+		fmt.Printf("%-18s FCT=%7.3fs  mean-throughput=%6.1f Mbps\n",
+			label, fct, sent/fct/1e6)
+	}
+}
+
+func run(rateMbps float64) (fctSeconds, sentBits float64) {
+	topo := horse.LeafSpine(2, 2, 2, horse.Gig, horse.TenGig)
+	h0 := topo.MustLookup("h0")
+	h3 := topo.MustLookup("h3")
+
+	apps := []horse.App{&horse.ProactiveMAC{}}
+	if rateMbps > 0 {
+		sw, _ := topo.AttachedSwitch(h0)
+		apps = append(apps, &horse.RateLimiter{Rules: []horse.RateLimitRule{{
+			Match:   dstMatch(h3),
+			RateBps: rateMbps * 1e6,
+			At:      sw,
+		}}})
+	}
+
+	sim := horse.NewSimulator(horse.Config{
+		Topology:   topo,
+		Controller: horse.NewChain(apps...),
+		Miss:       horse.MissController,
+	})
+
+	// One backlogged 200 Mbit TCP transfer, starting after rule install.
+	d := horse.Demand{
+		Key:      flowKey(h0, h3),
+		Src:      h0,
+		Dst:      h3,
+		Start:    horse.Time(10 * horse.Millisecond),
+		SizeBits: 2e8,
+		RateBps:  horse.Unlimited,
+		TCP:      true,
+	}
+	sim.Load(horse.Trace{d})
+	col := sim.Run(horse.Never)
+	f := col.Flows()[0]
+	if !f.Completed {
+		panic("transfer did not complete: " + f.Outcome)
+	}
+	return f.FCT().Seconds(), f.SentBits
+}
+
+func flowKey(src, dst horse.NodeID) horse.FlowKey {
+	// The addressing plan: host n has MAC n+1 and IP 10.x.y.z.
+	return horse.FlowKey{
+		EthSrc:  hostMAC(src),
+		EthDst:  hostMAC(dst),
+		EthType: 0x0800,
+		IPSrc:   hostIP(src),
+		IPDst:   hostIP(dst),
+		Proto:   6, // TCP
+		SrcPort: 40000,
+		DstPort: 80,
+	}
+}
+
+func hostMAC(id horse.NodeID) horse.MAC {
+	var m horse.MAC
+	v := uint64(id) + 1
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+	return m
+}
+
+func hostIP(id horse.NodeID) horse.IPv4 {
+	v := 0x0a000000 | uint32(id)&0x00ffffff
+	return horse.IPv4{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+func dstMatch(dst horse.NodeID) horse.Match {
+	return horse.Match{}.WithEthDst(hostMAC(dst))
+}

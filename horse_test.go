@@ -1,0 +1,72 @@
+package horse_test
+
+import (
+	"math"
+	"testing"
+
+	"horse"
+)
+
+// TestQuickstart exercises the documented public-API quickstart.
+func TestQuickstart(t *testing.T) {
+	topo := horse.LeafSpine(4, 2, 8, horse.Gig, horse.TenGig)
+	sim := horse.NewSimulator(horse.Config{
+		Topology:   topo,
+		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
+		Miss:       horse.MissController,
+	})
+	gen := horse.NewGenerator(42)
+	sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 100, Horizon: 2 * horse.Second,
+		Sizes: horse.Pareto{XMin: 1e5, Alpha: 1.3}, TCPFraction: 0.8,
+		CBRRateBps: 1e7,
+	}))
+	col := sim.Run(horse.Never)
+	if len(col.Flows()) == 0 {
+		t.Fatal("no flows")
+	}
+	s := horse.Summarize(col.FCTs())
+	if s.N == 0 || s.Mean <= 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+// TestPublicIXPAPI exercises the IXP substrate through the façade.
+func TestPublicIXPAPI(t *testing.T) {
+	f, err := horse.BuildIXP(horse.SmallIXP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := horse.NewSimulator(horse.Config{
+		Topology:   f.Topo,
+		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
+		Miss:       horse.MissController,
+	})
+	sim.Load(f.ReplayTrace(1e9, 0.3, horse.Hour, horse.Hour, 7))
+	col := sim.Run(2 * horse.Time(horse.Hour))
+	if len(col.Flows()) == 0 {
+		t.Fatal("no replay flows")
+	}
+}
+
+// TestPublicPacketBaseline exercises the packet-level baseline facade.
+func TestPublicPacketBaseline(t *testing.T) {
+	topo := horse.Dumbbell(1, 1, horse.Gig, horse.TenGig)
+	ps := horse.NewPacketSimulator(horse.PacketConfig{Topology: topo, Miss: horse.MissDrop})
+	if ps.Network() == nil {
+		t.Fatal("no network access")
+	}
+}
+
+// TestMetricsFacade keeps metric helpers reachable.
+func TestMetricsFacade(t *testing.T) {
+	if horse.Percentile([]float64{1, 2, 3}, 50) != 2 {
+		t.Error("Percentile broken")
+	}
+	if horse.W1Distance([]float64{1}, []float64{1}) != 0 {
+		t.Error("W1Distance broken")
+	}
+	if !math.IsInf(horse.Unlimited, 1) {
+		t.Error("Unlimited should be +Inf")
+	}
+}

@@ -1,0 +1,54 @@
+// Package addr defines the deterministic addressing plan Horse uses for
+// synthetic hosts: host n (by topology node ID) owns MAC n+1 and IPv4
+// 10.n₂.n₁.n₀. Every layer — traffic generation, controller applications,
+// statistics — derives addresses from the same plan, so a MAC seen in a
+// PacketIn can be mapped back to its host without a discovery protocol.
+package addr
+
+import (
+	"horse/internal/header"
+	"horse/internal/netgraph"
+)
+
+// HostMAC returns the MAC address of a host node.
+func HostMAC(id netgraph.NodeID) header.MAC {
+	return header.MACFromUint64(uint64(id) + 1)
+}
+
+// HostIP returns the IPv4 address of a host node (10.0.0.0/8 plan).
+func HostIP(id netgraph.NodeID) header.IPv4 {
+	return header.IPv4FromUint32(0x0a000000 | uint32(id)&0x00ffffff)
+}
+
+// HostOfMAC inverts HostMAC, returning -1 for addresses outside the plan.
+func HostOfMAC(m header.MAC) netgraph.NodeID {
+	v := m.Uint64()
+	if v == 0 || v > 1<<31 {
+		return -1
+	}
+	return netgraph.NodeID(v - 1)
+}
+
+// HostOfIP inverts HostIP, returning -1 for addresses outside 10.0.0.0/8.
+func HostOfIP(ip header.IPv4) netgraph.NodeID {
+	v := ip.Uint32()
+	if v>>24 != 0x0a {
+		return -1
+	}
+	return netgraph.NodeID(v & 0x00ffffff)
+}
+
+// FlowKeyBetween builds the canonical 5-tuple-complete flow key for traffic
+// from host src to host dst on the given protocol and ports.
+func FlowKeyBetween(src, dst netgraph.NodeID, proto uint8, srcPort, dstPort uint16) header.FlowKey {
+	return header.FlowKey{
+		EthSrc:  HostMAC(src),
+		EthDst:  HostMAC(dst),
+		EthType: header.EthTypeIPv4,
+		IPSrc:   HostIP(src),
+		IPDst:   HostIP(dst),
+		Proto:   proto,
+		SrcPort: srcPort,
+		DstPort: dstPort,
+	}
+}

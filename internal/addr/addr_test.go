@@ -1,0 +1,55 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"horse/internal/header"
+	"horse/internal/netgraph"
+)
+
+func TestMACRoundTrip(t *testing.T) {
+	for _, id := range []netgraph.NodeID{0, 1, 42, 1 << 20} {
+		if got := HostOfMAC(HostMAC(id)); got != id {
+			t.Errorf("HostOfMAC(HostMAC(%d)) = %d", id, got)
+		}
+	}
+	if HostOfMAC(header.MAC{}) != -1 {
+		t.Error("zero MAC should be outside the plan")
+	}
+}
+
+func TestIPRoundTrip(t *testing.T) {
+	for _, id := range []netgraph.NodeID{0, 7, 65535, 1 << 23} {
+		if got := HostOfIP(HostIP(id)); got != id {
+			t.Errorf("HostOfIP(HostIP(%d)) = %d", id, got)
+		}
+	}
+	outside, _ := header.ParseIPv4("192.168.0.1")
+	if HostOfIP(outside) != -1 {
+		t.Error("non-10/8 address should be outside the plan")
+	}
+}
+
+func TestFlowKeyBetween(t *testing.T) {
+	k := FlowKeyBetween(3, 9, header.ProtoTCP, 1234, 80)
+	if k.EthSrc != HostMAC(3) || k.EthDst != HostMAC(9) {
+		t.Error("MACs wrong")
+	}
+	if k.IPSrc != HostIP(3) || k.IPDst != HostIP(9) {
+		t.Error("IPs wrong")
+	}
+	if k.EthType != header.EthTypeIPv4 || k.Proto != header.ProtoTCP || k.DstPort != 80 {
+		t.Error("L3/L4 fields wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(raw uint32) bool {
+		id := netgraph.NodeID(raw & 0x007fffff)
+		return HostOfMAC(HostMAC(id)) == id && HostOfIP(HostIP(id)) == id
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

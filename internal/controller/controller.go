@@ -1,0 +1,87 @@
+// Package controller implements the control plane of Horse: the
+// lightweight, modular "policy generator" of the paper. A Chain composes
+// independent applications — forwarding, load balancing, blackholing, rate
+// limiting, application-specific peering, source routing, monitoring —
+// each of which translates its slice of the high-level policy into
+// (abstracted) OpenFlow instructions.
+//
+// Pipeline convention shared by all apps:
+//
+//	table 0 — policy table: blackhole drops, rate-limit meters,
+//	          app-peering and source-routing overrides; a default
+//	          MatchAll → goto(1) entry is installed by forwarding apps.
+//	table 1 — forwarding table: MAC-destination rules or ECMP groups.
+//
+// Apps that install overrides use table 0 at priorities above the default;
+// apps that forward use table 1. This is what lets "applications such as
+// load balancing and blackholing coexist" (Figure 1) without rule
+// cross-products.
+package controller
+
+import (
+	"horse/internal/flowsim"
+	"horse/internal/header"
+	"horse/internal/openflow"
+)
+
+// Table assignments (see package comment).
+const (
+	TablePolicy     openflow.TableID = 0
+	TableForwarding openflow.TableID = 1
+)
+
+// Priorities within tables. Order matters: blackholing beats peering beats
+// rate limiting beats the goto default.
+const (
+	PrioBlackhole = 400
+	PrioSourceRt  = 300
+	PrioPeering   = 200
+	PrioRateLimit = 100
+	PrioDefault   = 0
+
+	PrioForwarding = 10
+)
+
+// App is one modular controller application.
+type App interface {
+	flowsim.Controller
+	// Name identifies the app in logs and validation reports.
+	Name() string
+}
+
+// Chain composes apps into a single flowsim.Controller. Start and Handle
+// run the apps in order.
+type Chain struct {
+	Apps []App
+}
+
+// NewChain builds a controller from apps.
+func NewChain(apps ...App) *Chain { return &Chain{Apps: apps} }
+
+// Start implements flowsim.Controller.
+func (c *Chain) Start(ctx *flowsim.Context) {
+	for _, a := range c.Apps {
+		a.Start(ctx)
+	}
+}
+
+// Handle implements flowsim.Controller.
+func (c *Chain) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	for _, a := range c.Apps {
+		a.Handle(ctx, msg)
+	}
+}
+
+// InstallPolicyDefaults installs the table-0 MatchAll→goto(forwarding)
+// entry on every switch. Forwarding apps call it from Start; it is
+// idempotent (re-adding replaces the identical entry).
+func InstallPolicyDefaults(ctx *flowsim.Context) {
+	for _, sw := range ctx.Topology().Switches() {
+		ctx.Send(&openflow.FlowMod{
+			Switch: sw, Op: openflow.FlowAdd,
+			Table: TablePolicy, Priority: PrioDefault,
+			Match: header.MatchAll,
+			Instr: openflow.Instructions{}.WithGoto(TableForwarding),
+		})
+	}
+}

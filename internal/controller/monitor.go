@@ -1,0 +1,123 @@
+package controller
+
+import (
+	"sort"
+
+	"horse/internal/flowsim"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simtime"
+)
+
+// PortObservation is one monitored port utilization sample as seen by the
+// controller (from PortStatsReply messages, not ground truth).
+type PortObservation struct {
+	At       simtime.Time
+	Switch   netgraph.NodeID
+	Port     netgraph.PortNum
+	RateBps  float64
+	LinkBps  float64
+	Utilized float64
+}
+
+// Monitor is the paper's monitoring block: it periodically polls port
+// counters from every switch ("link bandwidth" measurements) and keeps the
+// latest observations. An optional OnCongestion callback fires when a
+// port's utilization crosses Threshold, which reactive policies (e.g.
+// rebalancing) hook into.
+type Monitor struct {
+	// Every is the polling period (default 1 s).
+	Every simtime.Duration
+	// Threshold triggers OnCongestion (default 0.9).
+	Threshold float64
+	// OnCongestion, if set, is invoked for each newly congested port.
+	OnCongestion func(ctx *flowsim.Context, obs PortObservation)
+
+	latest map[portKey]PortObservation
+	polls  uint64
+}
+
+type portKey struct {
+	sw   netgraph.NodeID
+	port netgraph.PortNum
+}
+
+// Name implements App.
+func (*Monitor) Name() string { return "monitor" }
+
+// Start implements flowsim.Controller.
+func (m *Monitor) Start(ctx *flowsim.Context) {
+	if m.Every == 0 {
+		m.Every = simtime.Second
+	}
+	if m.Threshold == 0 {
+		m.Threshold = 0.9
+	}
+	m.latest = make(map[portKey]PortObservation)
+	m.schedule(ctx)
+}
+
+func (m *Monitor) schedule(ctx *flowsim.Context) {
+	ctx.After(m.Every, func() {
+		m.polls++
+		for _, sw := range ctx.Topology().Switches() {
+			ctx.Send(&openflow.PortStatsRequest{Switch: sw, Port: netgraph.NoPort})
+		}
+		m.schedule(ctx)
+	})
+}
+
+// Handle implements flowsim.Controller.
+func (m *Monitor) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	reply, ok := msg.(*openflow.PortStatsReply)
+	if !ok {
+		return
+	}
+	for _, ps := range reply.Stats {
+		util := 0.0
+		if ps.LinkBps > 0 {
+			util = ps.TxRateBps / ps.LinkBps
+		}
+		obs := PortObservation{
+			At: reply.At, Switch: reply.Switch, Port: ps.Port,
+			RateBps: ps.TxRateBps, LinkBps: ps.LinkBps, Utilized: util,
+		}
+		k := portKey{reply.Switch, ps.Port}
+		prev, had := m.latest[k]
+		m.latest[k] = obs
+		if m.OnCongestion != nil && util >= m.Threshold && (!had || prev.Utilized < m.Threshold) {
+			m.OnCongestion(ctx, obs)
+		}
+	}
+}
+
+// Polls returns how many polling rounds have run.
+func (m *Monitor) Polls() uint64 { return m.polls }
+
+// Observations returns the latest observation per port, ordered by switch
+// then port for stable output.
+func (m *Monitor) Observations() []PortObservation {
+	out := make([]PortObservation, 0, len(m.latest))
+	for _, o := range m.latest {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Switch != out[j].Switch {
+			return out[i].Switch < out[j].Switch
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// MaxUtilization returns the highest utilization the monitor has currently
+// observed (0 when nothing polled yet).
+func (m *Monitor) MaxUtilization() float64 {
+	max := 0.0
+	for _, o := range m.latest {
+		if o.Utilized > max {
+			max = o.Utilized
+		}
+	}
+	return max
+}

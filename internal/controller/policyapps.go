@@ -1,0 +1,198 @@
+package controller
+
+import (
+	"horse/internal/addr"
+	"horse/internal/flowsim"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+)
+
+// Blackhole drops traffic matching configured filters — the DDoS-mitigation
+// style policy in Figure 1. Rules go to table 0 at the highest policy
+// priority so they override everything else, at the configured switches
+// (or every switch when At is empty).
+type Blackhole struct {
+	// Matches lists what to drop.
+	Matches []header.Match
+	// At restricts installation to these switches; empty means all.
+	At []netgraph.NodeID
+}
+
+// Name implements App.
+func (*Blackhole) Name() string { return "blackhole" }
+
+// Start implements flowsim.Controller.
+func (b *Blackhole) Start(ctx *flowsim.Context) {
+	switches := b.At
+	if len(switches) == 0 {
+		switches = ctx.Topology().Switches()
+	}
+	for _, sw := range switches {
+		for _, m := range b.Matches {
+			ctx.Send(&openflow.FlowMod{
+				Switch: sw, Op: openflow.FlowAdd,
+				Table: TablePolicy, Priority: PrioBlackhole,
+				Match: m,
+				Instr: openflow.Apply(openflow.Drop()),
+			})
+		}
+	}
+}
+
+// Handle implements flowsim.Controller.
+func (*Blackhole) Handle(*flowsim.Context, openflow.Message) {}
+
+// RateLimitRule is one "rate limiting: e2→e4 : 500 Mbps" style policy.
+type RateLimitRule struct {
+	// Match selects the traffic (e.g. src/dst host addresses).
+	Match header.Match
+	// RateBps is the policer rate.
+	RateBps float64
+	// At is the switch enforcing the limit.
+	At netgraph.NodeID
+}
+
+// RateLimiter installs meters and metering rules in table 0 (continuing to
+// the forwarding table), reproducing the paper's example that "a rate
+// limiting policy can undermine the quality of a TCP transmission".
+type RateLimiter struct {
+	Rules []RateLimitRule
+
+	nextMeter map[netgraph.NodeID]openflow.MeterID
+}
+
+// Name implements App.
+func (*RateLimiter) Name() string { return "rate-limiter" }
+
+// Start implements flowsim.Controller.
+func (r *RateLimiter) Start(ctx *flowsim.Context) {
+	r.nextMeter = make(map[netgraph.NodeID]openflow.MeterID)
+	for _, rule := range r.Rules {
+		r.nextMeter[rule.At]++
+		mid := r.nextMeter[rule.At]
+		ctx.Send(&openflow.MeterMod{
+			Switch: rule.At, Op: openflow.MeterAdd,
+			MeterID: mid, RateBps: rule.RateBps,
+		})
+		ctx.Send(&openflow.FlowMod{
+			Switch: rule.At, Op: openflow.FlowAdd,
+			Table: TablePolicy, Priority: PrioRateLimit,
+			Match: rule.Match,
+			Instr: openflow.Instructions{Meter: mid}.WithGoto(TableForwarding),
+		})
+	}
+}
+
+// Handle implements flowsim.Controller.
+func (*RateLimiter) Handle(*flowsim.Context, openflow.Message) {}
+
+// PeeringRule is one "application based peering: e1→e3 : http" policy:
+// traffic of an application class entering the fabric is steered toward a
+// specific egress switch instead of following default forwarding.
+type PeeringRule struct {
+	// Ingress is the switch where the override applies.
+	Ingress netgraph.NodeID
+	// Egress is the switch the application traffic must exit through.
+	Egress netgraph.NodeID
+	// AppMatch selects the application (e.g. dst port 80 for HTTP).
+	AppMatch header.Match
+}
+
+// AppPeering implements application-specific peering: at the ingress
+// switch, matching traffic is sent on the shortest path toward the
+// configured egress switch (table 0 override, then normal forwarding
+// resumes at the egress). The override is installed hop by hop along the
+// ingress→egress path so intermediate switches keep the flow on course.
+type AppPeering struct {
+	Rules []PeeringRule
+	Cost  netgraph.Cost
+}
+
+// Name implements App.
+func (*AppPeering) Name() string { return "app-peering" }
+
+// Start implements flowsim.Controller.
+func (a *AppPeering) Start(ctx *flowsim.Context) {
+	cost := a.Cost
+	if cost == nil {
+		cost = netgraph.HopCost
+	}
+	topo := ctx.Topology()
+	for _, rule := range a.Rules {
+		path := topo.ShortestPath(rule.Ingress, rule.Egress, cost)
+		if path == nil {
+			continue
+		}
+		for i := 0; i+1 < len(path); i++ {
+			out := topo.PortToward(path[i], path[i+1])
+			if out == netgraph.NoPort {
+				continue
+			}
+			ctx.Send(&openflow.FlowMod{
+				Switch: path[i], Op: openflow.FlowAdd,
+				Table: TablePolicy, Priority: PrioPeering,
+				Match: rule.AppMatch,
+				Instr: openflow.Apply(openflow.Output(out)),
+			})
+		}
+	}
+}
+
+// Handle implements flowsim.Controller.
+func (*AppPeering) Handle(*flowsim.Context, openflow.Message) {}
+
+// SourceRoute pins one host pair to an explicit switch path — the "source
+// routing" policy of Figure 1. The caller chooses the path; the app
+// faithfully installs it even if it is inefficient, which is precisely the
+// failure mode ("a chosen source routing path might be inefficient") Horse
+// exists to expose.
+type SourceRoute struct {
+	Src, Dst netgraph.NodeID
+	// Path is the switch sequence from the switch attached to Src to the
+	// switch attached to Dst.
+	Path []netgraph.NodeID
+}
+
+// SourceRouting installs explicit routes for configured pairs.
+type SourceRouting struct {
+	Routes []SourceRoute
+}
+
+// Name implements App.
+func (*SourceRouting) Name() string { return "source-routing" }
+
+// Start implements flowsim.Controller.
+func (s *SourceRouting) Start(ctx *flowsim.Context) {
+	topo := ctx.Topology()
+	for _, rt := range s.Routes {
+		match := header.Match{}.
+			WithEthSrc(addr.HostMAC(rt.Src)).
+			WithEthDst(addr.HostMAC(rt.Dst))
+		for i, sw := range rt.Path {
+			var out netgraph.PortNum
+			if i+1 < len(rt.Path) {
+				out = topo.PortToward(sw, rt.Path[i+1])
+			} else {
+				// Last switch: deliver to the destination host.
+				hostSw, hp := topo.AttachedSwitch(rt.Dst)
+				if hostSw != sw {
+					continue // path does not end at the host's switch
+				}
+				out = hp
+			}
+			if out == netgraph.NoPort {
+				continue
+			}
+			ctx.Send(&openflow.FlowMod{
+				Switch: sw, Op: openflow.FlowAdd,
+				Table: TablePolicy, Priority: PrioSourceRt,
+				Match: match,
+				Instr: openflow.Apply(openflow.Output(out)),
+			})
+		}
+	}
+}
+
+// Handle implements flowsim.Controller.
+func (*SourceRouting) Handle(*flowsim.Context, openflow.Message) {}

@@ -1,0 +1,187 @@
+package eventq
+
+import (
+	"sort"
+
+	"horse/internal/simtime"
+)
+
+// Calendar is a calendar-queue implementation of Queue (Brown, CACM 1988).
+// Events are hashed into day buckets by firing time; a dequeue scans the
+// current day's bucket. When event times are spread roughly uniformly —
+// typical for Poisson flow arrivals — enqueue and dequeue are amortized
+// O(1). The queue resizes (doubling or halving the bucket count) when the
+// population strays far from the bucket count, and recalculates the day
+// width from a sample of inter-event gaps, following the classic design.
+//
+// Like Heap, Calendar dequeues in nondecreasing time order with FIFO
+// tie-breaking, so the two implementations are interchangeable.
+type Calendar struct {
+	buckets   [][]item
+	width     simtime.Duration // day width per bucket
+	lastTime  simtime.Time     // dequeue cursor; monotonically nondecreasing
+	bucketIdx int              // bucket holding lastTime
+	n         int
+	seq       uint64
+}
+
+// NewCalendar returns an empty calendar queue tuned for event times starting
+// at the simulation epoch.
+func NewCalendar() *Calendar {
+	c := &Calendar{}
+	c.reinit(2, simtime.Millisecond, 0)
+	return c
+}
+
+func (c *Calendar) reinit(nbuckets int, width simtime.Duration, start simtime.Time) {
+	if width <= 0 {
+		width = 1
+	}
+	c.buckets = make([][]item, nbuckets)
+	c.width = width
+	c.lastTime = start
+	c.bucketIdx = c.bucketFor(start)
+}
+
+func (c *Calendar) bucketFor(t simtime.Time) int {
+	day := int64(t) / int64(c.width)
+	idx := int(day % int64(len(c.buckets)))
+	if idx < 0 {
+		idx += len(c.buckets)
+	}
+	return idx
+}
+
+// Push schedules an event.
+func (c *Calendar) Push(ev Event) {
+	c.seq++
+	it := item{ev: ev, seq: c.seq}
+	idx := c.bucketFor(ev.Time())
+	b := c.buckets[idx]
+	// Insert keeping the bucket sorted (buckets are short on average, so a
+	// linear scan from the back is cheap and preserves FIFO tie order).
+	pos := len(b)
+	for pos > 0 && less(it, b[pos-1]) {
+		pos--
+	}
+	b = append(b, item{})
+	copy(b[pos+1:], b[pos:])
+	b[pos] = it
+	c.buckets[idx] = b
+	c.n++
+	if c.n > 2*len(c.buckets) && len(c.buckets) < 1<<20 {
+		c.resize(2 * len(c.buckets))
+	}
+}
+
+// Pop removes and returns the earliest event, or nil if empty.
+func (c *Calendar) Pop() Event {
+	if c.n == 0 {
+		return nil
+	}
+	// Scan buckets starting at the cursor; an event in bucket i belongs to
+	// the current "year" only if its time falls within this day's span.
+	for sweeps := 0; ; sweeps++ {
+		idx := c.bucketIdx
+		for i := 0; i < len(c.buckets); i++ {
+			b := c.buckets[idx]
+			if len(b) > 0 {
+				dayEnd := c.dayEnd(idx, i)
+				if b[0].ev.Time() < dayEnd {
+					it := b[0]
+					copy(b, b[1:])
+					b[len(b)-1] = item{}
+					c.buckets[idx] = b[:len(b)-1]
+					c.n--
+					c.lastTime = it.ev.Time()
+					c.bucketIdx = idx
+					if c.n < len(c.buckets)/2 && len(c.buckets) > 2 {
+						c.resize(len(c.buckets) / 2)
+					}
+					return it.ev
+				}
+			}
+			idx++
+			if idx == len(c.buckets) {
+				idx = 0
+			}
+		}
+		// No event within the current year: jump the cursor to the
+		// globally earliest event (direct search) and retry.
+		minIdx, minIt := -1, item{}
+		for i, b := range c.buckets {
+			if len(b) == 0 {
+				continue
+			}
+			if minIdx == -1 || less(b[0], minIt) {
+				minIdx, minIt = i, b[0]
+			}
+		}
+		c.bucketIdx = minIdx
+		c.lastTime = minIt.ev.Time()
+	}
+}
+
+// dayEnd returns the exclusive upper bound of times belonging to bucket idx
+// on the sweep that starts at the cursor, i steps after it.
+func (c *Calendar) dayEnd(idx, step int) simtime.Time {
+	day := int64(c.lastTime) / int64(c.width)
+	return simtime.Time((day + int64(step) + 1) * int64(c.width))
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (c *Calendar) Peek() Event {
+	if c.n == 0 {
+		return nil
+	}
+	var best item
+	found := false
+	for _, b := range c.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if !found || less(b[0], best) {
+			best, found = b[0], true
+		}
+	}
+	return best.ev
+}
+
+// Len returns the number of queued events.
+func (c *Calendar) Len() int { return c.n }
+
+// resize rebuilds the calendar with nbuckets buckets and a day width derived
+// from the current event spacing.
+func (c *Calendar) resize(nbuckets int) {
+	all := make([]item, 0, c.n)
+	for _, b := range c.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
+	width := c.sampleWidth(all)
+	start := c.lastTime
+	c.reinit(nbuckets, width, start)
+	c.n = 0
+	for _, it := range all {
+		idx := c.bucketFor(it.ev.Time())
+		c.buckets[idx] = append(c.buckets[idx], it)
+		c.n++
+	}
+}
+
+// sampleWidth estimates a good day width: roughly the average gap between
+// consecutive queued events, clamped to a sane range.
+func (c *Calendar) sampleWidth(sorted []item) simtime.Duration {
+	if len(sorted) < 2 {
+		return c.width
+	}
+	span := sorted[len(sorted)-1].ev.Time() - sorted[0].ev.Time()
+	if span <= 0 {
+		return c.width
+	}
+	w := simtime.Duration(int64(span) / int64(len(sorted)-1) * 3)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

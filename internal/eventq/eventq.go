@@ -1,0 +1,103 @@
+// Package eventq implements the temporally ordered event queues that drive
+// the Horse simulator. Events are the paper's first data-plane building
+// block: every input to the topology — a flow arrival, a link failure, a
+// control-plane message delivery — is an event with a firing time.
+//
+// Two implementations are provided behind the Queue interface: a binary
+// min-heap (the default, O(log n) per operation) and a calendar queue
+// (amortized O(1) when event times are spread roughly uniformly, as is the
+// case for high-churn Poisson traffic). Both dequeue events in
+// nondecreasing time order and break ties by insertion order, so a
+// simulation run is fully deterministic for a given input sequence.
+package eventq
+
+import (
+	"container/heap"
+
+	"horse/internal/simtime"
+)
+
+// Event is anything that can be scheduled on a Queue.
+type Event interface {
+	// Time returns the instant at which the event fires. It must not
+	// change while the event is queued.
+	Time() simtime.Time
+}
+
+// Queue is a temporally ordered event queue.
+type Queue interface {
+	// Push schedules an event.
+	Push(Event)
+	// Pop removes and returns the earliest event. Ties are broken by
+	// insertion order (FIFO). Pop returns nil when the queue is empty.
+	Pop() Event
+	// Peek returns the earliest event without removing it, or nil.
+	Peek() Event
+	// Len returns the number of queued events.
+	Len() int
+}
+
+// item pairs an event with its insertion sequence number for stable ordering.
+type item struct {
+	ev  Event
+	seq uint64
+}
+
+func less(a, b item) bool {
+	at, bt := a.ev.Time(), b.ev.Time()
+	if at != bt {
+		return at < bt
+	}
+	return a.seq < b.seq
+}
+
+// Heap is a binary min-heap Queue. The zero value is ready to use.
+type Heap struct {
+	h heapImpl
+}
+
+// NewHeap returns an empty binary-heap event queue.
+func NewHeap() *Heap { return &Heap{} }
+
+type heapImpl struct {
+	items []item
+	seq   uint64
+}
+
+func (h *heapImpl) Len() int           { return len(h.items) }
+func (h *heapImpl) Less(i, j int) bool { return less(h.items[i], h.items[j]) }
+func (h *heapImpl) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *heapImpl) Push(x interface{}) { h.items = append(h.items, x.(item)) }
+func (h *heapImpl) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = item{} // release reference
+	h.items = old[:n-1]
+	return it
+}
+
+// Push schedules an event.
+func (q *Heap) Push(ev Event) {
+	q.h.seq++
+	heap.Push(&q.h, item{ev: ev, seq: q.h.seq})
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *Heap) Pop() Event {
+	if len(q.h.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(item).ev
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (q *Heap) Peek() Event {
+	if len(q.h.items) == 0 {
+		return nil
+	}
+	return q.h.items[0].ev
+}
+
+// Len returns the number of queued events.
+func (q *Heap) Len() int { return len(q.h.items) }

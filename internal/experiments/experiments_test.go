@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tb.ID, row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func colIndex(tb *Table, name string) int {
+	for i, c := range tb.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestE1Shape(t *testing.T) {
+	tb := E1PolicyCoexistence()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	fct := colIndex(tb, "mean-FCT-s")
+	drop := colIndex(tb, "dropped")
+	// Misconfigured LB must cost FCT versus balanced ECMP.
+	if cell(t, tb, 1, fct) <= cell(t, tb, 0, fct) {
+		t.Errorf("misconfigured LB FCT %s not worse than balanced %s",
+			tb.Rows[1][fct], tb.Rows[0][fct])
+	}
+	// The all-policies run blackholes traffic.
+	if cell(t, tb, 2, drop) == 0 {
+		t.Error("all-policies run dropped nothing; blackhole inactive")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2Scale([]int{4, 8}, []float64{200})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	ev := colIndex(tb, "events")
+	for i := range tb.Rows {
+		if cell(t, tb, i, ev) == 0 {
+			t.Errorf("row %d ran no events", i)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3Accuracy()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	rel := colIndex(tb, "fct-relerr")
+	speedup := colIndex(tb, "speedup")
+	// CBR scenario must be near-exact.
+	if got := cell(t, tb, 0, rel); got > 0.05 {
+		t.Errorf("CBR fct relative error = %g, want < 5%%", got)
+	}
+	// Every scenario must show a flow-level speedup.
+	for i := range tb.Rows {
+		if cell(t, tb, i, speedup) < 1 {
+			t.Errorf("scenario %s: packet-level faster than flow-level?", tb.Rows[i][0])
+		}
+	}
+	// TCP scenarios stay within the same order of magnitude.
+	for i := 1; i < 3; i++ {
+		if got := cell(t, tb, i, rel); got > 1.0 {
+			t.Errorf("scenario %s: fct relative error = %g, want < 100%%", tb.Rows[i][0], got)
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4IXPReplay([]int{100}, 3)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if cell(t, tb, 0, colIndex(tb, "events")) == 0 {
+		t.Error("replay ran no events")
+	}
+	if cell(t, tb, 0, colIndex(tb, "peak-fabric-util")) <= 0 {
+		t.Error("fabric carried no traffic")
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5ConfigSweep()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	fm := colIndex(tb, "flowmods")
+	// Reactive forwarding must cost more FlowMods than proactive MAC.
+	if cell(t, tb, 1, fm) <= cell(t, tb, 0, fm) {
+		t.Errorf("reactive flowmods %s not above proactive %s", tb.Rows[1][fm], tb.Rows[0][fm])
+	}
+	// Every config moves the same workload.
+	flows := colIndex(tb, "flows")
+	for i := 1; i < len(tb.Rows); i++ {
+		if tb.Rows[i][flows] != tb.Rows[0][flows] {
+			t.Error("configs saw different workloads")
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tb := E6Ablations()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Determinism: within a workload, all variants process identical
+	// event and rate-change counts.
+	ev := colIndex(tb, "events")
+	rc := colIndex(tb, "rate-changes")
+	for _, base := range []int{0, 3} {
+		for i := base + 1; i < base+3; i++ {
+			if tb.Rows[i][ev] != tb.Rows[base][ev] || tb.Rows[i][rc] != tb.Rows[base][rc] {
+				t.Errorf("variant %s diverged from %s", tb.Rows[i][1], tb.Rows[base][1])
+			}
+		}
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tb := &Table{
+		ID: "T", Title: "test", Columns: []string{"a", "bb"},
+		Rows:  [][]string{{"1", "2"}},
+		Notes: []string{"n"},
+	}
+	var sb strings.Builder
+	tb.Fprint(func(format string, args ...interface{}) {
+		fmt.Fprintf(&sb, format, args...)
+	})
+	out := sb.String()
+	for _, want := range []string{"== T: test ==", "a", "bb", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package flowsim
+
+import (
+	"horse/internal/dataplane"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+)
+
+// Context is the API a Controller uses to interact with the simulation. It
+// deliberately exposes no data-plane internals beyond what a real
+// controller could learn: the topology (assumed discovered), virtual time,
+// message sending, and timers.
+type Context struct {
+	sim *Simulator
+}
+
+// Now returns the current virtual time.
+func (c *Context) Now() simtime.Time { return c.sim.now }
+
+// Topology returns the network topology. Controllers treat it as
+// discovered state (LLDP equivalent); link Up flags reflect what
+// PortStatus messages have announced.
+func (c *Context) Topology() *netgraph.Topology { return c.sim.topo }
+
+// Send delivers a control message to its datapath after the configured
+// control latency.
+func (c *Context) Send(msg openflow.Message) {
+	c.sim.q.Push(&event{
+		at:   c.sim.now.Add(c.sim.cfg.ControlLatency),
+		kind: evToSwitch,
+		msg:  msg,
+	})
+}
+
+// After schedules fn to run on the controller after d.
+func (c *Context) After(d simtime.Duration, fn func()) {
+	c.sim.q.Push(&event{at: c.sim.now.Add(d), kind: evTimer, fn: fn})
+}
+
+// Collector exposes simulation statistics (read-only use) so monitoring
+// apps can export what they observe alongside ground truth.
+func (c *Context) Collector() *stats.Collector { return c.sim.col }
+
+// sendToController delivers a switch-originated message after the control
+// latency.
+func (s *Simulator) sendToController(msg openflow.Message) {
+	s.q.Push(&event{
+		at:   s.now.Add(s.cfg.ControlLatency),
+		kind: evToController,
+		msg:  msg,
+	})
+}
+
+// handleToSwitch applies a controller message at its datapath.
+func (s *Simulator) handleToSwitch(msg openflow.Message) {
+	dp := msg.Datapath()
+	sw := s.net.Switches[dp]
+	if sw == nil {
+		return // message to a non-switch: controller bug, dropped
+	}
+	switch m := msg.(type) {
+	case *openflow.FlowMod, *openflow.GroupMod:
+		if err := sw.Apply(msg, s.now); err != nil {
+			return
+		}
+		s.col.FlowMods++
+		s.scheduleExpiry(dp)
+		s.markSwitchDirty(dp)
+	case *openflow.MeterMod:
+		if err := sw.Apply(msg, s.now); err != nil {
+			return
+		}
+		s.col.FlowMods++
+		// Update allocator capacity for the meter resource.
+		r := meterResource(dp, m.MeterID)
+		switch m.Op {
+		case openflow.MeterAdd, openflow.MeterModify:
+			s.alloc.SetCapacity(r, m.RateBps)
+		case openflow.MeterDelete:
+			// Flows re-resolve and drop the resource; in the interim the
+			// meter no longer polices.
+			s.alloc.SetCapacity(r, 1e18)
+		}
+		s.recomputeAndApply()
+		s.markSwitchDirty(dp)
+	case *openflow.PacketOut:
+		// The buffered first packet is released; the waiting flow retries
+		// resolution (rules installed alongside typically complete it).
+		for _, f := range s.waiting[dp] {
+			if f.Key == m.Key {
+				s.markDirty(f)
+			}
+		}
+	case *openflow.PortStatsRequest:
+		s.sendToController(s.portStats(dp, m.Port))
+	case *openflow.FlowStatsRequest:
+		s.sendToController(s.flowStats(sw, m))
+	case *openflow.BarrierRequest:
+		s.sendToController(&openflow.BarrierReply{Switch: dp, Xid: m.Xid})
+	}
+}
+
+// portStats builds a PortStatsReply from the resource ledgers.
+func (s *Simulator) portStats(dp netgraph.NodeID, port netgraph.PortNum) *openflow.PortStatsReply {
+	s.drainAlloc()
+	reply := &openflow.PortStatsReply{Switch: dp, At: s.now}
+	node := s.topo.Node(dp)
+	ports := node.Ports()
+	for _, p := range ports {
+		if port != netgraph.NoPort && p != port {
+			continue
+		}
+		l := s.topo.LinkAt(dp, p)
+		if l == nil {
+			continue
+		}
+		// Tx direction: from dp outward.
+		txRes := linkResource(l.ID, l.A == dp)
+		rxRes := linkResource(l.ID, l.B == dp)
+		txL, rxL := s.ledgers[txRes], s.ledgers[rxRes]
+		ps := openflow.PortStats{Port: p, LinkBps: l.BandwidthBps, Up: l.Up}
+		if txL != nil {
+			txL.settle(s.now)
+			ps.TxBits, ps.TxRateBps = txL.bits, txL.rate
+		}
+		if rxL != nil {
+			rxL.settle(s.now)
+			ps.RxBits, ps.RxRateBps = rxL.bits, rxL.rate
+		}
+		reply.Stats = append(reply.Stats, ps)
+	}
+	return reply
+}
+
+// flowStats builds a FlowStatsReply by filtering the switch's table
+// entries with the request match (zero match selects all).
+func (s *Simulator) flowStats(sw *dataplane.Switch, req *openflow.FlowStatsRequest) *openflow.FlowStatsReply {
+	reply := &openflow.FlowStatsReply{Switch: req.Switch, At: s.now}
+	tables := []openflow.TableID{req.Table}
+	if req.Table == 0 && req.Match == (header.Match{}) {
+		tables = nil
+		for i := 0; i < dataplane.NumTables; i++ {
+			tables = append(tables, openflow.TableID(i))
+		}
+	}
+	for _, tid := range tables {
+		for _, e := range sw.Tables[tid].Entries() {
+			if req.Match != (header.Match{}) && !req.Match.Subsumes(e.Match) {
+				continue
+			}
+			reply.Stats = append(reply.Stats, openflow.FlowStats{
+				Table:    tid,
+				Priority: e.Priority,
+				Match:    e.Match,
+				Cookie:   e.Cookie,
+				Packets:  e.Packets,
+				Bytes:    e.Bytes,
+				Duration: s.now.Sub(e.Installed),
+			})
+		}
+	}
+	return reply
+}
+
+// scheduleExpiry arms a timeout check for a switch at its earliest entry
+// expiry, avoiding duplicate events for the same instant.
+func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
+	sw := s.net.Switches[dp]
+	next := simtime.Never
+	for _, t := range sw.Tables {
+		if x := t.NextExpiry(); x < next {
+			next = x
+		}
+	}
+	if next == simtime.Never {
+		return
+	}
+	if cur, ok := s.expiryAt[dp]; ok && cur <= next && cur >= s.now {
+		return // an earlier (or equal) check is already scheduled
+	}
+	s.expiryAt[dp] = next
+	s.q.Push(&event{at: next, kind: evExpiry, sw: dp})
+}
+
+// handleExpiry evicts expired entries on a switch, notifies the controller
+// with FlowRemoved, re-resolves affected flows, and re-arms the timer.
+func (s *Simulator) handleExpiry(dp netgraph.NodeID) {
+	delete(s.expiryAt, dp)
+	sw := s.net.Switches[dp]
+	if sw == nil {
+		return
+	}
+	// Idle timers must see current usage: at flow granularity an entry's
+	// LastUsed only advances when a flow settles, so settle every active
+	// flow traversing this switch before judging expiry. (A real switch
+	// updates the timestamp per packet; this is the flow-level analogue.)
+	s.drainAlloc()
+	for _, f := range s.flowsAt[dp] {
+		if f.state == StateActive && f.rate > 0 {
+			s.settleFlow(f)
+		}
+	}
+	removedAny := false
+	for tid, t := range sw.Tables {
+		for _, e := range t.Expire(s.now) {
+			removedAny = true
+			idle := e.IdleTimeout > 0 && s.now >= e.LastUsed.Add(e.IdleTimeout)
+			s.sendToController(&openflow.FlowRemoved{
+				Switch: dp, Table: openflow.TableID(tid),
+				Match: e.Match, Priority: e.Priority, Cookie: e.Cookie,
+				Packets: e.Packets, Bytes: e.Bytes, Idle: idle,
+			})
+		}
+	}
+	if removedAny {
+		s.markSwitchDirty(dp)
+	}
+	s.scheduleExpiry(dp)
+}

@@ -1,0 +1,611 @@
+package flowsim
+
+import (
+	"math"
+	"sort"
+
+	"horse/internal/dataplane"
+	"horse/internal/fairshare"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+	"horse/internal/traffic"
+)
+
+// approximate wire MTU for converting flow bytes to "packets" in OpenFlow
+// counters.
+const packetBits = 1500 * 8
+
+// handleArrival creates the Flow and resolves its first path.
+func (s *Simulator) handleArrival(d traffic.Demand) {
+	s.nextID++
+	f := &Flow{
+		ID:         s.nextID,
+		Key:        d.Key,
+		Src:        d.Src,
+		Dst:        d.Dst,
+		SizeBits:   d.SizeBits,
+		AppRateBps: d.RateBps,
+		TCP:        d.TCP,
+		Arrival:    s.now,
+		remaining:  d.SizeBits,
+		lastSettle: s.now,
+		Deadline:   simtime.Never,
+		waitingAt:  -1,
+		puntedAt:   make(map[netgraph.NodeID]bool),
+	}
+	if d.Duration > 0 {
+		f.Deadline = s.now.Add(d.Duration)
+	}
+	if f.AppRateBps <= 0 {
+		f.AppRateBps = math.Inf(1)
+	}
+	s.flows[f.ID] = f
+	s.col.FlowsStarted++
+	s.resolve(f)
+}
+
+// resolve walks the flow through the data plane and transitions its state
+// according to the outcome.
+func (s *Simulator) resolve(f *Flow) {
+	res := s.net.Walk(f.Key, f.Src, f.Dst)
+
+	// Emit PacketIns for punting switches the flow has not yet punted at
+	// (a flow's buffered first packet produces one PacketIn per switch).
+	for _, sw := range res.PacketIns {
+		if !f.puntedAt[sw] {
+			f.puntedAt[sw] = true
+			f.punts++
+			s.col.PacketIns++
+			s.sendToController(&openflow.PacketIn{
+				Switch: sw,
+				InPort: inPortAt(s, f, sw),
+				Key:    f.Key,
+				Reason: openflow.ReasonNoMatch,
+			})
+		}
+	}
+
+	switch res.Terminal {
+	case dataplane.Delivered:
+		s.activate(f, res)
+	case dataplane.Punted, dataplane.Flooded, dataplane.Stuck:
+		s.park(f, res.At)
+	case dataplane.Dropped:
+		s.settleFlow(f)
+		s.deactivate(f)
+		s.finalize(f, false, "dropped")
+		s.col.FlowsDropped++
+	case dataplane.Looped:
+		s.settleFlow(f)
+		s.deactivate(f)
+		s.finalize(f, false, "looped")
+		s.col.FlowsLooped++
+	}
+}
+
+// inPortAt returns the port on sw where the flow enters (best effort: the
+// ingress port if sw is the first switch, otherwise NoPort — sufficient
+// for the controller apps, which key on the flow, not the port).
+func inPortAt(s *Simulator, f *Flow, sw netgraph.NodeID) netgraph.PortNum {
+	at, port := s.topo.AttachedSwitch(f.Src)
+	if at == sw {
+		return port
+	}
+	return netgraph.NoPort
+}
+
+// park transitions a flow to the waiting state at a switch.
+func (s *Simulator) park(f *Flow, at netgraph.NodeID) {
+	s.settleFlow(f)
+	s.deactivate(f)
+	if f.state == StateDone {
+		return
+	}
+	f.state = StateWaiting
+	f.waitingAt = at
+	if s.waiting[at] == nil {
+		s.waiting[at] = make(map[FlowID]*Flow)
+	}
+	s.waiting[at][f.ID] = f
+	// Open-ended flows still end at their deadline even while waiting.
+	if f.Deadline != simtime.Never {
+		f.gen++
+		s.q.Push(&event{at: f.Deadline, kind: evComplete, flow: f, gen: f.gen})
+	}
+}
+
+// unpark removes a flow from the waiting index.
+func (s *Simulator) unpark(f *Flow) {
+	if f.waitingAt >= 0 {
+		delete(s.waiting[f.waitingAt], f.ID)
+		f.waitingAt = -1
+	}
+}
+
+// activate installs the flow on the allocator with its resolved path.
+func (s *Simulator) activate(f *Flow, res dataplane.PathResult) {
+	s.settleFlow(f)
+	// Tear down previous registration (path may have changed).
+	wasActive := f.state == StateActive
+	oldPath := f.hops
+	s.deactivate(f)
+	s.unpark(f)
+
+	f.state = StateActive
+	f.hops = res.Hops
+	f.entries = res.Entries
+	f.meterRefs = res.Meters
+	f.Key = res.ExitKey
+	f.lastPathLen = len(res.Hops)
+
+	// Path changes are counted against the last transmitting path, which
+	// survives park/reactivate cycles (outage reroutes count too).
+	if f.prevHops != nil && !samePath(f.prevHops, res.Hops) {
+		f.pathChanges++
+		s.col.PathChanges++
+	}
+	f.prevHops = res.Hops
+	if !wasActive {
+		f.txStart = s.now
+	}
+	_ = oldPath
+	// The flow found a path; if its rules are later evicted it punts as a
+	// fresh episode, so clear the PacketIn dedup set.
+	if len(f.puntedAt) > 0 {
+		f.puntedAt = make(map[netgraph.NodeID]bool)
+	}
+
+	// Resources: every link direction along the path plus every meter.
+	f.resources = f.resources[:0]
+	for _, h := range f.hops {
+		fwd := h.Link.A == h.Switch
+		f.resources = append(f.resources, linkResource(h.Link.ID, fwd))
+	}
+	// The first hop's ingress link (host → first switch) also carries the
+	// flow.
+	if hostLink := s.hostLink(f.Src); hostLink != nil {
+		fwd := hostLink.A == f.Src
+		f.resources = append(f.resources, linkResource(hostLink.ID, fwd))
+	}
+	for _, mr := range f.meterRefs {
+		r := meterResource(mr.Switch, mr.Meter)
+		if m := s.meter(mr); m != nil {
+			s.alloc.SetCapacity(r, m.RateBps)
+			m.Flows++
+		}
+		f.resources = append(f.resources, r)
+	}
+
+	// Register flow-entry usage.
+	for _, e := range f.entries {
+		e.FlowCount++
+		e.LastUsed = s.now
+	}
+	// Index by traversed switch for re-resolution.
+	for _, h := range f.hops {
+		if s.flowsAt[h.Switch] == nil {
+			s.flowsAt[h.Switch] = make(map[FlowID]*Flow)
+		}
+		s.flowsAt[h.Switch][f.ID] = f
+	}
+
+	s.alloc.AddFlow(fairshare.FlowID(f.ID), s.currentDemand(f), f.resources)
+	s.recomputeAndApply()
+
+	if f.TCP {
+		s.scheduleRamp(f)
+	}
+	s.scheduleCompletion(f)
+}
+
+// hostLink returns the (single) link attaching a host.
+func (s *Simulator) hostLink(host netgraph.NodeID) *netgraph.Link {
+	sw, port := s.topo.AttachedSwitch(host)
+	if sw < 0 {
+		return nil
+	}
+	return s.topo.LinkAt(sw, port)
+}
+
+func samePath(a, b []dataplane.Hop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Switch != b[i].Switch || a[i].OutPort != b[i].OutPort {
+			return false
+		}
+	}
+	return true
+}
+
+// deactivate removes an active flow from the allocator and indexes without
+// finalizing it. Caller must settle first.
+func (s *Simulator) deactivate(f *Flow) {
+	if f.state != StateActive {
+		return
+	}
+	// Ledger: the flow's rate leaves its resources.
+	s.adjustLedgers(f, -f.rate)
+	f.rate = 0
+	s.alloc.RemoveFlow(fairshare.FlowID(f.ID))
+	for _, h := range f.hops {
+		delete(s.flowsAt[h.Switch], f.ID)
+	}
+	f.hops = nil
+	f.entries = nil
+	f.meterRefs = nil
+	s.recomputeAndApply()
+}
+
+// currentDemand is the flow's offered load right now. TCP flows offer
+// their congestion-window cap; CBR flows offer the application rate.
+func (s *Simulator) currentDemand(f *Flow) float64 {
+	if !f.TCP {
+		return f.AppRateBps
+	}
+	if f.demandCap <= 0 {
+		f.demandCap = s.cfg.TCP.InitialRate()
+	}
+	return math.Min(f.AppRateBps, f.demandCap)
+}
+
+// settleFlow brings a flow's byte accounting up to now at its current rate.
+func (s *Simulator) settleFlow(f *Flow) {
+	if f.state == StateActive && s.now > f.lastSettle {
+		bits := f.rate * s.now.Sub(f.lastSettle).Seconds()
+		if bits > 0 {
+			f.sent += bits
+			if !math.IsInf(f.remaining, 1) {
+				f.remaining -= bits
+				if f.remaining < 0 {
+					f.remaining = 0
+				}
+			}
+			for _, e := range f.entries {
+				e.Bytes += uint64(bits / 8)
+				e.Packets += uint64(bits/packetBits) + 1
+				e.LastUsed = s.now
+			}
+		}
+	}
+	f.lastSettle = s.now
+}
+
+// adjustLedgers settles each of the flow's resources and adds delta to the
+// resource's aggregate rate.
+func (s *Simulator) adjustLedgers(f *Flow, delta float64) {
+	if delta == 0 {
+		return
+	}
+	for _, r := range f.resources {
+		l := s.ledgers[r]
+		if l == nil {
+			l = &resLedger{last: s.now}
+			s.ledgers[r] = l
+		}
+		l.settle(s.now)
+		l.rate += delta
+		if l.rate < 0 {
+			l.rate = 0
+		}
+	}
+}
+
+// recomputeAndApply marks the allocation state dirty. The actual solve is
+// deferred to drainAlloc, which runs once per virtual instant: all events
+// at the same timestamp (e.g. one replay epoch's arrivals) share a single
+// re-solve. Rates are correct whenever virtual time advances, which is the
+// only point at which they accrue transferred bits.
+func (s *Simulator) recomputeAndApply() {
+	s.allocDirty = true
+}
+
+// drainAlloc re-solves the allocator and applies rate changes to flows:
+// settling, ledger updates, and completion-event rescheduling.
+func (s *Simulator) drainAlloc() {
+	if !s.allocDirty {
+		return
+	}
+	s.allocDirty = false
+	var changed []fairshare.Changed
+	if s.cfg.FullRecompute {
+		changed = s.alloc.RecomputeAll()
+	} else {
+		changed = s.alloc.Recompute()
+	}
+	if len(changed) == 0 {
+		return
+	}
+	sort.Slice(changed, func(i, j int) bool { return changed[i].ID < changed[j].ID })
+	for _, c := range changed {
+		f := s.flows[FlowID(c.ID)]
+		if f == nil || f.state != StateActive {
+			continue
+		}
+		s.settleFlow(f)
+		s.adjustLedgers(f, c.NewRate-f.rate)
+		f.rate = c.NewRate
+		s.col.RateChanges++
+		s.scheduleCompletion(f)
+		// A rate change may open growth room for a TCP flow.
+		s.scheduleRamp(f)
+	}
+}
+
+// scheduleCompletion (re)schedules the flow's completion event based on its
+// remaining volume, current rate, and deadline.
+func (s *Simulator) scheduleCompletion(f *Flow) {
+	f.gen++
+	at := simtime.Never
+	if !math.IsInf(f.remaining, 1) && f.rate > 0 {
+		at = s.now.Add(simtime.TransferTime(f.remaining, f.rate))
+		// TransferTime truncates to nanoseconds; a sub-ns residue must
+		// still complete strictly in the future or the completion event
+		// would respawn at the same instant forever.
+		if at <= s.now {
+			at = s.now + 1
+		}
+	}
+	if f.Deadline < at {
+		at = f.Deadline
+	}
+	if at == simtime.Never {
+		return
+	}
+	s.q.Push(&event{at: at, kind: evComplete, flow: f, gen: f.gen})
+}
+
+// handleComplete ends a flow: either its volume is transferred or its
+// deadline arrived.
+func (s *Simulator) handleComplete(f *Flow) {
+	s.settleFlow(f)
+	volumeDone := !math.IsInf(f.remaining, 1) && f.remaining <= 0.5 // half-bit slack
+	deadlineHit := f.Deadline != simtime.Never && s.now >= f.Deadline
+	if !volumeDone && !deadlineHit {
+		// Spurious wakeup (rate changed between scheduling and firing);
+		// reschedule.
+		s.scheduleCompletion(f)
+		return
+	}
+	s.deactivate(f)
+	s.unpark(f)
+	outcome := "completed"
+	completed := true
+	if !volumeDone && deadlineHit && f.state == StateWaiting {
+		outcome = "expired-waiting"
+		completed = false
+	}
+	s.finalize(f, completed, outcome)
+	s.col.FlowsCompleted++
+}
+
+// finalize records the flow and marks it done.
+func (s *Simulator) finalize(f *Flow, completed bool, outcome string) {
+	if f.state == StateDone {
+		return
+	}
+	f.state = StateDone
+	f.gen++ // kill in-flight events
+	s.unpark(f)
+	size := f.SizeBits
+	if math.IsInf(size, 1) {
+		size = f.sent
+	}
+	s.col.AddFlow(stats.FlowRecord{
+		ID:        int64(f.ID),
+		Arrival:   f.Arrival,
+		End:       s.now,
+		SizeBits:  size,
+		SentBits:  f.sent,
+		Completed: completed,
+		Outcome:   outcome,
+		PathLen:   f.lastPathLen,
+		Punts:     f.punts,
+	})
+}
+
+// scheduleRamp arms the next TCP window re-evaluation one RTT out, when
+// there is anything to adapt to: room to grow (the current cap binds and
+// is below the application rate) or a policer on the path (which demands
+// continuous probing, exactly like real TCP through a policer).
+func (s *Simulator) scheduleRamp(f *Flow) {
+	if f.ramping || f.state != StateActive || !f.TCP {
+		return
+	}
+	demand := s.currentDemand(f)
+	growthRoom := demand < f.AppRateBps && f.rate >= demand*0.95
+	if !growthRoom && len(f.meterRefs) == 0 {
+		return
+	}
+	// No point growing past what the path could ever carry.
+	if f.demandCap >= 2*s.pathCapacity(f) && len(f.meterRefs) == 0 {
+		return
+	}
+	f.ramping = true
+	s.q.Push(&event{at: s.now.Add(s.cfg.TCP.RTT), kind: evRamp, flow: f})
+}
+
+// pathCapacity returns the minimum link capacity along the flow's path.
+func (s *Simulator) pathCapacity(f *Flow) float64 {
+	min := math.Inf(1)
+	for _, h := range f.hops {
+		if h.Link.BandwidthBps < min {
+			min = h.Link.BandwidthBps
+		}
+	}
+	return min
+}
+
+// handleRamp evolves a TCP flow's congestion-window cap: flow-level AIMD.
+// While a policer on the path is overdriven the cap halves (multiplicative
+// decrease — the policer is dropping); otherwise, if the current cap binds,
+// it grows — doubling in slow start, one MSS/RTT after the first loss.
+func (s *Simulator) handleRamp(f *Flow) {
+	f.ramping = false
+	s.drainAlloc()
+	s.settleFlow(f)
+	if f.demandCap <= 0 {
+		f.demandCap = s.cfg.TCP.InitialRate()
+	}
+
+	overdriven := false
+	for _, mr := range f.meterRefs {
+		r := meterResource(mr.Switch, mr.Meter)
+		m := s.meter(mr)
+		if m == nil {
+			continue
+		}
+		if excess := s.alloc.DemandSum(r) - m.RateBps; excess > m.RateBps*0.001 {
+			overdriven = true
+			m.ThrottledBps = excess
+		} else {
+			m.ThrottledBps = 0
+		}
+	}
+
+	initial := s.cfg.TCP.InitialRate()
+	switch {
+	case overdriven:
+		// The policer is dropping: back off from the achieved rate.
+		f.demandCap = math.Max(f.rate/2, initial)
+		f.caMode = true
+	case f.rate >= s.currentDemand(f)*0.95:
+		// Demand-limited: grow.
+		if f.caMode {
+			f.demandCap += float64(s.cfg.TCP.MSS*8) / s.cfg.TCP.RTT.Seconds()
+		} else {
+			f.demandCap *= 2
+		}
+	}
+	s.alloc.SetDemand(fairshare.FlowID(f.ID), s.currentDemand(f))
+	s.recomputeAndApply()
+	if f.state == StateActive {
+		s.scheduleRamp(f)
+	}
+}
+
+// meter dereferences a meter ref against the owning switch.
+func (s *Simulator) meter(mr dataplane.MeterRef) *openflow.Meter {
+	sw := s.net.Switches[mr.Switch]
+	if sw == nil {
+		return nil
+	}
+	return sw.Meters.Get(mr.Meter)
+}
+
+// markDirty queues a flow for batched re-resolution at the current instant.
+func (s *Simulator) markDirty(f *Flow) {
+	if f.state == StateDone {
+		return
+	}
+	s.dirtyFlows[f.ID] = f
+	if !s.batchPending {
+		s.batchPending = true
+		s.q.Push(&event{at: s.now, kind: evResolveBatch})
+	}
+}
+
+// markSwitchDirty queues every flow parked at or traversing a switch.
+func (s *Simulator) markSwitchDirty(sw netgraph.NodeID) {
+	for _, f := range s.waiting[sw] {
+		s.markDirty(f)
+	}
+	for _, f := range s.flowsAt[sw] {
+		s.markDirty(f)
+	}
+}
+
+// handleResolveBatch re-resolves all dirty flows in ID order.
+func (s *Simulator) handleResolveBatch() {
+	s.batchPending = false
+	if len(s.dirtyFlows) == 0 {
+		return
+	}
+	ids := make([]FlowID, 0, len(s.dirtyFlows))
+	for id := range s.dirtyFlows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	batch := s.dirtyFlows
+	s.dirtyFlows = make(map[FlowID]*Flow)
+	for _, id := range ids {
+		f := batch[id]
+		if f.state == StateDone {
+			continue
+		}
+		s.resolve(f)
+	}
+}
+
+// handleLinkChange flips a link's state, updates capacities, notifies the
+// controller, and re-resolves affected flows (modeling data-plane liveness
+// for groups and blackholing for plain port rules).
+func (s *Simulator) handleLinkChange(id netgraph.LinkID, up bool) {
+	l := s.topo.Link(id)
+	if l.Up == up {
+		return
+	}
+	s.topo.SetLinkUp(id, up)
+	capacity := 0.0
+	if up {
+		capacity = l.BandwidthBps
+	}
+	s.alloc.SetCapacity(linkResource(id, true), capacity)
+	s.alloc.SetCapacity(linkResource(id, false), capacity)
+	s.recomputeAndApply()
+
+	for _, end := range []netgraph.NodeID{l.A, l.B} {
+		if s.net.Switches[end] != nil {
+			s.sendToController(&openflow.PortStatus{Switch: end, Port: l.PortAt(end), Up: up})
+			s.markSwitchDirty(end)
+		}
+	}
+	// Flows crossing the link must re-resolve (their entries may now pick
+	// live group buckets, or blackhole).
+	for _, f := range s.flows {
+		if f.state != StateActive {
+			continue
+		}
+		for _, h := range f.hops {
+			if h.Link.ID == id {
+				s.markDirty(f)
+				break
+			}
+		}
+	}
+	// A recovered link can also unblock waiting flows anywhere (e.g.
+	// flood reachability); cheap conservative choice: retry all waiting.
+	if up {
+		for _, m := range s.waiting {
+			for _, f := range m {
+				s.markDirty(f)
+			}
+		}
+	}
+}
+
+// handleStatsTick samples link utilization and reschedules itself.
+func (s *Simulator) handleStatsTick() {
+	s.drainAlloc()
+	for _, l := range s.topo.Links() {
+		for _, fwd := range []bool{true, false} {
+			r := linkResource(l.ID, fwd)
+			rate := s.alloc.ResourceUsage(r)
+			frac := 0.0
+			if l.Up && l.BandwidthBps > 0 {
+				frac = rate / l.BandwidthBps
+			}
+			s.col.AddLinkSample(stats.LinkSample{
+				At: s.now, Link: l.ID, Forward: fwd, RateBps: rate, UsedFrac: frac,
+			})
+		}
+	}
+	// Reschedule only while the simulation still has work: a lone stats
+	// tick must not keep an open-ended Run alive forever.
+	if s.q.Len() > 0 {
+		s.q.Push(&event{at: s.now.Add(s.cfg.StatsEvery), kind: evStatsTick})
+	}
+}

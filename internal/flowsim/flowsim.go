@@ -1,0 +1,439 @@
+// Package flowsim is the Horse simulation engine: a discrete-event,
+// flow-level simulator of SDN traffic dynamics. It ties together the
+// paper's building blocks —
+//
+//	data plane:    Events (eventq) + Topology (netgraph/dataplane) +
+//	               Traffic statistics & network state (stats, fairshare)
+//	control plane: Policy generator + Instructions + Monitoring
+//	               (the Controller interface, implemented in package
+//	               controller and compiled from policies in package policy)
+//
+// Data flows enter as events (from a traffic matrix or a generator); each
+// flow is routed through the switches' OpenFlow state; the max–min
+// allocator determines every flow's rate; statistics update after every
+// event and are exported to the control plane via stats messages; and the
+// controller reacts by sending (latency-modeled, connectionless) OpenFlow
+// instructions back.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"horse/internal/dataplane"
+	"horse/internal/eventq"
+	"horse/internal/fairshare"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+	"horse/internal/tcpmodel"
+	"horse/internal/traffic"
+)
+
+// FlowID identifies a data flow within a simulation run.
+type FlowID int64
+
+// FlowState is the lifecycle state of a data flow.
+type FlowState uint8
+
+// Flow states.
+const (
+	// StateWaiting: not yet transmitting — punted to the controller,
+	// flooding, or stalled on a broken path; the first packet is buffered.
+	StateWaiting FlowState = iota
+	// StateActive: transmitting at the allocated rate.
+	StateActive
+	// StateDone: finished (any outcome).
+	StateDone
+)
+
+// Flow is the runtime state of one data flow.
+type Flow struct {
+	ID  FlowID
+	Key header.FlowKey
+	Src netgraph.NodeID
+	Dst netgraph.NodeID
+
+	// SizeBits is the remaining transfer volume (+Inf for open-ended).
+	SizeBits float64
+	// AppRateBps is the application's offered rate (+Inf for backlogged).
+	AppRateBps float64
+	// Deadline ends open-ended flows (simtime.Never if none).
+	Deadline simtime.Time
+	// TCP selects the TCP demand model.
+	TCP bool
+
+	Arrival simtime.Time
+
+	state      FlowState
+	remaining  float64
+	sent       float64
+	rate       float64
+	lastSettle simtime.Time
+	gen        uint64 // invalidates stale completion/ramp events
+
+	// Path state.
+	hops        []dataplane.Hop
+	prevHops    []dataplane.Hop
+	lastPathLen int
+	entries     []*openflow.FlowEntry
+	meterRefs   []dataplane.MeterRef
+	resources   []fairshare.ResourceID
+	waitingAt   netgraph.NodeID
+	puntedAt    map[netgraph.NodeID]bool
+
+	// TCP state: flow-level AIMD over the offered demand.
+	txStart   simtime.Time // when transmission (re)started
+	demandCap float64      // congestion-window cap in bits/second
+	caMode    bool         // true after the first loss episode (additive increase)
+	ramping   bool
+
+	punts       int
+	pathChanges int
+}
+
+// State returns the flow's lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// Rate returns the current allocated rate in bits/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Sent returns the bits transferred so far (settled; current to the last
+// event that touched the flow).
+func (f *Flow) Sent() float64 { return f.sent }
+
+// Path returns the switch hops of the current path (nil while waiting).
+func (f *Flow) Path() []dataplane.Hop { return f.hops }
+
+// Controller is the control-plane logic attached to a simulation: the
+// paper's lightweight modular "policy generator". Start runs before any
+// traffic; Handle receives every switch-to-controller message after the
+// control-latency delay.
+type Controller interface {
+	Start(ctx *Context)
+	Handle(ctx *Context, msg openflow.Message)
+}
+
+// NopController is a Controller that does nothing (pure proactive
+// pre-installed state or drop-everything runs).
+type NopController struct{}
+
+// Start implements Controller.
+func (NopController) Start(*Context) {}
+
+// Handle implements Controller.
+func (NopController) Handle(*Context, openflow.Message) {}
+
+// Config parameterizes a Simulator.
+type Config struct {
+	// Topology is required.
+	Topology *netgraph.Topology
+	// Controller is the control plane (nil means NopController).
+	Controller Controller
+	// Miss is the table-miss behavior of every switch.
+	Miss dataplane.MissBehavior
+	// ControlLatency delays every switch↔controller message (default 1ms).
+	ControlLatency simtime.Duration
+	// TCP parameterizes the TCP model.
+	TCP tcpmodel.Params
+	// StatsEvery samples link utilization at this period (0 disables).
+	StatsEvery simtime.Duration
+	// FullRecompute disables incremental fair-share solving (E6 ablation).
+	FullRecompute bool
+	// UseCalendarQueue selects the calendar event queue (E6 ablation).
+	UseCalendarQueue bool
+	// RateEpsilon is the relative rate-change threshold below which rate
+	// changes do not reschedule events (default 1%).
+	RateEpsilon float64
+}
+
+type evKind uint8
+
+const (
+	evArrival evKind = iota
+	evComplete
+	evRamp
+	evToSwitch
+	evToController
+	evLinkChange
+	evStatsTick
+	evTimer
+	evExpiry
+	evResolveBatch
+)
+
+type event struct {
+	at   simtime.Time
+	kind evKind
+
+	flow   *Flow
+	gen    uint64
+	demand traffic.Demand
+	msg    openflow.Message
+	sw     netgraph.NodeID
+	link   netgraph.LinkID
+	up     bool
+	fn     func()
+}
+
+func (e *event) Time() simtime.Time { return e.at }
+
+// resLedger tracks cumulative bits and the current aggregate rate of one
+// resource (link direction), backing port counters and stats replies.
+type resLedger struct {
+	bits float64
+	rate float64
+	last simtime.Time
+}
+
+func (l *resLedger) settle(now simtime.Time) {
+	if now > l.last {
+		l.bits += l.rate * now.Sub(l.last).Seconds()
+		l.last = now
+	}
+}
+
+// Simulator is a Horse simulation run. Create with New, feed with Load /
+// InjectAt / ScheduleLinkChange, execute with Run.
+type Simulator struct {
+	cfg  Config
+	topo *netgraph.Topology
+	net  *dataplane.Network
+	q    eventq.Queue
+	now  simtime.Time
+
+	alloc  *fairshare.Allocator
+	flows  map[FlowID]*Flow
+	nextID FlowID
+
+	// waiting flows parked at a switch; flowsAt indexes active flows by
+	// traversed switch for re-resolution on state changes.
+	waiting map[netgraph.NodeID]map[FlowID]*Flow
+	flowsAt map[netgraph.NodeID]map[FlowID]*Flow
+
+	ledgers map[fairshare.ResourceID]*resLedger
+	col     *stats.Collector
+	ctrl    Controller
+	ctx     *Context
+
+	// batched re-resolution
+	dirtyFlows   map[FlowID]*Flow
+	batchPending bool
+
+	// per-switch scheduled expiry instants, to avoid duplicate events
+	expiryAt map[netgraph.NodeID]simtime.Time
+
+	// allocDirty defers fair-share re-solving: events at the same virtual
+	// instant (an epoch's worth of arrivals, say) trigger one solve when
+	// time advances, not one per event.
+	allocDirty bool
+
+	finished bool
+}
+
+// New builds a simulator over the configured topology.
+func New(cfg Config) *Simulator {
+	if cfg.Topology == nil {
+		panic("flowsim: Config.Topology is required")
+	}
+	if cfg.Controller == nil {
+		cfg.Controller = NopController{}
+	}
+	if cfg.ControlLatency == 0 {
+		cfg.ControlLatency = simtime.Millisecond
+	}
+	if cfg.TCP.RTT == 0 {
+		cfg.TCP = tcpmodel.DefaultParams()
+	}
+	if cfg.RateEpsilon == 0 {
+		cfg.RateEpsilon = 0.01
+	}
+	var q eventq.Queue
+	if cfg.UseCalendarQueue {
+		q = eventq.NewCalendar()
+	} else {
+		q = eventq.NewHeap()
+	}
+	s := &Simulator{
+		cfg:        cfg,
+		topo:       cfg.Topology,
+		net:        dataplane.NewNetwork(cfg.Topology, cfg.Miss),
+		q:          q,
+		alloc:      fairshare.New(),
+		flows:      make(map[FlowID]*Flow),
+		waiting:    make(map[netgraph.NodeID]map[FlowID]*Flow),
+		flowsAt:    make(map[netgraph.NodeID]map[FlowID]*Flow),
+		ledgers:    make(map[fairshare.ResourceID]*resLedger),
+		col:        stats.NewCollector(cfg.StatsEvery),
+		ctrl:       cfg.Controller,
+		dirtyFlows: make(map[FlowID]*Flow),
+		expiryAt:   make(map[netgraph.NodeID]simtime.Time),
+	}
+	s.alloc.Epsilon = cfg.RateEpsilon
+	s.ctx = &Context{sim: s}
+	// Declare every link direction to the allocator and ledger.
+	for _, l := range s.topo.Links() {
+		for _, fwd := range []bool{true, false} {
+			r := linkResource(l.ID, fwd)
+			s.alloc.SetCapacity(r, l.BandwidthBps)
+			s.ledgers[r] = &resLedger{}
+		}
+	}
+	return s
+}
+
+// Network exposes the data-plane state (switch tables), mainly for tests
+// and the packet-level comparator.
+func (s *Simulator) Network() *dataplane.Network { return s.net }
+
+// Collector returns the statistics collector.
+func (s *Simulator) Collector() *stats.Collector { return s.col }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() simtime.Time { return s.now }
+
+// Flow returns a flow by ID (nil if unknown).
+func (s *Simulator) Flow(id FlowID) *Flow { return s.flows[id] }
+
+// Allocator exposes the bandwidth allocator (read-mostly; used by stats
+// sampling and tests).
+func (s *Simulator) Allocator() *fairshare.Allocator { return s.alloc }
+
+func linkResource(l netgraph.LinkID, forward bool) fairshare.ResourceID {
+	r := fairshare.ResourceID(l) << 1
+	if forward {
+		r |= 1
+	}
+	return r
+}
+
+func meterResource(sw netgraph.NodeID, m openflow.MeterID) fairshare.ResourceID {
+	return fairshare.ResourceID(1)<<40 | fairshare.ResourceID(sw)<<24 | fairshare.ResourceID(m)
+}
+
+// Load schedules every demand in the trace.
+func (s *Simulator) Load(tr traffic.Trace) {
+	for _, d := range tr {
+		s.InjectAt(d)
+	}
+}
+
+// InjectAt schedules one demand at its start time.
+func (s *Simulator) InjectAt(d traffic.Demand) {
+	s.q.Push(&event{at: d.Start, kind: evArrival, demand: d})
+}
+
+// ScheduleLinkChange schedules a link failure (up=false) or recovery.
+func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool) {
+	s.q.Push(&event{at: at, kind: evLinkChange, link: link, up: up})
+}
+
+// Run executes the simulation until the event queue drains or virtual time
+// exceeds `until` (use simtime.Never for no bound). It returns the
+// statistics collector. Run may be called once.
+func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+	if s.finished {
+		panic("flowsim: Run called twice")
+	}
+	s.ctrl.Start(s.ctx)
+	if s.cfg.StatsEvery > 0 {
+		s.q.Push(&event{at: simtime.Time(s.cfg.StatsEvery), kind: evStatsTick})
+	}
+	for {
+		ev := s.q.Peek()
+		if ev == nil {
+			// A deferred solve may schedule completion events; drain and
+			// re-check before declaring the run over.
+			if s.allocDirty {
+				s.drainAlloc()
+				continue
+			}
+			break
+		}
+		if ev.Time() > s.now && s.allocDirty {
+			// Settle deferred rate work before advancing virtual time so
+			// every flow's rate is correct over [now, next). The solve may
+			// schedule events earlier than the current head, so re-peek.
+			s.drainAlloc()
+			continue
+		}
+		e := s.q.Pop().(*event)
+		if e.at > until {
+			s.now = until
+			break
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.col.EventsRun++
+		s.dispatch(e)
+	}
+	s.finish()
+	return s.col
+}
+
+func (s *Simulator) dispatch(e *event) {
+	switch e.kind {
+	case evArrival:
+		s.handleArrival(e.demand)
+	case evComplete:
+		if e.flow.gen == e.gen && e.flow.state != StateDone {
+			s.handleComplete(e.flow)
+		}
+	case evRamp:
+		if e.flow.state == StateActive {
+			s.handleRamp(e.flow)
+		} else {
+			e.flow.ramping = false
+		}
+	case evToSwitch:
+		s.handleToSwitch(e.msg)
+	case evToController:
+		s.ctrl.Handle(s.ctx, e.msg)
+	case evLinkChange:
+		s.handleLinkChange(e.link, e.up)
+	case evStatsTick:
+		s.handleStatsTick()
+	case evTimer:
+		e.fn()
+	case evExpiry:
+		s.handleExpiry(e.sw)
+	case evResolveBatch:
+		s.handleResolveBatch()
+	}
+}
+
+// finish settles and records every unfinished flow.
+func (s *Simulator) finish() {
+	s.drainAlloc()
+	s.finished = true
+	for _, f := range s.flows {
+		if f.state == StateDone {
+			continue
+		}
+		s.settleFlow(f)
+		outcome := "running"
+		if f.state == StateWaiting {
+			outcome = "waiting"
+		}
+		s.finalize(f, false, outcome)
+	}
+}
+
+// checkInvariants is used by tests: it verifies internal consistency
+// between the allocator, the flow set, and the ledgers.
+func (s *Simulator) checkInvariants() error {
+	for id, f := range s.flows {
+		if f.state == StateActive {
+			if s.alloc.Rate(fairshare.FlowID(id)) < 0 {
+				return fmt.Errorf("flow %d has negative allocator rate", id)
+			}
+			if !math.IsInf(f.remaining, 1) && f.remaining < -1 {
+				return fmt.Errorf("flow %d oversent: remaining=%g", id, f.remaining)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package header
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field identifies a single matchable header field.
+type Field uint8
+
+// Matchable fields, in pipeline order.
+const (
+	FieldEthSrc Field = iota
+	FieldEthDst
+	FieldEthType
+	FieldVLAN
+	FieldIPSrc
+	FieldIPDst
+	FieldProto
+	FieldSrcPort
+	FieldDstPort
+	numFields
+)
+
+var fieldNames = [...]string{
+	"eth_src", "eth_dst", "eth_type", "vlan",
+	"ip_src", "ip_dst", "proto", "src_port", "dst_port",
+}
+
+// String returns the OpenFlow-style name of the field.
+func (f Field) String() string {
+	if int(f) < len(fieldNames) {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// Match is an OpenFlow-style match: a set of exact-valued fields plus
+// optional prefix masks on the IP fields. An unset field is a wildcard.
+// The zero Match matches every flow (a table-miss / catch-all match).
+type Match struct {
+	set uint16 // bitmask of Fields present
+
+	EthSrc  MAC
+	EthDst  MAC
+	EthType uint16
+	VLAN    uint16
+	IPSrc   IPv4
+	IPDst   IPv4
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+
+	// IPSrcPrefix and IPDstPrefix are CIDR prefix lengths (1..32) applied
+	// when the corresponding IP field is set. 0 means /32 (exact).
+	IPSrcPrefix uint8
+	IPDstPrefix uint8
+}
+
+// MatchAll is the wildcard match.
+var MatchAll = Match{}
+
+// WithEthSrc returns a copy of m that additionally requires the source MAC.
+func (m Match) WithEthSrc(v MAC) Match { m.EthSrc = v; m.set |= 1 << FieldEthSrc; return m }
+
+// WithEthDst returns a copy of m that additionally requires the dest MAC.
+func (m Match) WithEthDst(v MAC) Match { m.EthDst = v; m.set |= 1 << FieldEthDst; return m }
+
+// WithEthType returns a copy of m that additionally requires the EtherType.
+func (m Match) WithEthType(v uint16) Match { m.EthType = v; m.set |= 1 << FieldEthType; return m }
+
+// WithVLAN returns a copy of m that additionally requires the VLAN ID.
+func (m Match) WithVLAN(v uint16) Match { m.VLAN = v; m.set |= 1 << FieldVLAN; return m }
+
+// WithIPSrc returns a copy of m that additionally requires the source IP
+// under the given prefix length (32 for exact).
+func (m Match) WithIPSrc(v IPv4, prefix uint8) Match {
+	m.IPSrc, m.IPSrcPrefix = v, prefix
+	m.set |= 1 << FieldIPSrc
+	return m
+}
+
+// WithIPDst returns a copy of m that additionally requires the dest IP
+// under the given prefix length (32 for exact).
+func (m Match) WithIPDst(v IPv4, prefix uint8) Match {
+	m.IPDst, m.IPDstPrefix = v, prefix
+	m.set |= 1 << FieldIPDst
+	return m
+}
+
+// WithProto returns a copy of m that additionally requires the IP protocol.
+func (m Match) WithProto(v uint8) Match { m.Proto = v; m.set |= 1 << FieldProto; return m }
+
+// WithSrcPort returns a copy of m that additionally requires the L4 source
+// port.
+func (m Match) WithSrcPort(v uint16) Match { m.SrcPort = v; m.set |= 1 << FieldSrcPort; return m }
+
+// WithDstPort returns a copy of m that additionally requires the L4 dest
+// port.
+func (m Match) WithDstPort(v uint16) Match { m.DstPort = v; m.set |= 1 << FieldDstPort; return m }
+
+// Has reports whether the field participates in the match.
+func (m Match) Has(f Field) bool { return m.set&(1<<f) != 0 }
+
+// NumFields returns how many fields the match constrains; a useful
+// specificity measure for auto-priorities.
+func (m Match) NumFields() int {
+	n := 0
+	for f := Field(0); f < numFields; f++ {
+		if m.Has(f) {
+			n++
+		}
+	}
+	return n
+}
+
+func prefixMask(prefix uint8) uint32 {
+	if prefix == 0 || prefix >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - prefix)
+}
+
+// Matches reports whether the flow key satisfies the match.
+func (m Match) Matches(k FlowKey) bool {
+	if m.Has(FieldEthSrc) && m.EthSrc != k.EthSrc {
+		return false
+	}
+	if m.Has(FieldEthDst) && m.EthDst != k.EthDst {
+		return false
+	}
+	if m.Has(FieldEthType) && m.EthType != k.EthType {
+		return false
+	}
+	if m.Has(FieldVLAN) && m.VLAN != k.VLAN {
+		return false
+	}
+	if m.Has(FieldIPSrc) {
+		mask := prefixMask(m.IPSrcPrefix)
+		if m.IPSrc.Uint32()&mask != k.IPSrc.Uint32()&mask {
+			return false
+		}
+	}
+	if m.Has(FieldIPDst) {
+		mask := prefixMask(m.IPDstPrefix)
+		if m.IPDst.Uint32()&mask != k.IPDst.Uint32()&mask {
+			return false
+		}
+	}
+	if m.Has(FieldProto) && m.Proto != k.Proto {
+		return false
+	}
+	if m.Has(FieldSrcPort) && m.SrcPort != k.SrcPort {
+		return false
+	}
+	if m.Has(FieldDstPort) && m.DstPort != k.DstPort {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether some flow key could satisfy both matches. It is
+// the core primitive of policy-composition validation: two rules with
+// overlapping matches and contradictory actions are a potential conflict.
+func (m Match) Overlaps(o Match) bool {
+	// For each field constrained by both, the constraints must be
+	// compatible; fields constrained by only one side never exclude
+	// overlap.
+	both := m.set & o.set
+	if both&(1<<FieldEthSrc) != 0 && m.EthSrc != o.EthSrc {
+		return false
+	}
+	if both&(1<<FieldEthDst) != 0 && m.EthDst != o.EthDst {
+		return false
+	}
+	if both&(1<<FieldEthType) != 0 && m.EthType != o.EthType {
+		return false
+	}
+	if both&(1<<FieldVLAN) != 0 && m.VLAN != o.VLAN {
+		return false
+	}
+	if both&(1<<FieldIPSrc) != 0 {
+		// Two prefixes overlap iff one contains the other: compare under
+		// the shorter mask.
+		p := m.IPSrcPrefix
+		if o.IPSrcPrefix != 0 && (p == 0 || o.IPSrcPrefix < p) {
+			p = o.IPSrcPrefix
+		}
+		mask := prefixMask(p)
+		if m.IPSrc.Uint32()&mask != o.IPSrc.Uint32()&mask {
+			return false
+		}
+	}
+	if both&(1<<FieldIPDst) != 0 {
+		p := m.IPDstPrefix
+		if o.IPDstPrefix != 0 && (p == 0 || o.IPDstPrefix < p) {
+			p = o.IPDstPrefix
+		}
+		mask := prefixMask(p)
+		if m.IPDst.Uint32()&mask != o.IPDst.Uint32()&mask {
+			return false
+		}
+	}
+	if both&(1<<FieldProto) != 0 && m.Proto != o.Proto {
+		return false
+	}
+	if both&(1<<FieldSrcPort) != 0 && m.SrcPort != o.SrcPort {
+		return false
+	}
+	if both&(1<<FieldDstPort) != 0 && m.DstPort != o.DstPort {
+		return false
+	}
+	return true
+}
+
+// Subsumes reports whether every flow key matched by o is also matched by
+// m (m is at least as general as o).
+func (m Match) Subsumes(o Match) bool {
+	for f := Field(0); f < numFields; f++ {
+		if !m.Has(f) {
+			continue
+		}
+		if !o.Has(f) {
+			return false
+		}
+	}
+	// All of m's fields are constrained in o; the constraints must agree
+	// on every key o admits, which reduces to: o's constraint implies m's.
+	if m.Has(FieldEthSrc) && m.EthSrc != o.EthSrc {
+		return false
+	}
+	if m.Has(FieldEthDst) && m.EthDst != o.EthDst {
+		return false
+	}
+	if m.Has(FieldEthType) && m.EthType != o.EthType {
+		return false
+	}
+	if m.Has(FieldVLAN) && m.VLAN != o.VLAN {
+		return false
+	}
+	if m.Has(FieldIPSrc) {
+		mp, op := normPrefix(m.IPSrcPrefix), normPrefix(o.IPSrcPrefix)
+		if mp > op {
+			return false // m is more specific than o
+		}
+		mask := prefixMask(mp)
+		if m.IPSrc.Uint32()&mask != o.IPSrc.Uint32()&mask {
+			return false
+		}
+	}
+	if m.Has(FieldIPDst) {
+		mp, op := normPrefix(m.IPDstPrefix), normPrefix(o.IPDstPrefix)
+		if mp > op {
+			return false
+		}
+		mask := prefixMask(mp)
+		if m.IPDst.Uint32()&mask != o.IPDst.Uint32()&mask {
+			return false
+		}
+	}
+	if m.Has(FieldProto) && m.Proto != o.Proto {
+		return false
+	}
+	if m.Has(FieldSrcPort) && m.SrcPort != o.SrcPort {
+		return false
+	}
+	if m.Has(FieldDstPort) && m.DstPort != o.DstPort {
+		return false
+	}
+	return true
+}
+
+func normPrefix(p uint8) uint8 {
+	if p == 0 || p > 32 {
+		return 32
+	}
+	return p
+}
+
+// String renders the match in OpenFlow match-string style; the wildcard
+// match prints as "*".
+func (m Match) String() string {
+	if m.set == 0 {
+		return "*"
+	}
+	var parts []string
+	add := func(f Field, v string) {
+		if m.Has(f) {
+			parts = append(parts, f.String()+"="+v)
+		}
+	}
+	add(FieldEthSrc, m.EthSrc.String())
+	add(FieldEthDst, m.EthDst.String())
+	add(FieldEthType, fmt.Sprintf("0x%04x", m.EthType))
+	add(FieldVLAN, fmt.Sprintf("%d", m.VLAN))
+	if m.Has(FieldIPSrc) {
+		parts = append(parts, fmt.Sprintf("ip_src=%s/%d", m.IPSrc, normPrefix(m.IPSrcPrefix)))
+	}
+	if m.Has(FieldIPDst) {
+		parts = append(parts, fmt.Sprintf("ip_dst=%s/%d", m.IPDst, normPrefix(m.IPDstPrefix)))
+	}
+	add(FieldProto, fmt.Sprintf("%d", m.Proto))
+	add(FieldSrcPort, fmt.Sprintf("%d", m.SrcPort))
+	add(FieldDstPort, fmt.Sprintf("%d", m.DstPort))
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,176 @@
+// Package ixp builds the evaluation substrate of the paper: an SDN model
+// of a large Internet Exchange Point. The paper proposes to model "the
+// topology of one of the largest IXPs" and replay "real data from the IXP
+// itself"; as public IXP topologies and member traces are not
+// redistributable, this package generates a parametric fabric with the
+// same structure — member routers attached to edge switches, a core layer
+// interconnecting the edges, and a route server — and gravity-model member
+// traffic with heavy-tailed member weights and diurnal modulation
+// (well-documented properties of IXP traffic). DESIGN.md records the
+// substitution.
+package ixp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+	"horse/internal/traffic"
+)
+
+// Profile parameterizes an IXP fabric. The zero value is not useful; use
+// one of the presets or fill all fields.
+type Profile struct {
+	// Members is the number of member routers (hosts in the model).
+	Members int
+	// EdgeSwitches is the number of access switches members attach to.
+	EdgeSwitches int
+	// CoreSwitches is the number of core spine switches.
+	CoreSwitches int
+	// MemberPortBps is the member access-port speed.
+	MemberPortBps float64
+	// EdgeUplinkBps is the edge→core trunk speed.
+	EdgeUplinkBps float64
+	// LinkDelay applies to all fabric links.
+	LinkDelay simtime.Duration
+	// RouteServer adds a route-server host on the first edge switch,
+	// as at real IXPs (BGP sessions terminate there).
+	RouteServer bool
+	// Seed drives member weight generation.
+	Seed int64
+	// WeightAlpha is the Pareto tail exponent for member weights (a few
+	// content-heavy members dominate, like real IXP member mixes).
+	WeightAlpha float64
+}
+
+// SmallIXP is a laptop-scale profile for tests and examples.
+func SmallIXP() Profile {
+	return Profile{
+		Members: 40, EdgeSwitches: 4, CoreSwitches: 2,
+		MemberPortBps: 1e9, EdgeUplinkBps: 1e10,
+		LinkDelay: 50 * simtime.Microsecond, RouteServer: true,
+		Seed: 1, WeightAlpha: 1.2,
+	}
+}
+
+// LargeIXP approximates an AMS-IX/DE-CIX-class fabric: hundreds of
+// members, tens of edges, a 100G core.
+func LargeIXP(members int) Profile {
+	edges := members / 20
+	if edges < 4 {
+		edges = 4
+	}
+	return Profile{
+		Members: members, EdgeSwitches: edges, CoreSwitches: 4,
+		MemberPortBps: 1e10, EdgeUplinkBps: 1e11,
+		LinkDelay: 50 * simtime.Microsecond, RouteServer: true,
+		Seed: 1, WeightAlpha: 1.15,
+	}
+}
+
+// Fabric is a built IXP topology plus its member inventory.
+type Fabric struct {
+	Topo *netgraph.Topology
+	// Members lists the member router host IDs in creation order.
+	Members []netgraph.NodeID
+	// Weights are the gravity masses of members (same order).
+	Weights []float64
+	// Edges and Cores list the switch IDs.
+	Edges []netgraph.NodeID
+	Cores []netgraph.NodeID
+	// RouteServer is the route-server host (-1 if disabled).
+	RouteServer netgraph.NodeID
+
+	profile Profile
+}
+
+// Build constructs the fabric: each edge connects to every core (full
+// bipartite edge–core mesh), and members attach round-robin to edges.
+func Build(p Profile) (*Fabric, error) {
+	if p.Members < 2 || p.EdgeSwitches < 1 || p.CoreSwitches < 1 {
+		return nil, fmt.Errorf("ixp: degenerate profile %+v", p)
+	}
+	if p.MemberPortBps <= 0 || p.EdgeUplinkBps <= 0 {
+		return nil, fmt.Errorf("ixp: non-positive link speeds")
+	}
+	topo := netgraph.New()
+	f := &Fabric{Topo: topo, RouteServer: -1, profile: p}
+
+	for i := 0; i < p.CoreSwitches; i++ {
+		f.Cores = append(f.Cores, topo.AddSwitch(fmt.Sprintf("core%d", i)))
+	}
+	for i := 0; i < p.EdgeSwitches; i++ {
+		e := topo.AddSwitch(fmt.Sprintf("edge%d", i))
+		f.Edges = append(f.Edges, e)
+		for _, c := range f.Cores {
+			topo.Connect(e, c, p.EdgeUplinkBps, p.LinkDelay)
+		}
+	}
+	for i := 0; i < p.Members; i++ {
+		m := topo.AddHost(fmt.Sprintf("member%d", i))
+		f.Members = append(f.Members, m)
+		edge := f.Edges[i%len(f.Edges)]
+		topo.Connect(edge, m, p.MemberPortBps, p.LinkDelay)
+	}
+	if p.RouteServer {
+		f.RouteServer = topo.AddHost("route-server")
+		topo.Connect(f.Edges[0], f.RouteServer, p.MemberPortBps, p.LinkDelay)
+	}
+
+	alpha := p.WeightAlpha
+	if alpha <= 0 {
+		alpha = 1.2
+	}
+	f.Weights = traffic.ParetoWeights(p.Members, alpha, p.Seed)
+	return f, nil
+}
+
+// PeeringMatrix returns a gravity traffic matrix over the members scaled
+// to aggregate totalBps, masked by a peering density: each ordered member
+// pair peers with probability density (deterministic per seed). density 1
+// is a full mesh (route-server style multilateral peering).
+func (f *Fabric) PeeringMatrix(totalBps, density float64) *traffic.Matrix {
+	m := traffic.Gravity(f.Members, f.Weights, totalBps)
+	if density >= 1 {
+		return m
+	}
+	rng := rand.New(rand.NewSource(f.profile.Seed + 7))
+	var masked, total float64
+	for i := range m.Rates {
+		for j := range m.Rates[i] {
+			total += m.Rates[i][j]
+			if i != j && rng.Float64() >= density {
+				masked += m.Rates[i][j]
+				m.Rates[i][j] = 0
+			}
+		}
+	}
+	// Rescale so the aggregate stays at totalBps despite masking.
+	if total > masked && masked > 0 {
+		scale := total / (total - masked)
+		for i := range m.Rates {
+			for j := range m.Rates[i] {
+				m.Rates[i][j] *= scale
+			}
+		}
+	}
+	return m
+}
+
+// ReplayTrace produces the paper's replay workload: the peering matrix
+// modulated by a 24h diurnal curve, emitted as epoch CBR flows.
+func (f *Fabric) ReplayTrace(totalBps, density float64, epoch, horizon simtime.Duration, seed int64) traffic.Trace {
+	m := f.PeeringMatrix(totalBps, density)
+	g := traffic.NewGenerator(seed)
+	return g.Replay(m, traffic.ReplayConfig{
+		Epoch:   epoch,
+		Horizon: horizon,
+		Mod: traffic.Diurnal{
+			Base: 1, Amplitude: 0.5, Period: 24 * simtime.Hour,
+		},
+		// Keep epoch flow counts bounded: entries below 0.01% of a member
+		// port are noise.
+		MinRateBps: f.profile.MemberPortBps * 1e-4,
+	})
+}

@@ -1,0 +1,173 @@
+package ixp
+
+import (
+	"math"
+	"testing"
+
+	"horse/internal/dataplane"
+	"horse/internal/flowsim"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+
+	"horse/internal/controller"
+)
+
+func TestBuildSmall(t *testing.T) {
+	f, err := Build(SmallIXP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Members) != 40 || len(f.Edges) != 4 || len(f.Cores) != 2 {
+		t.Fatalf("inventory: %d members %d edges %d cores", len(f.Members), len(f.Edges), len(f.Cores))
+	}
+	if f.RouteServer < 0 {
+		t.Error("route server missing")
+	}
+	// Hosts = members + route server.
+	if got := len(f.Topo.Hosts()); got != 41 {
+		t.Errorf("hosts = %d", got)
+	}
+	// Every member reaches every other member.
+	if !f.Topo.Reachable(f.Members[0], f.Members[39]) {
+		t.Error("fabric not connected")
+	}
+	// Edge-core mesh: every edge has CoreSwitches trunk ports + members.
+	for _, e := range f.Edges {
+		n := f.Topo.Neighbors(e)
+		cores := 0
+		for _, nb := range n {
+			if f.Topo.Node(nb).Kind == netgraph.KindSwitch {
+				cores++
+			}
+		}
+		if cores != 2 {
+			t.Errorf("edge %d connects to %d cores, want 2", e, cores)
+		}
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if _, err := Build(Profile{Members: 1, EdgeSwitches: 1, CoreSwitches: 1, MemberPortBps: 1, EdgeUplinkBps: 1}); err == nil {
+		t.Error("degenerate profile accepted")
+	}
+	p := SmallIXP()
+	p.MemberPortBps = 0
+	if _, err := Build(p); err == nil {
+		t.Error("zero port speed accepted")
+	}
+}
+
+func TestLargeProfileScales(t *testing.T) {
+	p := LargeIXP(400)
+	f, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Members) != 400 {
+		t.Errorf("members = %d", len(f.Members))
+	}
+	if len(f.Edges) != 20 {
+		t.Errorf("edges = %d", len(f.Edges))
+	}
+	if d := f.Topo.Diameter(); d > 4 {
+		t.Errorf("diameter = %d; IXP fabrics are flat", d)
+	}
+}
+
+func TestPeeringMatrixDensity(t *testing.T) {
+	f, err := Build(SmallIXP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := f.PeeringMatrix(1e10, 1)
+	if math.Abs(full.Total()-1e10) > 1 {
+		t.Errorf("full mesh total = %g", full.Total())
+	}
+	sparse := f.PeeringMatrix(1e10, 0.3)
+	// Total is rescaled to the target.
+	if math.Abs(sparse.Total()-1e10) > 1e10*0.01 {
+		t.Errorf("sparse total = %g, want ~1e10", sparse.Total())
+	}
+	// Sparse matrix has fewer nonzero entries.
+	count := func(m [][]float64) int {
+		n := 0
+		for _, row := range m {
+			for _, v := range row {
+				if v > 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if count(sparse.Rates) >= count(full.Rates) {
+		t.Error("density mask did not reduce peerings")
+	}
+	// Deterministic per seed.
+	sparse2 := f.PeeringMatrix(1e10, 0.3)
+	for i := range sparse.Rates {
+		for j := range sparse.Rates[i] {
+			if sparse.Rates[i][j] != sparse2.Rates[i][j] {
+				t.Fatal("peering mask not deterministic")
+			}
+		}
+	}
+}
+
+func TestReplayTraceShape(t *testing.T) {
+	f, err := Build(SmallIXP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := f.ReplayTrace(5e9, 0.5, simtime.Hour, 6*simtime.Hour, 3)
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	epochs := map[simtime.Time]bool{}
+	for _, d := range tr {
+		epochs[d.Start] = true
+		if d.RateBps <= 0 {
+			t.Fatal("zero-rate epoch flow")
+		}
+	}
+	if len(epochs) != 6 {
+		t.Errorf("epochs = %d, want 6", len(epochs))
+	}
+}
+
+func TestIXPEndToEndReplay(t *testing.T) {
+	// A complete small IXP run: fabric, ECMP fabric control, 2h diurnal
+	// replay at hourly epochs.
+	f, err := Build(SmallIXP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := flowsim.New(flowsim.Config{
+		Topology:   f.Topo,
+		Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
+		Miss:       dataplane.MissController,
+		StatsEvery: 10 * simtime.Minute,
+	})
+	sim.Load(f.ReplayTrace(2e9, 0.5, simtime.Hour, 2*simtime.Hour, 3))
+	col := sim.Run(simtime.Time(3 * simtime.Hour))
+	if len(col.Flows()) == 0 {
+		t.Fatal("no flows recorded")
+	}
+	completed := 0
+	for _, fr := range col.Flows() {
+		if fr.Completed {
+			completed++
+		}
+	}
+	if completed < len(col.Flows())*9/10 {
+		t.Errorf("only %d/%d epoch flows completed", completed, len(col.Flows()))
+	}
+	// The fabric must have carried roughly epoch×rate traffic.
+	var sent float64
+	for _, fr := range col.Flows() {
+		sent += fr.SentBits
+	}
+	if sent <= 0 {
+		t.Error("no traffic carried")
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics provides the summary statistics and error measures used
+// by the experiment harness: means, percentiles, relative errors, RMSE, and
+// a distribution distance for accuracy scoring of the flow-level simulator
+// against the packet-level baseline.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics. Input need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RelErr returns |got-want| / |want|, or |got| when want is zero (so a
+// spurious nonzero against a zero reference still scores as error).
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// RMSE returns the root-mean-square error between two equally long series.
+// It panics on length mismatch — a harness bug, not a data condition.
+func RMSE(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic("metrics: RMSE length mismatch")
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range got {
+		d := got[i] - want[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(got)))
+}
+
+// MeanRelErr returns the mean of element-wise relative errors.
+func MeanRelErr(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic("metrics: MeanRelErr length mismatch")
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range got {
+		s += RelErr(got[i], want[i])
+	}
+	return s / float64(len(got))
+}
+
+// W1Distance returns the first Wasserstein (earth mover's) distance between
+// two empirical distributions, the accuracy score used for FCT comparisons:
+// it is the average horizontal gap between the two CDFs.
+func W1Distance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	// Evaluate both quantile functions on a common grid.
+	const grid = 512
+	var sum float64
+	for i := 0; i < grid; i++ {
+		q := (float64(i) + 0.5) / grid
+		sum += math.Abs(quantile(as, q) - quantile(bs, q))
+	}
+	return sum / grid
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	P50, P90     float64
+	P99          float64
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs), StdDev: StdDev(xs),
+		Min: Min(xs), Max: Max(xs),
+		P50: Percentile(xs, 50), P90: Percentile(xs, 90), P99: Percentile(xs, 99),
+	}
+}

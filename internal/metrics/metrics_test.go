@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("single element StdDev should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Interpolation between points.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interp P50 = %g", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input must not be mutated (Percentile copies).
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, -2, 7, 0}
+	if Min(xs) != -2 || Max(xs) != 7 {
+		t.Error("min/max wrong")
+	}
+	if Median([]float64{1, 3, 2}) != 2 {
+		t.Error("median wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(110, 100) != 0.1 {
+		t.Errorf("RelErr = %g", RelErr(110, 100))
+	}
+	if RelErr(5, 0) != 5 {
+		t.Error("zero reference should score |got|")
+	}
+	if RelErr(-90, -100) != 0.1 {
+		t.Error("negative values mishandled")
+	}
+}
+
+func TestRMSEAndMeanRelErr(t *testing.T) {
+	got := []float64{1, 2, 3}
+	want := []float64{1, 2, 5}
+	if r := RMSE(got, want); math.Abs(r-2/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %g", r)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Error("empty RMSE")
+	}
+	if m := MeanRelErr(got, want); math.Abs(m-(0+0+0.4)/3) > 1e-12 {
+		t.Errorf("MeanRelErr = %g", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestW1Distance(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := W1Distance(a, a); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	// Shifting a distribution by c gives distance c.
+	b := make([]float64, len(a))
+	for i := range a {
+		b[i] = a[i] + 10
+	}
+	if d := W1Distance(a, b); math.Abs(d-10) > 1e-9 {
+		t.Errorf("shift distance = %g, want 10", d)
+	}
+	// Symmetry.
+	if W1Distance(a, b) != W1Distance(b, a) {
+		t.Error("not symmetric")
+	}
+	if W1Distance(nil, a) != 0 {
+		t.Error("empty input should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || s.Mean != 5.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 5.5 {
+		t.Errorf("P50 = %g", s.P50)
+	}
+	if s.P99 <= s.P90 || s.P90 <= s.P50 {
+		t.Error("percentiles not ordered")
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	prop := func(p1, p2 uint8) bool {
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: W1 distance satisfies the triangle inequality on small samples.
+func TestW1TriangleProperty(t *testing.T) {
+	prop := func(a, b, c [6]int8) bool {
+		fa := make([]float64, 6)
+		fb := make([]float64, 6)
+		fc := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			fa[i], fb[i], fc[i] = float64(a[i]), float64(b[i]), float64(c[i])
+		}
+		ab := W1Distance(fa, fb)
+		bc := W1Distance(fb, fc)
+		ac := W1Distance(fa, fc)
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

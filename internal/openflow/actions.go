@@ -1,0 +1,121 @@
+// Package openflow implements the abstracted OpenFlow mechanics of Horse:
+// flow tables with priorities and wildcards, group tables for multipath,
+// meter tables for rate limiting, per-entry/table/port counters, and the
+// control messages exchanged with the controller. Following the paper, there
+// are no real OpenFlow connections — messages are plain values delivered
+// in-simulator — but the forwarding semantics (match priority, group bucket
+// selection, meter bands, timeouts) follow the OpenFlow 1.3 model closely
+// enough that real policies translate directly.
+package openflow
+
+import (
+	"fmt"
+
+	"horse/internal/netgraph"
+)
+
+// TableID identifies a flow table within a switch pipeline.
+type TableID uint8
+
+// GroupID identifies a group-table entry. 0 is reserved (no group).
+type GroupID uint32
+
+// MeterID identifies a meter-table entry. 0 is reserved (no meter).
+type MeterID uint32
+
+// Reserved output "ports" (values high enough not to clash with real ports).
+const (
+	// PortController sends the flow to the controller as a PacketIn.
+	PortController netgraph.PortNum = 0xfffffffd
+	// PortFlood outputs on all up ports except the ingress.
+	PortFlood netgraph.PortNum = 0xfffffffb
+	// PortDrop explicitly discards the flow. An empty action list also
+	// drops, but an explicit action makes blackholing policies legible.
+	PortDrop netgraph.PortNum = 0xfffffffe
+)
+
+// ActionType discriminates Action variants.
+type ActionType uint8
+
+// Action types.
+const (
+	ActionOutput  ActionType = iota // output to Port
+	ActionGroup                     // indirect through group Group
+	ActionSetVLAN                   // rewrite the VLAN tag to VLAN
+	ActionPopVLAN                   // strip the VLAN tag
+)
+
+// Action is one element of an apply-actions list.
+type Action struct {
+	Type  ActionType
+	Port  netgraph.PortNum // ActionOutput
+	Group GroupID          // ActionGroup
+	VLAN  uint16           // ActionSetVLAN
+}
+
+// Output returns an output action to the given port.
+func Output(p netgraph.PortNum) Action { return Action{Type: ActionOutput, Port: p} }
+
+// ToController returns an output action that punts to the controller.
+func ToController() Action { return Output(PortController) }
+
+// Drop returns an explicit drop action.
+func Drop() Action { return Output(PortDrop) }
+
+// Flood returns an output action flooding all ports except the ingress.
+func Flood() Action { return Output(PortFlood) }
+
+// GroupAction returns an action indirecting through a group.
+func GroupAction(g GroupID) Action { return Action{Type: ActionGroup, Group: g} }
+
+// SetVLAN returns a VLAN rewrite action.
+func SetVLAN(v uint16) Action { return Action{Type: ActionSetVLAN, VLAN: v} }
+
+// PopVLAN returns a VLAN strip action.
+func PopVLAN() Action { return Action{Type: ActionPopVLAN} }
+
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		switch a.Port {
+		case PortController:
+			return "output:controller"
+		case PortFlood:
+			return "output:flood"
+		case PortDrop:
+			return "drop"
+		}
+		return fmt.Sprintf("output:%d", a.Port)
+	case ActionGroup:
+		return fmt.Sprintf("group:%d", a.Group)
+	case ActionSetVLAN:
+		return fmt.Sprintf("set_vlan:%d", a.VLAN)
+	case ActionPopVLAN:
+		return "pop_vlan"
+	}
+	return fmt.Sprintf("action(%d)", a.Type)
+}
+
+// Instructions is the instruction set attached to a flow entry: an optional
+// meter, an apply-actions list, and an optional goto-table.
+type Instructions struct {
+	// Meter, if nonzero, subjects matching traffic to the meter first.
+	Meter MeterID
+	// Actions are applied in order.
+	Actions []Action
+	// GotoTable, if set, continues pipeline processing at that table.
+	GotoTable TableID
+	HasGoto   bool
+}
+
+// Apply returns instructions with just an action list.
+func Apply(actions ...Action) Instructions { return Instructions{Actions: actions} }
+
+// WithMeter returns a copy of the instructions that meters traffic first.
+func (in Instructions) WithMeter(m MeterID) Instructions { in.Meter = m; return in }
+
+// WithGoto returns a copy of the instructions that continues at table t.
+func (in Instructions) WithGoto(t TableID) Instructions {
+	in.GotoTable, in.HasGoto = t, true
+	return in
+}

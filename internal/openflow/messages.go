@@ -1,0 +1,244 @@
+package openflow
+
+import (
+	"fmt"
+
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+// Message is any control message exchanged between a switch and the
+// controller. There is no wire encoding: the paper explicitly drops real
+// OpenFlow connections to keep per-switch state small, so messages are
+// plain values carried by simulator events with a modeled latency.
+type Message interface {
+	// Datapath returns the switch the message concerns.
+	Datapath() netgraph.NodeID
+}
+
+// FlowModOp discriminates FlowMod operations.
+type FlowModOp uint8
+
+// FlowMod operations.
+const (
+	FlowAdd FlowModOp = iota
+	FlowDelete
+	FlowDeleteStrict
+)
+
+func (op FlowModOp) String() string {
+	switch op {
+	case FlowAdd:
+		return "add"
+	case FlowDelete:
+		return "delete"
+	case FlowDeleteStrict:
+		return "delete_strict"
+	}
+	return fmt.Sprintf("flowmodop(%d)", uint8(op))
+}
+
+// FlowMod installs or removes flow entries on a switch.
+type FlowMod struct {
+	Switch   netgraph.NodeID
+	Op       FlowModOp
+	Table    TableID
+	Priority int
+	Match    header.Match
+	Instr    Instructions
+
+	IdleTimeout simtime.Duration
+	HardTimeout simtime.Duration
+	Cookie      uint64
+}
+
+// Datapath implements Message.
+func (m *FlowMod) Datapath() netgraph.NodeID { return m.Switch }
+
+// GroupModOp discriminates GroupMod operations.
+type GroupModOp uint8
+
+// GroupMod operations.
+const (
+	GroupAdd GroupModOp = iota
+	GroupModify
+	GroupDelete
+)
+
+// GroupMod installs, replaces or removes a group.
+type GroupMod struct {
+	Switch  netgraph.NodeID
+	Op      GroupModOp
+	GroupID GroupID
+	Type    GroupType
+	Buckets []*Bucket
+}
+
+// Datapath implements Message.
+func (m *GroupMod) Datapath() netgraph.NodeID { return m.Switch }
+
+// MeterModOp discriminates MeterMod operations.
+type MeterModOp uint8
+
+// MeterMod operations.
+const (
+	MeterAdd MeterModOp = iota
+	MeterModify
+	MeterDelete
+)
+
+// MeterMod installs, replaces or removes a meter.
+type MeterMod struct {
+	Switch  netgraph.NodeID
+	Op      MeterModOp
+	MeterID MeterID
+	RateBps float64
+}
+
+// Datapath implements Message.
+func (m *MeterMod) Datapath() netgraph.NodeID { return m.Switch }
+
+// PacketInReason mirrors the OpenFlow reason field.
+type PacketInReason uint8
+
+// PacketIn reasons.
+const (
+	ReasonNoMatch PacketInReason = iota // table miss
+	ReasonAction                        // explicit output:controller
+)
+
+// PacketIn notifies the controller of a flow the data plane could not (or
+// was told not to) handle. At flow granularity one PacketIn stands for the
+// first packet of a data flow.
+type PacketIn struct {
+	Switch netgraph.NodeID
+	InPort netgraph.PortNum
+	Key    header.FlowKey
+	Reason PacketInReason
+	Table  TableID
+}
+
+// Datapath implements Message.
+func (m *PacketIn) Datapath() netgraph.NodeID { return m.Switch }
+
+// PacketOut injects a flow's first packet back into the data plane with an
+// explicit action list (typically Output to a chosen port, or Flood).
+type PacketOut struct {
+	Switch  netgraph.NodeID
+	InPort  netgraph.PortNum
+	Key     header.FlowKey
+	Actions []Action
+}
+
+// Datapath implements Message.
+func (m *PacketOut) Datapath() netgraph.NodeID { return m.Switch }
+
+// PortStatus notifies the controller of a link state change.
+type PortStatus struct {
+	Switch netgraph.NodeID
+	Port   netgraph.PortNum
+	Up     bool
+}
+
+// Datapath implements Message.
+func (m *PortStatus) Datapath() netgraph.NodeID { return m.Switch }
+
+// FlowRemoved notifies the controller that a flow entry expired or was
+// evicted (sent only for entries installed with notification requested; the
+// simulator sends it for all timeout evictions, which is what the
+// monitoring module wants anyway).
+type FlowRemoved struct {
+	Switch   netgraph.NodeID
+	Table    TableID
+	Match    header.Match
+	Priority int
+	Cookie   uint64
+	Packets  uint64
+	Bytes    uint64
+	Idle     bool // true if idle timeout, false if hard
+}
+
+// Datapath implements Message.
+func (m *FlowRemoved) Datapath() netgraph.NodeID { return m.Switch }
+
+// PortStatsRequest asks for counters of one port (or all, with NoPort).
+type PortStatsRequest struct {
+	Switch netgraph.NodeID
+	Port   netgraph.PortNum // netgraph.NoPort = all ports
+}
+
+// Datapath implements Message.
+func (m *PortStatsRequest) Datapath() netgraph.NodeID { return m.Switch }
+
+// PortStats is one port's counters at a given instant. TxBits/RxBits are
+// cumulative; TxRateBps/RxRateBps are the instantaneous offered rates, the
+// "link bandwidth" measurement primitive the paper calls out.
+type PortStats struct {
+	Port      netgraph.PortNum
+	TxBits    float64
+	RxBits    float64
+	TxRateBps float64
+	RxRateBps float64
+	LinkBps   float64 // capacity, so utilization = TxRateBps/LinkBps
+	Up        bool
+}
+
+// PortStatsReply carries the counters back to the controller.
+type PortStatsReply struct {
+	Switch netgraph.NodeID
+	At     simtime.Time
+	Stats  []PortStats
+}
+
+// Datapath implements Message.
+func (m *PortStatsReply) Datapath() netgraph.NodeID { return m.Switch }
+
+// FlowStatsRequest asks for the counters of flow entries matching a filter.
+type FlowStatsRequest struct {
+	Switch netgraph.NodeID
+	Table  TableID
+	Match  header.Match // filter; zero Match selects everything
+}
+
+// Datapath implements Message.
+func (m *FlowStatsRequest) Datapath() netgraph.NodeID { return m.Switch }
+
+// FlowStats is the counter snapshot of one entry.
+type FlowStats struct {
+	Table    TableID
+	Priority int
+	Match    header.Match
+	Cookie   uint64
+	Packets  uint64
+	Bytes    uint64
+	Duration simtime.Duration
+}
+
+// FlowStatsReply carries entry counters back to the controller.
+type FlowStatsReply struct {
+	Switch netgraph.NodeID
+	At     simtime.Time
+	Stats  []FlowStats
+}
+
+// Datapath implements Message.
+func (m *FlowStatsReply) Datapath() netgraph.NodeID { return m.Switch }
+
+// BarrierRequest/BarrierReply give controllers an ordering fence.
+type BarrierRequest struct {
+	Switch netgraph.NodeID
+	Xid    uint64
+}
+
+// Datapath implements Message.
+func (m *BarrierRequest) Datapath() netgraph.NodeID { return m.Switch }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct {
+	Switch netgraph.NodeID
+	Xid    uint64
+}
+
+// Datapath implements Message.
+func (m *BarrierReply) Datapath() netgraph.NodeID { return m.Switch }

@@ -1,0 +1,356 @@
+package packetsim
+
+import (
+	"math"
+
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+)
+
+// trySend lets a flow emit as many packets as its window (TCP) or schedule
+// (CBR) currently allows.
+func (s *Simulator) trySend(f *pktFlow) {
+	if f.phase != phaseRunning {
+		return
+	}
+	if f.demand.Duration > 0 && s.now >= f.arrival.Add(f.demand.Duration) {
+		// Deadline passed for an open-ended flow.
+		s.complete(f)
+		return
+	}
+	if f.tcp {
+		for f.nextSeq < f.packets && float64(f.inFlight) < f.cwnd {
+			s.emit(f, f.nextSeq, false)
+			f.nextSeq++
+			f.inFlight++
+		}
+		s.armRTO(f)
+		return
+	}
+	// CBR: one packet now, next one an interval later.
+	if f.nextSeq < f.packets {
+		s.emit(f, f.nextSeq, false)
+		f.nextSeq++
+		if f.nextSeq < f.packets {
+			interval := f.cbrInterval
+			if interval <= 0 {
+				interval = simtime.TransferTime(DataPacketBits, 1e9)
+			}
+			s.push(&event{at: s.now.Add(interval), kind: evSend, flow: f})
+		}
+	}
+}
+
+// emit injects a packet at the flow's source host.
+func (s *Simulator) emit(f *pktFlow, seq int, retrans bool) {
+	p := &packet{flow: f, seq: seq, bits: DataPacketBits, retrans: retrans}
+	f.sentBits += p.bits
+	if sw, _ := s.topo.AttachedSwitch(f.demand.Src); sw < 0 {
+		f.phase = phaseDropped
+		return
+	}
+	// Host NIC → switch: enqueue on the host's side of the access link.
+	s.enqueue(p, portID{node: f.demand.Src, port: s.hostPort(f.demand.Src)})
+}
+
+// hostPort returns the host's own port number on its access link.
+func (s *Simulator) hostPort(host netgraph.NodeID) netgraph.PortNum {
+	sw, swPort := s.topo.AttachedSwitch(host)
+	if sw < 0 {
+		return netgraph.NoPort
+	}
+	l := s.topo.LinkAt(sw, swPort)
+	return l.PortAt(host)
+}
+
+// enqueue places a packet on an output port's drop-tail queue and starts
+// the transmitter if idle.
+func (s *Simulator) enqueue(p *packet, pid portID) {
+	op := s.ports[pid]
+	if op == nil {
+		l := s.topo.LinkAt(pid.node, pid.port)
+		if l == nil {
+			s.dropPacket(p)
+			return
+		}
+		op = &outPort{link: l, from: pid.node}
+		s.ports[pid] = op
+	}
+	if !op.link.Up {
+		s.dropPacket(p)
+		return
+	}
+	if len(op.queue) >= s.cfg.QueuePackets {
+		op.dropped++
+		s.dropPacket(p)
+		return
+	}
+	op.queue = append(op.queue, p)
+	if !op.busy {
+		s.startTx(pid, op)
+	}
+}
+
+// startTx begins serializing the head-of-line packet.
+func (s *Simulator) startTx(pid portID, op *outPort) {
+	op.busy = true
+	p := op.queue[0]
+	ser := simtime.TransferTime(p.bits, op.link.BandwidthBps)
+	s.push(&event{at: s.now.Add(ser), kind: evTxDone, port: pid})
+}
+
+// txDone finishes serialization: the packet departs onto the wire and the
+// next queued packet starts.
+func (s *Simulator) txDone(pid portID) {
+	op := s.ports[pid]
+	if op == nil || len(op.queue) == 0 {
+		return
+	}
+	p := op.queue[0]
+	copy(op.queue, op.queue[1:])
+	op.queue = op.queue[:len(op.queue)-1]
+	s.txBits[pid] += p.bits
+
+	peer, peerPort := op.link.Peer(pid.node)
+	if op.link.Up {
+		s.push(&event{
+			at:   s.now.Add(op.link.Delay),
+			kind: evArriveNode,
+			pkt:  p,
+			node: peer,
+			port: portID{node: peer, port: peerPort},
+		})
+	} else {
+		s.dropPacket(p)
+	}
+	if len(op.queue) > 0 {
+		s.startTx(pid, op)
+	} else {
+		op.busy = false
+	}
+}
+
+// arrive processes a packet arriving at a node.
+func (s *Simulator) arrive(p *packet, node netgraph.NodeID, _ netgraph.PortNum) {
+	n := s.topo.Node(node)
+	if n.Kind == netgraph.KindHost {
+		s.deliver(p, node)
+		return
+	}
+	// Switch: run the pipeline with the packet's key (direction-aware).
+	s.counter++
+	sw := s.net.Switches[node]
+	if sw == nil {
+		s.dropPacket(p)
+		return
+	}
+	key := s.keyOf(p)
+	d := sw.Process(key, s.net.PortLiveFunc(node))
+	switch {
+	case d.Drop, d.ToController:
+		// No controller in the packet baseline: punts count and drop.
+		if d.ToController {
+			p.flow.punts++
+		}
+		s.dropPacket(p)
+	case d.Flood:
+		s.dropPacket(p) // flooding unsupported in the baseline
+	case d.Out != netgraph.NoPort:
+		s.enqueue(p, portID{node: node, port: d.Out})
+	default:
+		s.dropPacket(p)
+	}
+}
+
+// keyOf returns the header key of a packet (reversed for ACKs).
+func (s *Simulator) keyOf(p *packet) header.FlowKey {
+	if p.ack {
+		return p.flow.demand.Key.Reverse()
+	}
+	return p.flow.demand.Key
+}
+
+// deliver handles a packet reaching a host.
+func (s *Simulator) deliver(p *packet, host netgraph.NodeID) {
+	f := p.flow
+	if p.ack {
+		if host == f.demand.Src {
+			s.handleAck(f, p.ackSeq)
+		}
+		return
+	}
+	if host != f.demand.Dst || f.phase != phaseRunning {
+		return
+	}
+	// Receiver: cumulative ACK bookkeeping.
+	f.received[p.seq] = true
+	for f.received[f.recvNext] {
+		delete(f.received, f.recvNext)
+		f.recvNext++
+	}
+	if f.tcp {
+		ack := &packet{flow: f, ack: true, ackSeq: f.recvNext, bits: AckPacketBits}
+		s.enqueue(ack, portID{node: f.demand.Dst, port: s.hostPort(f.demand.Dst)})
+	}
+	if f.recvNext >= f.packets {
+		s.complete(f)
+		return
+	}
+	if !f.tcp && f.nextSeq >= f.packets && f.recvNext < f.packets {
+		// CBR done sending but receiver has holes: packets were dropped;
+		// a UDP flow just ends when the horizon does (no retransmission).
+		// Completion for CBR is "all sent packets arrived or were lost".
+		s.complete(f)
+	}
+}
+
+// handleAck advances the TCP sender.
+func (s *Simulator) handleAck(f *pktFlow, ackSeq int) {
+	if f.phase != phaseRunning {
+		return
+	}
+	if ackSeq > f.sendBase {
+		acked := ackSeq - f.sendBase
+		f.sendBase = ackSeq
+		f.inFlight -= acked
+		if f.inFlight < 0 {
+			f.inFlight = 0
+		}
+		f.dupAcks = 0
+		// Slow start or congestion avoidance.
+		for i := 0; i < acked; i++ {
+			if f.cwnd < f.ssthresh {
+				f.cwnd++
+			} else {
+				f.cwnd += 1 / f.cwnd
+			}
+		}
+		s.armRTO(f)
+		s.trySend(f)
+		return
+	}
+	// Duplicate ACK.
+	f.dupAcks++
+	if f.dupAcks == 3 {
+		// Fast retransmit + multiplicative decrease.
+		f.ssthresh = math.Max(f.cwnd/2, 2)
+		f.cwnd = f.ssthresh
+		f.dupAcks = 0
+		s.emit(f, f.sendBase, true)
+		s.armRTO(f)
+	}
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (s *Simulator) armRTO(f *pktFlow) {
+	if f.inFlight == 0 {
+		f.rtoAt = simtime.Never
+		f.rtoGen++
+		return
+	}
+	rto := s.cfg.RTOMin
+	f.rtoAt = s.now.Add(rto)
+	f.rtoGen++
+	s.push(&event{at: f.rtoAt, kind: evRTO, flow: f, gen: f.rtoGen})
+}
+
+// handleRTO retransmits from sendBase with a collapsed window.
+func (s *Simulator) handleRTO(f *pktFlow) {
+	if f.inFlight == 0 || f.sendBase >= f.packets {
+		return
+	}
+	f.ssthresh = math.Max(f.cwnd/2, 2)
+	f.cwnd = 1
+	f.inFlight = 1
+	f.nextSeq = f.sendBase + 1
+	s.emit(f, f.sendBase, true)
+	s.armRTO(f)
+}
+
+// dropPacket accounts for a lost packet. TCP recovers via dup-ACKs/RTO;
+// CBR/UDP losses are simply gone.
+func (s *Simulator) dropPacket(p *packet) {
+	if p.ack {
+		return // lost ACKs are recovered by later cumulative ACKs or RTO
+	}
+	f := p.flow
+	if f.tcp {
+		return // sender-side timers handle it
+	}
+	// For UDP, receiving side just never sees it; mark the hole as
+	// received so completion (all packets accounted) can still happen.
+	f.received[p.seq] = true
+	for f.received[f.recvNext] {
+		delete(f.received, f.recvNext)
+		f.recvNext++
+	}
+	if f.recvNext >= f.packets && f.phase == phaseRunning {
+		s.complete(f)
+	}
+}
+
+// complete finalizes a flow.
+func (s *Simulator) complete(f *pktFlow) {
+	if f.phase != phaseRunning {
+		return
+	}
+	f.phase = phaseDone
+	f.done = s.now
+	f.rtoGen++ // cancel timers
+}
+
+// record emits the flow's statistics record.
+func (s *Simulator) record(f *pktFlow) {
+	completed := f.phase == phaseDone
+	end := f.done
+	if !completed {
+		end = s.now
+	}
+	size := f.demand.SizeBits
+	if math.IsInf(size, 1) {
+		size = f.sentBits
+	}
+	outcome := "completed"
+	switch {
+	case f.phase == phaseDropped:
+		outcome = "dropped"
+	case !completed:
+		outcome = "running"
+	}
+	s.col.AddFlow(stats.FlowRecord{
+		ID:        f.id,
+		Arrival:   f.arrival,
+		End:       end,
+		SizeBits:  size,
+		SentBits:  f.sentBits,
+		Completed: completed,
+		Outcome:   outcome,
+		Punts:     f.punts,
+	})
+}
+
+// sampleStats snapshots per-port throughput state. Utilization is
+// approximated by the transmitted bits since the previous sample.
+func (s *Simulator) sampleStats() {
+	period := s.cfg.StatsEvery.Seconds()
+	if period <= 0 {
+		return
+	}
+	for pid, op := range s.ports {
+		delta := s.txBits[pid] - s.lastTx[pid]
+		rate := delta / period
+		frac := 0.0
+		if op.link.BandwidthBps > 0 {
+			frac = rate / op.link.BandwidthBps
+		}
+		s.col.AddLinkSample(stats.LinkSample{
+			At:      s.now,
+			Link:    op.link.ID,
+			Forward: op.link.A == pid.node,
+			RateBps: rate, UsedFrac: frac,
+		})
+		s.lastTx[pid] = s.txBits[pid]
+	}
+}

@@ -1,0 +1,275 @@
+// Package packetsim is the packet-granularity reference simulator Horse is
+// evaluated against. It runs the *same* topology and the *same* OpenFlow
+// switch state as the flow-level engine, but models every packet: store-
+// and-forward switching, drop-tail output queues, link serialization and
+// propagation delays, and a window-based TCP sender (slow start + AIMD with
+// retransmission). It exists to quantify the central trade-off the paper
+// leans on (following fs-sdn): flow-level simulation gives up per-packet
+// effects in exchange for orders of magnitude less work — E3 measures both
+// sides of that bargain on identical scenarios.
+package packetsim
+
+import (
+	"container/heap"
+	"math"
+
+	"horse/internal/dataplane"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+	"horse/internal/traffic"
+)
+
+// Packet sizes in bits.
+const (
+	DataPacketBits = 1500 * 8
+	AckPacketBits  = 40 * 8
+)
+
+// Config parameterizes a packet-level run.
+type Config struct {
+	// Topology is required.
+	Topology *netgraph.Topology
+	// QueuePackets is the per-output-port drop-tail queue capacity
+	// (default 100 packets, the classic router default).
+	QueuePackets int
+	// Miss is the switch table-miss behavior. The packet simulator has no
+	// controller; install state via Network() before Run (the E3
+	// methodology: identical pre-installed state on both simulators).
+	Miss dataplane.MissBehavior
+	// StatsEvery samples link utilization at this period (0 disables).
+	StatsEvery simtime.Duration
+	// RTOMin is the minimum retransmission timeout (default 200 ms).
+	RTOMin simtime.Duration
+}
+
+// Simulator is a packet-level simulation run.
+type Simulator struct {
+	cfg  Config
+	topo *netgraph.Topology
+	net  *dataplane.Network
+	now  simtime.Time
+	q    evq
+
+	flows   []*pktFlow
+	ports   map[portID]*outPort
+	col     *stats.Collector
+	counter uint64 // packets forwarded, for reporting
+
+	txBits map[portID]float64 // per link-direction transmitted bits
+	lastTx map[portID]float64 // txBits at the previous stats sample
+}
+
+type portID struct {
+	node netgraph.NodeID
+	port netgraph.PortNum
+}
+
+// outPort is a link-direction transmitter with a drop-tail queue.
+type outPort struct {
+	link    *netgraph.Link
+	from    netgraph.NodeID
+	queue   []*packet
+	busy    bool
+	dropped uint64
+}
+
+type packet struct {
+	flow    *pktFlow
+	seq     int  // data sequence number (packet index)
+	ack     bool // true for ACKs
+	ackSeq  int  // cumulative ACK (next expected seq)
+	bits    float64
+	retrans bool
+}
+
+type flowPhase uint8
+
+const (
+	phaseRunning flowPhase = iota
+	phaseDone
+	phaseDropped
+)
+
+// pktFlow is sender+receiver state of one transfer.
+type pktFlow struct {
+	id      int64
+	demand  traffic.Demand
+	packets int // total data packets to send (finite flows)
+
+	phase   flowPhase
+	arrival simtime.Time
+
+	// Sender state (TCP).
+	tcp      bool
+	cwnd     float64 // in packets
+	ssthresh float64
+	nextSeq  int // next new sequence to send
+	sendBase int // lowest unacked seq
+	dupAcks  int
+	inFlight int
+	rtoAt    simtime.Time
+	rtoGen   uint64
+
+	// Receiver state.
+	recvNext int // next expected seq
+	received map[int]bool
+
+	// CBR state.
+	cbrInterval simtime.Duration
+
+	done     simtime.Time
+	sentBits float64
+	punts    int
+}
+
+// event kinds
+type evKind uint8
+
+const (
+	evSend evKind = iota // sender may emit (CBR tick or window opened)
+	evTxDone
+	evArriveNode
+	evRTO
+	evStats
+)
+
+type event struct {
+	at   simtime.Time
+	kind evKind
+	flow *pktFlow
+	pkt  *packet
+	port portID
+	node netgraph.NodeID
+	gen  uint64
+	seq  uint64
+}
+
+type evq []*event
+
+func (q evq) Len() int { return len(q) }
+func (q evq) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q evq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *evq) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *evq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// New builds a packet-level simulator.
+func New(cfg Config) *Simulator {
+	if cfg.Topology == nil {
+		panic("packetsim: Config.Topology is required")
+	}
+	if cfg.QueuePackets == 0 {
+		cfg.QueuePackets = 100
+	}
+	if cfg.RTOMin == 0 {
+		cfg.RTOMin = 200 * simtime.Millisecond
+	}
+	return &Simulator{
+		cfg:    cfg,
+		topo:   cfg.Topology,
+		net:    dataplane.NewNetwork(cfg.Topology, cfg.Miss),
+		ports:  make(map[portID]*outPort),
+		col:    stats.NewCollector(cfg.StatsEvery),
+		txBits: make(map[portID]float64),
+		lastTx: make(map[portID]float64),
+	}
+}
+
+// Network exposes the switch state for pre-installing rules.
+func (s *Simulator) Network() *dataplane.Network { return s.net }
+
+// Collector returns the statistics collector.
+func (s *Simulator) Collector() *stats.Collector { return s.col }
+
+// PacketsForwarded returns how many packet hops were simulated — the work
+// metric E3 reports next to wall-clock time.
+func (s *Simulator) PacketsForwarded() uint64 { return s.counter }
+
+var evSeq uint64
+
+func (s *Simulator) push(e *event) {
+	evSeq++
+	e.seq = evSeq
+	heap.Push(&s.q, e)
+}
+
+// Load schedules the demands.
+func (s *Simulator) Load(tr traffic.Trace) {
+	for _, d := range tr {
+		f := &pktFlow{
+			id:       int64(len(s.flows) + 1),
+			demand:   d,
+			arrival:  d.Start,
+			tcp:      d.TCP,
+			cwnd:     10,
+			ssthresh: math.Inf(1),
+			received: make(map[int]bool),
+			rtoAt:    simtime.Never,
+		}
+		if math.IsInf(d.SizeBits, 1) {
+			// Open-ended CBR flows run until their deadline.
+			f.packets = math.MaxInt32
+		} else {
+			f.packets = int(math.Ceil(d.SizeBits / DataPacketBits))
+			if f.packets == 0 {
+				f.packets = 1
+			}
+		}
+		if !f.tcp && d.RateBps > 0 && !math.IsInf(d.RateBps, 1) {
+			f.cbrInterval = simtime.TransferTime(DataPacketBits, d.RateBps)
+		}
+		s.flows = append(s.flows, f)
+		s.push(&event{at: d.Start, kind: evSend, flow: f})
+	}
+}
+
+// Run executes until the queue drains or virtual time passes until.
+func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+	if s.cfg.StatsEvery > 0 {
+		s.push(&event{at: simtime.Time(s.cfg.StatsEvery), kind: evStats})
+	}
+	for s.q.Len() > 0 {
+		e := heap.Pop(&s.q).(*event)
+		if e.at > until {
+			s.now = until
+			break
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.dispatch(e)
+	}
+	for _, f := range s.flows {
+		s.record(f)
+	}
+	return s.col
+}
+
+func (s *Simulator) dispatch(e *event) {
+	switch e.kind {
+	case evSend:
+		s.trySend(e.flow)
+	case evTxDone:
+		s.txDone(e.port)
+	case evArriveNode:
+		s.arrive(e.pkt, e.node, e.port.port)
+	case evRTO:
+		if e.flow.rtoGen == e.gen && e.flow.phase == phaseRunning {
+			s.handleRTO(e.flow)
+		}
+	case evStats:
+		s.sampleStats()
+		s.push(&event{at: s.now.Add(s.cfg.StatsEvery), kind: evStats})
+	}
+}

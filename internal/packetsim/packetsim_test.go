@@ -1,0 +1,230 @@
+package packetsim
+
+import (
+	"math"
+	"testing"
+
+	"horse/internal/addr"
+	"horse/internal/dataplane"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simtime"
+	"horse/internal/traffic"
+)
+
+// installMACRoutes pre-installs shortest-path MAC forwarding for every host
+// on every switch (the identical-state methodology of E3).
+func installMACRoutes(net *dataplane.Network) {
+	topo := net.Topo
+	for _, host := range topo.Hosts() {
+		next := topo.ECMPNextHops(host, netgraph.HopCost)
+		for _, sw := range topo.Switches() {
+			if len(next[sw]) == 0 {
+				continue
+			}
+			out := topo.PortToward(sw, next[sw][0])
+			if out == netgraph.NoPort {
+				continue
+			}
+			net.Switches[sw].Apply(&openflow.FlowMod{
+				Op: openflow.FlowAdd, Priority: 10,
+				Match: header.Match{}.WithEthDst(addr.HostMAC(host)),
+				Instr: openflow.Apply(openflow.Output(out)),
+			}, 0)
+		}
+	}
+}
+
+func cbr(src, dst netgraph.NodeID, start simtime.Time, sizeBits, rateBps float64) traffic.Demand {
+	return traffic.Demand{
+		Key: addr.FlowKeyBetween(src, dst, header.ProtoUDP, 40000, 80),
+		Src: src, Dst: dst, Start: start,
+		SizeBits: sizeBits, RateBps: rateBps,
+	}
+}
+
+func tcp(src, dst netgraph.NodeID, start simtime.Time, sizeBits float64) traffic.Demand {
+	d := cbr(src, dst, start, sizeBits, math.Inf(1))
+	d.Key.Proto = header.ProtoTCP
+	d.TCP = true
+	return d
+}
+
+func dumbbell(bottleneck float64) *netgraph.Topology {
+	return netgraph.Dumbbell(2, 2, netgraph.Gig,
+		netgraph.LinkSpec{BandwidthBps: bottleneck, Delay: simtime.Millisecond})
+}
+
+func TestCBRPacketFlowCompletes(t *testing.T) {
+	topo := dumbbell(1e9)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	// 1e7 bits at 1e8 bps ≈ 0.1s + per-packet delays.
+	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e7, 1e8)})
+	col := sim.Run(simtime.Never)
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("outcome = %s", f.Outcome)
+	}
+	fct := f.FCT().Seconds()
+	if fct < 0.095 || fct > 0.13 {
+		t.Errorf("FCT = %g, want ~0.1s", fct)
+	}
+	if sim.PacketsForwarded() == 0 {
+		t.Error("no packets forwarded")
+	}
+}
+
+func TestTCPPacketFlowCompletes(t *testing.T) {
+	topo := dumbbell(1e9)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	sim.Load(traffic.Trace{tcp(h0, r0, 0, 1e7)})
+	col := sim.Run(simtime.Time(simtime.Minute))
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("outcome = %s", f.Outcome)
+	}
+	// Slow start from IW10 with ~2.1ms RTT needs a few RTTs for ~834
+	// packets; it cannot beat the line-rate bound either.
+	if f.FCT() < 10*simtime.Millisecond {
+		t.Errorf("FCT = %v implausibly fast", f.FCT())
+	}
+	if f.FCT() > simtime.Time(5*simtime.Second).Sub(0) {
+		t.Errorf("FCT = %v implausibly slow", f.FCT())
+	}
+}
+
+func TestTCPRecoversFromCongestionLoss(t *testing.T) {
+	// Two TCP flows into a 10 Mbps bottleneck with a tiny queue: drops
+	// guaranteed; both must still complete via retransmission.
+	topo := dumbbell(1e7)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop, QueuePackets: 10})
+	installMACRoutes(sim.Network())
+	h0, h1 := topo.MustLookup("h0"), topo.MustLookup("h1")
+	r0, r1 := topo.MustLookup("r0"), topo.MustLookup("r1")
+	d1, d2 := tcp(h0, r0, 0, 2e6), tcp(h1, r1, 0, 2e6)
+	d2.Key.SrcPort = 41000
+	sim.Load(traffic.Trace{d1, d2})
+	col := sim.Run(simtime.Time(5 * simtime.Minute))
+	drops := uint64(0)
+	for _, op := range sim.ports {
+		drops += op.dropped
+	}
+	for _, f := range col.Flows() {
+		if !f.Completed {
+			t.Errorf("flow %d: %s (drops seen: %d)", f.ID, f.Outcome, drops)
+		}
+	}
+	if drops == 0 {
+		t.Error("expected queue drops at the constricted bottleneck")
+	}
+	// Fair sharing: both flows finish within ~2.5x of each other.
+	fa, fb := col.Flows()[0].FCT().Seconds(), col.Flows()[1].FCT().Seconds()
+	if fa/fb > 2.5 || fb/fa > 2.5 {
+		t.Errorf("unfair FCTs: %g vs %g", fa, fb)
+	}
+}
+
+func TestUDPLossAtBottleneck(t *testing.T) {
+	// A 100 Mbps CBR into a 10 Mbps bottleneck: ~90% of packets drop, the
+	// flow still terminates (UDP does not retransmit).
+	topo := dumbbell(1e7)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop, QueuePackets: 20})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e7, 1e8)})
+	col := sim.Run(simtime.Time(simtime.Minute))
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("outcome = %s", f.Outcome)
+	}
+	var drops uint64
+	for _, op := range sim.ports {
+		drops += op.dropped
+	}
+	if drops == 0 {
+		t.Error("overdriven bottleneck produced no drops")
+	}
+}
+
+func TestMissDropBlackholes(t *testing.T) {
+	topo := dumbbell(1e9)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop})
+	// No routes installed: every packet dies at the first switch.
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e6, 1e8)})
+	col := sim.Run(simtime.Time(simtime.Second))
+	f := col.Flows()[0]
+	if f.Completed && f.SizeBits > f.SentBits {
+		t.Error("flow completed through a blackhole")
+	}
+}
+
+func TestDeadlineCBR(t *testing.T) {
+	topo := dumbbell(1e9)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	d := cbr(h0, r0, 0, math.Inf(1), 1e7)
+	d.Duration = simtime.Second
+	sim.Load(traffic.Trace{d})
+	col := sim.Run(simtime.Time(10 * simtime.Second))
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("outcome = %s", f.Outcome)
+	}
+	// Sent ~1e7 bits over the 1s lifetime.
+	if f.SentBits < 0.9e7 || f.SentBits > 1.1e7 {
+		t.Errorf("sent = %g, want ~1e7", f.SentBits)
+	}
+}
+
+func TestPacketVsFlowLevelAgreement(t *testing.T) {
+	// The E3 accuracy claim in miniature: a CBR flow's FCT at packet
+	// granularity is within a few percent of the fluid calculation.
+	topo := dumbbell(1e8)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	size, rate := 1e7, 5e7
+	sim.Load(traffic.Trace{cbr(h0, r0, 0, size, rate)})
+	col := sim.Run(simtime.Never)
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("outcome = %s", f.Outcome)
+	}
+	fluid := size / rate
+	got := f.FCT().Seconds()
+	if relErr := math.Abs(got-fluid) / fluid; relErr > 0.05 {
+		t.Errorf("packet FCT %g vs fluid %g: rel err %g", got, fluid, relErr)
+	}
+}
+
+func TestStatsSampling(t *testing.T) {
+	topo := dumbbell(1e8)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop, StatsEvery: 50 * simtime.Millisecond})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	sim.Load(traffic.Trace{cbr(h0, r0, 0, 5e7, 1e8)})
+	col := sim.Run(simtime.Time(2 * simtime.Second))
+	series := col.LinkSeries()
+	if len(series) == 0 {
+		t.Fatal("no samples")
+	}
+	sawBusy := false
+	for _, smp := range series {
+		if smp.UsedFrac > 0.5 {
+			sawBusy = true
+		}
+		if smp.UsedFrac > 1.01 {
+			t.Fatalf("utilization %g > 1", smp.UsedFrac)
+		}
+	}
+	if !sawBusy {
+		t.Error("busy bottleneck never observed")
+	}
+}

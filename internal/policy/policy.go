@@ -1,0 +1,287 @@
+// Package policy implements the high-level policy configuration of Horse's
+// control plane. Figure 2 of the paper shows the intended input:
+//
+//	{
+//	  "load balancing":              "edge->core",
+//	  "application based peering":   "e1->e3" : "http",
+//	  "rate limiting":               "e2->e4" : "500 Mbps"
+//	}
+//
+// This package defines the equivalent JSON schema, parses it, performs the
+// "basic policy validation of policy composition" the paper commits to
+// (overlapping matches with contradictory actions are flagged), and
+// compiles the configuration into the modular controller applications of
+// package controller.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"horse/internal/addr"
+	"horse/internal/controller"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+// Forwarding modes.
+const (
+	ForwardProactive = "proactive"
+	ForwardReactive  = "reactive"
+	ForwardECMP      = "ecmp"
+	// ForwardMisconfiguredLB is the deliberately skewed load balancer for
+	// the Figure-1 failure experiments.
+	ForwardMisconfiguredLB = "misconfigured-lb"
+)
+
+// Config is the top-level policy document.
+type Config struct {
+	// Forwarding selects the base forwarding application (default
+	// "proactive").
+	Forwarding string `json:"forwarding,omitempty"`
+
+	// Blackholing drops traffic destined to these hosts (by node name).
+	Blackholing []BlackholePolicy `json:"blackholing,omitempty"`
+
+	// RateLimiting polices traffic classes, e.g. {"from":"h2","to":"h4",
+	// "rate_mbps":500,"at":"e2"}.
+	RateLimiting []RateLimitPolicy `json:"rate_limiting,omitempty"`
+
+	// AppPeering steers application classes between edges, e.g.
+	// {"ingress":"e1","egress":"e3","app":"http"}.
+	AppPeering []AppPeeringPolicy `json:"app_peering,omitempty"`
+
+	// SourceRouting pins host pairs to explicit switch paths.
+	SourceRouting []SourceRoutePolicy `json:"source_routing,omitempty"`
+
+	// Monitoring enables periodic port-stats polling.
+	Monitoring *MonitoringPolicy `json:"monitoring,omitempty"`
+
+	// ReactiveIdleTimeoutMs tunes reactive rule eviction.
+	ReactiveIdleTimeoutMs int `json:"reactive_idle_timeout_ms,omitempty"`
+}
+
+// BlackholePolicy drops traffic toward a destination host, optionally only
+// at one switch.
+type BlackholePolicy struct {
+	Dst string `json:"dst"`
+	At  string `json:"at,omitempty"`
+}
+
+// RateLimitPolicy polices src→dst traffic at a switch.
+type RateLimitPolicy struct {
+	From     string  `json:"from,omitempty"`
+	To       string  `json:"to,omitempty"`
+	App      string  `json:"app,omitempty"`
+	RateMbps float64 `json:"rate_mbps"`
+	At       string  `json:"at"`
+}
+
+// AppPeeringPolicy steers an application class from an ingress switch to an
+// egress switch.
+type AppPeeringPolicy struct {
+	Ingress string `json:"ingress"`
+	Egress  string `json:"egress"`
+	App     string `json:"app"`
+}
+
+// SourceRoutePolicy pins a host pair to a switch path.
+type SourceRoutePolicy struct {
+	Src  string   `json:"src"`
+	Dst  string   `json:"dst"`
+	Path []string `json:"path"`
+}
+
+// MonitoringPolicy enables the monitoring app.
+type MonitoringPolicy struct {
+	PollMs int `json:"poll_ms"`
+	// CongestionThreshold (0..1) for reporting; default 0.9.
+	CongestionThreshold float64 `json:"congestion_threshold,omitempty"`
+}
+
+// Parse reads a JSON policy document.
+func Parse(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("policy: parsing config: %w", err)
+	}
+	if c.Forwarding == "" {
+		c.Forwarding = ForwardProactive
+	}
+	switch c.Forwarding {
+	case ForwardProactive, ForwardReactive, ForwardECMP, ForwardMisconfiguredLB:
+	default:
+		return nil, fmt.Errorf("policy: unknown forwarding mode %q", c.Forwarding)
+	}
+	return &c, nil
+}
+
+// appMatch translates an application name into a match.
+func appMatch(app string) (header.Match, error) {
+	switch strings.ToLower(app) {
+	case "http":
+		return header.Match{}.WithProto(header.ProtoTCP).WithDstPort(header.PortHTTP), nil
+	case "https":
+		return header.Match{}.WithProto(header.ProtoTCP).WithDstPort(header.PortHTTPS), nil
+	case "dns":
+		return header.Match{}.WithProto(header.ProtoUDP).WithDstPort(header.PortDNS), nil
+	case "bgp":
+		return header.Match{}.WithProto(header.ProtoTCP).WithDstPort(header.PortBGP), nil
+	case "", "any":
+		return header.MatchAll, nil
+	}
+	return header.Match{}, fmt.Errorf("policy: unknown application %q", app)
+}
+
+// Compile translates the configuration into a controller chain for the
+// given topology. Name resolution errors are returned, not ignored: a
+// policy naming a nonexistent node is a configuration bug.
+func (c *Config) Compile(topo *netgraph.Topology) (*controller.Chain, error) {
+	lookup := func(name string) (netgraph.NodeID, error) {
+		id, ok := topo.Lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("policy: unknown node %q", name)
+		}
+		return id, nil
+	}
+
+	var apps []controller.App
+	switch c.Forwarding {
+	case ForwardReactive:
+		idle := simtime.Duration(c.ReactiveIdleTimeoutMs) * simtime.Millisecond
+		apps = append(apps, &controller.ReactiveMAC{IdleTimeout: idle})
+	case ForwardECMP:
+		apps = append(apps, &controller.ECMPLoadBalancer{})
+	case ForwardMisconfiguredLB:
+		apps = append(apps, &controller.MisconfiguredLoadBalancer{})
+	default:
+		apps = append(apps, &controller.ProactiveMAC{})
+	}
+
+	if len(c.Blackholing) > 0 {
+		var bh []header.Match
+		at := map[string][]header.Match{}
+		for _, p := range c.Blackholing {
+			dst, err := lookup(p.Dst)
+			if err != nil {
+				return nil, err
+			}
+			m := header.Match{}.WithEthDst(addr.HostMAC(dst))
+			if p.At == "" {
+				bh = append(bh, m)
+			} else {
+				at[p.At] = append(at[p.At], m)
+			}
+		}
+		if len(bh) > 0 {
+			apps = append(apps, &controller.Blackhole{Matches: bh})
+		}
+		for name, ms := range at {
+			sw, err := lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			apps = append(apps, &controller.Blackhole{Matches: ms, At: []netgraph.NodeID{sw}})
+		}
+	}
+
+	if len(c.RateLimiting) > 0 {
+		rl := &controller.RateLimiter{}
+		for _, p := range c.RateLimiting {
+			if p.RateMbps <= 0 {
+				return nil, fmt.Errorf("policy: rate limit needs a positive rate, got %g", p.RateMbps)
+			}
+			at, err := lookup(p.At)
+			if err != nil {
+				return nil, err
+			}
+			m, err := appMatch(p.App)
+			if err != nil {
+				return nil, err
+			}
+			if p.From != "" {
+				src, err := lookup(p.From)
+				if err != nil {
+					return nil, err
+				}
+				m = m.WithEthSrc(addr.HostMAC(src))
+			}
+			if p.To != "" {
+				dst, err := lookup(p.To)
+				if err != nil {
+					return nil, err
+				}
+				m = m.WithEthDst(addr.HostMAC(dst))
+			}
+			rl.Rules = append(rl.Rules, controller.RateLimitRule{
+				Match: m, RateBps: p.RateMbps * 1e6, At: at,
+			})
+		}
+		apps = append(apps, rl)
+	}
+
+	if len(c.AppPeering) > 0 {
+		ap := &controller.AppPeering{}
+		for _, p := range c.AppPeering {
+			in, err := lookup(p.Ingress)
+			if err != nil {
+				return nil, err
+			}
+			out, err := lookup(p.Egress)
+			if err != nil {
+				return nil, err
+			}
+			m, err := appMatch(p.App)
+			if err != nil {
+				return nil, err
+			}
+			if m == header.MatchAll {
+				return nil, fmt.Errorf("policy: app peering needs a concrete application, got %q", p.App)
+			}
+			ap.Rules = append(ap.Rules, controller.PeeringRule{Ingress: in, Egress: out, AppMatch: m})
+		}
+		apps = append(apps, ap)
+	}
+
+	if len(c.SourceRouting) > 0 {
+		sr := &controller.SourceRouting{}
+		for _, p := range c.SourceRouting {
+			src, err := lookup(p.Src)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := lookup(p.Dst)
+			if err != nil {
+				return nil, err
+			}
+			if len(p.Path) == 0 {
+				return nil, fmt.Errorf("policy: source route %s->%s has an empty path", p.Src, p.Dst)
+			}
+			path := make([]netgraph.NodeID, len(p.Path))
+			for i, n := range p.Path {
+				id, err := lookup(n)
+				if err != nil {
+					return nil, err
+				}
+				path[i] = id
+			}
+			sr.Routes = append(sr.Routes, controller.SourceRoute{Src: src, Dst: dst, Path: path})
+		}
+		apps = append(apps, sr)
+	}
+
+	if c.Monitoring != nil {
+		every := simtime.Duration(c.Monitoring.PollMs) * simtime.Millisecond
+		apps = append(apps, &controller.Monitor{
+			Every:     every,
+			Threshold: c.Monitoring.CongestionThreshold,
+		})
+	}
+
+	return controller.NewChain(apps...), nil
+}

@@ -1,0 +1,209 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"horse/internal/dataplane"
+	"horse/internal/flowsim"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+const figure2Config = `{
+  "forwarding": "ecmp",
+  "blackholing": [{"dst": "h5"}],
+  "rate_limiting": [{"from": "h0", "to": "h4", "rate_mbps": 500, "at": "leaf0"}],
+  "app_peering": [{"ingress": "leaf0", "egress": "spine1", "app": "http"}],
+  "monitoring": {"poll_ms": 100}
+}`
+
+func leafSpine(t *testing.T) *netgraph.Topology {
+	t.Helper()
+	return netgraph.LeafSpine(2, 2, 3, netgraph.Gig, netgraph.TenGig)
+}
+
+func TestParseFigure2Style(t *testing.T) {
+	c, err := Parse(strings.NewReader(figure2Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Forwarding != ForwardECMP {
+		t.Errorf("forwarding = %q", c.Forwarding)
+	}
+	if len(c.Blackholing) != 1 || len(c.RateLimiting) != 1 || len(c.AppPeering) != 1 {
+		t.Error("policies missing")
+	}
+	if c.Monitoring == nil || c.Monitoring.PollMs != 100 {
+		t.Error("monitoring missing")
+	}
+}
+
+func TestParseDefaultsAndErrors(t *testing.T) {
+	c, err := Parse(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Forwarding != ForwardProactive {
+		t.Errorf("default forwarding = %q", c.Forwarding)
+	}
+	if _, err := Parse(strings.NewReader(`{"forwarding": "quantum"}`)); err == nil {
+		t.Error("bad forwarding mode accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCompileResolvesNames(t *testing.T) {
+	topo := leafSpine(t)
+	c, err := Parse(strings.NewReader(figure2Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := c.Compile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ecmp + blackhole + ratelimit + peering + monitor = 5 apps.
+	if len(chain.Apps) != 5 {
+		names := make([]string, len(chain.Apps))
+		for i, a := range chain.Apps {
+			names[i] = a.Name()
+		}
+		t.Errorf("apps = %v", names)
+	}
+}
+
+func TestCompileUnknownNodeFails(t *testing.T) {
+	topo := leafSpine(t)
+	c, _ := Parse(strings.NewReader(`{"blackholing": [{"dst": "ghost"}]}`))
+	if _, err := c.Compile(topo); err == nil {
+		t.Error("unknown node accepted")
+	}
+	c, _ = Parse(strings.NewReader(`{"rate_limiting": [{"to": "h0", "rate_mbps": 0, "at": "leaf0"}]}`))
+	if _, err := c.Compile(topo); err == nil {
+		t.Error("zero rate accepted")
+	}
+	c, _ = Parse(strings.NewReader(`{"app_peering": [{"ingress": "leaf0", "egress": "leaf1", "app": "any"}]}`))
+	if _, err := c.Compile(topo); err == nil {
+		t.Error("wildcard app peering accepted")
+	}
+	c, _ = Parse(strings.NewReader(`{"source_routing": [{"src": "h0", "dst": "h3", "path": []}]}`))
+	if _, err := c.Compile(topo); err == nil {
+		t.Error("empty source route accepted")
+	}
+}
+
+func TestCompiledPolicyRuns(t *testing.T) {
+	topo := leafSpine(t)
+	c, err := Parse(strings.NewReader(figure2Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := c.Compile(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := flowsim.New(flowsim.Config{Topology: topo, Controller: chain, Miss: dataplane.MissController})
+	sim.Run(simtime.Time(simtime.Second))
+	// Policy defaults must be installed on every switch: table 0 has at
+	// least the goto default.
+	for _, sw := range sim.Network().Switches {
+		if sw.Tables[0].Len() == 0 {
+			t.Errorf("switch %d has an empty policy table", sw.Node)
+		}
+	}
+}
+
+func TestValidateBlackholeShadowsPeering(t *testing.T) {
+	topo := leafSpine(t)
+	cfg := `{
+	  "blackholing": [{"dst": "h3"}],
+	  "rate_limiting": [{"to": "h3", "rate_mbps": 100, "at": "leaf0"}]
+	}`
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := c.Validate(topo)
+	if len(found) == 0 {
+		t.Fatal("no conflicts found; blackhole shadows the rate limit")
+	}
+	if found[0].Kind != ConflictShadowed {
+		t.Errorf("kind = %v, want shadowed: %v", found[0].Kind, found[0])
+	}
+}
+
+func TestValidatePeeringVsSourceRouting(t *testing.T) {
+	topo := leafSpine(t)
+	cfg := `{
+	  "app_peering": [{"ingress": "leaf0", "egress": "spine0", "app": "http"}],
+	  "source_routing": [{"src": "h0", "dst": "h3", "path": ["leaf0", "spine0", "leaf1"]}]
+	}`
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := c.Validate(topo)
+	if len(found) == 0 {
+		t.Fatal("steering contradiction not detected")
+	}
+	if found[0].Kind != ConflictContradiction {
+		t.Errorf("kind = %v: %v", found[0].Kind, found[0])
+	}
+	if found[0].String() == "" {
+		t.Error("empty conflict string")
+	}
+}
+
+func TestValidateCleanConfig(t *testing.T) {
+	topo := leafSpine(t)
+	cfg := `{
+	  "blackholing": [{"dst": "h5"}],
+	  "rate_limiting": [{"to": "h4", "rate_mbps": 100, "at": "leaf0"}]
+	}`
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found := c.Validate(topo); len(found) != 0 {
+		t.Errorf("false positives: %v", found)
+	}
+}
+
+func TestValidateDuplicatePeering(t *testing.T) {
+	topo := leafSpine(t)
+	cfg := `{
+	  "app_peering": [
+	    {"ingress": "leaf0", "egress": "spine0", "app": "http"},
+	    {"ingress": "leaf0", "egress": "spine1", "app": "http"}
+	  ]
+	}`
+	c, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := c.Validate(topo)
+	if len(found) == 0 {
+		t.Fatal("duplicate peering not detected")
+	}
+}
+
+func TestAppMatchNames(t *testing.T) {
+	for _, app := range []string{"http", "https", "dns", "bgp", "HTTP"} {
+		if _, err := appMatch(app); err != nil {
+			t.Errorf("appMatch(%q): %v", app, err)
+		}
+	}
+	if _, err := appMatch("gopher"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	m, _ := appMatch("any")
+	if m.NumFields() != 0 {
+		t.Error("any should be wildcard")
+	}
+}

@@ -1,0 +1,180 @@
+package policy
+
+import (
+	"fmt"
+
+	"horse/internal/addr"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+)
+
+// ConflictKind classifies composition findings.
+type ConflictKind uint8
+
+// Conflict kinds.
+const (
+	// ConflictShadowed: a policy can never take effect because a
+	// higher-priority policy subsumes its match.
+	ConflictShadowed ConflictKind = iota
+	// ConflictContradiction: two policies overlap with contradictory
+	// outcomes (e.g. blackhole vs. peering on the same traffic).
+	ConflictContradiction
+	// ConflictSuspicious: composition is legal but likely unintended
+	// (e.g. rate limiting traffic that is also blackholed).
+	ConflictSuspicious
+)
+
+func (k ConflictKind) String() string {
+	switch k {
+	case ConflictShadowed:
+		return "shadowed"
+	case ConflictContradiction:
+		return "contradiction"
+	case ConflictSuspicious:
+		return "suspicious"
+	}
+	return "unknown"
+}
+
+// Conflict is one validation finding.
+type Conflict struct {
+	Kind ConflictKind
+	// A and B describe the two policies involved.
+	A, B string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s: %s vs %s: %s", c.Kind, c.A, c.B, c.Detail)
+}
+
+// Validate performs the paper's "basic policy validation of policy
+// composition": pairwise match-overlap analysis between policies with
+// different outcomes. It returns findings, not errors — operators decide;
+// Horse's job is to predict the traffic consequences either way.
+func (c *Config) Validate(topo *netgraph.Topology) []Conflict {
+	var out []Conflict
+
+	type classified struct {
+		name    string
+		match   header.Match
+		action  string // "drop", "steer", "limit", "route"
+		atAll   bool
+		atNames map[string]bool
+	}
+	var items []classified
+
+	for i, p := range c.Blackholing {
+		if dst, ok := topo.Lookup(p.Dst); ok {
+			items = append(items, classified{
+				name:    fmt.Sprintf("blackholing[%d] (dst=%s)", i, p.Dst),
+				match:   header.Match{}.WithEthDst(addr.HostMAC(dst)),
+				action:  "drop",
+				atAll:   p.At == "",
+				atNames: map[string]bool{p.At: true},
+			})
+		}
+	}
+	for i, p := range c.RateLimiting {
+		m, err := appMatch(p.App)
+		if err != nil {
+			continue
+		}
+		if src, ok := topo.Lookup(p.From); ok && p.From != "" {
+			m = m.WithEthSrc(addr.HostMAC(src))
+		}
+		if dst, ok := topo.Lookup(p.To); ok && p.To != "" {
+			m = m.WithEthDst(addr.HostMAC(dst))
+		}
+		items = append(items, classified{
+			name:    fmt.Sprintf("rate_limiting[%d] (at=%s)", i, p.At),
+			match:   m,
+			action:  "limit",
+			atNames: map[string]bool{p.At: true},
+		})
+	}
+	for i, p := range c.AppPeering {
+		m, err := appMatch(p.App)
+		if err != nil {
+			continue
+		}
+		items = append(items, classified{
+			name:    fmt.Sprintf("app_peering[%d] (%s->%s:%s)", i, p.Ingress, p.Egress, p.App),
+			match:   m,
+			action:  "steer",
+			atNames: map[string]bool{p.Ingress: true},
+		})
+	}
+	for i, p := range c.SourceRouting {
+		src, okS := topo.Lookup(p.Src)
+		dst, okD := topo.Lookup(p.Dst)
+		if !okS || !okD {
+			continue
+		}
+		items = append(items, classified{
+			name: fmt.Sprintf("source_routing[%d] (%s->%s)", i, p.Src, p.Dst),
+			match: header.Match{}.
+				WithEthSrc(addr.HostMAC(src)).
+				WithEthDst(addr.HostMAC(dst)),
+			action: "route",
+			atAll:  true,
+		})
+	}
+
+	colocated := func(a, b classified) bool {
+		if a.atAll || b.atAll {
+			return true
+		}
+		for n := range a.atNames {
+			if b.atNames[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			a, b := items[i], items[j]
+			if !a.match.Overlaps(b.match) || !colocated(a, b) {
+				continue
+			}
+			switch {
+			case a.action == "drop" && b.action != "drop":
+				out = append(out, c.conflictDropPair(a.name, b.name, a.match, b.match))
+			case b.action == "drop" && a.action != "drop":
+				out = append(out, c.conflictDropPair(b.name, a.name, b.match, a.match))
+			case a.action == "steer" && b.action == "route":
+				out = append(out, Conflict{
+					Kind: ConflictContradiction, A: a.name, B: b.name,
+					Detail: "app peering and source routing both steer overlapping traffic; the higher-priority rule wins silently",
+				})
+			case a.action == "route" && b.action == "steer":
+				out = append(out, Conflict{
+					Kind: ConflictContradiction, A: b.name, B: a.name,
+					Detail: "app peering and source routing both steer overlapping traffic; the higher-priority rule wins silently",
+				})
+			case a.action == "steer" && b.action == "steer" && a.match == b.match:
+				out = append(out, Conflict{
+					Kind: ConflictContradiction, A: a.name, B: b.name,
+					Detail: "two peering policies claim identical traffic at the same ingress",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (c *Config) conflictDropPair(dropName, otherName string, dropMatch, otherMatch header.Match) Conflict {
+	if dropMatch.Subsumes(otherMatch) {
+		return Conflict{
+			Kind: ConflictShadowed, A: otherName, B: dropName,
+			Detail: "policy is fully shadowed by a blackhole: it can never take effect",
+		}
+	}
+	return Conflict{
+		Kind: ConflictSuspicious, A: dropName, B: otherName,
+		Detail: "blackhole overlaps another policy's traffic; part of that traffic will be dropped",
+	}
+}

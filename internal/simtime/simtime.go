@@ -1,0 +1,139 @@
+// Package simtime provides the virtual-clock primitives used by the Horse
+// simulator. All simulated timestamps are nanoseconds from the start of the
+// simulation, held in an int64. The package deliberately mirrors a subset of
+// the standard library's time API so simulator code reads naturally, while
+// keeping virtual time a distinct type from wall-clock time.
+package simtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an instant in virtual time, in nanoseconds since the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Never is a sentinel Time beyond any reachable simulation instant. It is
+// used for "no deadline" bookkeeping (e.g. flows with no hard timeout).
+const Never Time = math.MaxInt64
+
+// Forever is a sentinel Duration representing an unbounded span.
+const Forever Duration = math.MaxInt64
+
+// Add returns t+d. Additions that would overflow saturate at Never.
+func (t Time) Add(d Duration) Time {
+	if d == Forever || t == Never {
+		return Never
+	}
+	s := t + Time(d)
+	if d > 0 && s < t {
+		return Never
+	}
+	return s
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the time as a floating-point number of seconds since the
+// simulation epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the instant as seconds with millisecond precision.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration in the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d == Forever:
+		return "forever"
+	case d >= Second || d <= -Second:
+		return fmt.Sprintf("%.6fs", d.Seconds())
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond || d <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// FromSeconds converts a floating-point number of seconds to a Duration,
+// saturating at Forever for non-finite or overflowing values.
+func FromSeconds(s float64) Duration {
+	if math.IsInf(s, 1) || math.IsNaN(s) {
+		return Forever
+	}
+	ns := s * float64(Second)
+	if ns >= float64(math.MaxInt64) {
+		return Forever
+	}
+	if ns <= float64(math.MinInt64) {
+		return Duration(math.MinInt64)
+	}
+	return Duration(ns)
+}
+
+// AtSeconds converts a floating-point number of seconds since the epoch to a
+// Time, saturating at Never.
+func AtSeconds(s float64) Time {
+	d := FromSeconds(s)
+	if d == Forever {
+		return Never
+	}
+	return Time(d)
+}
+
+// TransferTime returns how long moving `bits` bits at `rateBps` bits/second
+// takes. A non-positive rate yields Forever (the transfer never completes).
+func TransferTime(bits float64, rateBps float64) Duration {
+	if rateBps <= 0 || bits < 0 {
+		return Forever
+	}
+	if bits == 0 {
+		return 0
+	}
+	return FromSeconds(bits / rateBps)
+}
+
+// BitsTransferred returns the number of bits a flow at rateBps moves in d.
+func BitsTransferred(rateBps float64, d Duration) float64 {
+	if d <= 0 || rateBps <= 0 {
+		return 0
+	}
+	if d == Forever {
+		return math.Inf(1)
+	}
+	return rateBps * d.Seconds()
+}

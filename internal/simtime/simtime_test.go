@@ -1,0 +1,111 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeAdd(t *testing.T) {
+	cases := []struct {
+		t    Time
+		d    Duration
+		want Time
+	}{
+		{0, Second, Time(Second)},
+		{Time(Second), -Duration(Second), 0},
+		{0, Forever, Never},
+		{Never, Second, Never},
+		{Time(math.MaxInt64 - 1), 10, Never}, // overflow saturates
+	}
+	for _, c := range cases {
+		if got := c.t.Add(c.d); got != c.want {
+			t.Errorf("%v.Add(%v) = %v, want %v", c.t, c.d, got, c.want)
+		}
+	}
+}
+
+func TestBeforeAfterSub(t *testing.T) {
+	a, b := Time(10), Time(20)
+	if !a.Before(b) || b.Before(a) || a.Before(a) {
+		t.Error("Before misbehaves")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After misbehaves")
+	}
+	if b.Sub(a) != 10 {
+		t.Errorf("Sub = %d, want 10", b.Sub(a))
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if FromSeconds(1.5) != Duration(1500*Millisecond) {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if FromSeconds(math.Inf(1)) != Forever {
+		t.Error("FromSeconds(+Inf) should be Forever")
+	}
+	if FromSeconds(math.NaN()) != Forever {
+		t.Error("FromSeconds(NaN) should be Forever")
+	}
+	if FromSeconds(1e40) != Forever {
+		t.Error("huge seconds should saturate")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 Gbit at 1 Gbps = 1 second.
+	if got := TransferTime(1e9, 1e9); got != Duration(Second) {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	if TransferTime(100, 0) != Forever {
+		t.Error("zero rate should be Forever")
+	}
+	if TransferTime(0, 1e9) != 0 {
+		t.Error("zero bits should be instant")
+	}
+	if TransferTime(-5, 1e9) != Forever {
+		t.Error("negative bits should be Forever")
+	}
+}
+
+func TestBitsTransferred(t *testing.T) {
+	if got := BitsTransferred(1e9, Duration(Second)); got != 1e9 {
+		t.Errorf("BitsTransferred = %g, want 1e9", got)
+	}
+	if BitsTransferred(1e9, -Duration(Second)) != 0 {
+		t.Error("negative duration should transfer nothing")
+	}
+	if !math.IsInf(BitsTransferred(1, Forever), 1) {
+		t.Error("Forever should transfer infinite bits")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if Never.String() != "never" {
+		t.Errorf("Never = %q", Never.String())
+	}
+	if Forever.String() != "forever" {
+		t.Errorf("Forever = %q", Forever.String())
+	}
+	if got := Duration(1500 * Microsecond).String(); got != "1.500ms" {
+		t.Errorf("1.5ms prints as %q", got)
+	}
+	if got := Duration(250).String(); got != "250ns" {
+		t.Errorf("250ns prints as %q", got)
+	}
+}
+
+// Property: TransferTime and BitsTransferred are inverse within tolerance.
+func TestTransferRoundTrip(t *testing.T) {
+	prop := func(bitsRaw, rateRaw uint32) bool {
+		bits := float64(bitsRaw%1000000) + 1
+		rate := float64(rateRaw%1000000) + 1
+		d := TransferTime(bits, rate)
+		back := BitsTransferred(rate, d)
+		return math.Abs(back-bits) < bits*1e-6+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package stats implements the "Traffic statistics & network state" block
+// of the Horse data plane: per-link utilization time series, flow
+// completion records, and event counters, updated as the simulation runs
+// and exportable as CSV for the experiment harness.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+// LinkSample is one utilization observation of one link direction.
+type LinkSample struct {
+	At      simtime.Time
+	Link    netgraph.LinkID
+	Forward bool // A→B direction
+	RateBps float64
+	// UsedFrac is RateBps / capacity at sampling time (0 for down links).
+	UsedFrac float64
+}
+
+// FlowRecord is the outcome of one data flow.
+type FlowRecord struct {
+	ID        int64
+	Arrival   simtime.Time
+	End       simtime.Time
+	SizeBits  float64
+	SentBits  float64
+	Completed bool
+	Outcome   string // "completed", "dropped", "looped", "stuck", "killed"
+	PathLen   int
+	Punts     int // PacketIns this flow triggered
+}
+
+// FCT returns the flow completion time.
+func (r FlowRecord) FCT() simtime.Duration { return r.End.Sub(r.Arrival) }
+
+// Collector accumulates simulation statistics. The zero value is unusable;
+// call NewCollector.
+type Collector struct {
+	// SampleEvery controls the utilization sampling period (0 disables
+	// time-series collection).
+	SampleEvery simtime.Duration
+
+	linkSeries []LinkSample
+	flows      []FlowRecord
+
+	// Counters.
+	FlowsStarted   uint64
+	FlowsCompleted uint64
+	FlowsDropped   uint64
+	FlowsLooped    uint64
+	FlowsStuck     uint64
+	PacketIns      uint64
+	FlowMods       uint64
+	RateChanges    uint64
+	EventsRun      uint64
+	PathChanges    uint64
+}
+
+// NewCollector returns a collector sampling link utilization at the given
+// period (0 disables sampling).
+func NewCollector(sampleEvery simtime.Duration) *Collector {
+	return &Collector{SampleEvery: sampleEvery}
+}
+
+// AddLinkSample appends one utilization observation.
+func (c *Collector) AddLinkSample(s LinkSample) { c.linkSeries = append(c.linkSeries, s) }
+
+// AddFlow records a finished flow.
+func (c *Collector) AddFlow(r FlowRecord) { c.flows = append(c.flows, r) }
+
+// Flows returns all finished flow records.
+func (c *Collector) Flows() []FlowRecord { return c.flows }
+
+// LinkSeries returns the utilization time series.
+func (c *Collector) LinkSeries() []LinkSample { return c.linkSeries }
+
+// FCTs returns completion times in seconds for all completed flows.
+func (c *Collector) FCTs() []float64 {
+	var out []float64
+	for _, f := range c.flows {
+		if f.Completed {
+			out = append(out, f.FCT().Seconds())
+		}
+	}
+	return out
+}
+
+// Throughputs returns the mean throughput (bits/second) of every completed
+// flow.
+func (c *Collector) Throughputs() []float64 {
+	var out []float64
+	for _, f := range c.flows {
+		if f.Completed && f.FCT() > 0 {
+			out = append(out, f.SentBits/f.FCT().Seconds())
+		}
+	}
+	return out
+}
+
+// MeanLinkUtilization returns the average UsedFrac per link direction,
+// keyed by (link, forward).
+func (c *Collector) MeanLinkUtilization() map[LinkDir]float64 {
+	sums := make(map[LinkDir]float64)
+	counts := make(map[LinkDir]int)
+	for _, s := range c.linkSeries {
+		k := LinkDir{s.Link, s.Forward}
+		sums[k] += s.UsedFrac
+		counts[k]++
+	}
+	out := make(map[LinkDir]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// PeakLinkUtilization returns the maximum UsedFrac per link direction.
+func (c *Collector) PeakLinkUtilization() map[LinkDir]float64 {
+	out := make(map[LinkDir]float64)
+	for _, s := range c.linkSeries {
+		k := LinkDir{s.Link, s.Forward}
+		if s.UsedFrac > out[k] {
+			out[k] = s.UsedFrac
+		}
+	}
+	return out
+}
+
+// LinkDir identifies one direction of one link.
+type LinkDir struct {
+	Link    netgraph.LinkID
+	Forward bool
+}
+
+func (d LinkDir) String() string {
+	dir := "fwd"
+	if !d.Forward {
+		dir = "rev"
+	}
+	return fmt.Sprintf("link%d/%s", d.Link, dir)
+}
+
+// WriteLinkSeriesCSV writes the utilization time series.
+func (c *Collector) WriteLinkSeriesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "link", "dir", "rate_bps", "utilization"}); err != nil {
+		return err
+	}
+	for _, s := range c.linkSeries {
+		dir := "fwd"
+		if !s.Forward {
+			dir = "rev"
+		}
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'g', -1, 64),
+			strconv.Itoa(int(s.Link)),
+			dir,
+			strconv.FormatFloat(s.RateBps, 'g', -1, 64),
+			strconv.FormatFloat(s.UsedFrac, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFlowsCSV writes per-flow records.
+func (c *Collector) WriteFlowsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival_s", "end_s", "size_bits", "sent_bits", "outcome", "fct_s", "path_len", "punts"}); err != nil {
+		return err
+	}
+	for _, f := range c.flows {
+		rec := []string{
+			strconv.FormatInt(f.ID, 10),
+			strconv.FormatFloat(f.Arrival.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(f.End.Seconds(), 'g', -1, 64),
+			strconv.FormatFloat(f.SizeBits, 'g', -1, 64),
+			strconv.FormatFloat(f.SentBits, 'g', -1, 64),
+			f.Outcome,
+			strconv.FormatFloat(f.FCT().Seconds(), 'g', -1, 64),
+			strconv.Itoa(f.PathLen),
+			strconv.Itoa(f.Punts),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TopLinks returns the n busiest link directions by mean utilization, most
+// loaded first.
+func (c *Collector) TopLinks(n int) []LinkDir {
+	means := c.MeanLinkUtilization()
+	dirs := make([]LinkDir, 0, len(means))
+	for d := range means {
+		dirs = append(dirs, d)
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		if means[dirs[i]] != means[dirs[j]] {
+			return means[dirs[i]] > means[dirs[j]]
+		}
+		if dirs[i].Link != dirs[j].Link {
+			return dirs[i].Link < dirs[j].Link
+		}
+		return dirs[i].Forward && !dirs[j].Forward
+	})
+	if n < len(dirs) {
+		dirs = dirs[:n]
+	}
+	return dirs
+}

@@ -1,0 +1,144 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+// traceHeader is the CSV column set, stable across versions.
+var traceHeader = []string{
+	"start_s", "src", "dst", "proto", "src_port", "dst_port",
+	"size_bits", "rate_bps", "duration_s", "tcp",
+}
+
+// WriteCSV serializes the trace. Infinite sizes/rates are written as "inf".
+func (tr Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	ff := func(v float64) string {
+		if math.IsInf(v, 1) {
+			return "inf"
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for _, d := range tr {
+		rec := []string{
+			strconv.FormatFloat(d.Start.Seconds(), 'g', -1, 64),
+			strconv.Itoa(int(d.Src)),
+			strconv.Itoa(int(d.Dst)),
+			strconv.Itoa(int(d.Key.Proto)),
+			strconv.Itoa(int(d.Key.SrcPort)),
+			strconv.Itoa(int(d.Key.DstPort)),
+			ff(d.SizeBits),
+			ff(d.RateBps),
+			strconv.FormatFloat(d.Duration.Seconds(), 'g', -1, 64),
+			strconv.FormatBool(d.TCP),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Flow keys are rebuilt from
+// the addressing plan.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("traffic: empty trace file")
+	}
+	if len(rows[0]) != len(traceHeader) || rows[0][0] != traceHeader[0] {
+		return nil, fmt.Errorf("traffic: unrecognized trace header %v", rows[0])
+	}
+	pf := func(s string) (float64, error) {
+		if s == "inf" {
+			return math.Inf(1), nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+	var tr Trace
+	for ln, row := range rows[1:] {
+		fail := func(err error) (Trace, error) {
+			return nil, fmt.Errorf("traffic: trace line %d: %w", ln+2, err)
+		}
+		start, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return fail(err)
+		}
+		src, err := strconv.Atoi(row[1])
+		if err != nil {
+			return fail(err)
+		}
+		dst, err := strconv.Atoi(row[2])
+		if err != nil {
+			return fail(err)
+		}
+		proto, err := strconv.Atoi(row[3])
+		if err != nil {
+			return fail(err)
+		}
+		sport, err := strconv.Atoi(row[4])
+		if err != nil {
+			return fail(err)
+		}
+		dport, err := strconv.Atoi(row[5])
+		if err != nil {
+			return fail(err)
+		}
+		size, err := pf(row[6])
+		if err != nil {
+			return fail(err)
+		}
+		rate, err := pf(row[7])
+		if err != nil {
+			return fail(err)
+		}
+		durS, err := strconv.ParseFloat(row[8], 64)
+		if err != nil {
+			return fail(err)
+		}
+		tcp, err := strconv.ParseBool(row[9])
+		if err != nil {
+			return fail(err)
+		}
+		d := Demand{
+			Src: netgraph.NodeID(src), Dst: netgraph.NodeID(dst),
+			Start:    simtime.AtSeconds(start),
+			SizeBits: size, RateBps: rate,
+			Duration: simtime.FromSeconds(durS),
+			TCP:      tcp,
+		}
+		d.Key = keyFor(d, uint8(proto), uint16(sport), uint16(dport))
+		tr = append(tr, d)
+	}
+	return tr, nil
+}
+
+func keyFor(d Demand, proto uint8, sport, dport uint16) header.FlowKey {
+	k := header.FlowKey{
+		EthType: header.EthTypeIPv4,
+		Proto:   proto,
+		SrcPort: sport,
+		DstPort: dport,
+	}
+	k.EthSrc = header.MACFromUint64(uint64(d.Src) + 1)
+	k.EthDst = header.MACFromUint64(uint64(d.Dst) + 1)
+	k.IPSrc = header.IPv4FromUint32(0x0a000000 | uint32(d.Src)&0x00ffffff)
+	k.IPDst = header.IPv4FromUint32(0x0a000000 | uint32(d.Dst)&0x00ffffff)
+	return k
+}

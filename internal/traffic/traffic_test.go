@@ -1,0 +1,313 @@
+package traffic
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+func hostIDs(n int) []netgraph.NodeID {
+	out := make([]netgraph.NodeID, n)
+	for i := range out {
+		out[i] = netgraph.NodeID(i + 100)
+	}
+	return out
+}
+
+func TestParetoSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Pareto{XMin: 1000, Alpha: 1.5}
+	var below, n float64
+	for i := 0; i < 20000; i++ {
+		x := p.Sample(rng)
+		if x < p.XMin {
+			t.Fatalf("sample %g below XMin", x)
+		}
+		// CDF check at 2*XMin: P(X <= 2x_m) = 1 - 2^-alpha.
+		if x <= 2*p.XMin {
+			below++
+		}
+		n++
+	}
+	want := 1 - math.Pow(2, -p.Alpha)
+	if got := below / n; math.Abs(got-want) > 0.02 {
+		t.Errorf("CDF(2*xmin) = %g, want ~%g", got, want)
+	}
+}
+
+func TestLogNormalSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := LogNormal{Mu: 10, Sigma: 1}
+	var sumLog float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := l.Sample(rng)
+		if x <= 0 {
+			t.Fatal("non-positive sample")
+		}
+		sumLog += math.Log(x)
+	}
+	if got := sumLog / n; math.Abs(got-10) > 0.05 {
+		t.Errorf("mean of ln(X) = %g, want ~10", got)
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	if FixedSize(42).Sample(nil) != 42 {
+		t.Error("FixedSize broken")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	g := NewGenerator(7)
+	tr := g.PoissonArrivals(PoissonConfig{
+		Hosts:       hostIDs(10),
+		Lambda:      100,
+		Horizon:     10 * simtime.Second,
+		Sizes:       FixedSize(1e6),
+		TCPFraction: 0.5,
+		CBRRateBps:  1e6,
+	})
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Expect ~1000 flows; Poisson stddev ~32.
+	if len(tr) < 800 || len(tr) > 1200 {
+		t.Errorf("flow count = %d, want ~1000", len(tr))
+	}
+	if !sort.SliceIsSorted(tr, func(i, j int) bool { return tr[i].Start < tr[j].Start }) {
+		t.Error("trace not sorted")
+	}
+	var tcp, cbr int
+	for _, d := range tr {
+		if d.Src == d.Dst {
+			t.Fatal("self flow")
+		}
+		if d.Start > simtime.Time(10*simtime.Second) {
+			t.Fatal("arrival beyond horizon")
+		}
+		if d.TCP {
+			tcp++
+			if !math.IsInf(d.RateBps, 1) {
+				t.Fatal("TCP flow should be backlogged")
+			}
+		} else {
+			cbr++
+			if d.RateBps != 1e6 {
+				t.Fatal("CBR rate wrong")
+			}
+		}
+	}
+	if tcp == 0 || cbr == 0 {
+		t.Errorf("mix = %d tcp / %d cbr, want both", tcp, cbr)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	mk := func() Trace {
+		return NewGenerator(99).PoissonArrivals(PoissonConfig{
+			Hosts: hostIDs(4), Lambda: 50, Horizon: simtime.Second, Sizes: FixedSize(1e6),
+		})
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("demand %d differs", i)
+		}
+	}
+}
+
+func TestPoissonDegenerateInputs(t *testing.T) {
+	g := NewGenerator(1)
+	if g.PoissonArrivals(PoissonConfig{Hosts: hostIDs(1), Lambda: 1, Horizon: simtime.Second, Sizes: FixedSize(1)}) != nil {
+		t.Error("single host should produce no flows")
+	}
+	if g.PoissonArrivals(PoissonConfig{Hosts: hostIDs(2), Lambda: 0, Horizon: simtime.Second, Sizes: FixedSize(1)}) != nil {
+		t.Error("zero lambda should produce no flows")
+	}
+}
+
+func TestGravityMatrix(t *testing.T) {
+	hosts := hostIDs(4)
+	w := []float64{4, 2, 1, 1}
+	m := Gravity(hosts, w, 8e9)
+	if math.Abs(m.Total()-8e9) > 1 {
+		t.Errorf("total = %g, want 8e9", m.Total())
+	}
+	for i := range hosts {
+		if m.Rates[i][i] != 0 {
+			t.Error("diagonal must be zero")
+		}
+	}
+	// Proportionality: r(0→1)/r(2→3) = (4·2)/(1·1) = 8.
+	if got := m.Rates[0][1] / m.Rates[2][3]; math.Abs(got-8) > 1e-9 {
+		t.Errorf("gravity ratio = %g, want 8", got)
+	}
+	// Symmetric weights give a symmetric matrix.
+	if m.Rates[2][3] != m.Rates[3][2] {
+		t.Error("equal-weight pair should be symmetric")
+	}
+}
+
+func TestGravityPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths must panic")
+		}
+	}()
+	Gravity(hostIDs(3), []float64{1, 2}, 1e9)
+}
+
+func TestParetoWeights(t *testing.T) {
+	w := ParetoWeights(100, 1.2, 5)
+	if len(w) != 100 {
+		t.Fatal("wrong length")
+	}
+	for _, v := range w {
+		if v < 1 {
+			t.Fatal("weight below xmin")
+		}
+	}
+	w2 := ParetoWeights(100, 1.2, 5)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	d := Diurnal{Base: 1, Amplitude: 0.5, Period: 24 * simtime.Hour}
+	if got := d.At(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("At(0) = %g", got)
+	}
+	peak := d.At(simtime.Time(6 * simtime.Hour))
+	if math.Abs(peak-1.5) > 1e-9 {
+		t.Errorf("peak = %g, want 1.5", peak)
+	}
+	trough := d.At(simtime.Time(18 * simtime.Hour))
+	if math.Abs(trough-0.5) > 1e-9 {
+		t.Errorf("trough = %g, want 0.5", trough)
+	}
+	// Clamps at zero.
+	deep := Diurnal{Base: 0.1, Amplitude: 1, Period: 24 * simtime.Hour}
+	if deep.At(simtime.Time(18*simtime.Hour)) != 0 {
+		t.Error("negative multiplier not clamped")
+	}
+	if Flat.At(simtime.Time(3*simtime.Hour)) != 1 {
+		t.Error("Flat should be identity")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	hosts := hostIDs(3)
+	m := Gravity(hosts, []float64{1, 1, 1}, 6e9)
+	g := NewGenerator(3)
+	tr := g.Replay(m, ReplayConfig{
+		Epoch:   simtime.Second,
+		Horizon: 3 * simtime.Second,
+		Mod:     Flat,
+	})
+	// 3 epochs × 6 nonzero entries.
+	if len(tr) != 18 {
+		t.Fatalf("replay flows = %d, want 18", len(tr))
+	}
+	for _, d := range tr {
+		if !math.IsInf(d.SizeBits, 1) || d.Duration != simtime.Second {
+			t.Fatal("replay flows must be epoch CBR")
+		}
+		if d.RateBps <= 0 {
+			t.Fatal("zero-rate flow emitted")
+		}
+	}
+	// Diurnal modulation changes epoch rates over time.
+	tr = NewGenerator(3).Replay(m, ReplayConfig{
+		Epoch:   simtime.Hour,
+		Horizon: 24 * simtime.Hour,
+		Mod:     Diurnal{Base: 1, Amplitude: 0.5, Period: 24 * simtime.Hour},
+	})
+	byEpoch := map[simtime.Time]float64{}
+	for _, d := range tr {
+		byEpoch[d.Start] += d.RateBps
+	}
+	if len(byEpoch) != 24 {
+		t.Fatalf("epochs = %d", len(byEpoch))
+	}
+	if byEpoch[simtime.Time(6*simtime.Hour)] <= byEpoch[simtime.Time(18*simtime.Hour)] {
+		t.Error("diurnal peak not higher than trough")
+	}
+}
+
+func TestReplayMinRate(t *testing.T) {
+	hosts := hostIDs(2)
+	m := NewMatrix(hosts)
+	m.Rates[0][1] = 100 // below floor
+	m.Rates[1][0] = 1e9 // above
+	tr := NewGenerator(1).Replay(m, ReplayConfig{Epoch: simtime.Second, Horizon: simtime.Second, Mod: Flat, MinRateBps: 1000})
+	if len(tr) != 1 || tr[0].RateBps != 1e9 {
+		t.Errorf("MinRateBps filter broken: %v", tr)
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	g := NewGenerator(11)
+	orig := g.PoissonArrivals(PoissonConfig{
+		Hosts: hostIDs(5), Lambda: 20, Horizon: simtime.Second,
+		Sizes: Pareto{XMin: 1e5, Alpha: 1.3}, TCPFraction: 0.7, CBRRateBps: 5e6,
+	})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost flows: %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		a, b := got[i], orig[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.TCP != b.TCP || a.Key != b.Key {
+			t.Fatalf("flow %d identity mismatch:\n got %+v\nwant %+v", i, a, b)
+		}
+		if math.Abs(a.SizeBits-b.SizeBits) > 1 && !(math.IsInf(a.SizeBits, 1) && math.IsInf(b.SizeBits, 1)) {
+			t.Fatalf("flow %d size mismatch", i)
+		}
+		if a.Start.Sub(b.Start) > simtime.Microsecond || b.Start.Sub(a.Start) > simtime.Microsecond {
+			t.Fatalf("flow %d start mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("bogus,header\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	bad := "start_s,src,dst,proto,src_port,dst_port,size_bits,rate_bps,duration_s,tcp\nnot_a_number,1,2,6,1,2,3,4,5,true\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad)); err == nil {
+		t.Error("bad number accepted")
+	}
+}
+
+func TestTotalBits(t *testing.T) {
+	tr := Trace{
+		{SizeBits: 100},
+		{SizeBits: math.Inf(1)},
+		{SizeBits: 200},
+	}
+	if tr.TotalBits() != 300 {
+		t.Errorf("TotalBits = %g", tr.TotalBits())
+	}
+}
