@@ -1,0 +1,29 @@
+# Targets mirror .github/workflows/ci.yml so local runs match the gate.
+
+GO ?= go
+
+.PHONY: all build test race bench lint ci
+
+all: build
+
+build:
+	$(GO) build ./...
+	$(GO) build ./examples/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runner/... ./internal/flowsim/...
+	$(GO) test -race -run 'TestParallel' ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: build lint test race bench

@@ -9,6 +9,11 @@
 //	      -flows flows.csv -links links.csv
 //
 //	horse -topo ixp -members 200 -replay 24h -epoch 1h
+//
+// The experiments subcommand runs the E1–E6 evaluation grid on a worker
+// pool and can emit the machine-readable bench report:
+//
+//	horse experiments -quick -parallel 8 -json BENCH_experiments.json
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"horse/internal/benchcli"
 	"horse/internal/controller"
 	"horse/internal/dataplane"
 	"horse/internal/flowsim"
@@ -30,6 +36,15 @@ import (
 )
 
 func main() {
+	// The experiments subcommand shares cmd/horsebench's driver so the
+	// two binaries expose the identical E1–E6 grid and flags.
+	if len(os.Args) > 1 && os.Args[1] == "experiments" {
+		os.Exit(benchcli.Main("horse", os.Args[2:], os.Stdout, os.Stderr))
+	}
+	runScenario()
+}
+
+func runScenario() {
 	var (
 		topoKind = flag.String("topo", "leafspine", "topology: leafspine|fattree|ring|linear|dumbbell|ixp")
 		leaves   = flag.Int("leaves", 4, "leaf switches (leafspine)")

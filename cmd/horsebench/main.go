@@ -1,54 +1,23 @@
 // Command horsebench regenerates the full Horse evaluation: every
 // experiment in DESIGN.md's index (E1–E6), printed as the tables recorded
-// in EXPERIMENTS.md.
+// in EXPERIMENTS.md. Independent grid cells (fabric sizes, arrival rates,
+// member counts, config rows, ablation arms) fan out across a worker pool.
 //
 // Usage:
 //
-//	horsebench            # full suite (~minutes)
-//	horsebench -quick     # reduced suite (~seconds)
-//	horsebench -only E3   # one experiment
+//	horsebench                  # full suite (~minutes sequential, parallel by default)
+//	horsebench -quick           # reduced suite (~seconds)
+//	horsebench -only E3         # one experiment
+//	horsebench -parallel 4      # bound the worker pool (default GOMAXPROCS)
+//	horsebench -json out.json   # machine-readable BENCH_*.json report ("-" = stdout)
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
-	"horse/internal/experiments"
+	"horse/internal/benchcli"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run the reduced suite")
-	only := flag.String("only", "", "run a single experiment (E1..E6)")
-	flag.Parse()
-
-	var tables []*experiments.Table
-	switch strings.ToUpper(*only) {
-	case "":
-		if *quick {
-			tables = experiments.Quick()
-		} else {
-			tables = experiments.All()
-		}
-	case "E1":
-		tables = []*experiments.Table{experiments.E1PolicyCoexistence()}
-	case "E2":
-		tables = []*experiments.Table{experiments.E2Scale([]int{4, 8, 16, 32}, []float64{200, 1000, 5000})}
-	case "E3":
-		tables = []*experiments.Table{experiments.E3Accuracy()}
-	case "E4":
-		tables = []*experiments.Table{experiments.E4IXPReplay([]int{100, 200, 400}, 24)}
-	case "E5":
-		tables = []*experiments.Table{experiments.E5ConfigSweep()}
-	case "E6":
-		tables = []*experiments.Table{experiments.E6Ablations()}
-	default:
-		fmt.Fprintf(os.Stderr, "horsebench: unknown experiment %q\n", *only)
-		os.Exit(1)
-	}
-
-	for _, t := range tables {
-		t.Fprint(func(format string, args ...interface{}) { fmt.Printf(format, args...) })
-	}
+	os.Exit(benchcli.Main("horsebench", os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,3 @@
+module horse
+
+go 1.22

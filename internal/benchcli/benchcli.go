@@ -1,0 +1,124 @@
+// Package benchcli is the shared driver behind cmd/horsebench and the
+// `horse experiments` subcommand: one flag set, one experiment-selection
+// switch, one report-writing path, so the two binaries cannot drift.
+package benchcli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"horse/internal/experiments"
+)
+
+// Full-suite grid constants, in one place.
+var (
+	fullLeafCounts   = []int{4, 8, 16, 32}
+	fullLambdas      = []float64{200, 1000, 5000}
+	fullMemberCounts = []int{100, 200, 400}
+	fullReplayHours  = 24
+)
+
+// Main parses args, runs the selected experiments, prints the tables to
+// stdout, and optionally writes a horse-bench/v1 JSON report. name
+// prefixes error messages. The returned code is the process exit code.
+func Main(name string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run the reduced suite")
+	only := fs.String("only", "", "run a single experiment (E1..E6)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells")
+	jsonOut := fs.String("json", "", "write a horse-bench/v1 JSON report to this path (\"-\" = stdout)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "%s: %v\n", name, err)
+		return 1
+	}
+
+	opts := experiments.Options{Parallel: *parallel}
+	pick, ok := map[string]func() []*experiments.Table{
+		"": func() []*experiments.Table {
+			if *quick {
+				return experiments.QuickWith(opts)
+			}
+			return experiments.AllWith(opts)
+		},
+		"E1": func() []*experiments.Table { return []*experiments.Table{experiments.E1With(opts)} },
+		"E2": func() []*experiments.Table {
+			return []*experiments.Table{experiments.E2With(opts, fullLeafCounts, fullLambdas)}
+		},
+		"E3": func() []*experiments.Table { return []*experiments.Table{experiments.E3With(opts)} },
+		"E4": func() []*experiments.Table {
+			return []*experiments.Table{experiments.E4With(opts, fullMemberCounts, fullReplayHours)}
+		},
+		"E5": func() []*experiments.Table { return []*experiments.Table{experiments.E5With(opts)} },
+		"E6": func() []*experiments.Table { return []*experiments.Table{experiments.E6With(opts)} },
+	}[strings.ToUpper(*only)]
+	if !ok {
+		return fail(fmt.Errorf("unknown experiment %q", *only))
+	}
+
+	// Open a temp file next to the report target after flag validation but
+	// before the (potentially minutes-long) run: a bad path fails fast, and
+	// neither a bad -only, a mid-run panic, nor an interrupt ever truncates
+	// an existing report — the rename happens only on success.
+	var jsonFile *os.File
+	if *jsonOut != "" && *jsonOut != "-" {
+		f, err := os.CreateTemp(filepath.Dir(*jsonOut), filepath.Base(*jsonOut)+".tmp-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.Remove(f.Name()) // no-op after the success rename
+		jsonFile = f
+	}
+
+	// Wall-time columns are measured per cell while sibling cells may be
+	// competing for the same cores; flag it so nobody reads contended
+	// timings as the scalability result. Stderr, so tables stay
+	// byte-identical across -parallel values.
+	if *parallel != 1 && runtime.GOMAXPROCS(0) > 1 {
+		fmt.Fprintf(stderr, "%s: note: wall-time columns measured with %d parallel workers; use -parallel 1 for uncontended timings\n", name, *parallel)
+	}
+
+	start := time.Now()
+	tables := pick()
+	wall := time.Since(start)
+
+	if *jsonOut != "-" {
+		for _, t := range tables {
+			t.Fprint(func(format string, a ...interface{}) { fmt.Fprintf(stdout, format, a...) })
+		}
+	}
+	if *jsonOut == "" {
+		return 0
+	}
+	rep := experiments.NewReport(tables, *parallel, wall)
+	if jsonFile == nil {
+		if err := rep.WriteJSON(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if err := rep.WriteJSON(jsonFile); err != nil {
+		jsonFile.Close()
+		return fail(err)
+	}
+	if err := jsonFile.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(jsonFile.Name(), *jsonOut); err != nil {
+		return fail(err)
+	}
+	return 0
+}

@@ -5,6 +5,14 @@
 // design-choice ablations recorded in DESIGN.md. Each experiment returns a
 // Table whose rows the CLI (cmd/horsebench) prints and whose shape
 // EXPERIMENTS.md records against the paper's claims.
+//
+// Execution is data-driven: each experiment compiles its grid — leaf
+// counts and arrival rates in E2, member counts in E4, config rows in E5,
+// ablation arms in E6 — into a []runner.Cell of closures with stable IDs.
+// Every cell is a self-contained simulation (it builds its own topology,
+// trace, and simulator), so cells fan out across a bounded worker pool
+// (Options.Parallel) and the assembled tables are byte-identical for any
+// worker count: rows follow cell order, never completion order.
 package experiments
 
 import (
@@ -22,21 +30,42 @@ import (
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/packetsim"
+	"horse/internal/runner"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/tcpmodel"
 	"horse/internal/traffic"
 )
 
+// Options controls how the experiment grid executes.
+type Options struct {
+	// Parallel bounds the worker pool that fans out experiment cells.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Parallel int
+
+	// Now is the clock used for wall-time columns. Nil means time.Now.
+	// Tests inject a frozen clock to make tables fully deterministic.
+	Now func() time.Time
+}
+
+func (o Options) now() time.Time {
+	if o.Now != nil {
+		return o.Now()
+	}
+	return time.Now()
+}
+
+func (o Options) since(t0 time.Time) time.Duration { return o.now().Sub(t0) }
+
 // Table is one experiment's result.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes records the qualitative shape the paper predicts and whether
 	// the run reproduced it.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Fprint renders the table to a writer-ish function (the CLI passes
@@ -69,6 +98,44 @@ func (t *Table) Fprint(printf func(format string, args ...interface{})) {
 	}
 }
 
+// spec is one experiment compiled to a table skeleton plus the cells that
+// produce its rows. A cell returns the rows it contributes (possibly
+// none); assembly concatenates them in cell order.
+type spec struct {
+	table *Table
+	cells []runner.Cell[[][]string]
+}
+
+// cell appends one unit of work to the spec's grid.
+func (sp *spec) cell(id string, run func() [][]string) {
+	sp.cells = append(sp.cells, runner.Cell[[][]string]{
+		ID: sp.table.ID + "/" + id, Run: run,
+	})
+}
+
+// runSpecs flattens every spec's cells into one pool, fans them out, and
+// assembles the tables. Row order — and therefore the rendered bytes —
+// depends only on cell order, not on scheduling.
+func runSpecs(o Options, specs []*spec) []*Table {
+	var all []runner.Cell[[][]string]
+	for _, sp := range specs {
+		all = append(all, sp.cells...)
+	}
+	results := runner.Run(all, o.Parallel)
+	tables := make([]*Table, len(specs))
+	i := 0
+	for si, sp := range specs {
+		for range sp.cells {
+			sp.table.Rows = append(sp.table.Rows, results[i]...)
+			i++
+		}
+		tables[si] = sp.table
+	}
+	return tables
+}
+
+func row(cols ...string) [][]string { return [][]string{cols} }
+
 func f2(v float64) string       { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string       { return fmt.Sprintf("%.3f", v) }
 func di(v uint64) string        { return fmt.Sprintf("%d", v) }
@@ -82,17 +149,35 @@ func cbrDemand(src, dst netgraph.NodeID, start simtime.Time, sizeBits, rateBps f
 	}
 }
 
+// runFlowSim executes one flow-level simulation and times it with the
+// options' clock.
+func (o Options) runFlowSim(topo *netgraph.Topology, ctrl flowsim.Controller, tr traffic.Trace, statsEvery simtime.Duration) (*stats.Collector, time.Duration) {
+	sim := flowsim.New(flowsim.Config{
+		Topology: topo, Controller: ctrl, Miss: dataplane.MissController,
+		StatsEvery: statsEvery,
+	})
+	sim.Load(tr)
+	start := o.now()
+	col := sim.Run(simtime.Time(10 * simtime.Minute))
+	return col, o.since(start)
+}
+
 // E1PolicyCoexistence reproduces the Figure-1 fabric: four edge switches,
 // two core switches, and all five policy classes active at once. It
 // quantifies the paper's three failure narratives: a misconfigured load
 // balancer congesting the core, an inefficient source route, and a rate
 // limiter degrading TCP.
-func E1PolicyCoexistence() *Table {
-	t := &Table{
+func E1PolicyCoexistence() *Table { return E1With(Options{}) }
+
+// E1With is E1PolicyCoexistence under explicit execution options.
+func E1With(o Options) *Table { return runSpecs(o, []*spec{e1Spec(o)})[0] }
+
+func e1Spec(o Options) *spec {
+	sp := &spec{table: &Table{
 		ID:      "E1",
 		Title:   "Policy coexistence on the Figure-1 fabric (4 edges, 2 cores)",
 		Columns: []string{"scenario", "mean-core-util", "mean-FCT-s", "p99-FCT-s", "dropped", "punts"},
-	}
+	}}
 
 	// The fabric is deliberately core-oversubscribed (10G member ports,
 	// 1G core links) so that where the load balancer sends flows decides
@@ -124,42 +209,44 @@ func E1PolicyCoexistence() *Table {
 		})
 	}
 
-	run := func(name string, mk func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller) {
-		topo, edges, cores := build()
-		ctrl := mk(topo, edges, cores)
-		sim := flowsim.New(flowsim.Config{
-			Topology: topo, Controller: ctrl, Miss: dataplane.MissController,
-			StatsEvery: 100 * simtime.Millisecond,
-		})
-		sim.Load(workload(topo))
-		col := sim.Run(simtime.Time(time.Minute))
-		var coreSum float64
-		var coreN int
-		for d, u := range col.MeanLinkUtilization() {
-			l := topo.Link(d.Link)
-			if topo.Node(l.A).Kind == netgraph.KindSwitch && topo.Node(l.B).Kind == netgraph.KindSwitch {
-				coreSum += u
-				coreN++
+	scenario := func(name string, mk func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller) {
+		sp.cell(name, func() [][]string {
+			topo, edges, cores := build()
+			ctrl := mk(topo, edges, cores)
+			sim := flowsim.New(flowsim.Config{
+				Topology: topo, Controller: ctrl, Miss: dataplane.MissController,
+				StatsEvery: 100 * simtime.Millisecond,
+			})
+			sim.Load(workload(topo))
+			col := sim.Run(simtime.Time(time.Minute))
+			var coreSum float64
+			var coreN int
+			for d, u := range col.MeanLinkUtilization() {
+				l := topo.Link(d.Link)
+				if topo.Node(l.A).Kind == netgraph.KindSwitch && topo.Node(l.B).Kind == netgraph.KindSwitch {
+					coreSum += u
+					coreN++
+				}
 			}
-		}
-		meanCore := 0.0
-		if coreN > 0 {
-			meanCore = coreSum / float64(coreN)
-		}
-		fcts := col.FCTs()
-		t.Rows = append(t.Rows, []string{
-			name, f2(meanCore), f3(metrics.Mean(fcts)), f3(metrics.Percentile(fcts, 99)),
-			di(col.FlowsDropped), di(col.PacketIns),
+			meanCore := 0.0
+			if coreN > 0 {
+				meanCore = coreSum / float64(coreN)
+			}
+			fcts := col.FCTs()
+			return row(
+				name, f2(meanCore), f3(metrics.Mean(fcts)), f3(metrics.Percentile(fcts, 99)),
+				di(col.FlowsDropped), di(col.PacketIns),
+			)
 		})
 	}
 
-	run("ecmp-balanced", func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller {
+	scenario("ecmp-balanced", func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller {
 		return controller.NewChain(&controller.ECMPLoadBalancer{})
 	})
-	run("misconfigured-lb", func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller {
+	scenario("misconfigured-lb", func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller {
 		return controller.NewChain(&controller.MisconfiguredLoadBalancer{})
 	})
-	run("all-policies", func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller {
+	scenario("all-policies", func(topo *netgraph.Topology, edges, cores []netgraph.NodeID) flowsim.Controller {
 		h5 := topo.MustLookup("h5")
 		h6 := topo.MustLookup("h6")
 		sw1, _ := topo.AttachedSwitch(topo.MustLookup("h0"))
@@ -177,80 +264,89 @@ func E1PolicyCoexistence() *Table {
 		)
 	})
 
-	t.Notes = append(t.Notes,
+	sp.table.Notes = append(sp.table.Notes,
 		"expected shape: misconfigured-lb has higher FCTs than ecmp-balanced at similar offered load (core congestion)",
 		"expected shape: all-policies drops blackholed traffic and punts nothing extra (policies coexist)",
 	)
-	return t
+	return sp
 }
 
 // E2Scale measures simulation time versus topology size and flow count —
 // the scalability motivation ("Mininet is not scalable").
 func E2Scale(leafCounts []int, lambdas []float64) *Table {
-	t := &Table{
+	return E2With(Options{}, leafCounts, lambdas)
+}
+
+// E2With is E2Scale under explicit execution options.
+func E2With(o Options, leafCounts []int, lambdas []float64) *Table {
+	return runSpecs(o, []*spec{e2Spec(o, leafCounts, lambdas)})[0]
+}
+
+func e2Spec(o Options, leafCounts []int, lambdas []float64) *spec {
+	sp := &spec{table: &Table{
 		ID:      "E2",
 		Title:   "Scalability: wall time vs fabric size and flow count",
 		Columns: []string{"leaves", "spines", "hosts", "flows", "events", "wall-ms", "events/ms"},
-	}
+	}}
 	for _, leaves := range leafCounts {
-		spines := leaves / 2
-		if spines < 2 {
-			spines = 2
-		}
-		topo := netgraph.LeafSpine(leaves, spines, 4, netgraph.Gig, netgraph.TenGig)
-		g := traffic.NewGenerator(11)
-		tr := g.PoissonArrivals(traffic.PoissonConfig{
-			Hosts: topo.Hosts(), Lambda: 500, Horizon: 2 * simtime.Second,
-			Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.4}, TCPFraction: 0.5, CBRRateBps: 1e7,
-		})
-		col, wall := runFlowSim(topo, controller.NewChain(&controller.ECMPLoadBalancer{}), tr, 0)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", leaves), fmt.Sprintf("%d", spines),
-			fmt.Sprintf("%d", len(topo.Hosts())), fmt.Sprintf("%d", len(tr)),
-			di(col.EventsRun), ms(wall), f2(float64(col.EventsRun) / (float64(wall.Microseconds()) / 1000)),
+		leaves := leaves
+		sp.cell(fmt.Sprintf("leaves=%d", leaves), func() [][]string {
+			spines := leaves / 2
+			if spines < 2 {
+				spines = 2
+			}
+			topo := netgraph.LeafSpine(leaves, spines, 4, netgraph.Gig, netgraph.TenGig)
+			g := traffic.NewGenerator(11)
+			tr := g.PoissonArrivals(traffic.PoissonConfig{
+				Hosts: topo.Hosts(), Lambda: 500, Horizon: 2 * simtime.Second,
+				Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.4}, TCPFraction: 0.5, CBRRateBps: 1e7,
+			})
+			col, wall := o.runFlowSim(topo, controller.NewChain(&controller.ECMPLoadBalancer{}), tr, 0)
+			return row(
+				fmt.Sprintf("%d", leaves), fmt.Sprintf("%d", spines),
+				fmt.Sprintf("%d", len(topo.Hosts())), fmt.Sprintf("%d", len(tr)),
+				di(col.EventsRun), ms(wall), f2(float64(col.EventsRun)/(float64(wall.Microseconds())/1000)),
+			)
 		})
 	}
 	// Flow-count sweep on a fixed fabric.
-	topo := netgraph.LeafSpine(8, 4, 4, netgraph.Gig, netgraph.TenGig)
 	for _, lambda := range lambdas {
-		g := traffic.NewGenerator(13)
-		tr := g.PoissonArrivals(traffic.PoissonConfig{
-			Hosts: topo.Hosts(), Lambda: lambda, Horizon: 2 * simtime.Second,
-			Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.4}, TCPFraction: 0.5, CBRRateBps: 1e7,
-		})
-		col, wall := runFlowSim(topo, controller.NewChain(&controller.ECMPLoadBalancer{}), tr, 0)
-		t.Rows = append(t.Rows, []string{
-			"8", "4", fmt.Sprintf("%d", len(topo.Hosts())), fmt.Sprintf("%d", len(tr)),
-			di(col.EventsRun), ms(wall), f2(float64(col.EventsRun) / (float64(wall.Microseconds()) / 1000)),
+		lambda := lambda
+		sp.cell(fmt.Sprintf("lambda=%g", lambda), func() [][]string {
+			topo := netgraph.LeafSpine(8, 4, 4, netgraph.Gig, netgraph.TenGig)
+			g := traffic.NewGenerator(13)
+			tr := g.PoissonArrivals(traffic.PoissonConfig{
+				Hosts: topo.Hosts(), Lambda: lambda, Horizon: 2 * simtime.Second,
+				Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.4}, TCPFraction: 0.5, CBRRateBps: 1e7,
+			})
+			col, wall := o.runFlowSim(topo, controller.NewChain(&controller.ECMPLoadBalancer{}), tr, 0)
+			return row(
+				"8", "4", fmt.Sprintf("%d", len(topo.Hosts())), fmt.Sprintf("%d", len(tr)),
+				di(col.EventsRun), ms(wall), f2(float64(col.EventsRun)/(float64(wall.Microseconds())/1000)),
+			)
 		})
 	}
-	t.Notes = append(t.Notes, "expected shape: wall time grows ~linearly with event count; thousands of flows per second of wall time")
-	return t
-}
-
-func runFlowSim(topo *netgraph.Topology, ctrl flowsim.Controller, tr traffic.Trace, statsEvery simtime.Duration) (*stats.Collector, time.Duration) {
-	sim := flowsim.New(flowsim.Config{
-		Topology: topo, Controller: ctrl, Miss: dataplane.MissController,
-		StatsEvery: statsEvery,
-	})
-	sim.Load(tr)
-	start := time.Now()
-	col := sim.Run(simtime.Time(10 * simtime.Minute))
-	return col, time.Since(start)
+	sp.table.Notes = append(sp.table.Notes, "expected shape: wall time grows ~linearly with event count; thousands of flows per second of wall time")
+	return sp
 }
 
 // E3Accuracy compares the flow-level simulator against the packet-level
 // baseline on identical pre-installed state and workload: per-flow FCT
 // error, link-utilization error, and the speedup.
-func E3Accuracy() *Table {
-	t := &Table{
+func E3Accuracy() *Table { return E3With(Options{}) }
+
+// E3With is E3Accuracy under explicit execution options.
+func E3With(o Options) *Table { return runSpecs(o, []*spec{e3Spec(o)})[0] }
+
+func e3Spec(o Options) *spec {
+	sp := &spec{table: &Table{
 		ID:    "E3",
 		Title: "Flow-level vs packet-level: accuracy and speedup",
 		Columns: []string{
 			"scenario", "flows", "fct-W1-s", "fct-relerr", "util-MAE",
 			"flow-wall-ms", "pkt-wall-ms", "speedup",
 		},
-	}
+	}}
 	scenarios := []struct {
 		name   string
 		rtt    simtime.Duration // flow-level TCP model RTT, matched to the topology
@@ -313,50 +409,53 @@ func E3Accuracy() *Table {
 	}
 
 	for _, sc := range scenarios {
-		// Flow-level run (proactive state so both sides see identical rules).
-		topoF := sc.mkTopo()
-		trF := sc.mkTr(topoF)
-		startF := time.Now()
-		simF := flowsim.New(flowsim.Config{
-			Topology: topoF, Controller: &controller.ProactiveMAC{}, Miss: dataplane.MissDrop,
-			ControlLatency: simtime.Microsecond, StatsEvery: 100 * simtime.Millisecond,
-			TCP: tcpmodel.Params{RTT: sc.rtt, MSS: 1500, InitialWindow: 10},
-			// With µs control latency the proactive installs beat the
-			// first arrival, so both simulators see identical rules.
-		})
-		simF.Load(trF)
-		colF := simF.Run(simtime.Time(sc.window))
-		wallF := time.Since(startF)
+		sc := sc
+		sp.cell(sc.name, func() [][]string {
+			// Flow-level run (proactive state so both sides see identical rules).
+			topoF := sc.mkTopo()
+			trF := sc.mkTr(topoF)
+			startF := o.now()
+			simF := flowsim.New(flowsim.Config{
+				Topology: topoF, Controller: &controller.ProactiveMAC{}, Miss: dataplane.MissDrop,
+				ControlLatency: simtime.Microsecond, StatsEvery: 100 * simtime.Millisecond,
+				TCP: tcpmodel.Params{RTT: sc.rtt, MSS: 1500, InitialWindow: 10},
+				// With µs control latency the proactive installs beat the
+				// first arrival, so both simulators see identical rules.
+			})
+			simF.Load(trF)
+			colF := simF.Run(simtime.Time(sc.window))
+			wallF := o.since(startF)
 
-		// Packet-level run with identical pre-installed state.
-		topoP := sc.mkTopo()
-		trP := sc.mkTr(topoP)
-		simP := packetsim.New(packetsim.Config{
-			Topology: topoP, Miss: dataplane.MissDrop, StatsEvery: 100 * simtime.Millisecond,
-		})
-		installMACRoutes(simP.Network())
-		startP := time.Now()
-		simP.Load(trP)
-		colP := simP.Run(simtime.Time(sc.window))
-		wallP := time.Since(startP)
+			// Packet-level run with identical pre-installed state.
+			topoP := sc.mkTopo()
+			trP := sc.mkTr(topoP)
+			simP := packetsim.New(packetsim.Config{
+				Topology: topoP, Miss: dataplane.MissDrop, StatsEvery: 100 * simtime.Millisecond,
+			})
+			installMACRoutes(simP.Network())
+			startP := o.now()
+			simP.Load(trP)
+			colP := simP.Run(simtime.Time(sc.window))
+			wallP := o.since(startP)
 
-		fctF, fctP := colF.FCTs(), colP.FCTs()
-		w1 := metrics.W1Distance(fctF, fctP)
-		relerr := 0.0
-		if m := metrics.Mean(fctP); m > 0 {
-			relerr = math.Abs(metrics.Mean(fctF)-m) / m
-		}
-		utilErr := utilMAE(colF, colP)
-		speedup := float64(wallP) / math.Max(float64(wallF), 1)
-		t.Rows = append(t.Rows, []string{
-			sc.name, fmt.Sprintf("%d", len(trF)), f3(w1), f3(relerr), f3(utilErr),
-			ms(wallF), ms(wallP), f2(speedup),
+			fctF, fctP := colF.FCTs(), colP.FCTs()
+			w1 := metrics.W1Distance(fctF, fctP)
+			relerr := 0.0
+			if m := metrics.Mean(fctP); m > 0 {
+				relerr = math.Abs(metrics.Mean(fctF)-m) / m
+			}
+			utilErr := utilMAE(colF, colP)
+			speedup := float64(wallP) / math.Max(float64(wallF), 1)
+			return row(
+				sc.name, fmt.Sprintf("%d", len(trF)), f3(w1), f3(relerr), f3(utilErr),
+				ms(wallF), ms(wallP), f2(speedup),
+			)
 		})
 	}
-	t.Notes = append(t.Notes,
+	sp.table.Notes = append(sp.table.Notes,
 		"expected shape: FCT relative error within ~10-20% (fs-sdn premise), packet-level wall time orders of magnitude higher",
 	)
-	return t
+	return sp
 }
 
 // utilMAE computes the mean absolute error between mean link utilizations
@@ -403,55 +502,71 @@ func installMACRoutes(net *dataplane.Network) {
 // E4IXPReplay runs the paper's headline evaluation: an IXP-scale fabric
 // with diurnal gravity traffic replayed over a simulated day.
 func E4IXPReplay(memberCounts []int, hours int) *Table {
-	t := &Table{
+	return E4With(Options{}, memberCounts, hours)
+}
+
+// E4With is E4IXPReplay under explicit execution options.
+func E4With(o Options, memberCounts []int, hours int) *Table {
+	return runSpecs(o, []*spec{e4Spec(o, memberCounts, hours)})[0]
+}
+
+func e4Spec(o Options, memberCounts []int, hours int) *spec {
+	sp := &spec{table: &Table{
 		ID:      "E4",
 		Title:   fmt.Sprintf("IXP replay: %dh diurnal gravity traffic", hours),
 		Columns: []string{"members", "switches", "epoch-flows", "events", "sim-hours", "wall-ms", "peak-fabric-util"},
-	}
+	}}
 	for _, members := range memberCounts {
-		prof := ixp.LargeIXP(members)
-		fab, err := ixp.Build(prof)
-		if err != nil {
-			continue
-		}
-		agg := float64(members) * 1e9 // ~1 Gbps mean per member (busy IXP)
-		tr := fab.ReplayTrace(agg, 0.2, simtime.Hour, simtime.Duration(hours)*simtime.Hour, 9)
-		sim := flowsim.New(flowsim.Config{
-			Topology: fab.Topo, Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
-			Miss: dataplane.MissController, StatsEvery: 10 * simtime.Minute,
-		})
-		sim.Load(tr)
-		start := time.Now()
-		col := sim.Run(simtime.Time(simtime.Duration(hours+1) * simtime.Hour))
-		wall := time.Since(start)
-		peak := 0.0
-		for d, u := range col.PeakLinkUtilization() {
-			l := fab.Topo.Link(d.Link)
-			if fab.Topo.Node(l.A).Kind == netgraph.KindSwitch && fab.Topo.Node(l.B).Kind == netgraph.KindSwitch && u > peak {
-				peak = u
+		members := members
+		sp.cell(fmt.Sprintf("members=%d", members), func() [][]string {
+			prof := ixp.LargeIXP(members)
+			fab, err := ixp.Build(prof)
+			if err != nil {
+				return nil
 			}
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", members), fmt.Sprintf("%d", len(fab.Topo.Switches())),
-			fmt.Sprintf("%d", len(tr)), di(col.EventsRun),
-			fmt.Sprintf("%d", hours), ms(wall), f2(peak),
+			agg := float64(members) * 1e9 // ~1 Gbps mean per member (busy IXP)
+			tr := fab.ReplayTrace(agg, 0.2, simtime.Hour, simtime.Duration(hours)*simtime.Hour, 9)
+			sim := flowsim.New(flowsim.Config{
+				Topology: fab.Topo, Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
+				Miss: dataplane.MissController, StatsEvery: 10 * simtime.Minute,
+			})
+			sim.Load(tr)
+			start := o.now()
+			col := sim.Run(simtime.Time(simtime.Duration(hours+1) * simtime.Hour))
+			wall := o.since(start)
+			peak := 0.0
+			for d, u := range col.PeakLinkUtilization() {
+				l := fab.Topo.Link(d.Link)
+				if fab.Topo.Node(l.A).Kind == netgraph.KindSwitch && fab.Topo.Node(l.B).Kind == netgraph.KindSwitch && u > peak {
+					peak = u
+				}
+			}
+			return row(
+				fmt.Sprintf("%d", members), fmt.Sprintf("%d", len(fab.Topo.Switches())),
+				fmt.Sprintf("%d", len(tr)), di(col.EventsRun),
+				fmt.Sprintf("%d", hours), ms(wall), f2(peak),
+			)
 		})
 	}
-	t.Notes = append(t.Notes, "expected shape: a simulated day at IXP scale completes in seconds of wall time; events scale ~linearly with members²·density")
-	return t
+	sp.table.Notes = append(sp.table.Notes, "expected shape: a simulated day at IXP scale completes in seconds of wall time; events scale ~linearly with members²·density")
+	return sp
 }
 
 // E5ConfigSweep is the paper's "multiple configurations, from basic
 // forwarding based on source and destination MAC, to more complex
 // combination of policies": identical fabric and workload under
 // increasingly rich policy configurations.
-func E5ConfigSweep() *Table {
-	t := &Table{
+func E5ConfigSweep() *Table { return E5With(Options{}) }
+
+// E5With is E5ConfigSweep under explicit execution options.
+func E5With(o Options) *Table { return runSpecs(o, []*spec{e5Spec(o)})[0] }
+
+func e5Spec(o Options) *spec {
+	sp := &spec{table: &Table{
 		ID:      "E5",
 		Title:   "Policy configuration sweep on a fixed IXP fabric",
 		Columns: []string{"config", "flows", "events", "flowmods", "packetins", "wall-ms", "mean-FCT-s"},
-	}
-	prof := ixp.SmallIXP()
+	}}
 	configs := []struct {
 		name string
 		mk   func(fab *ixp.Fabric) flowsim.Controller
@@ -492,32 +607,80 @@ func E5ConfigSweep() *Table {
 		}},
 	}
 	for _, cfg := range configs {
-		fab, err := ixp.Build(prof)
-		if err != nil {
-			continue
-		}
-		tr := fab.ReplayTrace(4e9, 0.3, simtime.Minute, 10*simtime.Minute, 31)
-		col, wall := runFlowSim(fab.Topo, cfg.mk(fab), tr, 0)
-		t.Rows = append(t.Rows, []string{
-			cfg.name, fmt.Sprintf("%d", len(tr)), di(col.EventsRun),
-			di(col.FlowMods), di(col.PacketIns), ms(wall), f3(metrics.Mean(col.FCTs())),
+		cfg := cfg
+		sp.cell(cfg.name, func() [][]string {
+			fab, err := ixp.Build(ixp.SmallIXP())
+			if err != nil {
+				return nil
+			}
+			tr := fab.ReplayTrace(4e9, 0.3, simtime.Minute, 10*simtime.Minute, 31)
+			col, wall := o.runFlowSim(fab.Topo, cfg.mk(fab), tr, 0)
+			return row(
+				cfg.name, fmt.Sprintf("%d", len(tr)), di(col.EventsRun),
+				di(col.FlowMods), di(col.PacketIns), ms(wall), f3(metrics.Mean(col.FCTs())),
+			)
 		})
 	}
-	t.Notes = append(t.Notes,
+	sp.table.Notes = append(sp.table.Notes,
 		"expected shape: richer configurations cost more control events (flowmods/packetins) and wall time; reactive-mac pays per-flow punts",
 	)
-	return t
+	return sp
 }
 
 // E6Ablations benchmarks the DESIGN.md design choices: event-queue
 // implementation and fair-share recompute strategy, on a high-churn
 // workload.
-func E6Ablations() *Table {
-	t := &Table{
+func E6Ablations() *Table { return E6With(Options{}) }
+
+// E6With is E6Ablations under explicit execution options.
+func E6With(o Options) *Table { return runSpecs(o, []*spec{e6Spec(o)})[0] }
+
+// e6SharedFabric builds workload A: one shared fabric — every flow shares
+// links with every other, so the dirty component is the whole network and
+// incremental solving pays pure overhead.
+func e6SharedFabric() (*netgraph.Topology, traffic.Trace) {
+	topo := netgraph.LeafSpine(6, 3, 6, netgraph.Gig, netgraph.TenGig)
+	g := traffic.NewGenerator(77)
+	tr := g.PoissonArrivals(traffic.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 2000, Horizon: simtime.Second,
+		Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
+	})
+	return topo, tr
+}
+
+// e6Islands builds workload B: 24 disjoint islands in one topology —
+// flows never share links across islands, so components stay small and
+// incremental solving touches ~1/24 of the flows per event.
+func e6Islands() (*netgraph.Topology, traffic.Trace) {
+	const islands = 24
+	topo := netgraph.New()
+	var islandHosts [islands][]netgraph.NodeID
+	for i := 0; i < islands; i++ {
+		sw := topo.AddSwitch(fmt.Sprintf("isw%d", i))
+		for j := 0; j < 4; j++ {
+			h := topo.AddHost(fmt.Sprintf("ih%d_%d", i, j))
+			topo.Connect(sw, h, 1e9, 50*simtime.Microsecond)
+			islandHosts[i] = append(islandHosts[i], h)
+		}
+	}
+	var tr traffic.Trace
+	for i := 0; i < islands; i++ {
+		g := traffic.NewGenerator(int64(100 + i))
+		tr = append(tr, g.PoissonArrivals(traffic.PoissonConfig{
+			Hosts: islandHosts[i], Lambda: 100, Horizon: simtime.Second,
+			Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
+		})...)
+	}
+	tr.Sort()
+	return topo, tr
+}
+
+func e6Spec(o Options) *spec {
+	sp := &spec{table: &Table{
 		ID:      "E6",
 		Title:   "Ablations: event queue and fair-share recompute strategy",
 		Columns: []string{"workload", "variant", "events", "rate-changes", "wall-ms"},
-	}
+	}}
 	variants := []struct {
 		name     string
 		calendar bool
@@ -527,91 +690,66 @@ func E6Ablations() *Table {
 		{"calendar+incremental", true, false},
 		{"heap+full-recompute", false, true},
 	}
-
-	// Workload A: one shared fabric — every flow shares links with every
-	// other, so the dirty component is the whole network and incremental
-	// solving pays pure overhead.
-	shared := netgraph.LeafSpine(6, 3, 6, netgraph.Gig, netgraph.TenGig)
-	sharedTrace := func() traffic.Trace {
-		g := traffic.NewGenerator(77)
-		return g.PoissonArrivals(traffic.PoissonConfig{
-			Hosts: shared.Hosts(), Lambda: 2000, Horizon: simtime.Second,
-			Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
-		})
+	workloads := []struct {
+		name  string
+		build func() (*netgraph.Topology, traffic.Trace)
+	}{
+		{"shared-fabric", e6SharedFabric},
+		{"24-islands", e6Islands},
 	}
-
-	// Workload B: 24 disjoint islands in one topology — flows never share
-	// links across islands, so components stay small and incremental
-	// solving touches ~1/24 of the flows per event.
-	const islands = 24
-	parted := netgraph.New()
-	var islandHosts [islands][]netgraph.NodeID
-	for i := 0; i < islands; i++ {
-		sw := parted.AddSwitch(fmt.Sprintf("isw%d", i))
-		for j := 0; j < 4; j++ {
-			h := parted.AddHost(fmt.Sprintf("ih%d_%d", i, j))
-			parted.Connect(sw, h, 1e9, 50*simtime.Microsecond)
-			islandHosts[i] = append(islandHosts[i], h)
-		}
-	}
-	partedTrace := func() traffic.Trace {
-		var tr traffic.Trace
-		for i := 0; i < islands; i++ {
-			g := traffic.NewGenerator(int64(100 + i))
-			tr = append(tr, g.PoissonArrivals(traffic.PoissonConfig{
-				Hosts: islandHosts[i], Lambda: 100, Horizon: simtime.Second,
-				Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
-			})...)
-		}
-		tr.Sort()
-		return tr
-	}
-
-	run := func(workload string, topo *netgraph.Topology, mk func() traffic.Trace) {
+	for _, wl := range workloads {
 		for _, v := range variants {
-			sim := flowsim.New(flowsim.Config{
-				Topology: topo, Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
-				Miss:             dataplane.MissController,
-				UseCalendarQueue: v.calendar,
-				FullRecompute:    v.full,
+			wl, v := wl, v
+			sp.cell(wl.name+"/"+v.name, func() [][]string {
+				topo, tr := wl.build()
+				sim := flowsim.New(flowsim.Config{
+					Topology: topo, Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
+					Miss:             dataplane.MissController,
+					UseCalendarQueue: v.calendar,
+					FullRecompute:    v.full,
+				})
+				sim.Load(tr)
+				start := o.now()
+				col := sim.Run(simtime.Time(10 * simtime.Minute))
+				wall := o.since(start)
+				return row(wl.name, v.name, di(col.EventsRun), di(col.RateChanges), ms(wall))
 			})
-			sim.Load(mk())
-			start := time.Now()
-			col := sim.Run(simtime.Time(10 * simtime.Minute))
-			wall := time.Since(start)
-			t.Rows = append(t.Rows, []string{workload, v.name, di(col.EventsRun), di(col.RateChanges), ms(wall)})
 		}
 	}
-	run("shared-fabric", shared, sharedTrace)
-	run("24-islands", parted, partedTrace)
-
-	t.Notes = append(t.Notes,
+	sp.table.Notes = append(sp.table.Notes,
 		"expected shape: full recompute wins when traffic is one component (shared fabric); incremental wins when traffic decomposes (islands)",
 		"expected shape: queue choice is second-order at these event counts",
 	)
-	return t
+	return sp
 }
 
 // All runs every experiment at report scale.
-func All() []*Table {
-	return []*Table{
-		E1PolicyCoexistence(),
-		E2Scale([]int{4, 8, 16, 32}, []float64{200, 1000, 5000}),
-		E3Accuracy(),
-		E4IXPReplay([]int{100, 200, 400}, 24),
-		E5ConfigSweep(),
-		E6Ablations(),
-	}
+func All() []*Table { return AllWith(Options{}) }
+
+// AllWith runs every experiment at report scale, fanning all cells across
+// one worker pool.
+func AllWith(o Options) []*Table {
+	return runSpecs(o, []*spec{
+		e1Spec(o),
+		e2Spec(o, []int{4, 8, 16, 32}, []float64{200, 1000, 5000}),
+		e3Spec(o),
+		e4Spec(o, []int{100, 200, 400}, 24),
+		e5Spec(o),
+		e6Spec(o),
+	})
 }
 
 // Quick runs a reduced suite for tests.
-func Quick() []*Table {
-	return []*Table{
-		E1PolicyCoexistence(),
-		E2Scale([]int{4}, []float64{200}),
-		E3Accuracy(),
-		E4IXPReplay([]int{100}, 6),
-		E5ConfigSweep(),
-		E6Ablations(),
-	}
+func Quick() []*Table { return QuickWith(Options{}) }
+
+// QuickWith runs the reduced suite under explicit execution options.
+func QuickWith(o Options) []*Table {
+	return runSpecs(o, []*spec{
+		e1Spec(o),
+		e2Spec(o, []int{4}, []float64{200}),
+		e3Spec(o),
+		e4Spec(o, []int{100}, 6),
+		e5Spec(o),
+		e6Spec(o),
+	})
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // cell parses a numeric table cell.
@@ -129,6 +132,69 @@ func TestE6Shape(t *testing.T) {
 				t.Errorf("variant %s diverged from %s", tb.Rows[i][1], tb.Rows[base][1])
 			}
 		}
+	}
+}
+
+// frozenClock makes wall-time columns deterministic so tables can be
+// compared byte-for-byte across worker counts.
+func frozenClock() time.Time { return time.Time{} }
+
+// renderTables prints tables the way cmd/horsebench does.
+func renderTables(tables []*Table) string {
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Fprint(func(format string, args ...interface{}) {
+			fmt.Fprintf(&sb, format, args...)
+		})
+	}
+	return sb.String()
+}
+
+// TestParallelDeterminism is the tentpole's core contract: the Quick suite
+// under one worker and under many workers must produce byte-identical
+// result tables (wall-clock columns pinned by a frozen test clock).
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Quick suite twice; skipped in -short")
+	}
+	seq := renderTables(QuickWith(Options{Parallel: 1, Now: frozenClock}))
+	par := renderTables(QuickWith(Options{Parallel: 8, Now: frozenClock}))
+	if seq != par {
+		t.Fatalf("-parallel 1 and -parallel 8 diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "== E1:") || !strings.Contains(seq, "== E6:") {
+		t.Fatalf("suite missing experiments:\n%s", seq)
+	}
+}
+
+// TestParallelDeterminismSmall is the cheap always-on variant: a grid
+// experiment with enough cells to interleave.
+func TestParallelDeterminismSmall(t *testing.T) {
+	seq := renderTables([]*Table{E2With(Options{Parallel: 1, Now: frozenClock}, []int{4, 8}, []float64{200, 500})})
+	par := renderTables([]*Table{E2With(Options{Parallel: 4, Now: frozenClock}, []int{4, 8}, []float64{200, 500})})
+	if seq != par {
+		t.Fatalf("E2 diverged across worker counts:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	tables := []*Table{{
+		ID: "EX", Title: "example", Columns: []string{"a"},
+		Rows: [][]string{{"1"}}, Notes: []string{"n"},
+	}}
+	var buf bytes.Buffer
+	if err := NewReport(tables, 4, 1500*time.Microsecond).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Schema != ReportSchema || got.Parallel != 4 || got.WallMS != 1.5 {
+		t.Errorf("report meta = %+v", got)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].ID != "EX" || got.Tables[0].Rows[0][0] != "1" {
+		t.Errorf("report tables = %+v", got.Tables)
 	}
 }
 

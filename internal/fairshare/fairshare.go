@@ -12,11 +12,21 @@
 // or depart, only the components touched by a dirty resource are re-solved.
 // Both modes produce identical allocations (property-tested); the E6
 // ablation benchmarks their cost.
+//
+// Internally the sharing state is flat: flows and resources live in dense
+// slots addressed by small integers, adjacency is slice-of-int32 in both
+// directions, and every solve runs on reusable scratch buffers with
+// epoch-stamped visited marks. Maps exist only at the API boundary to
+// translate caller IDs into slot indices — the solve hot path does zero
+// map iteration and, once the scratch is warm, near-zero allocation.
+// RecomputeAll additionally splits the graph into connected components
+// with a union-find over resource slots and solves each independently.
 package fairshare
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ResourceID identifies a capacity-constrained resource. The caller assigns
@@ -30,23 +40,45 @@ type FlowID int64
 // get (a backlogged TCP transfer).
 var Unlimited = math.Inf(1)
 
-type resource struct {
-	capacity float64
-	flows    map[FlowID]struct{}
+// edgeRef locates one flow↔resource adjacency from the resource side: the
+// flow's slot and the position of this resource in the flow's route, so a
+// departing flow can unlink itself from every resource in O(degree).
+type edgeRef struct {
+	flow int32
+	edge int32
 }
 
-type flow struct {
-	demand    float64
-	resources []ResourceID
-	rate      float64
+// flowSlot is a flow's dense record. Removed slots go on a free list and
+// keep their route slices for reuse.
+type flowSlot struct {
+	id     FlowID
+	demand float64
+	rate   float64
+	res    []int32 // dense resource indices crossed by this flow
+	resPos []int32 // position of this flow in res[k].flows, parallel to res
+	live   bool
+}
+
+// resSlot is a resource's dense record. Resources are never deleted (the
+// simulator's link and meter set is fixed per topology), so slots only grow.
+type resSlot struct {
+	id       ResourceID
+	capacity float64
+	flows    []edgeRef
+	dirty    bool
 }
 
 // Allocator maintains the flow/resource sharing state and produces max–min
 // fair rates. The zero value is not usable; call New.
 type Allocator struct {
-	resources map[ResourceID]*resource
-	flows     map[FlowID]*flow
-	dirty     map[ResourceID]struct{}
+	flowIdx map[FlowID]int32
+	resIdx  map[ResourceID]int32
+	flows   []flowSlot
+	res     []resSlot
+
+	freeFlows []int32
+	dirtyRes  []int32 // dense indices with res[k].dirty set
+	numFlows  int
 
 	// Epsilon is the relative rate-change threshold below which a flow is
 	// not reported as changed by Recompute. It damps event cascades from
@@ -57,36 +89,85 @@ type Allocator struct {
 	FullSolves      uint64
 	ComponentSolves uint64
 	FlowsVisited    uint64
+
+	scratch solveScratch
+}
+
+// solveScratch holds every buffer the solver needs, reused across solves.
+// Visited/frozen state is epoch-stamped so nothing is cleared between
+// solves; per-resource working values are rewritten when a resource is
+// first touched in a solve.
+type solveScratch struct {
+	epoch    uint32
+	flowSeen []uint32 // BFS visit marks, indexed by flow slot
+	resSeen  []uint32 // BFS visit marks, indexed by resource slot
+
+	solveEpoch uint32
+	frozen     []uint32  // freeze marks, indexed by flow slot
+	allocVal   []float64 // rate assigned this solve, indexed by flow slot
+	resMark    []uint32  // touched-this-solve marks, indexed by resource slot
+	remaining  []float64 // residual capacity, indexed by resource slot
+	active     []int32   // unfrozen flows crossing, indexed by resource slot
+
+	comp      []int32 // flow slots being solved
+	queue     []int32 // BFS frontier of resource slots
+	order     []int32 // demand-sorted unfrozen flows
+	activeRes []int32 // resource slots still binding
+
+	changed []Changed
+
+	// RecomputeAll component split.
+	ufParent  []int32
+	compCount []int32
+	compPos   []int32
+	compFlows []int32
+
+	// Progressive-filling state shared between solve and freezeFlow.
+	level       float64
+	activeCount int
 }
 
 // New returns an empty allocator with a 1% change-report epsilon.
 func New() *Allocator {
 	return &Allocator{
-		resources: make(map[ResourceID]*resource),
-		flows:     make(map[FlowID]*flow),
-		dirty:     make(map[ResourceID]struct{}),
-		Epsilon:   0.01,
+		flowIdx: make(map[FlowID]int32),
+		resIdx:  make(map[ResourceID]int32),
+		Epsilon: 0.01,
+	}
+}
+
+// resSlotFor returns the dense index for r, allocating a slot on first use.
+func (a *Allocator) resSlotFor(r ResourceID) int32 {
+	if k, ok := a.resIdx[r]; ok {
+		return k
+	}
+	k := int32(len(a.res))
+	a.res = append(a.res, resSlot{id: r})
+	a.resIdx[r] = k
+	return k
+}
+
+func (a *Allocator) markDirty(k int32) {
+	if !a.res[k].dirty {
+		a.res[k].dirty = true
+		a.dirtyRes = append(a.dirtyRes, k)
 	}
 }
 
 // SetCapacity declares or updates a resource's capacity in bits/second and
 // marks it dirty. A capacity of zero (a down link) starves its flows.
 func (a *Allocator) SetCapacity(r ResourceID, bps float64) {
-	res := a.resources[r]
-	if res == nil {
-		res = &resource{flows: make(map[FlowID]struct{})}
-		a.resources[r] = res
-	}
-	if res.capacity != bps {
-		res.capacity = bps
-		a.dirty[r] = struct{}{}
+	k := a.resSlotFor(r)
+	if a.res[k].capacity != bps {
+		a.res[k].capacity = bps
+		a.markDirty(k)
 	}
 }
 
 // Capacity returns a resource's capacity (0 if unknown).
 func (a *Allocator) Capacity(r ResourceID) float64 {
-	if res := a.resources[r]; res != nil {
-		return res.capacity
+	if k, ok := a.resIdx[r]; ok {
+		return a.res[k].capacity
 	}
 	return 0
 }
@@ -94,23 +175,41 @@ func (a *Allocator) Capacity(r ResourceID) float64 {
 // AddFlow registers a flow with the given demand (bits/second, or
 // Unlimited) crossing the given resources. Resources not yet declared get
 // zero capacity until SetCapacity is called. Adding an existing ID replaces
-// the flow.
+// the flow. Duplicate resources in the route are collapsed.
 func (a *Allocator) AddFlow(id FlowID, demand float64, resources []ResourceID) {
-	if _, exists := a.flows[id]; exists {
+	if _, ok := a.flowIdx[id]; ok {
 		a.RemoveFlow(id)
 	}
-	f := &flow{demand: demand, resources: append([]ResourceID(nil), resources...)}
-	a.flows[id] = f
-	for _, r := range f.resources {
-		res := a.resources[r]
-		if res == nil {
-			res = &resource{flows: make(map[FlowID]struct{})}
-			a.resources[r] = res
-		}
-		res.flows[id] = struct{}{}
-		a.dirty[r] = struct{}{}
+	var fi int32
+	if n := len(a.freeFlows); n > 0 {
+		fi = a.freeFlows[n-1]
+		a.freeFlows = a.freeFlows[:n-1]
+	} else {
+		fi = int32(len(a.flows))
+		a.flows = append(a.flows, flowSlot{})
 	}
-	if len(f.resources) == 0 {
+	f := &a.flows[fi]
+	f.id = id
+	f.demand = demand
+	f.rate = 0
+	f.live = true
+	f.res = f.res[:0]
+	f.resPos = f.resPos[:0]
+	a.flowIdx[id] = fi
+	for _, r := range resources {
+		k := a.resSlotFor(r)
+		if slices.Contains(f.res, k) {
+			continue
+		}
+		e := int32(len(f.res))
+		rs := &a.res[k]
+		f.res = append(f.res, k)
+		f.resPos = append(f.resPos, int32(len(rs.flows)))
+		rs.flows = append(rs.flows, edgeRef{flow: fi, edge: e})
+		a.markDirty(k)
+	}
+	a.numFlows++
+	if len(f.res) == 0 {
 		// A flow crossing nothing is bottlenecked only by demand.
 		f.rate = demand
 	}
@@ -118,77 +217,93 @@ func (a *Allocator) AddFlow(id FlowID, demand float64, resources []ResourceID) {
 
 // RemoveFlow deregisters a flow, marking its resources dirty.
 func (a *Allocator) RemoveFlow(id FlowID) {
-	f := a.flows[id]
-	if f == nil {
+	fi, ok := a.flowIdx[id]
+	if !ok {
 		return
 	}
-	for _, r := range f.resources {
-		if res := a.resources[r]; res != nil {
-			delete(res.flows, id)
-			a.dirty[r] = struct{}{}
+	f := &a.flows[fi]
+	for e, k := range f.res {
+		rs := &a.res[k]
+		p := f.resPos[e]
+		last := int32(len(rs.flows) - 1)
+		moved := rs.flows[last]
+		rs.flows[p] = moved
+		rs.flows = rs.flows[:last]
+		if p != last {
+			a.flows[moved.flow].resPos[moved.edge] = p
 		}
+		a.markDirty(k)
 	}
-	delete(a.flows, id)
+	f.live = false
+	f.res = f.res[:0]
+	f.resPos = f.resPos[:0]
+	delete(a.flowIdx, id)
+	a.freeFlows = append(a.freeFlows, fi)
+	a.numFlows--
 }
 
 // SetDemand updates a flow's demand and marks its resources dirty.
 func (a *Allocator) SetDemand(id FlowID, demand float64) {
-	f := a.flows[id]
-	if f == nil || f.demand == demand {
+	fi, ok := a.flowIdx[id]
+	if !ok {
+		return
+	}
+	f := &a.flows[fi]
+	if f.demand == demand {
 		return
 	}
 	f.demand = demand
-	if len(f.resources) == 0 {
+	if len(f.res) == 0 {
 		f.rate = demand
 		return
 	}
-	for _, r := range f.resources {
-		a.dirty[r] = struct{}{}
+	for _, k := range f.res {
+		a.markDirty(k)
 	}
 }
 
 // Rate returns the most recently computed rate for a flow (0 if unknown).
 func (a *Allocator) Rate(id FlowID) float64 {
-	if f := a.flows[id]; f != nil {
-		return f.rate
+	if fi, ok := a.flowIdx[id]; ok {
+		return a.flows[fi].rate
 	}
 	return 0
 }
 
 // Demand returns a flow's demand (0 if unknown).
 func (a *Allocator) Demand(id FlowID) float64 {
-	if f := a.flows[id]; f != nil {
-		return f.demand
+	if fi, ok := a.flowIdx[id]; ok {
+		return a.flows[fi].demand
 	}
 	return 0
 }
 
 // NumFlows returns the number of registered flows.
-func (a *Allocator) NumFlows() int { return len(a.flows) }
+func (a *Allocator) NumFlows() int { return a.numFlows }
 
 // DemandSum returns the sum of offered demands over a resource (+Inf if
 // any flow is backlogged).
 func (a *Allocator) DemandSum(r ResourceID) float64 {
-	res := a.resources[r]
-	if res == nil {
+	k, ok := a.resIdx[r]
+	if !ok {
 		return 0
 	}
 	var sum float64
-	for id := range res.flows {
-		sum += a.flows[id].demand
+	for _, er := range a.res[k].flows {
+		sum += a.flows[er.flow].demand
 	}
 	return sum
 }
 
 // ResourceUsage returns the sum of allocated rates over a resource.
 func (a *Allocator) ResourceUsage(r ResourceID) float64 {
-	res := a.resources[r]
-	if res == nil {
+	k, ok := a.resIdx[r]
+	if !ok {
 		return 0
 	}
 	var sum float64
-	for id := range res.flows {
-		sum += a.flows[id].rate
+	for _, er := range a.res[k].flows {
+		sum += a.flows[er.flow].rate
 	}
 	return sum
 }
@@ -200,170 +315,260 @@ type Changed struct {
 	NewRate float64
 }
 
+// clearDirty resets the dirty marks without solving.
+func (a *Allocator) clearDirty() {
+	for _, k := range a.dirtyRes {
+		a.res[k].dirty = false
+	}
+	a.dirtyRes = a.dirtyRes[:0]
+}
+
+// ensureScratch sizes every per-slot scratch buffer to the current slot
+// counts. Growth zero-fills, which is exactly what the epoch marks need.
+func (s *solveScratch) ensureScratch(nFlows, nRes int) {
+	s.flowSeen = growZero(s.flowSeen, nFlows)
+	s.frozen = growZero(s.frozen, nFlows)
+	s.allocVal = growFloat(s.allocVal, nFlows)
+	s.resSeen = growZero(s.resSeen, nRes)
+	s.resMark = growZero(s.resMark, nRes)
+	s.remaining = growFloat(s.remaining, nRes)
+	s.active = growInt32(s.active, nRes)
+}
+
+func growZero(b []uint32, n int) []uint32 {
+	if len(b) < n {
+		b = append(b, make([]uint32, n-len(b))...)
+	}
+	return b
+}
+
+func growFloat(b []float64, n int) []float64 {
+	if len(b) < n {
+		b = append(b, make([]float64, n-len(b))...)
+	}
+	return b
+}
+
+func growInt32(b []int32, n int) []int32 {
+	if len(b) < n {
+		b = append(b, make([]int32, n-len(b))...)
+	}
+	return b
+}
+
 // RecomputeAll re-solves the entire network from scratch and returns flows
-// whose rate changed beyond Epsilon. This is the simple O(F·R) baseline the
-// E6 ablation compares against.
+// whose rate changed beyond Epsilon. The sharing graph is split into
+// connected components with a union-find over resource slots and each
+// component is solved independently — identical rates, smaller sorts. The
+// returned slice is reused by the next recompute; consume it before then.
 func (a *Allocator) RecomputeAll() []Changed {
 	a.FullSolves++
-	ids := make([]FlowID, 0, len(a.flows))
-	for id := range a.flows {
-		ids = append(ids, id)
+	a.clearDirty()
+	s := &a.scratch
+	s.changed = s.changed[:0]
+	s.ensureScratch(len(a.flows), len(a.res))
+
+	// Union resources along every live flow's route.
+	parent := growInt32(s.ufParent, len(a.res))[:len(a.res)]
+	s.ufParent = parent
+	for i := range parent {
+		parent[i] = int32(i)
 	}
-	changed := a.solve(ids)
-	a.dirty = make(map[ResourceID]struct{})
-	return changed
+	for fi := range a.flows {
+		f := &a.flows[fi]
+		if !f.live || len(f.res) < 2 {
+			continue
+		}
+		r0 := ufFind(parent, f.res[0])
+		for _, k := range f.res[1:] {
+			r := ufFind(parent, k)
+			if r != r0 {
+				parent[r] = r0
+			}
+		}
+	}
+
+	// Bucket live routed flows by component root (counting sort, no maps).
+	cnt := growInt32(s.compCount, len(a.res))[:len(a.res)]
+	s.compCount = cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	total := 0
+	for fi := range a.flows {
+		f := &a.flows[fi]
+		if !f.live || len(f.res) == 0 {
+			continue
+		}
+		cnt[ufFind(parent, f.res[0])]++
+		total++
+	}
+	pos := growInt32(s.compPos, len(a.res))[:len(a.res)]
+	s.compPos = pos
+	sum := int32(0)
+	for i, c := range cnt {
+		pos[i] = sum
+		sum += c
+	}
+	grouped := growInt32(s.compFlows, total)[:total]
+	s.compFlows = grouped
+	for fi := range a.flows {
+		f := &a.flows[fi]
+		if !f.live || len(f.res) == 0 {
+			continue
+		}
+		r := ufFind(parent, f.res[0])
+		grouped[pos[r]] = int32(fi)
+		pos[r]++
+	}
+
+	// Solve each component. pos[r] now points one past the component's end.
+	for r, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		a.solve(grouped[pos[r]-c : pos[r]])
+	}
+	return s.changed
+}
+
+// ufFind returns the root of x with path halving.
+func ufFind(parent []int32, x int32) int32 {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
+	}
+	return x
 }
 
 // Recompute re-solves only the connected components touched by dirty
 // resources and returns flows whose rate changed beyond Epsilon. Max–min
 // fairness decomposes exactly over components, so the result equals a full
-// re-solve.
+// re-solve. The returned slice is reused by the next recompute; consume it
+// before then.
 func (a *Allocator) Recompute() []Changed {
-	if len(a.dirty) == 0 {
+	if len(a.dirtyRes) == 0 {
 		return nil
 	}
 	a.ComponentSolves++
-	// Collect the affected flows: BFS over the bipartite sharing graph
-	// seeded at dirty resources.
-	seenFlows := make(map[FlowID]struct{})
-	seenRes := make(map[ResourceID]struct{})
-	var frontier []ResourceID
-	for r := range a.dirty {
-		frontier = append(frontier, r)
-		seenRes[r] = struct{}{}
+	s := &a.scratch
+	s.changed = s.changed[:0]
+	s.ensureScratch(len(a.flows), len(a.res))
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: stale marks could alias, so reset
+		clear(s.flowSeen)
+		clear(s.resSeen)
+		s.epoch = 1
 	}
-	var component []FlowID
-	for len(frontier) > 0 {
-		r := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		res := a.resources[r]
-		if res == nil {
-			continue
+
+	// Collect the affected flows: BFS over the bipartite sharing graph
+	// seeded at dirty resources (dense adjacency, epoch-marked visits).
+	queue := s.queue[:0]
+	comp := s.comp[:0]
+	for _, k := range a.dirtyRes {
+		a.res[k].dirty = false
+		if s.resSeen[k] != s.epoch {
+			s.resSeen[k] = s.epoch
+			queue = append(queue, k)
 		}
-		for id := range res.flows {
-			if _, ok := seenFlows[id]; ok {
+	}
+	a.dirtyRes = a.dirtyRes[:0]
+	for len(queue) > 0 {
+		k := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, er := range a.res[k].flows {
+			if s.flowSeen[er.flow] == s.epoch {
 				continue
 			}
-			seenFlows[id] = struct{}{}
-			component = append(component, id)
-			for _, r2 := range a.flows[id].resources {
-				if _, ok := seenRes[r2]; !ok {
-					seenRes[r2] = struct{}{}
-					frontier = append(frontier, r2)
+			s.flowSeen[er.flow] = s.epoch
+			comp = append(comp, er.flow)
+			for _, k2 := range a.flows[er.flow].res {
+				if s.resSeen[k2] != s.epoch {
+					s.resSeen[k2] = s.epoch
+					queue = append(queue, k2)
 				}
 			}
 		}
 	}
-	changed := a.solve(component)
-	a.dirty = make(map[ResourceID]struct{})
-	return changed
+	s.queue, s.comp = queue, comp
+	a.solve(comp)
+	return s.changed
 }
 
-// solve runs progressive filling over the given flows (assumed to be a
-// union of whole components) and returns the changed flows.
+// solve runs progressive filling over the given flow slots (assumed to be
+// a union of whole components) and appends the changed flows to
+// scratch.changed.
 //
 // The implementation exploits two structural facts to stay near
 // O((F+R)·log F + iterations·R): all unfrozen flows share the same
 // cumulative fill level, so demand-limited flows freeze in sorted demand
 // order (no per-iteration scan over flows); and saturated resources are
 // swap-removed from the active scan list.
-func (a *Allocator) solve(ids []FlowID) []Changed {
-	a.FlowsVisited += uint64(len(ids))
-
-	// Compact working arrays.
-	type workRes struct {
-		remaining float64
-		active    int
+func (a *Allocator) solve(comp []int32) {
+	a.FlowsVisited += uint64(len(comp))
+	s := &a.scratch
+	s.solveEpoch++
+	if s.solveEpoch == 0 {
+		clear(s.frozen)
+		clear(s.resMark)
+		s.solveEpoch = 1
 	}
-	flows := make([]*flow, 0, len(ids))
-	liveIDs := make([]FlowID, 0, len(ids))
-	for _, id := range ids {
-		if f := a.flows[id]; f != nil {
-			flows = append(flows, f)
-			liveIDs = append(liveIDs, id)
+	ep := s.solveEpoch
+
+	order := s.order[:0]
+	activeRes := s.activeRes[:0]
+	for _, fi := range comp {
+		f := &a.flows[fi]
+		for _, k := range f.res {
+			if s.resMark[k] != ep {
+				s.resMark[k] = ep
+				s.remaining[k] = a.res[k].capacity
+				s.active[k] = 0
+				activeRes = append(activeRes, k)
+			}
 		}
-	}
-	n := len(flows)
-	alloc := make([]float64, n)
-	frozen := make([]bool, n)
-
-	resIdx := make(map[ResourceID]int)
-	var work []workRes
-	var resFlows [][]int32
-	flowRes := make([][]int32, n)
-	for i, f := range flows {
 		if f.demand <= 0 {
-			frozen[i] = true
+			s.frozen[fi] = ep
+			s.allocVal[fi] = 0
 			continue
 		}
-		idxs := make([]int32, 0, len(f.resources))
-		for _, r := range f.resources {
-			k, ok := resIdx[r]
-			if !ok {
-				k = len(work)
-				resIdx[r] = k
-				work = append(work, workRes{remaining: a.resources[r].capacity})
-				resFlows = append(resFlows, nil)
-			}
-			work[k].active++
-			resFlows[k] = append(resFlows[k], int32(i))
-			idxs = append(idxs, int32(k))
+		for _, k := range f.res {
+			s.active[k]++
 		}
-		flowRes[i] = idxs
+		order = append(order, fi)
 	}
 
 	// Flows sorted by demand: since every unfrozen flow holds the same
 	// fill level L, they hit their demands in this order.
-	order := make([]int, 0, n)
-	for i := range flows {
-		if !frozen[i] {
-			order = append(order, i)
-		}
-	}
-	sort.Slice(order, func(x, y int) bool { return flows[order[x]].demand < flows[order[y]].demand })
+	slices.SortFunc(order, func(x, y int32) int {
+		return cmp.Compare(a.flows[x].demand, a.flows[y].demand)
+	})
 	nextDemand := 0 // index into order of the next demand-freeze candidate
-	activeCount := len(order)
-
-	// Active resource index list for cheap min scans.
-	activeRes := make([]int, 0, len(work))
-	for k := range work {
-		if work[k].active > 0 {
-			activeRes = append(activeRes, k)
-		}
-	}
+	s.activeCount = len(order)
 
 	const tiny = 1e-9
-	level := 0.0 // common fill level of unfrozen flows
+	s.level = 0 // common fill level of unfrozen flows
 
-	freeze := func(i int) {
-		frozen[i] = true
-		alloc[i] = math.Min(level, flows[i].demand)
-		activeCount--
-		for _, k := range flowRes[i] {
-			work[k].active--
-		}
-	}
-
-	for activeCount > 0 {
+	for s.activeCount > 0 {
 		// Advance past already-frozen heads of the demand order.
-		for nextDemand < len(order) && frozen[order[nextDemand]] {
+		for nextDemand < len(order) && s.frozen[order[nextDemand]] == ep {
 			nextDemand++
 		}
 		// Minimum increment to a constraint.
 		delta := math.Inf(1)
 		if nextDemand < len(order) {
-			if d := flows[order[nextDemand]].demand - level; d < delta {
+			if d := a.flows[order[nextDemand]].demand - s.level; d < delta {
 				delta = d
 			}
 		}
 		for x := 0; x < len(activeRes); {
 			k := activeRes[x]
-			if work[k].active == 0 {
+			if s.active[k] == 0 {
 				activeRes[x] = activeRes[len(activeRes)-1]
 				activeRes = activeRes[:len(activeRes)-1]
 				continue
 			}
-			if inc := work[k].remaining / float64(work[k].active); inc < delta {
+			if inc := s.remaining[k] / float64(s.active[k]); inc < delta {
 				delta = inc
 			}
 			x++
@@ -377,20 +582,20 @@ func (a *Allocator) solve(ids []FlowID) []Changed {
 		// Apply the increment. Unfrozen allocations are implicit: every
 		// unfrozen flow sits exactly at the fill level, materialized only
 		// when the flow freezes (or at loop exit).
-		level += delta
+		s.level += delta
 		for _, k := range activeRes {
-			work[k].remaining -= delta * float64(work[k].active)
+			s.remaining[k] -= delta * float64(s.active[k])
 		}
 		// Freeze demand-satisfied flows (heads of the sorted order).
 		progressed := false
 		for nextDemand < len(order) {
-			i := order[nextDemand]
-			if frozen[i] {
+			fi := order[nextDemand]
+			if s.frozen[fi] == ep {
 				nextDemand++
 				continue
 			}
-			if level >= flows[i].demand-tiny {
-				freeze(i)
+			if s.level >= a.flows[fi].demand-tiny {
+				a.freezeFlow(fi)
 				nextDemand++
 				progressed = true
 				continue
@@ -400,12 +605,12 @@ func (a *Allocator) solve(ids []FlowID) []Changed {
 		// Freeze flows on exhausted resources (via reverse adjacency, so
 		// the cost is proportional to the frozen flows' degree, not F).
 		for _, k := range activeRes {
-			if work[k].remaining > tiny {
+			if s.remaining[k] > tiny {
 				continue
 			}
-			for _, fi := range resFlows[k] {
-				if !frozen[fi] {
-					freeze(int(fi))
+			for _, er := range a.res[k].flows {
+				if s.frozen[er.flow] != ep {
+					a.freezeFlow(er.flow)
 					progressed = true
 				}
 			}
@@ -416,23 +621,36 @@ func (a *Allocator) solve(ids []FlowID) []Changed {
 	}
 
 	// Materialize never-frozen flows at the final fill level.
-	for _, i := range order {
-		if !frozen[i] {
-			alloc[i] = math.Min(level, flows[i].demand)
+	for _, fi := range order {
+		if s.frozen[fi] != ep {
+			s.allocVal[fi] = math.Min(s.level, a.flows[fi].demand)
 		}
 	}
+	s.order, s.activeRes = order, activeRes
 
 	// Publish and diff.
-	var changed []Changed
-	for i, f := range flows {
-		newRate := alloc[i]
+	for _, fi := range comp {
+		f := &a.flows[fi]
+		newRate := s.allocVal[fi]
 		old := f.rate
 		f.rate = newRate
 		if a.significant(old, newRate) {
-			changed = append(changed, Changed{ID: liveIDs[i], OldRate: old, NewRate: newRate})
+			s.changed = append(s.changed, Changed{ID: f.id, OldRate: old, NewRate: newRate})
 		}
 	}
-	return changed
+}
+
+// freezeFlow pins a flow at the current fill level (capped by demand) and
+// retires it from every resource it crosses.
+func (a *Allocator) freezeFlow(fi int32) {
+	s := &a.scratch
+	f := &a.flows[fi]
+	s.frozen[fi] = s.solveEpoch
+	s.allocVal[fi] = math.Min(s.level, f.demand)
+	s.activeCount--
+	for _, k := range f.res {
+		s.active[k]--
+	}
 }
 
 func (a *Allocator) significant(old, new float64) bool {

@@ -358,18 +358,20 @@ func TestCapacityChangePropagates(t *testing.T) {
 	}
 }
 
-func BenchmarkRecomputeAll1000Flows(b *testing.B) {
+func BenchmarkFairshareFull1000Flows(b *testing.B) {
 	a := setupBench(1000, 100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.RecomputeAll()
 	}
 }
 
-func BenchmarkRecomputeIncremental1000Flows(b *testing.B) {
+func BenchmarkFairshareIncremental1000Flows(b *testing.B) {
 	a := setupBench(1000, 100)
 	a.RecomputeAll()
 	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := FlowID(i + 1000000)
@@ -377,6 +379,51 @@ func BenchmarkRecomputeIncremental1000Flows(b *testing.B) {
 		a.Recompute()
 		a.RemoveFlow(id)
 		a.Recompute()
+	}
+}
+
+// BenchmarkFairshareIslands exercises the incremental path where it should
+// shine: 64 disjoint 16-flow islands, churn confined to one island per
+// event, so each Recompute touches ~1/64 of the flows.
+func BenchmarkFairshareIslands(b *testing.B) {
+	const islands, flowsPer = 64, 16
+	a := New()
+	for i := 0; i < islands; i++ {
+		a.SetCapacity(ResourceID(i), 1e9)
+		for j := 0; j < flowsPer; j++ {
+			a.AddFlow(FlowID(i*flowsPer+j), Unlimited, []ResourceID{ResourceID(i)})
+		}
+	}
+	a.RecomputeAll()
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		island := ResourceID(rng.Intn(islands))
+		id := FlowID(1000000 + i)
+		a.AddFlow(id, Unlimited, []ResourceID{island})
+		a.Recompute()
+		a.RemoveFlow(id)
+		a.Recompute()
+	}
+}
+
+// BenchmarkFairshareChurn measures the mutation API itself (add/remove
+// without solving): slot reuse must keep it allocation-light.
+func BenchmarkFairshareChurn(b *testing.B) {
+	a := setupBench(1000, 100)
+	a.RecomputeAll()
+	rng := rand.New(rand.NewSource(9))
+	route := make([]ResourceID, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range route {
+			route[j] = ResourceID(rng.Intn(100))
+		}
+		id := FlowID(2000000 + i)
+		a.AddFlow(id, Unlimited, route)
+		a.RemoveFlow(id)
 	}
 }
 

@@ -1,0 +1,97 @@
+// Package runner fans independent experiment cells across a bounded
+// worker pool with deterministic result ordering.
+//
+// A Cell is one self-contained unit of work — in Horse, typically one
+// simulation run: a grid point of the E2 scalability sweep, a member
+// count of the E4 IXP replay, a config row of E5, an ablation arm of E6.
+// Cells carry stable string IDs so logs, panics, and result tables can
+// name the work regardless of which worker executed it or when it
+// finished. Results always come back in cell order, so a table built
+// from them is byte-identical whether the pool ran with one worker or
+// many.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Cell is one independent unit of work with a stable identifier.
+type Cell[T any] struct {
+	ID  string
+	Run func() T
+}
+
+// CellPanic wraps a panic raised inside a cell with the cell's ID and
+// stack, so a crash in a fanned-out simulation names its grid point.
+type CellPanic struct {
+	ID    string
+	Value any
+	Stack []byte
+}
+
+func (p *CellPanic) Error() string {
+	return fmt.Sprintf("runner: cell %q panicked: %v", p.ID, p.Value)
+}
+
+// Run executes every cell on at most workers goroutines and returns the
+// results in cell order, regardless of completion order. workers <= 0
+// means runtime.GOMAXPROCS(0). Cells are claimed in order, so with one
+// worker execution is strictly sequential.
+//
+// If a cell panics, the pool stops claiming new cells, waits for
+// in-flight cells to finish, and re-panics in the caller with a
+// *CellPanic carrying the first offending cell's ID, panic value, and
+// stack. Cells never claimed are skipped; their results are zero values.
+func Run[T any](cells []Cell[T], workers int) []T {
+	n := len(cells)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+
+	var (
+		next      atomic.Int64
+		failed    atomic.Bool
+		panicOnce sync.Once
+		cellPanic *CellPanic
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								cellPanic = &CellPanic{ID: cells[i].ID, Value: r, Stack: debug.Stack()}
+							})
+							failed.Store(true)
+						}
+					}()
+					results[i] = cells[i].Run()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if cellPanic != nil {
+		panic(cellPanic)
+	}
+	return results
+}

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shuffledSleepCells returns cells whose completion order is scrambled by
+// random sleeps; each returns its own index.
+func shuffledSleepCells(n int, seed int64) []Cell[int] {
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		d := time.Duration(rng.Intn(3)) * time.Millisecond
+		idx := i
+		cells[i] = Cell[int]{
+			ID:  fmt.Sprintf("cell-%d", i),
+			Run: func() int { time.Sleep(d); return idx },
+		}
+	}
+	return cells
+}
+
+// TestOrderDeterminism: results land at their cell's position no matter
+// when the cell finishes.
+func TestOrderDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := Run(shuffledSleepCells(32, int64(workers)), workers)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestSingleWorkerEquivalence: one worker and many workers produce
+// identical result slices.
+func TestSingleWorkerEquivalence(t *testing.T) {
+	seq := Run(shuffledSleepCells(24, 7), 1)
+	par := Run(shuffledSleepCells(24, 7), 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sequential %v != parallel %v", seq, par)
+	}
+}
+
+// TestPanicPropagation: a panicking cell surfaces as *CellPanic naming
+// the cell, after the pool drains.
+func TestPanicPropagation(t *testing.T) {
+	cells := []Cell[int]{
+		{ID: "ok-0", Run: func() int { return 0 }},
+		{ID: "boom", Run: func() int { panic("kaboom") }},
+		{ID: "ok-2", Run: func() int { return 2 }},
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated")
+		}
+		cp, ok := r.(*CellPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *CellPanic", r)
+		}
+		if cp.ID != "boom" || cp.Value != "kaboom" {
+			t.Errorf("CellPanic = %q/%v", cp.ID, cp.Value)
+		}
+		if len(cp.Stack) == 0 {
+			t.Error("CellPanic carries no stack")
+		}
+	}()
+	Run(cells, 2)
+}
+
+// TestPanicStopsScheduling: after a panic no NEW cells are claimed
+// (in-flight ones finish). With one worker the panic in cell 0 must
+// prevent every later cell from running.
+func TestPanicStopsScheduling(t *testing.T) {
+	var ran atomic.Int32
+	cells := []Cell[int]{
+		{ID: "boom", Run: func() int { panic("x") }},
+	}
+	for i := 0; i < 8; i++ {
+		cells = append(cells, Cell[int]{ID: fmt.Sprintf("late-%d", i), Run: func() int {
+			ran.Add(1)
+			return 0
+		}})
+	}
+	func() {
+		defer func() { recover() }()
+		Run(cells, 1)
+	}()
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d cells ran after the panic with 1 worker", got)
+	}
+}
+
+// TestWorkerBound: at most `workers` cells execute concurrently.
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	cells := make([]Cell[int], 24)
+	for i := range cells {
+		cells[i] = Cell[int]{ID: fmt.Sprintf("c%d", i), Run: func() int {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return 0
+		}}
+	}
+	Run(cells, workers)
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent cells, bound is %d", p, workers)
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	if got := Run[int](nil, 4); got != nil {
+		t.Errorf("empty cell list returned %v", got)
+	}
+	// workers <= 0 falls back to GOMAXPROCS; workers > n is clamped.
+	got := Run([]Cell[int]{{ID: "only", Run: func() int { return 42 }}}, 0)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("defaulted run = %v", got)
+	}
+	clamped := Run([]Cell[string]{{ID: "a", Run: func() string { return "a" }}}, 99)
+	if len(clamped) != 1 || clamped[0] != "a" {
+		t.Errorf("clamped run = %v", clamped)
+	}
+}
