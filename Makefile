@@ -11,10 +11,10 @@ build:
 	$(GO) build ./examples/...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/flowsim/...
+	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/packetsim/... ./internal/hybrid/...
 	$(GO) test -race -run 'TestParallel' ./internal/experiments/...
 
 bench:

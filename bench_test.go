@@ -134,3 +134,19 @@ func BenchmarkE6EventQueue(b *testing.B) {
 		experiments.E6Ablations()
 	}
 }
+
+// BenchmarkE7FidelitySweep times the full hybrid fidelity sweep (reference
+// packet run plus the 0/50/100% arms).
+func BenchmarkE7FidelitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7HybridFidelity([]float64{0, 0.5, 1})
+	}
+}
+
+// BenchmarkE7HybridHalf times a single 50%-fidelity hybrid run — the
+// steady-state cost of the coupled engines, without the sweep harness.
+func BenchmarkE7HybridHalf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7HybridFidelity([]float64{0.5})
+	}
+}

@@ -39,11 +39,13 @@ import (
 	"horse/internal/fairshare"
 	"horse/internal/flowsim"
 	"horse/internal/header"
+	"horse/internal/hybrid"
 	"horse/internal/ixp"
 	"horse/internal/metrics"
 	"horse/internal/netgraph"
 	"horse/internal/packetsim"
 	"horse/internal/policy"
+	"horse/internal/simcore"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/tcpmodel"
@@ -265,16 +267,35 @@ var (
 	BuildIXP = ixp.Build
 )
 
-// Packet-level baseline.
+// Packet-level engine.
 type (
-	// PacketSimulator is the per-packet reference simulator.
+	// PacketSimulator is the per-packet engine (baseline comparator, and
+	// a controller-attached simulator in its own right).
 	PacketSimulator = packetsim.Simulator
 	// PacketConfig parameterizes it.
 	PacketConfig = packetsim.Config
 )
 
-// NewPacketSimulator builds the packet-level baseline.
+// NewPacketSimulator builds the packet-level engine.
 func NewPacketSimulator(cfg PacketConfig) *PacketSimulator { return packetsim.New(cfg) }
+
+// Hybrid fidelity: both engines coupled under one kernel.
+type (
+	// HybridSimulator runs flagged flows packet-by-packet and the rest at
+	// flow level, under one clock and one control plane.
+	HybridSimulator = hybrid.Simulator
+	// HybridConfig parameterizes a hybrid run.
+	HybridConfig = hybrid.Config
+	// Kernel is the shared discrete-event simulation core.
+	Kernel = simcore.Kernel
+)
+
+// NewHybridSimulator builds a hybrid-fidelity simulator.
+func NewHybridSimulator(cfg HybridConfig) *HybridSimulator { return hybrid.New(cfg) }
+
+// PacketFraction flags ~p of the demand stream for packet-level
+// simulation in a HybridConfig (spread evenly over load order).
+func PacketFraction(p float64) func(i int, d traffic.Demand) bool { return hybrid.Fraction(p) }
 
 // Metrics.
 type (

@@ -22,6 +22,7 @@ var (
 	fullLambdas      = []float64{200, 1000, 5000}
 	fullMemberCounts = []int{100, 200, 400}
 	fullReplayHours  = 24
+	fullE7Fractions  = []float64{0, 0.25, 0.5, 0.75, 1}
 )
 
 // Main parses args, runs the selected experiments, prints the tables to
@@ -31,7 +32,7 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run the reduced suite")
-	only := fs.String("only", "", "run a single experiment (E1..E6)")
+	only := fs.String("only", "", "run a single experiment (E1..E7)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells")
 	jsonOut := fs.String("json", "", "write a horse-bench/v1 JSON report to this path (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +65,9 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 		},
 		"E5": func() []*experiments.Table { return []*experiments.Table{experiments.E5With(opts)} },
 		"E6": func() []*experiments.Table { return []*experiments.Table{experiments.E6With(opts)} },
+		"E7": func() []*experiments.Table {
+			return []*experiments.Table{experiments.E7With(opts, fullE7Fractions)}
+		},
 	}[strings.ToUpper(*only)]
 	if !ok {
 		return fail(fmt.Errorf("unknown experiment %q", *only))

@@ -100,6 +100,70 @@ func (s *Switch) Apply(msg openflow.Message, now simtime.Time) error {
 	return fmt.Errorf("dataplane: switch %d cannot apply %T", s.Node, msg)
 }
 
+// FlowStats builds the reply to a flow-stats request by filtering the
+// switch's table entries with the request match (a zero match on table 0
+// selects every entry of every table). Both the flow-level and the
+// packet-level engine answer stats requests through this one builder, so
+// counter semantics cannot drift between fidelities.
+func (s *Switch) FlowStats(req *openflow.FlowStatsRequest, now simtime.Time) *openflow.FlowStatsReply {
+	reply := &openflow.FlowStatsReply{Switch: req.Switch, At: now}
+	tables := []openflow.TableID{req.Table}
+	if req.Table == 0 && req.Match == (header.Match{}) {
+		tables = tables[:0]
+		for i := 0; i < NumTables; i++ {
+			tables = append(tables, openflow.TableID(i))
+		}
+	}
+	for _, tid := range tables {
+		for _, e := range s.Tables[tid].Entries() {
+			if req.Match != (header.Match{}) && !req.Match.Subsumes(e.Match) {
+				continue
+			}
+			reply.Stats = append(reply.Stats, openflow.FlowStats{
+				Table:    tid,
+				Priority: e.Priority,
+				Match:    e.Match,
+				Cookie:   e.Cookie,
+				Packets:  e.Packets,
+				Bytes:    e.Bytes,
+				Duration: now.Sub(e.Installed),
+			})
+		}
+	}
+	return reply
+}
+
+// NextExpiry returns the earliest pending flow-entry timeout across the
+// switch's tables, or simtime.Never when nothing can expire.
+func (s *Switch) NextExpiry() simtime.Time {
+	next := simtime.Never
+	for _, t := range s.Tables {
+		if x := t.NextExpiry(); x < next {
+			next = x
+		}
+	}
+	return next
+}
+
+// ExpireEntries evicts every entry whose hard or idle timeout has passed
+// at now and returns the FlowRemoved notifications describing them. Both
+// engines expire through this one helper, so timeout semantics and
+// notification contents cannot drift between fidelities.
+func (s *Switch) ExpireEntries(now simtime.Time) []*openflow.FlowRemoved {
+	var removed []*openflow.FlowRemoved
+	for tid, t := range s.Tables {
+		for _, e := range t.Expire(now) {
+			idle := e.IdleTimeout > 0 && now >= e.LastUsed.Add(e.IdleTimeout)
+			removed = append(removed, &openflow.FlowRemoved{
+				Switch: s.Node, Table: openflow.TableID(tid),
+				Match: e.Match, Priority: e.Priority, Cookie: e.Cookie,
+				Packets: e.Packets, Bytes: e.Bytes, Idle: idle,
+			})
+		}
+	}
+	return removed
+}
+
 // Decision is the outcome of running one flow through one switch pipeline.
 type Decision struct {
 	// Out is the chosen unicast output port (NoPort if none).

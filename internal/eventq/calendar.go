@@ -16,6 +16,11 @@ import (
 //
 // Like Heap, Calendar dequeues in nondecreasing time order with FIFO
 // tie-breaking, so the two implementations are interchangeable.
+//
+// Peek shares Pop's cursor walk and caches the located head bucket, so the
+// Peek-then-Pop pattern of a simulation loop costs one amortized-O(1)
+// locate, not a full O(buckets) scan per iteration (the fix behind the E6
+// calendar ablation measuring the queue rather than head inspection).
 type Calendar struct {
 	buckets   [][]item
 	width     simtime.Duration // day width per bucket
@@ -23,6 +28,12 @@ type Calendar struct {
 	bucketIdx int              // bucket holding lastTime
 	n         int
 	seq       uint64
+
+	// headIdx caches the bucket holding the current minimum item (-1 when
+	// unknown). Valid between a locate and the next mutation that could
+	// install an earlier item (Push of a smaller item invalidates or
+	// updates it; Pop of the head invalidates it; resize rebuilds it).
+	headIdx int
 }
 
 // NewCalendar returns an empty calendar queue tuned for event times starting
@@ -41,6 +52,7 @@ func (c *Calendar) reinit(nbuckets int, width simtime.Duration, start simtime.Ti
 	c.width = width
 	c.lastTime = start
 	c.bucketIdx = c.bucketFor(start)
+	c.headIdx = -1
 }
 
 func (c *Calendar) bucketFor(t simtime.Time) int {
@@ -69,57 +81,77 @@ func (c *Calendar) Push(ev Event) {
 	b[pos] = it
 	c.buckets[idx] = b
 	c.n++
+	// Keep the cached head current: a new front-of-bucket item that beats
+	// the cached head becomes the head; anything else leaves it intact.
+	if c.headIdx >= 0 && pos == 0 && idx != c.headIdx && less(it, c.buckets[c.headIdx][0]) {
+		c.headIdx = idx
+	}
 	if c.n > 2*len(c.buckets) && len(c.buckets) < 1<<20 {
 		c.resize(2 * len(c.buckets))
 	}
 }
 
-// Pop removes and returns the earliest event, or nil if empty.
-func (c *Calendar) Pop() Event {
+// findHead locates the bucket holding the earliest event, advancing the
+// dequeue cursor bookkeeping exactly as a dequeue would, and caches the
+// result. Returns -1 when empty.
+func (c *Calendar) findHead() int {
 	if c.n == 0 {
-		return nil
+		return -1
+	}
+	if c.headIdx >= 0 {
+		return c.headIdx
 	}
 	// Scan buckets starting at the cursor; an event in bucket i belongs to
 	// the current "year" only if its time falls within this day's span.
-	for sweeps := 0; ; sweeps++ {
-		idx := c.bucketIdx
-		for i := 0; i < len(c.buckets); i++ {
-			b := c.buckets[idx]
-			if len(b) > 0 {
-				dayEnd := c.dayEnd(idx, i)
-				if b[0].ev.Time() < dayEnd {
-					it := b[0]
-					copy(b, b[1:])
-					b[len(b)-1] = item{}
-					c.buckets[idx] = b[:len(b)-1]
-					c.n--
-					c.lastTime = it.ev.Time()
-					c.bucketIdx = idx
-					if c.n < len(c.buckets)/2 && len(c.buckets) > 2 {
-						c.resize(len(c.buckets) / 2)
-					}
-					return it.ev
-				}
-			}
-			idx++
-			if idx == len(c.buckets) {
-				idx = 0
-			}
+	idx := c.bucketIdx
+	for i := 0; i < len(c.buckets); i++ {
+		b := c.buckets[idx]
+		if len(b) > 0 && b[0].ev.Time() < c.dayEnd(idx, i) {
+			c.headIdx = idx
+			return idx
 		}
-		// No event within the current year: jump the cursor to the
-		// globally earliest event (direct search) and retry.
-		minIdx, minIt := -1, item{}
-		for i, b := range c.buckets {
-			if len(b) == 0 {
-				continue
-			}
-			if minIdx == -1 || less(b[0], minIt) {
-				minIdx, minIt = i, b[0]
-			}
+		idx++
+		if idx == len(c.buckets) {
+			idx = 0
 		}
-		c.bucketIdx = minIdx
-		c.lastTime = minIt.ev.Time()
 	}
+	// No event within the current year: jump the cursor straight to the
+	// globally earliest event (direct search). Equal times always hash to
+	// the same bucket, so the front of the winning bucket is the head.
+	minIdx, minIt := -1, item{}
+	for i, b := range c.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if minIdx == -1 || less(b[0], minIt) {
+			minIdx, minIt = i, b[0]
+		}
+	}
+	c.bucketIdx = minIdx
+	c.lastTime = minIt.ev.Time()
+	c.headIdx = minIdx
+	return minIdx
+}
+
+// Pop removes and returns the earliest event, or nil if empty.
+func (c *Calendar) Pop() Event {
+	idx := c.findHead()
+	if idx < 0 {
+		return nil
+	}
+	b := c.buckets[idx]
+	it := b[0]
+	copy(b, b[1:])
+	b[len(b)-1] = item{}
+	c.buckets[idx] = b[:len(b)-1]
+	c.n--
+	c.lastTime = it.ev.Time()
+	c.bucketIdx = idx
+	c.headIdx = -1
+	if c.n < len(c.buckets)/2 && len(c.buckets) > 2 {
+		c.resize(len(c.buckets) / 2)
+	}
+	return it.ev
 }
 
 // dayEnd returns the exclusive upper bound of times belonging to bucket idx
@@ -131,20 +163,11 @@ func (c *Calendar) dayEnd(idx, step int) simtime.Time {
 
 // Peek returns the earliest event without removing it, or nil.
 func (c *Calendar) Peek() Event {
-	if c.n == 0 {
+	idx := c.findHead()
+	if idx < 0 {
 		return nil
 	}
-	var best item
-	found := false
-	for _, b := range c.buckets {
-		if len(b) == 0 {
-			continue
-		}
-		if !found || less(b[0], best) {
-			best, found = b[0], true
-		}
-	}
-	return best.ev
+	return c.buckets[idx][0].ev
 }
 
 // Len returns the number of queued events.

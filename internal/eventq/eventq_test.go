@@ -222,12 +222,112 @@ func TestCalendarClusteredTimes(t *testing.T) {
 	}
 }
 
+// TestPeekAgreesWithPop drives both queues through a randomized
+// push/peek/pop schedule and checks that Peek always previews exactly the
+// event Pop then returns — the contract the simulation kernel's
+// pre-advance slow path relies on, and a regression test for the
+// calendar's cached-head Peek (which must survive pushes of earlier
+// events, pops, and resizes in any order).
+func TestPeekAgreesWithPop(t *testing.T) {
+	for name, mk := range queues() {
+		q := mk()
+		rng := rand.New(rand.NewSource(17))
+		clock := simtime.Time(0)
+		pushed := 0
+		for i := 0; i < 20000; i++ {
+			switch {
+			case q.Len() == 0 || rng.Intn(4) > 0:
+				// Mix far-future and near-term times so calendar year
+				// jumps, head updates, and resizes all trigger.
+				dt := simtime.Duration(rng.Int63n(int64(10 * simtime.Second)))
+				if rng.Intn(8) == 0 {
+					dt = simtime.Duration(rng.Int63n(int64(simtime.Hour)))
+				}
+				q.Push(&testEvent{t: clock.Add(dt), id: pushed})
+				pushed++
+			default:
+				want := q.Peek().(*testEvent)
+				if again := q.Peek().(*testEvent); again != want {
+					t.Fatalf("%s: consecutive Peeks disagree", name)
+				}
+				got := q.Pop().(*testEvent)
+				if got != want {
+					t.Fatalf("%s: Peek previewed (%v,%d) but Pop returned (%v,%d)",
+						name, want.t, want.id, got.t, got.id)
+				}
+				clock = got.t
+			}
+		}
+		var last simtime.Time = -1
+		for q.Len() > 0 {
+			want := q.Peek()
+			got := q.Pop()
+			if want != got {
+				t.Fatalf("%s: drain: Peek/Pop disagree", name)
+			}
+			if got.Time() < last {
+				t.Fatalf("%s: drain out of order", name)
+			}
+			last = got.Time()
+		}
+	}
+}
+
+// TestCalendarPeekAfterEarlierPush: a push earlier than the cached head
+// must displace it.
+func TestCalendarPeekAfterEarlierPush(t *testing.T) {
+	c := NewCalendar()
+	for i := 0; i < 100; i++ {
+		c.Push(&testEvent{t: simtime.Time(int64(simtime.Second) * int64(i+10)), id: i})
+	}
+	if got := c.Peek().Time(); got != simtime.Time(10*simtime.Second) {
+		t.Fatalf("Peek = %v, want 10s", got)
+	}
+	early := &testEvent{t: simtime.Time(simtime.Millisecond), id: 1000}
+	c.Push(early)
+	if got := c.Peek(); got != early {
+		t.Fatalf("Peek after earlier push = %v, want the new head", got)
+	}
+	if got := c.Pop(); got != early {
+		t.Fatalf("Pop = %v, want the new head", got)
+	}
+}
+
 func BenchmarkHeapPushPop(b *testing.B) {
 	benchQueue(b, NewHeap())
 }
 
 func BenchmarkCalendarPushPop(b *testing.B) {
 	benchQueue(b, NewCalendar())
+}
+
+// BenchmarkCalendarPeekPop measures the simulation-loop pattern (Peek
+// every iteration, then Pop): before the cached-head fix, Peek alone was
+// an O(buckets) full scan.
+func BenchmarkCalendarPeekPop(b *testing.B) {
+	benchPeekQueue(b, NewCalendar())
+}
+
+func BenchmarkHeapPeekPop(b *testing.B) {
+	benchPeekQueue(b, NewHeap())
+}
+
+func benchPeekQueue(b *testing.B, q Queue) {
+	rng := rand.New(rand.NewSource(3))
+	const pop = 10000
+	clock := simtime.Time(0)
+	for i := 0; i < pop; i++ {
+		q.Push(&testEvent{t: clock.Add(simtime.Duration(rng.Int63n(int64(simtime.Second))))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.Peek() == nil {
+			b.Fatal("empty")
+		}
+		ev := q.Pop()
+		clock = ev.Time()
+		q.Push(&testEvent{t: clock.Add(simtime.Duration(rng.Int63n(int64(simtime.Second))))})
+	}
 }
 
 func benchQueue(b *testing.B, q Queue) {

@@ -25,6 +25,7 @@ import (
 	"horse/internal/dataplane"
 	"horse/internal/flowsim"
 	"horse/internal/header"
+	"horse/internal/hybrid"
 	"horse/internal/ixp"
 	"horse/internal/metrics"
 	"horse/internal/netgraph"
@@ -723,6 +724,156 @@ func e6Spec(o Options) *spec {
 	return sp
 }
 
+// E7HybridFidelity is the hybrid-engine evaluation: one reactive scenario
+// swept from pure flow-level to pure packet-level fidelity under a single
+// controller, charting accuracy (per-flow FCT error against the
+// standalone packet engine) against simulation work (events/sec).
+func E7HybridFidelity(fractions []float64) *Table {
+	return E7With(Options{}, fractions)
+}
+
+// E7With is E7HybridFidelity under explicit execution options.
+func E7With(o Options, fractions []float64) *Table {
+	return runSpecs(o, []*spec{e7Spec(o, fractions)})[0]
+}
+
+// e7Scenario builds the fixed reactive scenario every E7 arm replays: a
+// dumbbell with a congestible core and a mixed CBR/TCP Poisson workload
+// under reactive MAC forwarding — every flow must punt before it moves, so
+// the control plane is exercised at every fidelity.
+func e7Scenario() (*netgraph.Topology, traffic.Trace) {
+	topo := netgraph.Dumbbell(4, 4, netgraph.Gig,
+		netgraph.LinkSpec{BandwidthBps: 2e8, Delay: simtime.Millisecond})
+	g := traffic.NewGenerator(55)
+	tr := g.PoissonArrivals(traffic.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 40, Horizon: 500 * simtime.Millisecond,
+		Sizes: traffic.FixedSize(2e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+	})
+	return topo, tr
+}
+
+func e7Controller() flowsim.Controller {
+	return controller.NewChain(&controller.ReactiveMAC{})
+}
+
+const e7Window = simtime.Time(30 * simtime.Second)
+
+func e7Spec(o Options, fractions []float64) *spec {
+	sp := &spec{table: &Table{
+		ID:    "E7",
+		Title: "Hybrid fidelity sweep: packet-level share vs accuracy vs events/sec",
+		Columns: []string{
+			"mode", "pkt-flows", "flow-flows", "completed", "pkt-hops",
+			"events", "wall-ms", "events/ms", "fct-relerr", "pkt-parity",
+		},
+	}}
+	// One cell: the sweep compares every arm against the in-cell packet
+	// reference, so rows assemble sequentially (and the table stays
+	// byte-identical for any -parallel by construction).
+	sp.cell("sweep", func() [][]string {
+		var rows [][]string
+
+		// Reference: the standalone controller-attached packet engine.
+		topoR, trR := e7Scenario()
+		simR := packetsim.New(packetsim.Config{
+			Topology: topoR, Miss: dataplane.MissController,
+			Controller: e7Controller(), ControlLatency: simtime.Millisecond,
+		})
+		simR.Load(trR)
+		startR := o.now()
+		colR := simR.Run(e7Window)
+		wallR := o.since(startR)
+		ref := colR.Flows()
+		refFCT := make(map[int64]float64, len(ref))
+		completedR := 0
+		for _, r := range ref {
+			if r.Completed {
+				refFCT[r.ID] = r.FCT().Seconds()
+				completedR++
+			}
+		}
+		evR := simR.Kernel().Dispatched()
+		rows = append(rows, []string{
+			"pkt-engine", fmt.Sprintf("%d", len(trR)), "0",
+			fmt.Sprintf("%d", completedR), di(simR.PacketsForwarded()),
+			di(evR), ms(wallR), f2(float64(evR) / math.Max(float64(wallR.Microseconds())/1000, 1)),
+			"0.000", "ref",
+		})
+
+		for _, p := range fractions {
+			topo, tr := e7Scenario()
+			hyb := hybrid.New(hybrid.Config{
+				Topology: topo, Miss: dataplane.MissController,
+				Controller: e7Controller(), ControlLatency: simtime.Millisecond,
+				// Flow-level TCP RTT matched to the dumbbell (the E3
+				// methodology), so the accuracy column measures fidelity,
+				// not a mis-set fluid model.
+				TCP:         tcpmodel.Params{RTT: 2200 * simtime.Microsecond, MSS: 1500, InitialWindow: 10},
+				PacketLevel: hybrid.Fraction(p),
+			})
+			hyb.Load(tr)
+			start := o.now()
+			col := hyb.Run(e7Window)
+			wall := o.since(start)
+			recs := hyb.Records()
+
+			// Accuracy: mean relative FCT error over flows completed in
+			// both this arm and the reference.
+			var errSum float64
+			var errN, completed int
+			for _, r := range recs {
+				if !r.Completed {
+					continue
+				}
+				completed++
+				if fr, ok := refFCT[r.ID]; ok && fr > 0 {
+					errSum += math.Abs(r.FCT().Seconds()-fr) / fr
+					errN++
+				}
+			}
+			relerr := 0.0
+			if errN > 0 {
+				relerr = errSum / float64(errN)
+			}
+
+			// Parity: the 100% arm must reproduce the reference run
+			// exactly — same completion set, outcomes, end times, bytes.
+			parity := "-"
+			if p >= 1 {
+				parity = "identical"
+				if len(recs) != len(ref) {
+					parity = "DIVERGED"
+				} else {
+					for i := range recs {
+						if recs[i].ID != ref[i].ID || recs[i].Completed != ref[i].Completed ||
+							recs[i].Outcome != ref[i].Outcome || recs[i].End != ref[i].End ||
+							recs[i].SentBits != ref[i].SentBits {
+							parity = "DIVERGED"
+							break
+						}
+					}
+				}
+			}
+
+			pktN, flowN := hyb.Split()
+			rows = append(rows, []string{
+				fmt.Sprintf("hybrid-%d%%", int(p*100+0.5)),
+				fmt.Sprintf("%d", pktN), fmt.Sprintf("%d", flowN),
+				fmt.Sprintf("%d", completed), di(hyb.PacketsForwarded()),
+				di(col.EventsRun), ms(wall),
+				f2(float64(col.EventsRun) / math.Max(float64(wall.Microseconds())/1000, 1)),
+				f3(relerr), parity,
+			})
+		}
+		return rows
+	})
+	sp.table.Notes = append(sp.table.Notes,
+		"expected shape: events (and wall time) grow with the packet-level share; fct-relerr shrinks toward 0 at 100%",
+		"contract: the 100% arm reports pkt-parity=identical — the hybrid at full fidelity IS the standalone packet engine",
+	)
+	return sp
+}
+
 // All runs every experiment at report scale.
 func All() []*Table { return AllWith(Options{}) }
 
@@ -736,6 +887,7 @@ func AllWith(o Options) []*Table {
 		e4Spec(o, []int{100, 200, 400}, 24),
 		e5Spec(o),
 		e6Spec(o),
+		e7Spec(o, []float64{0, 0.25, 0.5, 0.75, 1}),
 	})
 }
 
@@ -751,5 +903,6 @@ func QuickWith(o Options) []*Table {
 		e4Spec(o, []int{100}, 6),
 		e5Spec(o),
 		e6Spec(o),
+		e7Spec(o, []float64{0, 0.5, 1}),
 	})
 }

@@ -135,6 +135,36 @@ func TestE6Shape(t *testing.T) {
 	}
 }
 
+func TestE7Shape(t *testing.T) {
+	fractions := []float64{0, 0.5, 1}
+	tb := E7HybridFidelity(fractions)
+	if len(tb.Rows) != 1+len(fractions) {
+		t.Fatalf("rows = %d, want reference + %d arms", len(tb.Rows), len(fractions))
+	}
+	parity := colIndex(tb, "pkt-parity")
+	relerr := colIndex(tb, "fct-relerr")
+	events := colIndex(tb, "events")
+	// The 100% arm must reproduce the standalone packet engine exactly.
+	last := len(tb.Rows) - 1
+	if tb.Rows[last][parity] != "identical" {
+		t.Errorf("100%% arm parity = %q, want identical", tb.Rows[last][parity])
+	}
+	if cell(t, tb, last, relerr) != 0 {
+		t.Errorf("100%% arm fct-relerr = %s, want 0", tb.Rows[last][relerr])
+	}
+	// Work grows with the packet-level share.
+	for i := 2; i <= last; i++ {
+		if cell(t, tb, i, events) <= cell(t, tb, i-1, events) {
+			t.Errorf("events not increasing with fidelity: row %d %s <= row %d %s",
+				i, tb.Rows[i][events], i-1, tb.Rows[i-1][events])
+		}
+	}
+	// Accuracy improves (weakly) from pure flow-level to pure packet.
+	if cell(t, tb, last, relerr) > cell(t, tb, 1, relerr) {
+		t.Errorf("relerr worsened with fidelity: %s -> %s", tb.Rows[1][relerr], tb.Rows[last][relerr])
+	}
+}
+
 // frozenClock makes wall-time columns deterministic so tables can be
 // compared byte-for-byte across worker counts.
 func frozenClock() time.Time { return time.Time{} }
@@ -162,7 +192,7 @@ func TestParallelDeterminism(t *testing.T) {
 	if seq != par {
 		t.Fatalf("-parallel 1 and -parallel 8 diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
-	if !strings.Contains(seq, "== E1:") || !strings.Contains(seq, "== E6:") {
+	if !strings.Contains(seq, "== E1:") || !strings.Contains(seq, "== E7:") {
 		t.Fatalf("suite missing experiments:\n%s", seq)
 	}
 }

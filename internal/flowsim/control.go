@@ -1,54 +1,87 @@
 package flowsim
 
 import (
-	"horse/internal/dataplane"
-	"horse/internal/header"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 )
 
+// Engine is the simulator-side surface behind a Context. Both the
+// flow-level engine and the packet-level engine implement it, so one
+// Controller implementation drives either fidelity (and, through the
+// hybrid coupler, both at once).
+type Engine interface {
+	// Now returns the current virtual time.
+	Now() simtime.Time
+	// Topology returns the simulated topology.
+	Topology() *netgraph.Topology
+	// Collector returns the engine's statistics collector.
+	Collector() *stats.Collector
+	// SendToSwitch delivers a controller→switch message to its datapath
+	// after the engine's control latency.
+	SendToSwitch(msg openflow.Message)
+	// After schedules fn on the controller after d.
+	After(d simtime.Duration, fn func())
+}
+
 // Context is the API a Controller uses to interact with the simulation. It
 // deliberately exposes no data-plane internals beyond what a real
 // controller could learn: the topology (assumed discovered), virtual time,
 // message sending, and timers.
 type Context struct {
-	sim *Simulator
+	eng Engine
 }
 
+// NewContext wraps an engine for controller use. Engines call it
+// internally; it is exported for engines living outside this package (the
+// packet-level simulator).
+func NewContext(eng Engine) *Context { return &Context{eng: eng} }
+
 // Now returns the current virtual time.
-func (c *Context) Now() simtime.Time { return c.sim.now }
+func (c *Context) Now() simtime.Time { return c.eng.Now() }
 
 // Topology returns the network topology. Controllers treat it as
 // discovered state (LLDP equivalent); link Up flags reflect what
 // PortStatus messages have announced.
-func (c *Context) Topology() *netgraph.Topology { return c.sim.topo }
+func (c *Context) Topology() *netgraph.Topology { return c.eng.Topology() }
 
 // Send delivers a control message to its datapath after the configured
 // control latency.
-func (c *Context) Send(msg openflow.Message) {
-	c.sim.q.Push(&event{
-		at:   c.sim.now.Add(c.sim.cfg.ControlLatency),
+func (c *Context) Send(msg openflow.Message) { c.eng.SendToSwitch(msg) }
+
+// After schedules fn to run on the controller after d.
+func (c *Context) After(d simtime.Duration, fn func()) { c.eng.After(d, fn) }
+
+// Collector exposes simulation statistics (read-only use) so monitoring
+// apps can export what they observe alongside ground truth.
+func (c *Context) Collector() *stats.Collector { return c.eng.Collector() }
+
+// SendToSwitch implements Engine: the message applies at its datapath
+// after the control latency.
+func (s *Simulator) SendToSwitch(msg openflow.Message) {
+	s.sched(event{
+		at:   s.k.Now().Add(s.cfg.ControlLatency),
 		kind: evToSwitch,
 		msg:  msg,
 	})
 }
 
-// After schedules fn to run on the controller after d.
-func (c *Context) After(d simtime.Duration, fn func()) {
-	c.sim.q.Push(&event{at: c.sim.now.Add(d), kind: evTimer, fn: fn})
+// After implements Engine: fn runs on the controller after d.
+func (s *Simulator) After(d simtime.Duration, fn func()) {
+	s.sched(event{at: s.k.Now().Add(d), kind: evTimer, fn: fn})
 }
 
-// Collector exposes simulation statistics (read-only use) so monitoring
-// apps can export what they observe alongside ground truth.
-func (c *Context) Collector() *stats.Collector { return c.sim.col }
+// SendToController delivers a switch-originated message to the controller
+// after the control latency. It is exported so a co-resident packet
+// engine (hybrid runs) can punt into the same control plane.
+func (s *Simulator) SendToController(msg openflow.Message) { s.sendToController(msg) }
 
 // sendToController delivers a switch-originated message after the control
 // latency.
 func (s *Simulator) sendToController(msg openflow.Message) {
-	s.q.Push(&event{
-		at:   s.now.Add(s.cfg.ControlLatency),
+	s.sched(event{
+		at:   s.k.Now().Add(s.cfg.ControlLatency),
 		kind: evToController,
 		msg:  msg,
 	})
@@ -63,14 +96,15 @@ func (s *Simulator) handleToSwitch(msg openflow.Message) {
 	}
 	switch m := msg.(type) {
 	case *openflow.FlowMod, *openflow.GroupMod:
-		if err := sw.Apply(msg, s.now); err != nil {
+		if err := sw.Apply(msg, s.k.Now()); err != nil {
 			return
 		}
 		s.col.FlowMods++
 		s.scheduleExpiry(dp)
 		s.markSwitchDirty(dp)
+		s.notifyApply(msg)
 	case *openflow.MeterMod:
-		if err := sw.Apply(msg, s.now); err != nil {
+		if err := sw.Apply(msg, s.k.Now()); err != nil {
 			return
 		}
 		s.col.FlowMods++
@@ -86,6 +120,7 @@ func (s *Simulator) handleToSwitch(msg openflow.Message) {
 		}
 		s.recomputeAndApply()
 		s.markSwitchDirty(dp)
+		s.notifyApply(msg)
 	case *openflow.PacketOut:
 		// The buffered first packet is released; the waiting flow retries
 		// resolution (rules installed alongside typically complete it).
@@ -94,19 +129,28 @@ func (s *Simulator) handleToSwitch(msg openflow.Message) {
 				s.markDirty(f)
 			}
 		}
+		s.notifyApply(msg)
 	case *openflow.PortStatsRequest:
 		s.sendToController(s.portStats(dp, m.Port))
 	case *openflow.FlowStatsRequest:
-		s.sendToController(s.flowStats(sw, m))
+		s.sendToController(sw.FlowStats(m, s.k.Now()))
 	case *openflow.BarrierRequest:
 		s.sendToController(&openflow.BarrierReply{Switch: dp, Xid: m.Xid})
+	}
+}
+
+// notifyApply reports an applied controller message to the co-resident
+// engine hook (hybrid runs).
+func (s *Simulator) notifyApply(msg openflow.Message) {
+	if s.cfg.OnApply != nil {
+		s.cfg.OnApply(msg)
 	}
 }
 
 // portStats builds a PortStatsReply from the resource ledgers.
 func (s *Simulator) portStats(dp netgraph.NodeID, port netgraph.PortNum) *openflow.PortStatsReply {
 	s.drainAlloc()
-	reply := &openflow.PortStatsReply{Switch: dp, At: s.now}
+	reply := &openflow.PortStatsReply{Switch: dp, At: s.k.Now()}
 	node := s.topo.Node(dp)
 	ports := node.Ports()
 	for _, p := range ports {
@@ -123,11 +167,11 @@ func (s *Simulator) portStats(dp netgraph.NodeID, port netgraph.PortNum) *openfl
 		txL, rxL := s.ledgers[txRes], s.ledgers[rxRes]
 		ps := openflow.PortStats{Port: p, LinkBps: l.BandwidthBps, Up: l.Up}
 		if txL != nil {
-			txL.settle(s.now)
+			txL.settle(s.k.Now())
 			ps.TxBits, ps.TxRateBps = txL.bits, txL.rate
 		}
 		if rxL != nil {
-			rxL.settle(s.now)
+			rxL.settle(s.k.Now())
 			ps.RxBits, ps.RxRateBps = rxL.bits, rxL.rate
 		}
 		reply.Stats = append(reply.Stats, ps)
@@ -135,54 +179,18 @@ func (s *Simulator) portStats(dp netgraph.NodeID, port netgraph.PortNum) *openfl
 	return reply
 }
 
-// flowStats builds a FlowStatsReply by filtering the switch's table
-// entries with the request match (zero match selects all).
-func (s *Simulator) flowStats(sw *dataplane.Switch, req *openflow.FlowStatsRequest) *openflow.FlowStatsReply {
-	reply := &openflow.FlowStatsReply{Switch: req.Switch, At: s.now}
-	tables := []openflow.TableID{req.Table}
-	if req.Table == 0 && req.Match == (header.Match{}) {
-		tables = nil
-		for i := 0; i < dataplane.NumTables; i++ {
-			tables = append(tables, openflow.TableID(i))
-		}
-	}
-	for _, tid := range tables {
-		for _, e := range sw.Tables[tid].Entries() {
-			if req.Match != (header.Match{}) && !req.Match.Subsumes(e.Match) {
-				continue
-			}
-			reply.Stats = append(reply.Stats, openflow.FlowStats{
-				Table:    tid,
-				Priority: e.Priority,
-				Match:    e.Match,
-				Cookie:   e.Cookie,
-				Packets:  e.Packets,
-				Bytes:    e.Bytes,
-				Duration: s.now.Sub(e.Installed),
-			})
-		}
-	}
-	return reply
-}
-
 // scheduleExpiry arms a timeout check for a switch at its earliest entry
 // expiry, avoiding duplicate events for the same instant.
 func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
-	sw := s.net.Switches[dp]
-	next := simtime.Never
-	for _, t := range sw.Tables {
-		if x := t.NextExpiry(); x < next {
-			next = x
-		}
-	}
+	next := s.net.Switches[dp].NextExpiry()
 	if next == simtime.Never {
 		return
 	}
-	if cur, ok := s.expiryAt[dp]; ok && cur <= next && cur >= s.now {
+	if cur, ok := s.expiryAt[dp]; ok && cur <= next && cur >= s.k.Now() {
 		return // an earlier (or equal) check is already scheduled
 	}
 	s.expiryAt[dp] = next
-	s.q.Push(&event{at: next, kind: evExpiry, sw: dp})
+	s.sched(event{at: next, kind: evExpiry, sw: dp})
 }
 
 // handleExpiry evicts expired entries on a switch, notifies the controller
@@ -203,19 +211,11 @@ func (s *Simulator) handleExpiry(dp netgraph.NodeID) {
 			s.settleFlow(f)
 		}
 	}
-	removedAny := false
-	for tid, t := range sw.Tables {
-		for _, e := range t.Expire(s.now) {
-			removedAny = true
-			idle := e.IdleTimeout > 0 && s.now >= e.LastUsed.Add(e.IdleTimeout)
-			s.sendToController(&openflow.FlowRemoved{
-				Switch: dp, Table: openflow.TableID(tid),
-				Match: e.Match, Priority: e.Priority, Cookie: e.Cookie,
-				Packets: e.Packets, Bytes: e.Bytes, Idle: idle,
-			})
-		}
+	removed := sw.ExpireEntries(s.k.Now())
+	for _, fr := range removed {
+		s.sendToController(fr)
 	}
-	if removedAny {
+	if len(removed) > 0 {
 		s.markSwitchDirty(dp)
 	}
 	s.scheduleExpiry(dp)

@@ -28,15 +28,15 @@ func (s *Simulator) handleArrival(d traffic.Demand) {
 		SizeBits:   d.SizeBits,
 		AppRateBps: d.RateBps,
 		TCP:        d.TCP,
-		Arrival:    s.now,
+		Arrival:    s.k.Now(),
 		remaining:  d.SizeBits,
-		lastSettle: s.now,
+		lastSettle: s.k.Now(),
 		Deadline:   simtime.Never,
 		waitingAt:  -1,
 		puntedAt:   make(map[netgraph.NodeID]bool),
 	}
 	if d.Duration > 0 {
-		f.Deadline = s.now.Add(d.Duration)
+		f.Deadline = s.k.Now().Add(d.Duration)
 	}
 	if f.AppRateBps <= 0 {
 		f.AppRateBps = math.Inf(1)
@@ -112,7 +112,7 @@ func (s *Simulator) park(f *Flow, at netgraph.NodeID) {
 	// Open-ended flows still end at their deadline even while waiting.
 	if f.Deadline != simtime.Never {
 		f.gen++
-		s.q.Push(&event{at: f.Deadline, kind: evComplete, flow: f, gen: f.gen})
+		s.sched(event{at: f.Deadline, kind: evComplete, flow: f, gen: f.gen})
 	}
 }
 
@@ -148,7 +148,7 @@ func (s *Simulator) activate(f *Flow, res dataplane.PathResult) {
 	}
 	f.prevHops = res.Hops
 	if !wasActive {
-		f.txStart = s.now
+		f.txStart = s.k.Now()
 	}
 	_ = oldPath
 	// The flow found a path; if its rules are later evicted it punts as a
@@ -181,7 +181,7 @@ func (s *Simulator) activate(f *Flow, res dataplane.PathResult) {
 	// Register flow-entry usage.
 	for _, e := range f.entries {
 		e.FlowCount++
-		e.LastUsed = s.now
+		e.LastUsed = s.k.Now()
 	}
 	// Index by traversed switch for re-resolution.
 	for _, h := range f.hops {
@@ -192,6 +192,7 @@ func (s *Simulator) activate(f *Flow, res dataplane.PathResult) {
 	}
 
 	s.alloc.AddFlow(fairshare.FlowID(f.ID), s.currentDemand(f), f.resources)
+	s.markRateShift(f.resources)
 	s.recomputeAndApply()
 
 	if f.TCP {
@@ -231,6 +232,7 @@ func (s *Simulator) deactivate(f *Flow) {
 	s.adjustLedgers(f, -f.rate)
 	f.rate = 0
 	s.alloc.RemoveFlow(fairshare.FlowID(f.ID))
+	s.markRateShift(f.resources)
 	for _, h := range f.hops {
 		delete(s.flowsAt[h.Switch], f.ID)
 	}
@@ -254,8 +256,8 @@ func (s *Simulator) currentDemand(f *Flow) float64 {
 
 // settleFlow brings a flow's byte accounting up to now at its current rate.
 func (s *Simulator) settleFlow(f *Flow) {
-	if f.state == StateActive && s.now > f.lastSettle {
-		bits := f.rate * s.now.Sub(f.lastSettle).Seconds()
+	if f.state == StateActive && s.k.Now() > f.lastSettle {
+		bits := f.rate * s.k.Now().Sub(f.lastSettle).Seconds()
 		if bits > 0 {
 			f.sent += bits
 			if !math.IsInf(f.remaining, 1) {
@@ -267,11 +269,11 @@ func (s *Simulator) settleFlow(f *Flow) {
 			for _, e := range f.entries {
 				e.Bytes += uint64(bits / 8)
 				e.Packets += uint64(bits/packetBits) + 1
-				e.LastUsed = s.now
+				e.LastUsed = s.k.Now()
 			}
 		}
 	}
-	f.lastSettle = s.now
+	f.lastSettle = s.k.Now()
 }
 
 // adjustLedgers settles each of the flow's resources and adds delta to the
@@ -283,10 +285,10 @@ func (s *Simulator) adjustLedgers(f *Flow, delta float64) {
 	for _, r := range f.resources {
 		l := s.ledgers[r]
 		if l == nil {
-			l = &resLedger{last: s.now}
+			l = &resLedger{last: s.k.Now()}
 			s.ledgers[r] = l
 		}
-		l.settle(s.now)
+		l.settle(s.k.Now())
 		l.rate += delta
 		if l.rate < 0 {
 			l.rate = 0
@@ -303,6 +305,16 @@ func (s *Simulator) recomputeAndApply() {
 	s.allocDirty = true
 }
 
+// markRateShift records resources whose flow membership changed so the
+// next drain reports them through OnRateShift even when no surviving
+// flow's rate moved (e.g. the last flow on a link departed).
+func (s *Simulator) markRateShift(resources []fairshare.ResourceID) {
+	if s.cfg.OnRateShift == nil {
+		return
+	}
+	s.shiftPending = append(s.shiftPending, resources...)
+}
+
 // drainAlloc re-solves the allocator and applies rate changes to flows:
 // settling, ledger updates, and completion-event rescheduling.
 func (s *Simulator) drainAlloc() {
@@ -316,10 +328,13 @@ func (s *Simulator) drainAlloc() {
 	} else {
 		changed = s.alloc.Recompute()
 	}
-	if len(changed) == 0 {
+	if len(changed) == 0 && len(s.shiftPending) == 0 {
 		return
 	}
 	sort.Slice(changed, func(i, j int) bool { return changed[i].ID < changed[j].ID })
+	shifted := s.shiftScratch[:0]
+	shifted = append(shifted, s.shiftPending...)
+	s.shiftPending = s.shiftPending[:0]
 	for _, c := range changed {
 		f := s.flows[FlowID(c.ID)]
 		if f == nil || f.state != StateActive {
@@ -332,6 +347,20 @@ func (s *Simulator) drainAlloc() {
 		s.scheduleCompletion(f)
 		// A rate change may open growth room for a TCP flow.
 		s.scheduleRamp(f)
+		if s.cfg.OnRateShift != nil {
+			shifted = append(shifted, f.resources...)
+		}
+	}
+	if s.cfg.OnRateShift != nil && len(shifted) > 0 {
+		sort.Slice(shifted, func(i, j int) bool { return shifted[i] < shifted[j] })
+		dedup := shifted[:1]
+		for _, r := range shifted[1:] {
+			if r != dedup[len(dedup)-1] {
+				dedup = append(dedup, r)
+			}
+		}
+		s.shiftScratch = shifted
+		s.cfg.OnRateShift(dedup)
 	}
 }
 
@@ -341,12 +370,12 @@ func (s *Simulator) scheduleCompletion(f *Flow) {
 	f.gen++
 	at := simtime.Never
 	if !math.IsInf(f.remaining, 1) && f.rate > 0 {
-		at = s.now.Add(simtime.TransferTime(f.remaining, f.rate))
+		at = s.k.Now().Add(simtime.TransferTime(f.remaining, f.rate))
 		// TransferTime truncates to nanoseconds; a sub-ns residue must
 		// still complete strictly in the future or the completion event
 		// would respawn at the same instant forever.
-		if at <= s.now {
-			at = s.now + 1
+		if at <= s.k.Now() {
+			at = s.k.Now() + 1
 		}
 	}
 	if f.Deadline < at {
@@ -355,7 +384,7 @@ func (s *Simulator) scheduleCompletion(f *Flow) {
 	if at == simtime.Never {
 		return
 	}
-	s.q.Push(&event{at: at, kind: evComplete, flow: f, gen: f.gen})
+	s.sched(event{at: at, kind: evComplete, flow: f, gen: f.gen})
 }
 
 // handleComplete ends a flow: either its volume is transferred or its
@@ -363,7 +392,7 @@ func (s *Simulator) scheduleCompletion(f *Flow) {
 func (s *Simulator) handleComplete(f *Flow) {
 	s.settleFlow(f)
 	volumeDone := !math.IsInf(f.remaining, 1) && f.remaining <= 0.5 // half-bit slack
-	deadlineHit := f.Deadline != simtime.Never && s.now >= f.Deadline
+	deadlineHit := f.Deadline != simtime.Never && s.k.Now() >= f.Deadline
 	if !volumeDone && !deadlineHit {
 		// Spurious wakeup (rate changed between scheduling and firing);
 		// reschedule.
@@ -397,7 +426,7 @@ func (s *Simulator) finalize(f *Flow, completed bool, outcome string) {
 	s.col.AddFlow(stats.FlowRecord{
 		ID:        int64(f.ID),
 		Arrival:   f.Arrival,
-		End:       s.now,
+		End:       s.k.Now(),
 		SizeBits:  size,
 		SentBits:  f.sent,
 		Completed: completed,
@@ -425,7 +454,7 @@ func (s *Simulator) scheduleRamp(f *Flow) {
 		return
 	}
 	f.ramping = true
-	s.q.Push(&event{at: s.now.Add(s.cfg.TCP.RTT), kind: evRamp, flow: f})
+	s.sched(event{at: s.k.Now().Add(s.cfg.TCP.RTT), kind: evRamp, flow: f})
 }
 
 // pathCapacity returns the minimum link capacity along the flow's path.
@@ -504,7 +533,7 @@ func (s *Simulator) markDirty(f *Flow) {
 	s.dirtyFlows[f.ID] = f
 	if !s.batchPending {
 		s.batchPending = true
-		s.q.Push(&event{at: s.now, kind: evResolveBatch})
+		s.sched(event{at: s.k.Now(), kind: evResolveBatch})
 	}
 }
 
@@ -599,13 +628,13 @@ func (s *Simulator) handleStatsTick() {
 				frac = rate / l.BandwidthBps
 			}
 			s.col.AddLinkSample(stats.LinkSample{
-				At: s.now, Link: l.ID, Forward: fwd, RateBps: rate, UsedFrac: frac,
+				At: s.k.Now(), Link: l.ID, Forward: fwd, RateBps: rate, UsedFrac: frac,
 			})
 		}
 	}
 	// Reschedule only while the simulation still has work: a lone stats
 	// tick must not keep an open-ended Run alive forever.
-	if s.q.Len() > 0 {
-		s.q.Push(&event{at: s.now.Add(s.cfg.StatsEvery), kind: evStatsTick})
+	if s.k.Len() > 0 {
+		s.sched(event{at: s.k.Now().Add(s.cfg.StatsEvery), kind: evStatsTick})
 	}
 }

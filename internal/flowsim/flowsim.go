@@ -21,11 +21,11 @@ import (
 	"math"
 
 	"horse/internal/dataplane"
-	"horse/internal/eventq"
 	"horse/internal/fairshare"
 	"horse/internal/header"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
+	"horse/internal/simcore"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/tcpmodel"
@@ -147,6 +147,25 @@ type Config struct {
 	// RateEpsilon is the relative rate-change threshold below which rate
 	// changes do not reschedule events (default 1%).
 	RateEpsilon float64
+
+	// Kernel attaches the simulator to an externally owned simulation
+	// kernel so several engines share one virtual clock (hybrid runs).
+	// Nil means the simulator creates and drives its own kernel, and Run
+	// works as usual; with an external kernel the owner calls Begin,
+	// drives the kernel, then calls Finish.
+	Kernel *simcore.Kernel
+	// Network attaches an externally owned data plane so several engines
+	// share switch state (hybrid runs). Nil means a private network.
+	Network *dataplane.Network
+	// OnApply, when set, observes every controller→switch message after
+	// it has been applied to the network — the hook a co-resident packet
+	// engine uses to retry punted packets once rules install.
+	OnApply func(openflow.Message)
+	// OnRateShift, when set, is called after a fair-share drain with the
+	// deduplicated resource IDs whose aggregate allocation shifted by
+	// more than RateEpsilon. The hybrid coupler uses it to re-derive the
+	// residual link capacity the packet engine sees.
+	OnRateShift func(resources []fairshare.ResourceID)
 }
 
 type evKind uint8
@@ -167,6 +186,7 @@ const (
 type event struct {
 	at   simtime.Time
 	kind evKind
+	sim  *Simulator
 
 	flow   *Flow
 	gen    uint64
@@ -179,6 +199,30 @@ type event struct {
 }
 
 func (e *event) Time() simtime.Time { return e.at }
+
+// Fire implements simcore.Event: execute on dispatch.
+func (e *event) Fire() {
+	s := e.sim
+	s.col.EventsRun++
+	s.dispatch(e)
+}
+
+// Release implements simcore.Event: recycle the envelope. Stale-event
+// safety comes from the generation stamps (Flow.gen) checked in dispatch,
+// so a recycled envelope can never act for its former flow.
+func (e *event) Release() {
+	s := e.sim
+	*e = event{}
+	s.pool.Put(e)
+}
+
+// sched schedules a pooled copy of proto on the kernel.
+func (s *Simulator) sched(proto event) {
+	e := s.pool.Get()
+	*e = proto
+	e.sim = s
+	s.k.Schedule(e)
+}
 
 // resLedger tracks cumulative bits and the current aggregate rate of one
 // resource (link direction), backing port counters and stats replies.
@@ -198,11 +242,12 @@ func (l *resLedger) settle(now simtime.Time) {
 // Simulator is a Horse simulation run. Create with New, feed with Load /
 // InjectAt / ScheduleLinkChange, execute with Run.
 type Simulator struct {
-	cfg  Config
-	topo *netgraph.Topology
-	net  *dataplane.Network
-	q    eventq.Queue
-	now  simtime.Time
+	cfg       Config
+	topo      *netgraph.Topology
+	net       *dataplane.Network
+	k         *simcore.Kernel
+	ownKernel bool
+	pool      simcore.Pool[event]
 
 	alloc  *fairshare.Allocator
 	flows  map[FlowID]*Flow
@@ -227,9 +272,17 @@ type Simulator struct {
 
 	// allocDirty defers fair-share re-solving: events at the same virtual
 	// instant (an epoch's worth of arrivals, say) trigger one solve when
-	// time advances, not one per event.
+	// time advances, not one per event. The kernel drains it through the
+	// registered pre-advance hook.
 	allocDirty bool
 
+	// shiftPending accumulates resources whose membership changed outside
+	// a solve (flow activate/deactivate) so OnRateShift still reports
+	// them; shiftScratch is the reusable dedup buffer.
+	shiftPending []fairshare.ResourceID
+	shiftScratch []fairshare.ResourceID
+
+	begun    bool
 	finished bool
 }
 
@@ -250,17 +303,21 @@ func New(cfg Config) *Simulator {
 	if cfg.RateEpsilon == 0 {
 		cfg.RateEpsilon = 0.01
 	}
-	var q eventq.Queue
-	if cfg.UseCalendarQueue {
-		q = eventq.NewCalendar()
-	} else {
-		q = eventq.NewHeap()
+	k := cfg.Kernel
+	ownKernel := k == nil
+	if ownKernel {
+		k = simcore.New(simcore.Config{UseCalendarQueue: cfg.UseCalendarQueue})
+	}
+	net := cfg.Network
+	if net == nil {
+		net = dataplane.NewNetwork(cfg.Topology, cfg.Miss)
 	}
 	s := &Simulator{
 		cfg:        cfg,
 		topo:       cfg.Topology,
-		net:        dataplane.NewNetwork(cfg.Topology, cfg.Miss),
-		q:          q,
+		net:        net,
+		k:          k,
+		ownKernel:  ownKernel,
 		alloc:      fairshare.New(),
 		flows:      make(map[FlowID]*Flow),
 		waiting:    make(map[netgraph.NodeID]map[FlowID]*Flow),
@@ -272,7 +329,10 @@ func New(cfg Config) *Simulator {
 		expiryAt:   make(map[netgraph.NodeID]simtime.Time),
 	}
 	s.alloc.Epsilon = cfg.RateEpsilon
-	s.ctx = &Context{sim: s}
+	s.ctx = NewContext(s)
+	// The kernel settles deferred fair-share work exactly when virtual
+	// time would advance, so all events at one instant share a solve.
+	s.k.AddPreAdvance(func() bool { return s.allocDirty }, s.drainAlloc)
 	// Declare every link direction to the allocator and ledger.
 	for _, l := range s.topo.Links() {
 		for _, fwd := range []bool{true, false} {
@@ -292,7 +352,13 @@ func (s *Simulator) Network() *dataplane.Network { return s.net }
 func (s *Simulator) Collector() *stats.Collector { return s.col }
 
 // Now returns the current virtual time.
-func (s *Simulator) Now() simtime.Time { return s.now }
+func (s *Simulator) Now() simtime.Time { return s.k.Now() }
+
+// Topology returns the simulated topology.
+func (s *Simulator) Topology() *netgraph.Topology { return s.topo }
+
+// Kernel returns the simulation kernel driving this simulator.
+func (s *Simulator) Kernel() *simcore.Kernel { return s.k }
 
 // Flow returns a flow by ID (nil if unknown).
 func (s *Simulator) Flow(id FlowID) *Flow { return s.flows[id] }
@@ -300,6 +366,10 @@ func (s *Simulator) Flow(id FlowID) *Flow { return s.flows[id] }
 // Allocator exposes the bandwidth allocator (read-mostly; used by stats
 // sampling and tests).
 func (s *Simulator) Allocator() *fairshare.Allocator { return s.alloc }
+
+// meterResourceBase tags meter resources; anything below it is a link
+// direction encoded as link<<1|forward.
+const meterResourceBase = fairshare.ResourceID(1) << 40
 
 func linkResource(l netgraph.LinkID, forward bool) fairshare.ResourceID {
 	r := fairshare.ResourceID(l) << 1
@@ -310,7 +380,24 @@ func linkResource(l netgraph.LinkID, forward bool) fairshare.ResourceID {
 }
 
 func meterResource(sw netgraph.NodeID, m openflow.MeterID) fairshare.ResourceID {
-	return fairshare.ResourceID(1)<<40 | fairshare.ResourceID(sw)<<24 | fairshare.ResourceID(m)
+	return meterResourceBase | fairshare.ResourceID(sw)<<24 | fairshare.ResourceID(m)
+}
+
+// ResourceLinkDir decodes a fair-share resource ID back to the link
+// direction it stands for; ok is false for non-link (meter) resources.
+// The hybrid coupler uses it to turn OnRateShift notifications into
+// per-link residual capacities.
+func ResourceLinkDir(r fairshare.ResourceID) (link netgraph.LinkID, forward bool, ok bool) {
+	if r >= meterResourceBase {
+		return 0, false, false
+	}
+	return netgraph.LinkID(r >> 1), r&1 == 1, true
+}
+
+// LinkRateBps returns the aggregate flow-level rate currently allocated on
+// one link direction.
+func (s *Simulator) LinkRateBps(l netgraph.LinkID, forward bool) float64 {
+	return s.alloc.ResourceUsage(linkResource(l, forward))
 }
 
 // Load schedules every demand in the trace.
@@ -322,55 +409,48 @@ func (s *Simulator) Load(tr traffic.Trace) {
 
 // InjectAt schedules one demand at its start time.
 func (s *Simulator) InjectAt(d traffic.Demand) {
-	s.q.Push(&event{at: d.Start, kind: evArrival, demand: d})
+	s.sched(event{at: d.Start, kind: evArrival, demand: d})
 }
 
 // ScheduleLinkChange schedules a link failure (up=false) or recovery.
 func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool) {
-	s.q.Push(&event{at: at, kind: evLinkChange, link: link, up: up})
+	s.sched(event{at: at, kind: evLinkChange, link: link, up: up})
 }
 
 // Run executes the simulation until the event queue drains or virtual time
 // exceeds `until` (use simtime.Never for no bound). It returns the
-// statistics collector. Run may be called once.
+// statistics collector. Run may be called once, and only on a simulator
+// that owns its kernel; shared-kernel simulators are driven by their owner
+// via Begin / kernel.Run / Finish.
 func (s *Simulator) Run(until simtime.Time) *stats.Collector {
-	if s.finished {
+	if !s.ownKernel {
+		panic("flowsim: Run on a shared-kernel simulator; drive the shared kernel instead")
+	}
+	s.Begin()
+	s.k.Run(until)
+	return s.Finish()
+}
+
+// Begin starts the control plane and arms statistics sampling. It is the
+// first half of Run, exposed for shared-kernel (hybrid) drivers.
+func (s *Simulator) Begin() {
+	if s.begun || s.finished {
 		panic("flowsim: Run called twice")
 	}
+	s.begun = true
 	s.ctrl.Start(s.ctx)
 	if s.cfg.StatsEvery > 0 {
-		s.q.Push(&event{at: simtime.Time(s.cfg.StatsEvery), kind: evStatsTick})
+		s.sched(event{at: simtime.Time(s.cfg.StatsEvery), kind: evStatsTick})
 	}
-	for {
-		ev := s.q.Peek()
-		if ev == nil {
-			// A deferred solve may schedule completion events; drain and
-			// re-check before declaring the run over.
-			if s.allocDirty {
-				s.drainAlloc()
-				continue
-			}
-			break
-		}
-		if ev.Time() > s.now && s.allocDirty {
-			// Settle deferred rate work before advancing virtual time so
-			// every flow's rate is correct over [now, next). The solve may
-			// schedule events earlier than the current head, so re-peek.
-			s.drainAlloc()
-			continue
-		}
-		e := s.q.Pop().(*event)
-		if e.at > until {
-			s.now = until
-			break
-		}
-		if e.at > s.now {
-			s.now = e.at
-		}
-		s.col.EventsRun++
-		s.dispatch(e)
+}
+
+// Finish settles and records every unfinished flow and returns the
+// collector. It is the second half of Run, exposed for shared-kernel
+// (hybrid) drivers; calling it again is a no-op.
+func (s *Simulator) Finish() *stats.Collector {
+	if !s.finished {
+		s.finish()
 	}
-	s.finish()
 	return s.col
 }
 

@@ -1,0 +1,255 @@
+// Package hybrid couples the flow-level and packet-level engines under one
+// simulation kernel — the hybrid-fidelity mode the simulator is named for.
+// Flagged foreground demands are simulated packet by packet while the
+// background stays flow-level, all under a single virtual clock and a
+// single OpenFlow control plane:
+//
+//   - Both engines share one simcore.Kernel, so their events interleave in
+//     strict time order, and one dataplane.Network, so a FlowMod installs
+//     once and both fidelities forward through it.
+//   - The controller attaches to the flow engine; packet-engine punts are
+//     routed into the same control plane (PuntSink), and applied messages
+//     echo back to the packet engine (OnApply → NotifyApplied) so parked
+//     packets retry the pipeline when rules install.
+//   - Coupling is one-way by construction: whenever the fair-share
+//     allocator shifts a link direction's aggregate flow-level rate by
+//     more than RateEpsilon (OnRateShift), that rate is subtracted from
+//     the capacity the packet engine's transmitter sees on the link
+//     (SetExternalLoad), so background load squeezes foreground packets
+//     exactly where they share links.
+//
+// E7 sweeps the fraction of packet-level flows to chart the fidelity/cost
+// frontier this buys.
+package hybrid
+
+import (
+	"sort"
+
+	"horse/internal/dataplane"
+	"horse/internal/fairshare"
+	"horse/internal/flowsim"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/packetsim"
+	"horse/internal/simcore"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+	"horse/internal/tcpmodel"
+	"horse/internal/traffic"
+)
+
+// Config parameterizes a hybrid run. Field semantics match the underlying
+// engines' configs.
+type Config struct {
+	// Topology is required.
+	Topology *netgraph.Topology
+	// Controller is the one control plane both fidelities report to (nil
+	// means none).
+	Controller flowsim.Controller
+	// Miss is the table-miss behavior of every switch.
+	Miss dataplane.MissBehavior
+	// ControlLatency delays every switch↔controller message (default 1ms).
+	ControlLatency simtime.Duration
+	// TCP parameterizes the flow engine's TCP model.
+	TCP tcpmodel.Params
+	// StatsEvery samples flow-level link utilization at this period.
+	StatsEvery simtime.Duration
+	// UseCalendarQueue selects the shared kernel's calendar queue.
+	UseCalendarQueue bool
+	// RateEpsilon is the fair-share significance threshold; it also gates
+	// how often the packet engine's residual capacities recompute.
+	RateEpsilon float64
+	// QueuePackets is the packet engine's per-port queue capacity.
+	QueuePackets int
+	// RTOMin is the packet engine's minimum retransmission timeout.
+	RTOMin simtime.Duration
+
+	// PacketLevel flags the demands to simulate at packet granularity
+	// (called per Load with the demand's load order i). Nil means none —
+	// a pure flow-level run on the hybrid plumbing. See Fraction.
+	PacketLevel func(i int, d traffic.Demand) bool
+}
+
+// Fraction returns a PacketLevel selector flagging ~p of the load-order
+// demand stream, spread evenly (Bresenham): p=0 flags none, p=1 all.
+func Fraction(p float64) func(i int, d traffic.Demand) bool {
+	return func(i int, _ traffic.Demand) bool {
+		return int(float64(i+1)*p) > int(float64(i)*p)
+	}
+}
+
+// Simulator runs both engines on one kernel. Create with New, feed with
+// Load, execute with Run.
+type Simulator struct {
+	cfg  Config
+	k    *simcore.Kernel
+	net  *dataplane.Network
+	flow *flowsim.Simulator
+	pkt  *packetsim.Simulator
+
+	// Per-engine load-order bookkeeping: the trace index of the i-th
+	// demand handed to each engine, plus its start time (to undo the
+	// arrival sort when mapping flow-engine IDs back to trace indices).
+	flowIdx    []int
+	flowStarts []simtime.Time
+	pktIdx     []int
+	loaded     int
+}
+
+// New builds a hybrid simulator over the configured topology.
+func New(cfg Config) *Simulator {
+	if cfg.Topology == nil {
+		panic("hybrid: Config.Topology is required")
+	}
+	k := simcore.New(simcore.Config{UseCalendarQueue: cfg.UseCalendarQueue})
+	net := dataplane.NewNetwork(cfg.Topology, cfg.Miss)
+	s := &Simulator{cfg: cfg, k: k, net: net}
+	s.pkt = packetsim.New(packetsim.Config{
+		Topology:     cfg.Topology,
+		Kernel:       k,
+		Network:      net,
+		Miss:         cfg.Miss,
+		QueuePackets: cfg.QueuePackets,
+		RTOMin:       cfg.RTOMin,
+		PuntSink: func(msg openflow.Message) {
+			// Packet-engine punts enter the shared control plane with the
+			// same modeled latency as flow-level ones.
+			s.flow.SendToController(msg)
+		},
+	})
+	s.flow = flowsim.New(flowsim.Config{
+		Topology:         cfg.Topology,
+		Kernel:           k,
+		Network:          net,
+		Controller:       cfg.Controller,
+		Miss:             cfg.Miss,
+		ControlLatency:   cfg.ControlLatency,
+		TCP:              cfg.TCP,
+		StatsEvery:       cfg.StatsEvery,
+		UseCalendarQueue: cfg.UseCalendarQueue,
+		RateEpsilon:      cfg.RateEpsilon,
+		OnApply:          s.pkt.NotifyApplied,
+		OnRateShift:      s.applyRateShift,
+	})
+	return s
+}
+
+// applyRateShift recomputes the residual capacity the packet engine sees
+// on every link direction whose flow-level aggregate moved significantly.
+func (s *Simulator) applyRateShift(resources []fairshare.ResourceID) {
+	for _, r := range resources {
+		link, fwd, ok := flowsim.ResourceLinkDir(r)
+		if !ok {
+			continue
+		}
+		s.pkt.SetExternalLoad(link, fwd, s.flow.LinkRateBps(link, fwd))
+	}
+}
+
+// Kernel returns the shared simulation kernel.
+func (s *Simulator) Kernel() *simcore.Kernel { return s.k }
+
+// Network exposes the shared data-plane state.
+func (s *Simulator) Network() *dataplane.Network { return s.net }
+
+// FlowCollector returns the flow engine's collector (control-plane
+// counters, link-utilization series).
+func (s *Simulator) FlowCollector() *stats.Collector { return s.flow.Collector() }
+
+// PacketCollector returns the packet engine's collector.
+func (s *Simulator) PacketCollector() *stats.Collector { return s.pkt.Collector() }
+
+// PacketsForwarded reports the packet engine's forwarded-hop count.
+func (s *Simulator) PacketsForwarded() uint64 { return s.pkt.PacketsForwarded() }
+
+// Split reports how many loaded demands went to each engine.
+func (s *Simulator) Split() (packetFlows, flowFlows int) {
+	return len(s.pktIdx), len(s.flowIdx)
+}
+
+// Load splits the trace across the engines per cfg.PacketLevel. Call any
+// number of times before Run; the selector index is cumulative.
+func (s *Simulator) Load(tr traffic.Trace) {
+	for _, d := range tr {
+		if s.cfg.PacketLevel != nil && s.cfg.PacketLevel(s.loaded, d) {
+			s.pkt.Load(traffic.Trace{d})
+			s.pktIdx = append(s.pktIdx, s.loaded)
+		} else {
+			s.flow.InjectAt(d)
+			s.flowIdx = append(s.flowIdx, s.loaded)
+			s.flowStarts = append(s.flowStarts, d.Start)
+		}
+		s.loaded++
+	}
+}
+
+// Run executes both engines to the bound and returns the merged collector
+// (see Collector). Run may be called once.
+func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+	s.flow.Begin()
+	s.pkt.Begin()
+	s.k.Run(until)
+	s.flow.Finish()
+	s.pkt.Finish()
+	return s.Collector()
+}
+
+// Records returns one record per demand that produced one, ordered and
+// re-numbered by load order (ID = trace index + 1) regardless of which
+// engine simulated it — the comparable unit for fidelity sweeps.
+func (s *Simulator) Records() []stats.FlowRecord {
+	out := make([]stats.FlowRecord, 0, len(s.flowIdx)+len(s.pktIdx))
+	// The flow engine numbers flows in arrival order: stable-sort the
+	// flow-level subset by start time to recover trace indices.
+	order := make([]int, len(s.flowIdx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s.flowStarts[order[a]] < s.flowStarts[order[b]] })
+	for _, r := range s.flow.Collector().Flows() {
+		if r.ID < 1 || int(r.ID) > len(order) {
+			continue
+		}
+		r.ID = int64(s.flowIdx[order[r.ID-1]] + 1)
+		out = append(out, r)
+	}
+	// The packet engine numbers flows in load order directly.
+	for _, r := range s.pkt.Collector().Flows() {
+		if r.ID < 1 || int(r.ID) > len(s.pktIdx) {
+			continue
+		}
+		r.ID = int64(s.pktIdx[r.ID-1] + 1)
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Collector merges both engines' output: the flow engine's link series and
+// control counters, every Records entry, and the kernel's dispatch count
+// as EventsRun (the hybrid's total work metric).
+func (s *Simulator) Collector() *stats.Collector {
+	fc, pc := s.flow.Collector(), s.pkt.Collector()
+	col := stats.NewCollector(s.cfg.StatsEvery)
+	for _, smp := range fc.LinkSeries() {
+		col.AddLinkSample(smp)
+	}
+	for _, r := range s.Records() {
+		col.AddFlow(r)
+		switch {
+		case r.Completed:
+			col.FlowsCompleted++
+		case r.Outcome == "dropped":
+			col.FlowsDropped++
+		case r.Outcome == "looped":
+			col.FlowsLooped++
+		}
+	}
+	col.FlowsStarted = fc.FlowsStarted + pc.FlowsStarted
+	col.PacketIns = fc.PacketIns + pc.PacketIns
+	col.FlowMods = fc.FlowMods
+	col.RateChanges = fc.RateChanges
+	col.PathChanges = fc.PathChanges
+	col.EventsRun = s.k.Dispatched()
+	return col
+}

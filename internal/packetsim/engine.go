@@ -15,7 +15,11 @@ func (s *Simulator) trySend(f *pktFlow) {
 	if f.phase != phaseRunning {
 		return
 	}
-	if f.demand.Duration > 0 && s.now >= f.arrival.Add(f.demand.Duration) {
+	if !f.started {
+		f.started = true
+		s.col.FlowsStarted++
+	}
+	if f.demand.Duration > 0 && s.k.Now() >= f.arrival.Add(f.demand.Duration) {
 		// Deadline passed for an open-ended flow.
 		s.complete(f)
 		return
@@ -38,7 +42,7 @@ func (s *Simulator) trySend(f *pktFlow) {
 			if interval <= 0 {
 				interval = simtime.TransferTime(DataPacketBits, 1e9)
 			}
-			s.push(&event{at: s.now.Add(interval), kind: evSend, flow: f})
+			s.sched(event{at: s.k.Now().Add(interval), kind: evSend, flow: f})
 		}
 	}
 }
@@ -93,12 +97,55 @@ func (s *Simulator) enqueue(p *packet, pid portID) {
 	}
 }
 
+// minResidualFrac floors the residual capacity a hybrid-coupled
+// transmitter sees at 1% of line rate, so a flow-level background that
+// saturates a link slows foreground packets sharply instead of freezing
+// them (the allocator does not see packet flows, so they live on
+// leftovers).
+const minResidualFrac = 0.01
+
+// txRate returns the transmit rate of a port: line rate minus any
+// flow-level load the hybrid coupler reported for this link direction.
+func (s *Simulator) txRate(pid portID, op *outPort) float64 {
+	bw := op.link.BandwidthBps
+	if len(s.extLoad) == 0 {
+		return bw
+	}
+	if load, ok := s.extLoad[pid]; ok {
+		bw -= load
+		if min := op.link.BandwidthBps * minResidualFrac; bw < min {
+			bw = min
+		}
+	}
+	return bw
+}
+
+// SetExternalLoad informs the transmitter for one link direction that an
+// external (flow-level) load occupies the link, so serialization sees only
+// the residual capacity. The hybrid coupler calls it whenever fair-share
+// rates shift by more than the configured epsilon; bps <= 0 clears the
+// load. In-flight serializations keep their old finish time; the next
+// packet sees the new rate.
+func (s *Simulator) SetExternalLoad(link netgraph.LinkID, forward bool, bps float64) {
+	l := s.topo.Link(link)
+	from := l.B
+	if forward {
+		from = l.A
+	}
+	pid := portID{node: from, port: l.PortAt(from)}
+	if bps <= 0 {
+		delete(s.extLoad, pid)
+		return
+	}
+	s.extLoad[pid] = bps
+}
+
 // startTx begins serializing the head-of-line packet.
 func (s *Simulator) startTx(pid portID, op *outPort) {
 	op.busy = true
 	p := op.queue[0]
-	ser := simtime.TransferTime(p.bits, op.link.BandwidthBps)
-	s.push(&event{at: s.now.Add(ser), kind: evTxDone, port: pid})
+	ser := simtime.TransferTime(p.bits, s.txRate(pid, op))
+	s.sched(event{at: s.k.Now().Add(ser), kind: evTxDone, port: pid})
 }
 
 // txDone finishes serialization: the packet departs onto the wire and the
@@ -115,8 +162,8 @@ func (s *Simulator) txDone(pid portID) {
 
 	peer, peerPort := op.link.Peer(pid.node)
 	if op.link.Up {
-		s.push(&event{
-			at:   s.now.Add(op.link.Delay),
+		s.sched(event{
+			at:   s.k.Now().Add(op.link.Delay),
 			kind: evArriveNode,
 			pkt:  p,
 			node: peer,
@@ -133,35 +180,72 @@ func (s *Simulator) txDone(pid portID) {
 }
 
 // arrive processes a packet arriving at a node.
-func (s *Simulator) arrive(p *packet, node netgraph.NodeID, _ netgraph.PortNum) {
+func (s *Simulator) arrive(p *packet, node netgraph.NodeID, in netgraph.PortNum) {
 	n := s.topo.Node(node)
 	if n.Kind == netgraph.KindHost {
 		s.deliver(p, node)
 		return
 	}
-	// Switch: run the pipeline with the packet's key (direction-aware).
 	s.counter++
+	s.forward(p, node, in, false)
+}
+
+// forward runs the switch pipeline for a packet and acts on the decision.
+// buffered marks the re-processing of a punt-buffered packet after a rule
+// install; such a packet that still punts stays parked silently (the
+// controller already holds its PacketIn) — forward then returns false.
+func (s *Simulator) forward(p *packet, node netgraph.NodeID, in netgraph.PortNum, buffered bool) bool {
 	sw := s.net.Switches[node]
 	if sw == nil {
 		s.dropPacket(p)
-		return
+		return true
 	}
 	key := s.keyOf(p)
 	d := sw.Process(key, s.net.PortLiveFunc(node))
-	switch {
-	case d.Drop, d.ToController:
-		// No controller in the packet baseline: punts count and drop.
-		if d.ToController {
-			p.flow.punts++
+	if buffered && d.ToController && !d.Drop && s.controlActive() {
+		// Still no verdict for a parked packet: stay parked with no
+		// duplicate PacketIn — and no duplicate accounting, or every
+		// unrelated FlowMod would inflate matched-entry counters and
+		// keep idle timeouts alive for a packet that never forwarded.
+		return false
+	}
+	// Per-packet entry accounting: counters feed FlowStats replies and
+	// LastUsed drives idle timeouts — the packet-granular analogue of the
+	// flow engine's settle-time updates.
+	for _, e := range d.Entries {
+		e.Packets++
+		e.Bytes += uint64(p.bits / 8)
+		e.LastUsed = s.k.Now()
+	}
+	// Token-bucket policing for any meters on the matched entries.
+	for _, mid := range d.Meters {
+		if !s.meterAdmit(node, mid, p.bits) {
+			s.dropPacket(p)
+			return true
 		}
+	}
+	switch {
+	case d.Drop:
 		s.dropPacket(p)
+	case d.ToController:
+		if !s.controlActive() {
+			// No control plane: punts count and drop (the E3 baseline).
+			if !buffered {
+				p.flow.punts++
+			}
+			s.dropPacket(p)
+			return true
+		}
+		p.flow.punts++
+		s.puntPacket(p, node, in, d.Miss)
 	case d.Flood:
-		s.dropPacket(p) // flooding unsupported in the baseline
+		s.dropPacket(p) // flooding unsupported at packet granularity
 	case d.Out != netgraph.NoPort:
 		s.enqueue(p, portID{node: node, port: d.Out})
 	default:
 		s.dropPacket(p)
 	}
+	return true
 }
 
 // keyOf returns the header key of a packet (reversed for ACKs).
@@ -243,7 +327,10 @@ func (s *Simulator) handleAck(f *pktFlow, ackSeq int) {
 	}
 }
 
-// armRTO (re)schedules the retransmission timer.
+// armRTO (re)schedules the retransmission timer. Every arm bumps rtoGen,
+// so all previously scheduled evRTO events are logically cancelled: the
+// dispatch gate (see dispatch and handleRTO) fires only the event whose
+// stamp matches the flow's current generation.
 func (s *Simulator) armRTO(f *pktFlow) {
 	if f.inFlight == 0 {
 		f.rtoAt = simtime.Never
@@ -251,12 +338,15 @@ func (s *Simulator) armRTO(f *pktFlow) {
 		return
 	}
 	rto := s.cfg.RTOMin
-	f.rtoAt = s.now.Add(rto)
+	f.rtoAt = s.k.Now().Add(rto)
 	f.rtoGen++
-	s.push(&event{at: f.rtoAt, kind: evRTO, flow: f, gen: f.rtoGen})
+	s.sched(event{at: f.rtoAt, kind: evRTO, flow: f, gen: f.rtoGen})
 }
 
-// handleRTO retransmits from sendBase with a collapsed window.
+// handleRTO retransmits from sendBase with a collapsed window. Callers
+// must have validated the event's generation stamp against f.rtoGen (the
+// dispatch gate); completion bumps the generation, so a timer armed before
+// the final ACK can never fire a retransmission afterwards.
 func (s *Simulator) handleRTO(f *pktFlow) {
 	if f.inFlight == 0 || f.sendBase >= f.packets {
 		return
@@ -297,7 +387,7 @@ func (s *Simulator) complete(f *pktFlow) {
 		return
 	}
 	f.phase = phaseDone
-	f.done = s.now
+	f.done = s.k.Now()
 	f.rtoGen++ // cancel timers
 }
 
@@ -306,7 +396,7 @@ func (s *Simulator) record(f *pktFlow) {
 	completed := f.phase == phaseDone
 	end := f.done
 	if !completed {
-		end = s.now
+		end = s.k.Now()
 	}
 	size := f.demand.SizeBits
 	if math.IsInf(size, 1) {
@@ -346,7 +436,7 @@ func (s *Simulator) sampleStats() {
 			frac = rate / op.link.BandwidthBps
 		}
 		s.col.AddLinkSample(stats.LinkSample{
-			At:      s.now,
+			At:      s.k.Now(),
 			Link:    op.link.ID,
 			Forward: op.link.A == pid.node,
 			RateBps: rate, UsedFrac: frac,

@@ -1,20 +1,32 @@
-// Package packetsim is the packet-granularity reference simulator Horse is
-// evaluated against. It runs the *same* topology and the *same* OpenFlow
-// switch state as the flow-level engine, but models every packet: store-
-// and-forward switching, drop-tail output queues, link serialization and
-// propagation delays, and a window-based TCP sender (slow start + AIMD with
-// retransmission). It exists to quantify the central trade-off the paper
-// leans on (following fs-sdn): flow-level simulation gives up per-packet
-// effects in exchange for orders of magnitude less work — E3 measures both
-// sides of that bargain on identical scenarios.
+// Package packetsim is the packet-granularity simulator Horse is evaluated
+// against — and, since the simcore rebase, a first-class engine on the
+// shared simulation kernel. It runs the *same* topology and the *same*
+// OpenFlow switch state as the flow-level engine, but models every packet:
+// store-and-forward switching, drop-tail output queues, link serialization
+// and propagation delays, and a window-based TCP sender (slow start + AIMD
+// with retransmission). It exists to quantify the central trade-off the
+// paper leans on (following fs-sdn): flow-level simulation gives up
+// per-packet effects in exchange for orders of magnitude less work — E3
+// measures both sides of that bargain on identical scenarios.
+//
+// The engine can also attach a control plane (the same flowsim.Controller
+// interface the flow-level engine uses): a table miss becomes a
+// latency-modeled PacketIn with the triggering packet buffered at the
+// switch, FlowMods/MeterMods install into the shared dataplane state,
+// and hard/idle timeouts expire — so reactive E1/E2-style scenarios run at
+// packet granularity (E7). In hybrid runs the engine shares its kernel and
+// network with a flow-level simulator and punts through a PuntSink
+// instead of owning the controller.
 package packetsim
 
 import (
-	"container/heap"
 	"math"
 
 	"horse/internal/dataplane"
+	"horse/internal/flowsim"
 	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simcore"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/traffic"
@@ -31,25 +43,52 @@ type Config struct {
 	// Topology is required.
 	Topology *netgraph.Topology
 	// QueuePackets is the per-output-port drop-tail queue capacity
-	// (default 100 packets, the classic router default).
+	// (default 100 packets, the classic router default). It also bounds
+	// the per-switch punt buffer when a controller is attached.
 	QueuePackets int
-	// Miss is the switch table-miss behavior. The packet simulator has no
-	// controller; install state via Network() before Run (the E3
-	// methodology: identical pre-installed state on both simulators).
+	// Miss is the switch table-miss behavior. With MissController and a
+	// Controller attached, misses punt (PacketIn + buffered packet);
+	// without a controller, punted packets count and drop (the E3
+	// pre-installed-state baseline).
 	Miss dataplane.MissBehavior
 	// StatsEvery samples link utilization at this period (0 disables).
+	// The sampler keeps virtual time alive, so bound Run when sampling is
+	// enabled (an unbounded Run would tick forever after traffic drains —
+	// the E3 methodology samples the idle tail on purpose).
 	StatsEvery simtime.Duration
 	// RTOMin is the minimum retransmission timeout (default 200 ms).
 	RTOMin simtime.Duration
+
+	// Controller attaches a control plane (nil means none). The same
+	// implementations that drive the flow-level engine work here.
+	Controller flowsim.Controller
+	// ControlLatency delays every switch↔controller message (default 1ms).
+	ControlLatency simtime.Duration
+	// UseCalendarQueue selects the calendar event queue (shared-kernel
+	// ablation switch; ignored when Kernel is supplied).
+	UseCalendarQueue bool
+
+	// Kernel attaches the engine to an externally owned simulation kernel
+	// (hybrid runs). Nil means the engine creates and drives its own.
+	Kernel *simcore.Kernel
+	// Network attaches an externally owned data plane so engines share
+	// switch state (hybrid runs). Nil means a private network.
+	Network *dataplane.Network
+	// PuntSink, when set, receives switch-originated control messages
+	// instead of a locally attached Controller — the hybrid coupler
+	// routes them into the flow-level engine's control plane, which owns
+	// message application and echoes installs back via NotifyApplied.
+	PuntSink func(msg openflow.Message)
 }
 
 // Simulator is a packet-level simulation run.
 type Simulator struct {
-	cfg  Config
-	topo *netgraph.Topology
-	net  *dataplane.Network
-	now  simtime.Time
-	q    evq
+	cfg       Config
+	topo      *netgraph.Topology
+	net       *dataplane.Network
+	k         *simcore.Kernel
+	ownKernel bool
+	pool      simcore.Pool[event]
 
 	flows   []*pktFlow
 	ports   map[portID]*outPort
@@ -58,6 +97,23 @@ type Simulator struct {
 
 	txBits map[portID]float64 // per link-direction transmitted bits
 	lastTx map[portID]float64 // txBits at the previous stats sample
+
+	// extLoad is the external (flow-level) load per transmit port in a
+	// hybrid run; the transmitter sees only the residual capacity.
+	extLoad map[portID]float64
+
+	// Control plane state.
+	ctrl           flowsim.Controller
+	ctx            *flowsim.Context
+	punted         map[netgraph.NodeID][]*puntedPkt
+	expiryAt       map[netgraph.NodeID]simtime.Time
+	meters         map[meterKey]*meterBucket
+	statsReqAt     map[portID]simtime.Time // last PortStatsRequest per tx port
+	statsReqTxBits map[portID]float64      // tx bits at that request
+	statsReqRxBits map[portID]float64      // rx (peer tx) bits at that request
+
+	begun    bool
+	finished bool
 }
 
 type portID struct {
@@ -83,6 +139,12 @@ type packet struct {
 	retrans bool
 }
 
+// puntedPkt is a packet parked at a switch awaiting control-plane action.
+type puntedPkt struct {
+	pkt *packet
+	in  netgraph.PortNum
+}
+
 type flowPhase uint8
 
 const (
@@ -99,6 +161,7 @@ type pktFlow struct {
 
 	phase   flowPhase
 	arrival simtime.Time
+	started bool // first send event fired (counts FlowsStarted once)
 
 	// Sender state (TCP).
 	tcp      bool
@@ -132,36 +195,46 @@ const (
 	evArriveNode
 	evRTO
 	evStats
+	evToSwitch
+	evToController
+	evExpiry
+	evTimer
 )
 
+// event is the pooled kernel envelope of this engine.
 type event struct {
 	at   simtime.Time
 	kind evKind
+	sim  *Simulator
 	flow *pktFlow
 	pkt  *packet
 	port portID
 	node netgraph.NodeID
 	gen  uint64
-	seq  uint64
+	msg  openflow.Message
+	fn   func()
 }
 
-type evq []*event
+func (e *event) Time() simtime.Time { return e.at }
 
-func (q evq) Len() int { return len(q) }
-func (q evq) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// Fire implements simcore.Event.
+func (e *event) Fire() { e.sim.dispatch(e) }
+
+// Release implements simcore.Event: recycle the envelope. Generation
+// stamps (pktFlow.rtoGen) checked in dispatch keep recycled envelopes from
+// acting for their former flows.
+func (e *event) Release() {
+	s := e.sim
+	*e = event{}
+	s.pool.Put(e)
 }
-func (q evq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *evq) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *evq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+// sched schedules a pooled copy of proto on the kernel.
+func (s *Simulator) sched(proto event) {
+	e := s.pool.Get()
+	*e = proto
+	e.sim = s
+	s.k.Schedule(e)
 }
 
 // New builds a packet-level simulator.
@@ -175,15 +248,36 @@ func New(cfg Config) *Simulator {
 	if cfg.RTOMin == 0 {
 		cfg.RTOMin = 200 * simtime.Millisecond
 	}
-	return &Simulator{
-		cfg:    cfg,
-		topo:   cfg.Topology,
-		net:    dataplane.NewNetwork(cfg.Topology, cfg.Miss),
-		ports:  make(map[portID]*outPort),
-		col:    stats.NewCollector(cfg.StatsEvery),
-		txBits: make(map[portID]float64),
-		lastTx: make(map[portID]float64),
+	if cfg.ControlLatency == 0 {
+		cfg.ControlLatency = simtime.Millisecond
 	}
+	k := cfg.Kernel
+	ownKernel := k == nil
+	if ownKernel {
+		k = simcore.New(simcore.Config{UseCalendarQueue: cfg.UseCalendarQueue})
+	}
+	net := cfg.Network
+	if net == nil {
+		net = dataplane.NewNetwork(cfg.Topology, cfg.Miss)
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		topo:      cfg.Topology,
+		net:       net,
+		k:         k,
+		ownKernel: ownKernel,
+		ports:     make(map[portID]*outPort),
+		col:       stats.NewCollector(cfg.StatsEvery),
+		txBits:    make(map[portID]float64),
+		lastTx:    make(map[portID]float64),
+		extLoad:   make(map[portID]float64),
+		ctrl:      cfg.Controller,
+		punted:    make(map[netgraph.NodeID][]*puntedPkt),
+		expiryAt:  make(map[netgraph.NodeID]simtime.Time),
+		meters:    make(map[meterKey]*meterBucket),
+	}
+	s.ctx = flowsim.NewContext(s)
+	return s
 }
 
 // Network exposes the switch state for pre-installing rules.
@@ -192,17 +286,18 @@ func (s *Simulator) Network() *dataplane.Network { return s.net }
 // Collector returns the statistics collector.
 func (s *Simulator) Collector() *stats.Collector { return s.col }
 
+// Now implements flowsim.Engine.
+func (s *Simulator) Now() simtime.Time { return s.k.Now() }
+
+// Topology implements flowsim.Engine.
+func (s *Simulator) Topology() *netgraph.Topology { return s.topo }
+
+// Kernel returns the simulation kernel driving this engine.
+func (s *Simulator) Kernel() *simcore.Kernel { return s.k }
+
 // PacketsForwarded returns how many packet hops were simulated — the work
 // metric E3 reports next to wall-clock time.
 func (s *Simulator) PacketsForwarded() uint64 { return s.counter }
-
-var evSeq uint64
-
-func (s *Simulator) push(e *event) {
-	evSeq++
-	e.seq = evSeq
-	heap.Push(&s.q, e)
-}
 
 // Load schedules the demands.
 func (s *Simulator) Load(tr traffic.Trace) {
@@ -230,26 +325,43 @@ func (s *Simulator) Load(tr traffic.Trace) {
 			f.cbrInterval = simtime.TransferTime(DataPacketBits, d.RateBps)
 		}
 		s.flows = append(s.flows, f)
-		s.push(&event{at: d.Start, kind: evSend, flow: f})
+		s.sched(event{at: d.Start, kind: evSend, flow: f})
 	}
 }
 
-// Run executes until the queue drains or virtual time passes until.
+// Run executes until the queue drains or virtual time passes until. It may
+// be called once, and only on a simulator that owns its kernel;
+// shared-kernel engines are driven via Begin / kernel.Run / Finish.
 func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+	if !s.ownKernel {
+		panic("packetsim: Run on a shared-kernel simulator; drive the shared kernel instead")
+	}
+	s.Begin()
+	s.k.Run(until)
+	return s.Finish()
+}
+
+// Begin starts the control plane (if attached) and arms stats sampling.
+func (s *Simulator) Begin() {
+	if s.begun || s.finished {
+		panic("packetsim: Run called twice")
+	}
+	s.begun = true
+	if s.ctrl != nil {
+		s.ctrl.Start(s.ctx)
+	}
 	if s.cfg.StatsEvery > 0 {
-		s.push(&event{at: simtime.Time(s.cfg.StatsEvery), kind: evStats})
+		s.sched(event{at: simtime.Time(s.cfg.StatsEvery), kind: evStats})
 	}
-	for s.q.Len() > 0 {
-		e := heap.Pop(&s.q).(*event)
-		if e.at > until {
-			s.now = until
-			break
-		}
-		if e.at > s.now {
-			s.now = e.at
-		}
-		s.dispatch(e)
+}
+
+// Finish records every flow and returns the collector; calling it again is
+// a no-op.
+func (s *Simulator) Finish() *stats.Collector {
+	if s.finished {
+		return s.col
 	}
+	s.finished = true
 	for _, f := range s.flows {
 		s.record(f)
 	}
@@ -270,6 +382,14 @@ func (s *Simulator) dispatch(e *event) {
 		}
 	case evStats:
 		s.sampleStats()
-		s.push(&event{at: s.now.Add(s.cfg.StatsEvery), kind: evStats})
+		s.sched(event{at: s.k.Now().Add(s.cfg.StatsEvery), kind: evStats})
+	case evToSwitch:
+		s.handleToSwitch(e.msg)
+	case evToController:
+		s.ctrl.Handle(s.ctx, e.msg)
+	case evExpiry:
+		s.handleExpiry(e.node)
+	case evTimer:
+		e.fn()
 	}
 }

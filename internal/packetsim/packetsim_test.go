@@ -5,10 +5,13 @@ import (
 	"testing"
 
 	"horse/internal/addr"
+	"horse/internal/controller"
 	"horse/internal/dataplane"
+	"horse/internal/flowsim"
 	"horse/internal/header"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
+	"horse/internal/simcore"
 	"horse/internal/simtime"
 	"horse/internal/traffic"
 )
@@ -202,6 +205,180 @@ func TestPacketVsFlowLevelAgreement(t *testing.T) {
 	if relErr := math.Abs(got-fluid) / fluid; relErr > 0.05 {
 		t.Errorf("packet FCT %g vs fluid %g: rel err %g", got, fluid, relErr)
 	}
+}
+
+// TestRTOGenerationCancelsStaleTimer is the regression test for the
+// rtoGen stamp: complete() bumps the generation, so an RTO timer that was
+// armed before the final ACK and is still queued when the flow completes
+// must be a no-op when it fires — no retransmission, no state change.
+func TestRTOGenerationCancelsStaleTimer(t *testing.T) {
+	topo := dumbbell(1e9)
+	k := simcore.New(simcore.Config{})
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop, Kernel: k})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	sim.Load(traffic.Trace{tcp(h0, r0, 0, 1e6)})
+	f := sim.flows[0]
+	sim.Begin()
+	// Step virtual time until the flow completes, leaving later events
+	// (the stale RTO among them) still queued.
+	var bound simtime.Time
+	for f.phase == phaseRunning && bound < simtime.Time(simtime.Minute) {
+		bound = bound.Add(simtime.Millisecond)
+		k.Run(bound)
+	}
+	if f.phase != phaseDone {
+		t.Fatalf("flow did not complete while stepping (phase=%d)", f.phase)
+	}
+	if k.Len() == 0 {
+		t.Fatal("no events left at completion; the stale-RTO window never existed")
+	}
+	sent, nextSeq, gen := f.sentBits, f.nextSeq, f.rtoGen
+	k.Run(simtime.Never) // fire everything that was still queued
+	if f.sentBits != sent {
+		t.Errorf("stale RTO retransmitted after completion: sentBits %g -> %g", sent, f.sentBits)
+	}
+	if f.nextSeq != nextSeq || f.rtoGen != gen {
+		t.Errorf("stale timer mutated sender state: nextSeq %d->%d rtoGen %d->%d",
+			nextSeq, f.nextSeq, gen, f.rtoGen)
+	}
+	if f.phase != phaseDone {
+		t.Errorf("phase changed after completion: %d", f.phase)
+	}
+	sim.Finish()
+}
+
+// TestReactiveControllerCompletesFlow: the controller-attached packet
+// engine end to end — a table miss punts (PacketIn + buffered packet),
+// ReactiveMAC installs rules after the control latency, the buffered
+// packet retries, and the transfer completes.
+func TestReactiveControllerCompletesFlow(t *testing.T) {
+	topo := dumbbell(1e9)
+	sim := New(Config{
+		Topology: topo, Miss: dataplane.MissController,
+		Controller:     controller.NewChain(&controller.ReactiveMAC{}),
+		ControlLatency: simtime.Millisecond,
+	})
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	sim.Load(traffic.Trace{tcp(h0, r0, 0, 1e6)})
+	col := sim.Run(simtime.Time(simtime.Minute))
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("reactive flow outcome = %s (punts=%d)", f.Outcome, f.Punts)
+	}
+	if f.Punts == 0 {
+		t.Error("no punts: rules were not installed reactively")
+	}
+	if col.PacketIns == 0 || col.FlowMods == 0 {
+		t.Errorf("control plane idle: packetins=%d flowmods=%d", col.PacketIns, col.FlowMods)
+	}
+	// The punt + install round trip must cost at least the control
+	// latency before the first byte moves.
+	if f.FCT() < 2*simtime.Millisecond {
+		t.Errorf("FCT %v too fast for a reactive start", f.FCT())
+	}
+}
+
+// TestIdleTimeoutExpiresAndReinstalls: reactive rules with a short idle
+// timeout expire (FlowRemoved), and a later flow punts anew.
+func TestIdleTimeoutExpiresAndReinstalls(t *testing.T) {
+	topo := dumbbell(1e9)
+	removed := 0
+	ctrl := &recordingController{
+		inner: controller.NewChain(&controller.ReactiveMAC{IdleTimeout: 50 * simtime.Millisecond}),
+		onMsg: func(msg openflow.Message) {
+			if _, ok := msg.(*openflow.FlowRemoved); ok {
+				removed++
+			}
+		},
+	}
+	sim := New(Config{
+		Topology: topo, Miss: dataplane.MissController,
+		Controller: ctrl, ControlLatency: simtime.Millisecond,
+	})
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	// Two short transfers far enough apart that the idle timeout fires in
+	// between.
+	d1 := cbr(h0, r0, 0, 1e6, 1e8)
+	d2 := cbr(h0, r0, simtime.Time(simtime.Second), 1e6, 1e8)
+	d2.Key.SrcPort = 41000
+	sim.Load(traffic.Trace{d1, d2})
+	col := sim.Run(simtime.Time(10 * simtime.Second))
+	for _, f := range col.Flows() {
+		if !f.Completed {
+			t.Errorf("flow %d: %s", f.ID, f.Outcome)
+		}
+		if f.Punts == 0 {
+			t.Errorf("flow %d rode cached rules; idle timeout never evicted", f.ID)
+		}
+	}
+	if removed == 0 {
+		t.Error("no FlowRemoved notifications reached the controller")
+	}
+}
+
+// TestMeterPolicesPackets: a meter on the path drops packets beyond its
+// rate (token bucket), throttling a CBR flow's delivery.
+func TestMeterPolicesPackets(t *testing.T) {
+	topo := dumbbell(1e9)
+	sim := New(Config{Topology: topo, Miss: dataplane.MissDrop})
+	installMACRoutes(sim.Network())
+	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
+	// Meter at the ingress switch: 1 Mbps against a 100 Mbps CBR.
+	sw, _ := topo.AttachedSwitch(h0)
+	net := sim.Network()
+	net.Switches[sw].Apply(&openflow.MeterMod{
+		Switch: sw, Op: openflow.MeterAdd, MeterID: 1, RateBps: 1e6,
+	}, 0)
+	net.Switches[sw].Apply(&openflow.FlowMod{
+		Op: openflow.FlowAdd, Priority: 100,
+		Match: header.Match{}.WithEthDst(addr.HostMAC(r0)),
+		Instr: openflow.Instructions{Meter: 1}.WithGoto(1),
+	}, 0)
+	// Forwarding lives in table 1 so the metered entry can goto it.
+	for _, swID := range topo.Switches() {
+		next := topo.ECMPNextHops(r0, netgraph.HopCost)
+		if len(next[swID]) == 0 {
+			continue
+		}
+		out := topo.PortToward(swID, next[swID][0])
+		net.Switches[swID].Apply(&openflow.FlowMod{
+			Op: openflow.FlowAdd, Table: 1, Priority: 10,
+			Match: header.Match{}.WithEthDst(addr.HostMAC(r0)),
+			Instr: openflow.Apply(openflow.Output(out)),
+		}, 0)
+	}
+	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e6, 1e8)})
+	col := sim.Run(simtime.Time(10 * simtime.Second))
+	f := col.Flows()[0]
+	if !f.Completed {
+		t.Fatalf("outcome = %s", f.Outcome)
+	}
+	// 1e6 bits offered at 100 Mbps through a 1 Mbps meter: the token
+	// bucket admits the initial burst, then the tail drops, so the
+	// second switch sees only a fraction of the packets.
+	if sim.PacketsForwarded() == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	admitted := float64(sim.counter) // switch hops ≈ admitted packets × hops
+	if admitted >= f.SentBits/DataPacketBits*2 {
+		t.Errorf("meter admitted everything: %g hops for %g packets",
+			admitted, f.SentBits/DataPacketBits)
+	}
+}
+
+// recordingController wraps a controller and observes every message.
+type recordingController struct {
+	inner flowsim.Controller
+	onMsg func(openflow.Message)
+}
+
+func (r *recordingController) Start(ctx *flowsim.Context) { r.inner.Start(ctx) }
+func (r *recordingController) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	if r.onMsg != nil {
+		r.onMsg(msg)
+	}
+	r.inner.Handle(ctx, msg)
 }
 
 func TestStatsSampling(t *testing.T) {

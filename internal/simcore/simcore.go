@@ -1,0 +1,236 @@
+// Package simcore is the shared discrete-event simulation kernel under
+// every Horse engine: the virtual clock, the pluggable event queue, the
+// deterministic dispatch loop, and the pooled event envelopes. The
+// flow-level engine (flowsim), the packet-level engine (packetsim), and
+// the hybrid coupler (hybrid) all run on one Kernel, which is what lets
+// several engines share a single virtual clock and interleave their events
+// in strict time order — the foundation of hybrid-fidelity runs.
+//
+// The kernel makes three promises:
+//
+//   - Determinism: events fire in nondecreasing time order with FIFO
+//     tie-breaking by schedule order, regardless of queue implementation.
+//   - A Peek-free fast path: the dispatch loop only inspects the queue
+//     head (Peek) when a pre-advance hook has deferred work pending;
+//     otherwise it pops directly, so queues never pay for head inspection
+//     on the common path.
+//   - Pre-advance hooks: an engine may defer work that must settle before
+//     virtual time advances past the current instant (flowsim's batched
+//     fair-share re-solve). The kernel drains pending hooks exactly when
+//     the next event would move the clock, so all events at one instant
+//     share a single settling pass.
+package simcore
+
+import (
+	"horse/internal/eventq"
+	"horse/internal/simtime"
+)
+
+// Event is a schedulable kernel event. Fire executes it; Release returns
+// it to its owner's pool after dispatch. Events typically carry generation
+// stamps (compared against owner state in Fire) so that stale, logically
+// cancelled events are cheap no-ops — the pattern that makes pooling safe:
+// a recycled envelope can never be confused with its former identity,
+// because the generation it carried is dead.
+type Event interface {
+	eventq.Event
+	// Fire executes the event at its firing time.
+	Fire()
+	// Release recycles the event after Fire returns. Implementations that
+	// do not pool may make it a no-op.
+	Release()
+}
+
+// Config parameterizes a Kernel.
+type Config struct {
+	// UseCalendarQueue selects the calendar event queue instead of the
+	// binary heap (the E6 ablation switch, now shared by every engine).
+	UseCalendarQueue bool
+	// Queue, if non-nil, is used directly and overrides UseCalendarQueue.
+	Queue eventq.Queue
+}
+
+// hook is one pre-advance hook: pending reports whether deferred work
+// exists; drain settles it (and may schedule new events at or after the
+// current instant).
+type hook struct {
+	pending func() bool
+	drain   func()
+}
+
+// Kernel is the simulation core: virtual clock + event queue + dispatch
+// loop. Zero value is not usable; call New.
+type Kernel struct {
+	q          eventq.Queue
+	now        simtime.Time
+	hooks      []hook
+	dispatched uint64
+	// staged holds an event a previous Run popped but could not fire
+	// because it lay beyond the time bound; the next Run considers it
+	// against the queue head (it wins ties — it was scheduled earlier
+	// than anything pushed since).
+	staged Event
+}
+
+// New builds a kernel over the configured queue.
+func New(cfg Config) *Kernel {
+	q := cfg.Queue
+	if q == nil {
+		if cfg.UseCalendarQueue {
+			q = eventq.NewCalendar()
+		} else {
+			q = eventq.NewHeap()
+		}
+	}
+	return &Kernel{q: q}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() simtime.Time { return k.now }
+
+// Len returns the number of scheduled events.
+func (k *Kernel) Len() int {
+	n := k.q.Len()
+	if k.staged != nil {
+		n++
+	}
+	return n
+}
+
+// Dispatched returns how many events have fired — the work metric shared
+// across all engines on this kernel (E7 reports it as events/sec).
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// Schedule queues an event. Scheduling in the past is not checked; the
+// clock never moves backwards, so such an event fires at the current
+// instant (after everything already queued there).
+func (k *Kernel) Schedule(ev Event) { k.q.Push(ev) }
+
+// AddPreAdvance registers a pre-advance hook. Hooks run — in registration
+// order — whenever the next event would advance the clock (or the queue is
+// empty) while pending() reports deferred work. drain() may schedule new
+// events, including at the current instant; the kernel re-examines the
+// queue after every drain pass.
+func (k *Kernel) AddPreAdvance(pending func() bool, drain func()) {
+	k.hooks = append(k.hooks, hook{pending: pending, drain: drain})
+}
+
+func (k *Kernel) anyPending() bool {
+	for i := range k.hooks {
+		if k.hooks[i].pending() {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Kernel) drainHooks() {
+	for i := range k.hooks {
+		if k.hooks[i].pending() {
+			k.hooks[i].drain()
+		}
+	}
+}
+
+// Run executes events until the queue drains or the next event lies beyond
+// until (use simtime.Never for no bound). On the time bound the clock
+// advances to until and the out-of-bound event is staged for the next Run,
+// so Run may be called repeatedly with increasing bounds to step a
+// simulation.
+func (k *Kernel) Run(until simtime.Time) {
+	for {
+		ev := k.next()
+		if ev == nil {
+			return
+		}
+		if ev.Time() > until {
+			k.staged = ev
+			k.now = until
+			return
+		}
+		if t := ev.Time(); t > k.now {
+			k.now = t
+		}
+		k.dispatched++
+		ev.Fire()
+		ev.Release()
+	}
+}
+
+// next removes and returns the earliest runnable event, honoring
+// pre-advance hooks: deferred work settles before the clock would advance
+// (the drain may schedule events earlier than the stalled head, so the
+// queue is re-examined after each pass). Returns nil when everything has
+// drained. On the common path — no hook pending, nothing staged — this is
+// a single Pop with no head inspection (the Peek-free fast path).
+func (k *Kernel) next() Event {
+	for {
+		if k.anyPending() {
+			head := k.peekAny()
+			if head == nil || head.Time() > k.now {
+				k.drainHooks()
+				if head == nil && k.Len() == 0 {
+					return nil
+				}
+				continue
+			}
+		}
+		return k.popAny()
+	}
+}
+
+// peekAny previews the earliest event across the staged slot and the
+// queue; the staged event wins ties (it was scheduled first).
+func (k *Kernel) peekAny() Event {
+	h := k.q.Peek()
+	if k.staged == nil {
+		if h == nil {
+			return nil
+		}
+		return h.(Event)
+	}
+	if h == nil || k.staged.Time() <= h.Time() {
+		return k.staged
+	}
+	return h.(Event)
+}
+
+// popAny removes the earliest event across the staged slot and the queue.
+func (k *Kernel) popAny() Event {
+	if k.staged != nil {
+		if h := k.q.Peek(); h == nil || k.staged.Time() <= h.Time() {
+			ev := k.staged
+			k.staged = nil
+			return ev
+		}
+		return k.q.Pop().(Event)
+	}
+	ev := k.q.Pop()
+	if ev == nil {
+		return nil
+	}
+	return ev.(Event)
+}
+
+// Pool recycles event envelopes so steady-state simulation allocates no
+// event memory: Get returns a recycled (or new) zero-value-at-rest *T, Put
+// returns one after the owner has cleared payload references. Pool is not
+// goroutine-safe; each engine owns one.
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get returns an envelope from the pool, allocating if empty.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free) - 1; n >= 0 {
+		x := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return x
+	}
+	return new(T)
+}
+
+// Put recycles an envelope. The caller must have dropped every reference
+// and cleared the envelope's payload fields.
+func (p *Pool[T]) Put(x *T) { p.free = append(p.free, x) }

@@ -1,0 +1,165 @@
+package simcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"horse/internal/simtime"
+)
+
+// testEvent is a minimal pooled event recording its dispatch.
+type testEvent struct {
+	at   simtime.Time
+	id   int
+	fire func(e *testEvent)
+	pool *Pool[testEvent]
+}
+
+func (e *testEvent) Time() simtime.Time { return e.at }
+func (e *testEvent) Fire()              { e.fire(e) }
+func (e *testEvent) Release() {
+	if e.pool != nil {
+		p := e.pool
+		*e = testEvent{}
+		p.Put(e)
+	}
+}
+
+func TestRunDispatchOrder(t *testing.T) {
+	for _, calendar := range []bool{false, true} {
+		k := New(Config{UseCalendarQueue: calendar})
+		var got []int
+		times := []simtime.Time{30, 10, 20, 10, 0}
+		for i, at := range times {
+			i := i
+			k.Schedule(&testEvent{at: at, id: i, fire: func(e *testEvent) { got = append(got, e.id) }})
+		}
+		k.Run(simtime.Never)
+		want := []int{4, 1, 3, 2, 0} // time order, FIFO ties
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("calendar=%v: dispatch order %v, want %v", calendar, got, want)
+			}
+		}
+		if k.Dispatched() != uint64(len(times)) {
+			t.Errorf("Dispatched = %d, want %d", k.Dispatched(), len(times))
+		}
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	k := New(Config{})
+	var fired []simtime.Time
+	for _, at := range []simtime.Time{5, 15, 25} {
+		k.Schedule(&testEvent{at: at, fire: func(e *testEvent) { fired = append(fired, e.at) }})
+	}
+	k.Run(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 5 and 15 only", fired)
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now = %v, want clock parked at the bound", k.Now())
+	}
+	if k.Len() != 1 {
+		t.Fatalf("Len = %d, want the out-of-bound event staged", k.Len())
+	}
+	// Stepping: an event scheduled between runs, earlier than the staged
+	// one, fires first; the staged event then fires at its own time.
+	k.Schedule(&testEvent{at: 22, fire: func(e *testEvent) { fired = append(fired, e.at) }})
+	k.Run(simtime.Never)
+	if len(fired) != 4 || fired[2] != 22 || fired[3] != 25 {
+		t.Fatalf("fired %v, want [5 15 22 25]", fired)
+	}
+}
+
+// TestPreAdvanceHook verifies the flowsim contract: deferred work settles
+// exactly when the clock would advance, and events the drain schedules at
+// earlier times run before the stalled head.
+func TestPreAdvanceHook(t *testing.T) {
+	k := New(Config{})
+	dirty := false
+	var order []string
+	k.AddPreAdvance(func() bool { return dirty }, func() {
+		dirty = false
+		order = append(order, "drain")
+		k.Schedule(&testEvent{at: k.Now() + 1, fire: func(*testEvent) { order = append(order, "drained-event") }})
+	})
+	k.Schedule(&testEvent{at: 0, fire: func(*testEvent) {
+		order = append(order, "e0")
+		dirty = true
+	}})
+	k.Schedule(&testEvent{at: 100, fire: func(*testEvent) { order = append(order, "e100") }})
+	k.Run(simtime.Never)
+	want := []string{"e0", "drain", "drained-event", "e100"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPreAdvanceDrainOnEmpty: a drain on an emptied queue may schedule the
+// run's final events (flowsim's deferred solve scheduling completions).
+func TestPreAdvanceDrainOnEmpty(t *testing.T) {
+	k := New(Config{})
+	dirty := false
+	fired := 0
+	k.AddPreAdvance(func() bool { return dirty }, func() {
+		dirty = false
+		k.Schedule(&testEvent{at: k.Now() + 10, fire: func(*testEvent) { fired++ }})
+	})
+	k.Schedule(&testEvent{at: 0, fire: func(*testEvent) { dirty = true }})
+	k.Run(simtime.Never)
+	if fired != 1 {
+		t.Fatalf("drain-scheduled event fired %d times, want 1", fired)
+	}
+}
+
+// TestPoolRecycles: envelopes cycle through the pool without disturbing
+// dispatch, and steady-state reuse allocates nothing new.
+func TestPoolRecycles(t *testing.T) {
+	k := New(Config{})
+	var pool Pool[testEvent]
+	rng := rand.New(rand.NewSource(1))
+	fired := 0
+	var sched func(at simtime.Time)
+	sched = func(at simtime.Time) {
+		e := pool.Get()
+		*e = testEvent{at: at, pool: &pool, fire: func(e *testEvent) {
+			fired++
+			if fired < 1000 {
+				sched(e.at + simtime.Time(rng.Int63n(50)+1))
+			}
+		}}
+		k.Schedule(e)
+	}
+	sched(0)
+	k.Run(simtime.Never)
+	if fired != 1000 {
+		t.Fatalf("fired = %d, want 1000", fired)
+	}
+	// One event is in flight at a time, so the whole run rotates through
+	// two envelopes: the firing one and the one it schedules.
+	if len(pool.free) > 2 {
+		t.Errorf("pool holds %d envelopes, want at most the 2-envelope rotation", len(pool.free))
+	}
+}
+
+// TestMultipleHooks: hooks drain in registration order — the hybrid case
+// of two engines sharing one kernel.
+func TestMultipleHooks(t *testing.T) {
+	k := New(Config{})
+	var order []string
+	d1, d2 := false, false
+	k.AddPreAdvance(func() bool { return d1 }, func() { d1 = false; order = append(order, "h1") })
+	k.AddPreAdvance(func() bool { return d2 }, func() { d2 = false; order = append(order, "h2") })
+	k.Schedule(&testEvent{at: 0, fire: func(*testEvent) { d1, d2 = true, true }})
+	k.Schedule(&testEvent{at: 10, fire: func(*testEvent) { order = append(order, "ev") }})
+	k.Run(simtime.Never)
+	if len(order) != 3 || order[0] != "h1" || order[1] != "h2" || order[2] != "ev" {
+		t.Fatalf("order = %v, want [h1 h2 ev]", order)
+	}
+}
