@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint ci
+.PHONY: all build test race bench fuzz-smoke lint ci
 
 all: build
 
@@ -14,11 +14,16 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/packetsim/... ./internal/hybrid/...
-	$(GO) test -race -run 'TestParallel' ./internal/experiments/...
+	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/...
+	$(GO) test -race -run 'TestParallel|TestE8Parallel' ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# A short native-fuzzing pass over the trace codec (seed corpus checked in
+# under internal/traffic/testdata/fuzz).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
 
 lint:
 	$(GO) vet ./...
@@ -26,4 +31,4 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build lint test race bench
+ci: build lint test race bench fuzz-smoke

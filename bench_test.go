@@ -150,3 +150,14 @@ func BenchmarkE7HybridHalf(b *testing.B) {
 		experiments.E7HybridFidelity([]float64{0.5})
 	}
 }
+
+// BenchmarkE8Resilience times one resilience arm (both policies under a
+// 500ms-MTBF failure process plus their failure-free baselines).
+func BenchmarkE8Resilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E8Resilience(
+			[]horse.Duration{500 * horse.Millisecond},
+			[]horse.Duration{200 * horse.Millisecond},
+		)
+	}
+}

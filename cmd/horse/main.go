@@ -10,7 +10,7 @@
 //
 //	horse -topo ixp -members 200 -replay 24h -epoch 1h
 //
-// The experiments subcommand runs the E1–E6 evaluation grid on a worker
+// The experiments subcommand runs the E1–E8 evaluation grid on a worker
 // pool and can emit the machine-readable bench report:
 //
 //	horse experiments -quick -parallel 8 -json BENCH_experiments.json
@@ -37,7 +37,7 @@ import (
 
 func main() {
 	// The experiments subcommand shares cmd/horsebench's driver so the
-	// two binaries expose the identical E1–E6 grid and flags.
+	// two binaries expose the identical E1–E8 grid and flags.
 	if len(os.Args) > 1 && os.Args[1] == "experiments" {
 		os.Exit(benchcli.Main("horse", os.Args[2:], os.Stdout, os.Stderr))
 	}

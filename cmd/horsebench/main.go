@@ -1,5 +1,5 @@
 // Command horsebench regenerates the full Horse evaluation: every
-// experiment in DESIGN.md's index (E1–E6), printed as the tables recorded
+// experiment in DESIGN.md's index (E1–E8), printed as the tables recorded
 // in EXPERIMENTS.md. Independent grid cells (fabric sizes, arrival rates,
 // member counts, config rows, ablation arms) fan out across a worker pool.
 //

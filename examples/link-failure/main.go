@@ -5,6 +5,10 @@
 // the control/data-plane interaction loop the simulator abstracts: network
 // event → controller notification → new instructions → traffic shift.
 //
+// The outage is scripted with the scenario engine — the same Timeline
+// drives the packet-level and hybrid engines unchanged (see
+// examples/chaos-fabric for the generated-failure variant).
+//
 //	go run ./examples/link-failure
 package main
 
@@ -41,14 +45,16 @@ func main() {
 
 	// The direct link dies at t=3s and recovers at t=8s.
 	direct := topo.LinkAt(s0, topo.PortToward(s0, s1)).ID
-	sim.ScheduleLinkChange(horse.Time(3*horse.Second), direct, false)
-	sim.ScheduleLinkChange(horse.Time(8*horse.Second), direct, true)
+	tl := horse.NewScenario().
+		LinkOutage(horse.Time(3*horse.Second), horse.Time(8*horse.Second), direct)
+	tl.Apply(sim)
 
 	col := sim.Run(horse.Never)
 	f := col.Flows()[0]
-	fmt.Printf("outcome=%s FCT=%.3fs sent=%.0f bits path-changes=%d\n",
-		f.Outcome, f.FCT().Seconds(), f.SentBits, col.PathChanges)
-	if f.Completed && col.PathChanges > 0 {
+	out := horse.EvaluateScenario(tl, col, nil)
+	fmt.Printf("outcome=%s FCT=%.3fs sent=%.0f bits path-changes=%d reroute-latency=%v\n",
+		f.Outcome, f.FCT().Seconds(), f.SentBits, col.PathChanges, out.RerouteLatency)
+	if f.Completed && out.Reroutes > 0 {
 		fmt.Println("the controller rerouted the flow around the failure")
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"horse/internal/netgraph"
 	"horse/internal/packetsim"
 	"horse/internal/policy"
+	"horse/internal/scenario"
 	"horse/internal/simcore"
 	"horse/internal/simtime"
 	"horse/internal/stats"
@@ -296,6 +297,30 @@ func NewHybridSimulator(cfg HybridConfig) *HybridSimulator { return hybrid.New(c
 // PacketFraction flags ~p of the demand stream for packet-level
 // simulation in a HybridConfig (spread evenly over load order).
 func PacketFraction(p float64) func(i int, d traffic.Demand) bool { return hybrid.Fraction(p) }
+
+// Scenario engine: scripted failures and dynamics across all engines.
+type (
+	// Scenario is a deterministic timeline of network events (link and
+	// switch outages, controller detach, demand surges) that drives any
+	// engine — flow-level, packet-level, or hybrid.
+	Scenario = scenario.Timeline
+	// ScenarioEngine is the simulator surface a Scenario compiles onto.
+	ScenarioEngine = scenario.Engine
+	// ScenarioOutcome summarizes what a scripted disruption cost a run.
+	ScenarioOutcome = scenario.Outcome
+	// FailureConfig parameterizes RandomLinkFailures.
+	FailureConfig = scenario.FailureConfig
+)
+
+// Scenario constructors and evaluation.
+var (
+	// NewScenario returns an empty timeline.
+	NewScenario = scenario.New
+	// RandomLinkFailures draws a seed-reproducible failure process.
+	RandomLinkFailures = scenario.RandomLinkFailures
+	// EvaluateScenario computes resilience metrics for a disturbed run.
+	EvaluateScenario = scenario.Evaluate
+)
 
 // Metrics.
 type (

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"horse/internal/experiments"
+	"horse/internal/simtime"
 )
 
 // Full-suite grid constants, in one place.
@@ -23,6 +24,8 @@ var (
 	fullMemberCounts = []int{100, 200, 400}
 	fullReplayHours  = 24
 	fullE7Fractions  = []float64{0, 0.25, 0.5, 0.75, 1}
+	fullE8MTBFs      = []simtime.Duration{500 * simtime.Millisecond, 2 * simtime.Second}
+	fullE8Recoveries = []simtime.Duration{100 * simtime.Millisecond, 400 * simtime.Millisecond}
 )
 
 // Main parses args, runs the selected experiments, prints the tables to
@@ -32,7 +35,7 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run the reduced suite")
-	only := fs.String("only", "", "run a single experiment (E1..E7)")
+	only := fs.String("only", "", "run a single experiment (E1..E8)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells")
 	jsonOut := fs.String("json", "", "write a horse-bench/v1 JSON report to this path (\"-\" = stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +70,9 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 		"E6": func() []*experiments.Table { return []*experiments.Table{experiments.E6With(opts)} },
 		"E7": func() []*experiments.Table {
 			return []*experiments.Table{experiments.E7With(opts, fullE7Fractions)}
+		},
+		"E8": func() []*experiments.Table {
+			return []*experiments.Table{experiments.E8With(opts, fullE8MTBFs, fullE8Recoveries)}
 		},
 	}[strings.ToUpper(*only)]
 	if !ok {

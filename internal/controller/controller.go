@@ -13,9 +13,10 @@
 //	table 1 — forwarding table: MAC-destination rules or ECMP groups.
 //
 // Apps that install overrides use table 0 at priorities above the default;
-// apps that forward use table 1. This is what lets "applications such as
-// load balancing and blackholing coexist" (Figure 1) without rule
-// cross-products.
+// apps that forward use table 1 — at most one forwarding app per Chain
+// (two would fight over the same rules, and over the reconvergence flush).
+// This is what lets "applications such as load balancing and blackholing
+// coexist" (Figure 1) without rule cross-products.
 package controller
 
 import (
@@ -82,6 +83,53 @@ func InstallPolicyDefaults(ctx *flowsim.Context) {
 			Table: TablePolicy, Priority: PrioDefault,
 			Match: header.MatchAll,
 			Instr: openflow.Instructions{}.WithGoto(TableForwarding),
+		})
+	}
+}
+
+// portStatusCoalescer debounces an app's PortStatus reaction: one
+// topology event produces a PortStatus from each live endpoint switch at
+// the same instant, so Kick schedules the app's reaction once via
+// After(0) — which fires after the remaining same-instant deliveries —
+// instead of once per message. Forwarding apps react with defaults +
+// flush + reinstall; policy apps re-run their idempotent installs (a
+// restarted switch comes back with every table empty, so everything that
+// programs switches must re-program on topology events).
+//
+// The forwarding reaction flushes the whole forwarding table, so a Chain
+// must compose at most ONE forwarding (table-1-writing) app — the package
+// convention anyway: stacked forwarding apps would overwrite each other's
+// rules on install, and here the second app's flush would delete the
+// first's reinstalls. Policy apps add-replace into table 0 and do not
+// flush, so any number coexist.
+type portStatusCoalescer struct {
+	pending bool
+}
+
+// Kick schedules react for this instant if msg is a PortStatus and no
+// reaction is already scheduled.
+func (c *portStatusCoalescer) Kick(ctx *flowsim.Context, msg openflow.Message, react func()) {
+	if _, ok := msg.(*openflow.PortStatus); !ok || c.pending {
+		return
+	}
+	c.pending = true
+	ctx.After(0, func() {
+		c.pending = false
+		react()
+	})
+}
+
+// FlushForwarding deletes every forwarding-table rule on every switch —
+// the reconvergence-safe first half of a topology-change reaction: flush,
+// then recompute, so no stale rule pointing at a dead port (or at a
+// destination that became unreachable) survives the event. Deletes and the
+// reinstalls that follow share one control-latency instant, so the data
+// plane never observes a half-flushed table.
+func FlushForwarding(ctx *flowsim.Context) {
+	for _, sw := range ctx.Topology().Switches() {
+		ctx.Send(&openflow.FlowMod{
+			Switch: sw, Op: openflow.FlowDelete,
+			Table: TableForwarding, Match: header.MatchAll,
 		})
 	}
 }

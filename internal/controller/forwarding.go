@@ -16,6 +16,8 @@ import (
 type ProactiveMAC struct {
 	// Cost selects the path metric (hop count by default).
 	Cost netgraph.Cost
+
+	resync portStatusCoalescer
 }
 
 // Name implements App.
@@ -63,12 +65,17 @@ func (p *ProactiveMAC) installHost(ctx *flowsim.Context, host netgraph.NodeID) {
 	}
 }
 
-// Handle implements flowsim.Controller: topology changes trigger a full
-// recomputation (simple and correct; fine at control-event rates).
+// Handle implements flowsim.Controller: topology changes flush the
+// forwarding tables and trigger a full recomputation (simple and correct;
+// fine at control-event rates). The flush guarantees reconvergence leaves
+// no stale rule matching a dead port — including rules toward destinations
+// the recompute can no longer reach.
 func (p *ProactiveMAC) Handle(ctx *flowsim.Context, msg openflow.Message) {
-	if _, ok := msg.(*openflow.PortStatus); ok {
+	p.resync.Kick(ctx, msg, func() {
+		InstallPolicyDefaults(ctx)
+		FlushForwarding(ctx)
 		p.installAll(ctx)
-	}
+	})
 }
 
 // ReactiveMAC forwards like ProactiveMAC but installs rules on demand:
@@ -80,6 +87,8 @@ type ReactiveMAC struct {
 	// IdleTimeout evicts reactive rules (default 10 s).
 	IdleTimeout simtime.Duration
 	Cost        netgraph.Cost
+
+	resync portStatusCoalescer
 }
 
 // Name implements App.
@@ -90,8 +99,13 @@ func (r *ReactiveMAC) Start(ctx *flowsim.Context) {
 	InstallPolicyDefaults(ctx)
 }
 
-// Handle implements flowsim.Controller.
+// Handle implements flowsim.Controller. Topology events re-install the
+// table-0 defaults (a restarted switch comes back with every table empty,
+// and without the goto-forwarding default it could never punt reactive
+// misses up to table 1); the reactive table-1 rules themselves reinstall
+// on the re-punts that follow.
 func (r *ReactiveMAC) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	r.resync.Kick(ctx, msg, func() { InstallPolicyDefaults(ctx) })
 	pin, ok := msg.(*openflow.PacketIn)
 	if !ok {
 		return

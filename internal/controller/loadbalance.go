@@ -19,6 +19,8 @@ type ECMPLoadBalancer struct {
 	// Weights, if non-nil, overrides bucket weights per switch+port; used
 	// by the monitoring app to rebalance. Keyed by switch then port.
 	Weights map[netgraph.NodeID]map[netgraph.PortNum]uint32
+
+	resync portStatusCoalescer
 }
 
 // Name implements App.
@@ -121,13 +123,16 @@ func portsKey(ports []netgraph.PortNum) string {
 	return string(b)
 }
 
-// Handle implements flowsim.Controller: link state changes trigger group
-// reinstallation (watch ports already give instant data-plane failover;
-// this refreshes path sets).
+// Handle implements flowsim.Controller: link state changes flush the
+// forwarding tables and reinstall groups with recomputed path sets (watch
+// ports already give instant data-plane failover; the flush guarantees no
+// stale rule toward a now-unreachable destination survives).
 func (l *ECMPLoadBalancer) Handle(ctx *flowsim.Context, msg openflow.Message) {
-	if _, ok := msg.(*openflow.PortStatus); ok {
+	l.resync.Kick(ctx, msg, func() {
+		InstallPolicyDefaults(ctx)
+		FlushForwarding(ctx)
 		l.installAll(ctx)
-	}
+	})
 }
 
 // MisconfiguredLoadBalancer deliberately skews ECMP: all buckets point at

@@ -17,6 +17,8 @@ type Blackhole struct {
 	Matches []header.Match
 	// At restricts installation to these switches; empty means all.
 	At []netgraph.NodeID
+
+	resync portStatusCoalescer
 }
 
 // Name implements App.
@@ -40,8 +42,12 @@ func (b *Blackhole) Start(ctx *flowsim.Context) {
 	}
 }
 
-// Handle implements flowsim.Controller.
-func (*Blackhole) Handle(*flowsim.Context, openflow.Message) {}
+// Handle implements flowsim.Controller: topology events re-run the
+// idempotent install, so a restarted (table-wiped) switch gets its drop
+// rules back.
+func (b *Blackhole) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	b.resync.Kick(ctx, msg, func() { b.Start(ctx) })
+}
 
 // RateLimitRule is one "rate limiting: e2→e4 : 500 Mbps" style policy.
 type RateLimitRule struct {
@@ -60,6 +66,7 @@ type RateLimiter struct {
 	Rules []RateLimitRule
 
 	nextMeter map[netgraph.NodeID]openflow.MeterID
+	resync    portStatusCoalescer
 }
 
 // Name implements App.
@@ -84,8 +91,13 @@ func (r *RateLimiter) Start(ctx *flowsim.Context) {
 	}
 }
 
-// Handle implements flowsim.Controller.
-func (*RateLimiter) Handle(*flowsim.Context, openflow.Message) {}
+// Handle implements flowsim.Controller: topology events re-run the
+// install (meter IDs re-allocate deterministically in rule order, so the
+// MeterAdds replace in place) and a restarted switch gets its policers
+// back.
+func (r *RateLimiter) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	r.resync.Kick(ctx, msg, func() { r.Start(ctx) })
+}
 
 // PeeringRule is one "application based peering: e1→e3 : http" policy:
 // traffic of an application class entering the fabric is steered toward a
@@ -107,6 +119,8 @@ type PeeringRule struct {
 type AppPeering struct {
 	Rules []PeeringRule
 	Cost  netgraph.Cost
+
+	resync portStatusCoalescer
 }
 
 // Name implements App.
@@ -139,8 +153,12 @@ func (a *AppPeering) Start(ctx *flowsim.Context) {
 	}
 }
 
-// Handle implements flowsim.Controller.
-func (*AppPeering) Handle(*flowsim.Context, openflow.Message) {}
+// Handle implements flowsim.Controller: topology events re-run the
+// install, recomputing the steering path over the surviving links and
+// re-programming restarted switches.
+func (a *AppPeering) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	a.resync.Kick(ctx, msg, func() { a.Start(ctx) })
+}
 
 // SourceRoute pins one host pair to an explicit switch path — the "source
 // routing" policy of Figure 1. The caller chooses the path; the app
@@ -157,6 +175,8 @@ type SourceRoute struct {
 // SourceRouting installs explicit routes for configured pairs.
 type SourceRouting struct {
 	Routes []SourceRoute
+
+	resync portStatusCoalescer
 }
 
 // Name implements App.
@@ -194,5 +214,9 @@ func (s *SourceRouting) Start(ctx *flowsim.Context) {
 	}
 }
 
-// Handle implements flowsim.Controller.
-func (*SourceRouting) Handle(*flowsim.Context, openflow.Message) {}
+// Handle implements flowsim.Controller: topology events re-run the
+// install so a restarted switch gets its pinned routes back (the path
+// itself stays pinned — inefficiency by design).
+func (s *SourceRouting) Handle(ctx *flowsim.Context, msg openflow.Message) {
+	s.resync.Kick(ctx, msg, func() { s.Start(ctx) })
+}

@@ -1,0 +1,197 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"horse/internal/addr"
+	"horse/internal/dataplane"
+	"horse/internal/flowsim"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+	"horse/internal/simtime"
+	"horse/internal/traffic"
+)
+
+// reconvergePolicies are the table rows: the two policies the E8
+// resilience sweep contrasts, checked for the same contract — on
+// PortStatus the controller flushes, recomputes, and leaves no stale entry
+// matching the dead port.
+var reconvergePolicies = []struct {
+	name string
+	mk   func() flowsim.Controller
+}{
+	{"forwarding", func() flowsim.Controller { return NewChain(&ProactiveMAC{}) }},
+	{"loadbalance", func() flowsim.Controller { return NewChain(&ECMPLoadBalancer{}) }},
+}
+
+// assertNoStaleRules walks every installed rule and fails on any plain
+// output action pointing at a port whose link is down. Group buckets may
+// reference a dead port only when guarded by a matching watch port (the
+// liveness check excludes them at selection time — that is the data-plane
+// failover working as designed).
+func assertNoStaleRules(t *testing.T, net *dataplane.Network) {
+	t.Helper()
+	topo := net.Topo
+	sws := make([]netgraph.NodeID, 0, len(net.Switches))
+	for sw := range net.Switches {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	var checkActions func(sw netgraph.NodeID, where string, actions []openflow.Action, watch netgraph.PortNum)
+	checkActions = func(sw netgraph.NodeID, where string, actions []openflow.Action, watch netgraph.PortNum) {
+		for _, a := range actions {
+			switch a.Type {
+			case openflow.ActionOutput:
+				switch a.Port {
+				case openflow.PortController, openflow.PortFlood, openflow.PortDrop:
+					continue
+				}
+				l := topo.LinkAt(sw, a.Port)
+				if l == nil || !l.Up {
+					if watch == a.Port {
+						continue // dead bucket, but watch-port guarded
+					}
+					t.Errorf("switch %s: stale rule in %s outputs to dead port %d",
+						topo.Node(sw).Name, where, a.Port)
+				}
+			case openflow.ActionGroup:
+				g := net.Switches[sw].Groups.Get(a.Group)
+				if g == nil {
+					t.Errorf("switch %s: %s references missing group %d", topo.Node(sw).Name, where, a.Group)
+					continue
+				}
+				for bi, b := range g.Buckets {
+					checkActions(sw, fmt.Sprintf("%s/group%d/bucket%d", where, a.Group, bi), b.Actions, b.WatchPort)
+				}
+			}
+		}
+	}
+	for _, sw := range sws {
+		for ti, tab := range net.Switches[sw].Tables {
+			for _, e := range tab.Entries() {
+				checkActions(sw, fmt.Sprintf("table%d[%s]", ti, e.Match), e.Instr.Actions, netgraph.NoPort)
+			}
+		}
+	}
+}
+
+// TestReconvergenceOnPortStatus is the table-driven contract: after a link
+// failure both policies reroute the affected traffic over the surviving
+// spine, churn rules doing it, and leave no stale entry matching the dead
+// port.
+func TestReconvergenceOnPortStatus(t *testing.T) {
+	for _, pol := range reconvergePolicies {
+		t.Run(pol.name, func(t *testing.T) {
+			topo := netgraph.LeafSpine(2, 2, 2, netgraph.Gig, netgraph.TenGig)
+			h0, h2 := topo.MustLookup("h0"), topo.MustLookup("h2")
+			leaf0, spine0 := topo.MustLookup("leaf0"), topo.MustLookup("spine0")
+			dead := topo.LinkAt(leaf0, topo.PortToward(leaf0, spine0))
+
+			sim := flowsim.New(flowsim.Config{
+				Topology: topo, Controller: pol.mk(), Miss: dataplane.MissController,
+				ControlLatency: simtime.Millisecond,
+			})
+			sim.Load(traffic.Trace{cbr(h0, h2, 0, 2.5e8, 5e7)}) // 5s transfer
+			sim.ScheduleLinkChange(simtime.Time(simtime.Second), dead.ID, false)
+			col := sim.Run(simtime.Time(simtime.Minute))
+
+			r := col.Flows()[0]
+			if !r.Completed {
+				t.Fatalf("flow outcome = %s; policy failed to reconverge", r.Outcome)
+			}
+			if col.FlowMods == 0 {
+				t.Fatal("no rule churn recorded")
+			}
+			if !dead.Up {
+				assertNoStaleRules(t, sim.Network())
+			} else {
+				t.Fatal("test link unexpectedly up")
+			}
+		})
+	}
+}
+
+// TestPolicyAppsSurviveSwitchRestart: a switch crash wipes table-0 policy
+// state too; the policy apps must re-program a restarted switch, so a
+// blackhole still drops and a rate limiter still polices afterwards.
+func TestPolicyAppsSurviveSwitchRestart(t *testing.T) {
+	topo := netgraph.LeafSpine(2, 2, 2, netgraph.Gig, netgraph.TenGig)
+	h0, h2 := topo.MustLookup("h0"), topo.MustLookup("h2")
+	leaf0 := topo.MustLookup("leaf0")
+	bh := &Blackhole{Matches: []header.Match{header.Match{}.WithEthDst(addr.HostMAC(h2))}}
+
+	sim := flowsim.New(flowsim.Config{
+		Topology: topo, Controller: NewChain(&ProactiveMAC{}, bh), Miss: dataplane.MissController,
+		ControlLatency: simtime.Millisecond,
+	})
+	// leaf0 (holding the blackhole override for traffic entering there)
+	// crashes and restarts; a flow toward the blackholed host arriving
+	// AFTER the restart must still drop.
+	sim.ScheduleSwitchChange(simtime.Time(simtime.Second), leaf0, false)
+	sim.ScheduleSwitchChange(simtime.Time(2*simtime.Second), leaf0, true)
+	late := cbr(h0, h2, simtime.Time(3*simtime.Second), 1e6, 1e7)
+	sim.Load(traffic.Trace{late})
+	col := sim.Run(simtime.Time(simtime.Minute))
+
+	r := col.Flows()[0]
+	if r.Completed || r.Outcome != "dropped" {
+		t.Fatalf("post-restart flow outcome = %s; the blackhole vanished with the table wipe", r.Outcome)
+	}
+}
+
+// TestReconvergenceFlushesUnreachable is the flush half of the contract:
+// when a leaf is partitioned (both uplinks dead) the rules toward its
+// hosts must be deleted everywhere — not left blackholing into dead ports
+// — so traffic toward them parks on a punt instead of silently dying.
+func TestReconvergenceFlushesUnreachable(t *testing.T) {
+	for _, pol := range reconvergePolicies {
+		t.Run(pol.name, func(t *testing.T) {
+			topo := netgraph.LeafSpine(2, 2, 2, netgraph.Gig, netgraph.TenGig)
+			h0, h2 := topo.MustLookup("h0"), topo.MustLookup("h2")
+			leaf0 := topo.MustLookup("leaf0")
+			up0 := topo.LinkAt(leaf0, topo.PortToward(leaf0, topo.MustLookup("spine0")))
+			up1 := topo.LinkAt(leaf0, topo.PortToward(leaf0, topo.MustLookup("spine1")))
+
+			sim := flowsim.New(flowsim.Config{
+				Topology: topo, Controller: pol.mk(), Miss: dataplane.MissController,
+				ControlLatency: simtime.Millisecond,
+			})
+			// The reverse-direction flow starts after the partition, so it
+			// must rely on the flushed (not stale) state at leaf1.
+			sim.Load(traffic.Trace{cbr(h2, h0, simtime.Time(2*simtime.Second), 1e6, 1e7)})
+			sim.ScheduleLinkChange(simtime.Time(simtime.Second), up0.ID, false)
+			sim.ScheduleLinkChange(simtime.Time(simtime.Second), up1.ID, false)
+			col := sim.Run(simtime.Time(5 * simtime.Second))
+
+			r := col.Flows()[0]
+			if r.Completed || r.Outcome == "dropped" {
+				t.Fatalf("flow outcome = %s; want a parked punt (waiting), not %s",
+					r.Outcome, map[bool]string{true: "completion through a partition", false: "a blackhole drop"}[r.Completed])
+			}
+			if r.Punts == 0 {
+				t.Error("flow never punted; a stale rule must have swallowed it")
+			}
+			assertNoStaleRules(t, sim.Network())
+			// And explicitly: no switch still holds a forwarding rule whose
+			// output leads into the partitioned leaf.
+			for _, sw := range topo.Switches() {
+				if sw == leaf0 {
+					continue
+				}
+				for _, e := range sim.Network().Switches[sw].Tables[TableForwarding].Entries() {
+					for _, a := range e.Instr.Actions {
+						if a.Type != openflow.ActionOutput {
+							continue
+						}
+						if l := topo.LinkAt(sw, a.Port); l != nil && (l.ID == up0.ID || l.ID == up1.ID) {
+							t.Errorf("switch %s keeps rule [%s] into the partition", topo.Node(sw).Name, e.Match)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -54,6 +54,17 @@ func NewSwitch(node netgraph.NodeID, miss MissBehavior) *Switch {
 	return s
 }
 
+// Reset wipes every piece of OpenFlow state — flow tables, groups, meters
+// — modeling a switch crash: a restarted switch comes back with empty
+// tables and must be re-programmed by the controller.
+func (s *Switch) Reset() {
+	for i := range s.Tables {
+		s.Tables[i] = openflow.NewFlowTable()
+	}
+	s.Groups = openflow.NewGroupTable()
+	s.Meters = openflow.NewMeterTable()
+}
+
 // Apply executes a FlowMod/GroupMod/MeterMod against the switch state at
 // time now. It returns an error for malformed messages (unknown table,
 // reserved IDs); the simulator surfaces these as controller bugs.

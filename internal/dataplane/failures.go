@@ -1,0 +1,133 @@
+package dataplane
+
+import (
+	"sort"
+
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+)
+
+// FailureState is the scripted-failure bookkeeping shared by the
+// simulation engines: which links have failed by script, which switches
+// are crashed, and which link changes a detached controller missed. It
+// exists in one place so the engines cannot drift on the composition
+// rule — a link is operationally up only when no failure of it is in
+// effect AND neither endpoint switch is down, so a switch restart cannot
+// revive a link still inside its own scripted outage (and a link
+// "recovery" under a crashed switch waits for the restart). Failures
+// nest by counting: two overlapping outages of the same entity end at
+// the LAST recovery, not the first.
+type FailureState struct {
+	topo       *netgraph.Topology
+	linkFailed map[netgraph.LinkID]int
+	switchDown map[netgraph.NodeID]int
+	pending    map[netgraph.LinkID]bool
+	ctrlDetach int
+}
+
+// NewFailureState returns empty bookkeeping over the topology.
+func NewFailureState(topo *netgraph.Topology) *FailureState {
+	return &FailureState{
+		topo:       topo,
+		linkFailed: make(map[netgraph.LinkID]int),
+		switchDown: make(map[netgraph.NodeID]int),
+		pending:    make(map[netgraph.LinkID]bool),
+	}
+}
+
+// SetLink records a scripted link failure (up=false) or recovery. A
+// recovery with no failure in effect is ignored.
+func (f *FailureState) SetLink(id netgraph.LinkID, up bool) {
+	if up {
+		if f.linkFailed[id] > 0 {
+			f.linkFailed[id]--
+		}
+	} else {
+		f.linkFailed[id]++
+	}
+}
+
+// SetSwitch records a crash (up=false) or restart. It returns true only
+// when the switch's operational state actually flips — the first crash of
+// a nest, or the restart matching it; the caller treats everything else
+// as a no-op.
+func (f *FailureState) SetSwitch(sw netgraph.NodeID, up bool) bool {
+	if up {
+		if f.switchDown[sw] == 0 {
+			return false
+		}
+		f.switchDown[sw]--
+		return f.switchDown[sw] == 0
+	}
+	f.switchDown[sw]++
+	return f.switchDown[sw] == 1
+}
+
+// SwitchIsDown reports whether a switch is crashed.
+func (f *FailureState) SwitchIsDown(sw netgraph.NodeID) bool { return f.switchDown[sw] > 0 }
+
+// SetController records a controller detach (attached=false) or reattach.
+// Outages nest by counting like link and switch failures; it returns true
+// only when the channel's state actually flips — the first detach of a
+// nest, or the reattach matching it.
+func (f *FailureState) SetController(attached bool) bool {
+	if attached {
+		if f.ctrlDetach == 0 {
+			return false
+		}
+		f.ctrlDetach--
+		return f.ctrlDetach == 0
+	}
+	f.ctrlDetach++
+	return f.ctrlDetach == 1
+}
+
+// ControllerDetached reports whether a controller outage is in effect.
+func (f *FailureState) ControllerDetached() bool { return f.ctrlDetach > 0 }
+
+// LinkDesired is the operational state a link should be in given every
+// scripted failure currently in effect.
+func (f *FailureState) LinkDesired(id netgraph.LinkID) bool {
+	l := f.topo.Link(id)
+	return f.linkFailed[id] == 0 && f.switchDown[l.A] == 0 && f.switchDown[l.B] == 0
+}
+
+// NotePendingStatus records the link behind a PortStatus the detached
+// controller will never see — whether it was never sent or was caught in
+// flight by the detach — so the reattach resync announces its current
+// state. Other message kinds are simply lost.
+func (f *FailureState) NotePendingStatus(msg openflow.Message) {
+	if ps, ok := msg.(*openflow.PortStatus); ok {
+		if l := f.topo.LinkAt(ps.Switch, ps.Port); l != nil {
+			f.pending[l.ID] = true
+		}
+	}
+}
+
+// DrainPending visits every missed link in ID order (the deterministic
+// resync order) and clears the set.
+func (f *FailureState) DrainPending(visit func(l *netgraph.Link)) {
+	ids := make([]netgraph.LinkID, 0, len(f.pending))
+	for id := range f.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		visit(f.topo.Link(id))
+	}
+	clear(f.pending)
+}
+
+// ResyncPortStatus announces the CURRENT state of every link a detached
+// controller missed — from each live endpoint switch, in link-ID order —
+// and clears the pending set. Both engines reattach through this one
+// helper so the resync rule cannot drift between fidelities.
+func (f *FailureState) ResyncPortStatus(net *Network, send func(msg openflow.Message)) {
+	f.DrainPending(func(l *netgraph.Link) {
+		for _, end := range []netgraph.NodeID{l.A, l.B} {
+			if net.Switches[end] != nil && !f.SwitchIsDown(end) {
+				send(&openflow.PortStatus{Switch: end, Port: l.PortAt(end), Up: l.Up})
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"testing"
+
+	"horse/internal/netgraph"
+	"horse/internal/simtime"
+)
+
+// TestFailureStateComposition covers the composition rules: link vs
+// switch liveness, and nesting of same-entity outages by counting.
+func TestFailureStateComposition(t *testing.T) {
+	topo := netgraph.New()
+	a, b := topo.AddSwitch("a"), topo.AddSwitch("b")
+	l := topo.Connect(a, b, 1e9, 50*simtime.Microsecond)
+	f := NewFailureState(topo)
+
+	if !f.LinkDesired(l) {
+		t.Fatal("pristine link should be desired up")
+	}
+	// Link vs switch: a restart cannot revive a failed link; a link
+	// recovery cannot revive a link under a crashed switch.
+	f.SetLink(l, false)
+	if !f.SetSwitch(a, false) {
+		t.Fatal("first crash must apply")
+	}
+	if f.SetSwitch(a, true) != true || f.LinkDesired(l) {
+		t.Error("restart revived a link still inside its own outage")
+	}
+	f.SetSwitch(a, false)
+	f.SetLink(l, true)
+	if f.LinkDesired(l) {
+		t.Error("link recovery revived a link under a crashed switch")
+	}
+	f.SetSwitch(a, true)
+	if !f.LinkDesired(l) {
+		t.Error("link should be up after every failure cleared")
+	}
+
+	// Same-entity nesting: the inner recovery must not end the outer
+	// outage.
+	f.SetLink(l, false)
+	f.SetLink(l, false)
+	f.SetLink(l, true)
+	if f.LinkDesired(l) {
+		t.Error("inner link recovery ended the outer outage")
+	}
+	f.SetLink(l, true)
+	if !f.LinkDesired(l) {
+		t.Error("outer recovery should end the outage")
+	}
+	f.SetLink(l, true) // recovery with nothing failed: ignored
+	f.SetLink(l, false)
+	if f.LinkDesired(l) {
+		t.Error("underflowed recovery swallowed a later failure")
+	}
+	f.SetLink(l, true)
+
+	// Nested switch crashes: only the first crash and the matching (last)
+	// restart report a flip.
+	if !f.SetSwitch(b, false) || f.SetSwitch(b, false) {
+		t.Error("only the first crash of a nest flips the switch")
+	}
+	if f.SetSwitch(b, true) {
+		t.Error("inner restart must not flip a doubly-crashed switch")
+	}
+	if !f.SwitchIsDown(b) {
+		t.Error("switch revived by inner restart")
+	}
+	if !f.SetSwitch(b, true) || f.SwitchIsDown(b) {
+		t.Error("outer restart should flip the switch back up")
+	}
+	if f.SetSwitch(b, true) {
+		t.Error("restart of an up switch must be a no-op")
+	}
+}

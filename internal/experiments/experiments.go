@@ -32,6 +32,7 @@ import (
 	"horse/internal/openflow"
 	"horse/internal/packetsim"
 	"horse/internal/runner"
+	"horse/internal/scenario"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/tcpmodel"
@@ -874,6 +875,107 @@ func e7Spec(o Options, fractions []float64) *spec {
 	return sp
 }
 
+// E8Resilience is the dynamic-network evaluation: a seed-reproducible
+// random link failure/recovery process (scenario.RandomLinkFailures) swept
+// over MTBF × recovery time × controller policy, measuring what each
+// disruption level costs — reconvergence latency, flows lost, rule churn,
+// and FCT stretch against a failure-free baseline of the identical
+// workload.
+func E8Resilience(mtbfs, recoveries []simtime.Duration) *Table {
+	return E8With(Options{}, mtbfs, recoveries)
+}
+
+// E8With is E8Resilience under explicit execution options.
+func E8With(o Options, mtbfs, recoveries []simtime.Duration) *Table {
+	return runSpecs(o, []*spec{e8Spec(o, mtbfs, recoveries)})[0]
+}
+
+// e8Policies are the controller policies the resilience sweep contrasts:
+// single-path forwarding reconverges through the controller (flush +
+// recompute after PortStatus), while ECMP load balancing also has group
+// watch-port failover in the data plane.
+var e8Policies = []struct {
+	name string
+	mk   func() flowsim.Controller
+}{
+	{"forwarding", func() flowsim.Controller { return controller.NewChain(&controller.ProactiveMAC{}) }},
+	{"loadbalance", func() flowsim.Controller { return controller.NewChain(&controller.ECMPLoadBalancer{}) }},
+}
+
+// e8Scenario builds the fixed fabric and workload every E8 arm disturbs: a
+// dual-spine leaf–spine (so every leaf pair has an alternate path) under a
+// mixed CBR/TCP Poisson load.
+func e8Scenario() (*netgraph.Topology, traffic.Trace) {
+	topo := netgraph.LeafSpine(4, 2, 2, netgraph.Gig, netgraph.TenGig)
+	g := traffic.NewGenerator(91)
+	tr := g.PoissonArrivals(traffic.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 150, Horizon: 2 * simtime.Second,
+		Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
+	})
+	return topo, tr
+}
+
+const e8Window = simtime.Time(10 * simtime.Minute)
+
+func e8Spec(o Options, mtbfs, recoveries []simtime.Duration) *spec {
+	sp := &spec{table: &Table{
+		ID:    "E8",
+		Title: "Resilience sweep: MTBF × recovery × policy under random link failures",
+		Columns: []string{
+			"policy", "mtbf-s", "recovery-s", "failures", "reroutes",
+			"reroute-ms", "completed", "lost", "rule-churn", "fct-stretch",
+		},
+	}}
+	// One cell per policy: the failure-free baseline depends only on the
+	// policy, so it is simulated once and shared by every (mtbf,
+	// recovery) arm — rows still assemble in grid order, so the table
+	// stays byte-identical for any -parallel.
+	for _, pol := range e8Policies {
+		pol := pol
+		sp.cell(pol.name, func() [][]string {
+			topoB, trB := e8Scenario()
+			simB := flowsim.New(flowsim.Config{
+				Topology: topoB, Controller: pol.mk(), Miss: dataplane.MissController,
+			})
+			simB.Load(trB)
+			colB := simB.Run(e8Window)
+
+			var rows [][]string
+			for _, mtbf := range mtbfs {
+				for _, rec := range recoveries {
+					// Disturbed run: reproducible failures on core links.
+					topo, tr := e8Scenario()
+					tl := scenario.RandomLinkFailures(topo, scenario.FailureConfig{
+						Seed: 7, MTBF: mtbf, Recovery: rec,
+						Horizon: simtime.Time(2 * simtime.Second), CoreOnly: true,
+					})
+					sim := flowsim.New(flowsim.Config{
+						Topology: topo, Controller: pol.mk(), Miss: dataplane.MissController,
+					})
+					tl.Apply(sim)
+					sim.Load(tr)
+					col := sim.Run(e8Window)
+
+					out := scenario.Evaluate(tl, col, colB)
+					rows = append(rows, []string{
+						pol.name, f2(mtbf.Seconds()), f2(rec.Seconds()),
+						fmt.Sprintf("%d", out.Failures), fmt.Sprintf("%d", out.Reroutes),
+						ms(time.Duration(out.RerouteLatency)),
+						fmt.Sprintf("%d", out.FlowsCompleted), fmt.Sprintf("%d", out.FlowsLost),
+						di(out.RuleChurn), f2(out.FCTStretch),
+					})
+				}
+			}
+			return rows
+		})
+	}
+	sp.table.Notes = append(sp.table.Notes,
+		"expected shape: shorter MTBF / longer recovery raise lost flows, rule churn, and fct-stretch",
+		"expected shape: loadbalance reroutes at the failure instant (watch-port failover); forwarding pays the controller round trip",
+	)
+	return sp
+}
+
 // All runs every experiment at report scale.
 func All() []*Table { return AllWith(Options{}) }
 
@@ -888,6 +990,8 @@ func AllWith(o Options) []*Table {
 		e5Spec(o),
 		e6Spec(o),
 		e7Spec(o, []float64{0, 0.25, 0.5, 0.75, 1}),
+		e8Spec(o, []simtime.Duration{500 * simtime.Millisecond, 2 * simtime.Second},
+			[]simtime.Duration{100 * simtime.Millisecond, 400 * simtime.Millisecond}),
 	})
 }
 
@@ -904,5 +1008,7 @@ func QuickWith(o Options) []*Table {
 		e5Spec(o),
 		e6Spec(o),
 		e7Spec(o, []float64{0, 0.5, 1}),
+		e8Spec(o, []simtime.Duration{500 * simtime.Millisecond},
+			[]simtime.Duration{200 * simtime.Millisecond}),
 	})
 }

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"horse/internal/simtime"
 )
 
 // cell parses a numeric table cell.
@@ -165,6 +167,47 @@ func TestE7Shape(t *testing.T) {
 	}
 }
 
+func TestE8Shape(t *testing.T) {
+	tb := E8Resilience(
+		[]simtime.Duration{500 * simtime.Millisecond},
+		[]simtime.Duration{200 * simtime.Millisecond},
+	)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per policy", len(tb.Rows))
+	}
+	failures := colIndex(tb, "failures")
+	reroutes := colIndex(tb, "reroutes")
+	stretch := colIndex(tb, "fct-stretch")
+	churn := colIndex(tb, "rule-churn")
+	for i := range tb.Rows {
+		if cell(t, tb, i, failures) == 0 {
+			t.Errorf("row %d saw no failures", i)
+		}
+		if cell(t, tb, i, reroutes) == 0 {
+			t.Errorf("row %d never rerouted", i)
+		}
+		if cell(t, tb, i, stretch) < 1 {
+			t.Errorf("row %d fct-stretch %s < 1: failures made flows faster?", i, tb.Rows[i][stretch])
+		}
+		if cell(t, tb, i, churn) == 0 {
+			t.Errorf("row %d reconverged without rule churn", i)
+		}
+	}
+}
+
+// TestE8ParallelDeterminism: the resilience table is byte-identical for
+// any worker count — the scenario half of the parallel-determinism
+// property, on the frozen-clock harness.
+func TestE8ParallelDeterminism(t *testing.T) {
+	mtbfs := []simtime.Duration{500 * simtime.Millisecond, 2 * simtime.Second}
+	recs := []simtime.Duration{200 * simtime.Millisecond}
+	seq := renderTables([]*Table{E8With(Options{Parallel: 1, Now: frozenClock}, mtbfs, recs)})
+	par := renderTables([]*Table{E8With(Options{Parallel: 4, Now: frozenClock}, mtbfs, recs)})
+	if seq != par {
+		t.Fatalf("E8 diverged across worker counts:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 // frozenClock makes wall-time columns deterministic so tables can be
 // compared byte-for-byte across worker counts.
 func frozenClock() time.Time { return time.Time{} }
@@ -192,7 +235,7 @@ func TestParallelDeterminism(t *testing.T) {
 	if seq != par {
 		t.Fatalf("-parallel 1 and -parallel 8 diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
-	if !strings.Contains(seq, "== E1:") || !strings.Contains(seq, "== E7:") {
+	if !strings.Contains(seq, "== E1:") || !strings.Contains(seq, "== E8:") {
 		t.Fatalf("suite missing experiments:\n%s", seq)
 	}
 }

@@ -58,8 +58,13 @@ func (c *Context) After(d simtime.Duration, fn func()) { c.eng.After(d, fn) }
 func (c *Context) Collector() *stats.Collector { return c.eng.Collector() }
 
 // SendToSwitch implements Engine: the message applies at its datapath
-// after the control latency.
+// after the control latency. While the controller is detached the message
+// is lost (the control channel is the thing that failed); messages
+// already emitted before the break are in the network and still arrive.
 func (s *Simulator) SendToSwitch(msg openflow.Message) {
+	if s.fstate.ControllerDetached() {
+		return
+	}
 	s.sched(event{
 		at:   s.k.Now().Add(s.cfg.ControlLatency),
 		kind: evToSwitch,
@@ -78,8 +83,14 @@ func (s *Simulator) After(d simtime.Duration, fn func()) {
 func (s *Simulator) SendToController(msg openflow.Message) { s.sendToController(msg) }
 
 // sendToController delivers a switch-originated message after the control
-// latency.
+// latency; a detached controller never sees it. The dispatch side drops
+// (and pends, for PortStatus) messages caught in flight when the channel
+// breaks — see evToController in dispatch.
 func (s *Simulator) sendToController(msg openflow.Message) {
+	if s.fstate.ControllerDetached() {
+		s.fstate.NotePendingStatus(msg)
+		return
+	}
 	s.sched(event{
 		at:   s.k.Now().Add(s.cfg.ControlLatency),
 		kind: evToController,
@@ -93,6 +104,11 @@ func (s *Simulator) handleToSwitch(msg openflow.Message) {
 	sw := s.net.Switches[dp]
 	if sw == nil {
 		return // message to a non-switch: controller bug, dropped
+	}
+	if s.fstate.SwitchIsDown(dp) {
+		// A crashed switch cannot apply anything; the message is lost,
+		// so the restart genuinely comes back with empty tables.
+		return
 	}
 	switch m := msg.(type) {
 	case *openflow.FlowMod, *openflow.GroupMod:

@@ -145,6 +145,7 @@ func (s *Simulator) activate(f *Flow, res dataplane.PathResult) {
 	if f.prevHops != nil && !samePath(f.prevHops, res.Hops) {
 		f.pathChanges++
 		s.col.PathChanges++
+		s.col.AddReroute(s.k.Now())
 	}
 	f.prevHops = res.Hops
 	if !wasActive {
@@ -569,10 +570,21 @@ func (s *Simulator) handleResolveBatch() {
 	}
 }
 
-// handleLinkChange flips a link's state, updates capacities, notifies the
-// controller, and re-resolves affected flows (modeling data-plane liveness
-// for groups and blackholing for plain port rules).
+// handleLinkChange applies a scheduled link state change. The scripted
+// link state composes with switch liveness through linkDesired, so a link
+// "recovering" under a crashed endpoint stays down until the switch
+// restarts.
 func (s *Simulator) handleLinkChange(id netgraph.LinkID, up bool) {
+	s.fstate.SetLink(id, up)
+	s.applyLinkChange(id, s.fstate.LinkDesired(id), -1)
+}
+
+// applyLinkChange flips a link's state (no-op when already there),
+// updates capacities, notifies the controller, and re-resolves affected
+// flows (modeling data-plane liveness for groups and blackholing for
+// plain port rules). silent names a crashed switch that cannot emit
+// PortStatus (pass -1 normally).
+func (s *Simulator) applyLinkChange(id netgraph.LinkID, up bool, silent netgraph.NodeID) {
 	l := s.topo.Link(id)
 	if l.Up == up {
 		return
@@ -588,7 +600,12 @@ func (s *Simulator) handleLinkChange(id netgraph.LinkID, up bool) {
 
 	for _, end := range []netgraph.NodeID{l.A, l.B} {
 		if s.net.Switches[end] != nil {
-			s.sendToController(&openflow.PortStatus{Switch: end, Port: l.PortAt(end), Up: up})
+			if end != silent {
+				// A crashed (silent) switch cannot announce its own
+				// ports. While detached, sendToController pends the
+				// link for the reattach resync instead.
+				s.sendToController(&openflow.PortStatus{Switch: end, Port: l.PortAt(end), Up: up})
+			}
 			s.markSwitchDirty(end)
 		}
 	}
@@ -613,6 +630,76 @@ func (s *Simulator) handleLinkChange(id netgraph.LinkID, up bool) {
 				s.markDirty(f)
 			}
 		}
+	}
+	if s.cfg.OnLinkChange != nil {
+		s.cfg.OnLinkChange(id, up)
+	}
+}
+
+// handleSwitchChange applies a switch crash or restart: a crash wipes the
+// switch's OpenFlow state and takes every attached link down (neighbors
+// announce PortStatus; the dead switch cannot); a restart brings the links
+// back up — with the tables still empty — and both ends announce.
+func (s *Simulator) handleSwitchChange(sw netgraph.NodeID, up bool) {
+	swState := s.net.Switches[sw]
+	if swState == nil || !s.fstate.SetSwitch(sw, up) {
+		return
+	}
+	silent := netgraph.NodeID(-1)
+	if !up {
+		swState.Reset()
+		// The crash voids whatever the controller did (or was doing) for
+		// flows punted at this switch — a FlowMod in flight dies with the
+		// tables — so clear the PacketIn dedup: a post-restart punt must
+		// announce itself afresh.
+		for _, m := range s.waiting {
+			for _, f := range m {
+				delete(f.puntedAt, sw)
+			}
+		}
+		s.markSwitchDirty(sw)
+		silent = sw
+	}
+	for _, p := range s.topo.Node(sw).Ports() {
+		l := s.topo.LinkAt(sw, p)
+		if l == nil {
+			continue
+		}
+		// LinkDesired keeps a restart from reviving a link still inside
+		// its own scripted outage (and a crash from "double-failing" one).
+		s.applyLinkChange(l.ID, s.fstate.LinkDesired(l.ID), silent)
+	}
+	if s.cfg.OnSwitchChange != nil {
+		s.cfg.OnSwitchChange(sw, up)
+	}
+}
+
+// handleCtrlChange applies a controller detach or reattach. Outages nest
+// by counting (FailureState.SetController), like link and switch
+// failures: only the reattach matching the first detach restores the
+// channel.
+func (s *Simulator) handleCtrlChange(attached bool) {
+	if !s.fstate.SetController(attached) {
+		return // no state flip (nested, or nothing to reattach)
+	}
+	if attached {
+		// Resync first: links that changed while detached announce their
+		// CURRENT state, so PortStatus-driven controllers reconverge on
+		// the truth before any re-punted PacketIns arrive.
+		s.fstate.ResyncPortStatus(s.net, s.sendToController)
+		// Waiting flows re-announce: their original PacketIns may have
+		// been lost while detached, so clear the dedup sets and
+		// re-resolve (a still-missing rule re-punts with a fresh
+		// PacketIn, like a switch re-punting on reconnect).
+		for _, m := range s.waiting {
+			for _, f := range m {
+				clear(f.puntedAt)
+				s.markDirty(f)
+			}
+		}
+	}
+	if s.cfg.OnControllerChange != nil {
+		s.cfg.OnControllerChange(attached)
 	}
 }
 

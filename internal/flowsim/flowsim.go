@@ -166,6 +166,17 @@ type Config struct {
 	// more than RateEpsilon. The hybrid coupler uses it to re-derive the
 	// residual link capacity the packet engine sees.
 	OnRateShift func(resources []fairshare.ResourceID)
+	// OnLinkChange, when set, observes every applied link state change —
+	// the hook the hybrid coupler uses to flush the packet engine's
+	// dead-link queues under the shared clock.
+	OnLinkChange func(link netgraph.LinkID, up bool)
+	// OnSwitchChange, when set, observes every applied switch
+	// crash/restart, after its link changes (which fire OnLinkChange).
+	OnSwitchChange func(sw netgraph.NodeID, up bool)
+	// OnControllerChange, when set, observes controller detach/reattach —
+	// the hook a co-resident packet engine uses to re-announce parked
+	// packets once the control channel returns.
+	OnControllerChange func(attached bool)
 }
 
 type evKind uint8
@@ -181,6 +192,8 @@ const (
 	evTimer
 	evExpiry
 	evResolveBatch
+	evSwitchChange
+	evCtrlChange
 )
 
 type event struct {
@@ -276,6 +289,12 @@ type Simulator struct {
 	// registered pre-advance hook.
 	allocDirty bool
 
+	// fstate composes overlapping scripted outages (links, switches, and
+	// controller detach all nest by counting) and records the link
+	// changes a detached controller missed, so reattach can
+	// resynchronize its topology view with current-state PortStatus.
+	fstate *dataplane.FailureState
+
 	// shiftPending accumulates resources whose membership changed outside
 	// a solve (flow activate/deactivate) so OnRateShift still reports
 	// them; shiftScratch is the reusable dedup buffer.
@@ -327,6 +346,7 @@ func New(cfg Config) *Simulator {
 		ctrl:       cfg.Controller,
 		dirtyFlows: make(map[FlowID]*Flow),
 		expiryAt:   make(map[netgraph.NodeID]simtime.Time),
+		fstate:     dataplane.NewFailureState(cfg.Topology),
 	}
 	s.alloc.Epsilon = cfg.RateEpsilon
 	s.ctx = NewContext(s)
@@ -417,6 +437,22 @@ func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up
 	s.sched(event{at: at, kind: evLinkChange, link: link, up: up})
 }
 
+// ScheduleSwitchChange schedules a switch crash (up=false) or restart. A
+// crash takes every attached link down and wipes the switch's OpenFlow
+// state; a restart brings the links back with the tables still empty, so
+// the controller must re-program it.
+func (s *Simulator) ScheduleSwitchChange(at simtime.Time, sw netgraph.NodeID, up bool) {
+	s.sched(event{at: at, kind: evSwitchChange, sw: sw, up: up})
+}
+
+// ScheduleControllerChange schedules a controller detach (attached=false)
+// or reattach. While detached, messages in both directions are lost; on
+// reattach, waiting flows re-announce themselves with fresh PacketIns
+// (modeling switches re-punting after the control channel returns).
+func (s *Simulator) ScheduleControllerChange(at simtime.Time, attached bool) {
+	s.sched(event{at: at, kind: evCtrlChange, up: attached})
+}
+
 // Run executes the simulation until the event queue drains or virtual time
 // exceeds `until` (use simtime.Never for no bound). It returns the
 // statistics collector. Run may be called once, and only on a simulator
@@ -471,6 +507,13 @@ func (s *Simulator) dispatch(e *event) {
 	case evToSwitch:
 		s.handleToSwitch(e.msg)
 	case evToController:
+		if s.fstate.ControllerDetached() {
+			// The channel broke while the message was in flight: it is
+			// lost at delivery. A lost PortStatus still resyncs on
+			// reattach (the link change it announced goes pending).
+			s.fstate.NotePendingStatus(e.msg)
+			return
+		}
 		s.ctrl.Handle(s.ctx, e.msg)
 	case evLinkChange:
 		s.handleLinkChange(e.link, e.up)
@@ -482,6 +525,10 @@ func (s *Simulator) dispatch(e *event) {
 		s.handleExpiry(e.sw)
 	case evResolveBatch:
 		s.handleResolveBatch()
+	case evSwitchChange:
+		s.handleSwitchChange(e.sw, e.up)
+	case evCtrlChange:
+		s.handleCtrlChange(e.up)
 	}
 }
 

@@ -130,8 +130,37 @@ func New(cfg Config) *Simulator {
 		RateEpsilon:      cfg.RateEpsilon,
 		OnApply:          s.pkt.NotifyApplied,
 		OnRateShift:      s.applyRateShift,
+		// Topology dynamics apply once, at the flow engine (which owns
+		// the shared state flips, table wipes, and PortStatus punts);
+		// these hooks propagate the data-plane consequences to the packet
+		// engine at the same virtual instant.
+		OnLinkChange:       s.pkt.NotifyLinkChange,
+		OnSwitchChange:     s.pkt.NotifySwitchChange,
+		OnControllerChange: s.pkt.NotifyControllerChange,
 	})
 	return s
+}
+
+// ScheduleLinkChange schedules a link failure (up=false) or recovery,
+// applied to both engines under the shared clock: the flow engine flips
+// the shared topology and control plane, and the packet engine flushes its
+// dead-link queues at the same instant.
+func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool) {
+	s.flow.ScheduleLinkChange(at, link, up)
+}
+
+// ScheduleSwitchChange schedules a switch crash or restart across both
+// engines (table wipe on the shared network, packet flushes, PortStatus).
+func (s *Simulator) ScheduleSwitchChange(at simtime.Time, sw netgraph.NodeID, up bool) {
+	s.flow.ScheduleSwitchChange(at, sw, up)
+}
+
+// ScheduleControllerChange schedules a controller detach or reattach. The
+// controller attaches to the flow engine, whose gate also covers packet
+// punts (they route through the same control plane via the punt sink); on
+// reattach, both engines' parked work re-announces.
+func (s *Simulator) ScheduleControllerChange(at simtime.Time, attached bool) {
+	s.flow.ScheduleControllerChange(at, attached)
 }
 
 // applyRateShift recomputes the residual capacity the packet engine sees
@@ -148,6 +177,9 @@ func (s *Simulator) applyRateShift(resources []fairshare.ResourceID) {
 
 // Kernel returns the shared simulation kernel.
 func (s *Simulator) Kernel() *simcore.Kernel { return s.k }
+
+// Topology returns the simulated topology (shared by both engines).
+func (s *Simulator) Topology() *netgraph.Topology { return s.cfg.Topology }
 
 // Network exposes the shared data-plane state.
 func (s *Simulator) Network() *dataplane.Network { return s.net }
@@ -250,6 +282,10 @@ func (s *Simulator) Collector() *stats.Collector {
 	col.FlowMods = fc.FlowMods
 	col.RateChanges = fc.RateChanges
 	col.PathChanges = fc.PathChanges
+	col.PacketsLost = fc.PacketsLost + pc.PacketsLost
+	for _, at := range fc.RerouteTimes() {
+		col.AddReroute(at)
+	}
 	col.EventsRun = s.k.Dispatched()
 	return col
 }

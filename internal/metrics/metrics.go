@@ -131,6 +131,28 @@ func MeanRelErr(got, want []float64) float64 {
 	return s / float64(len(got))
 }
 
+// FCTStretch is the ratio of mean flow completion times between a
+// disturbed (scenario) run and its failure-free baseline: 1 means failures
+// cost nothing, 2 means completions took twice as long on average. With no
+// baseline samples there is nothing to compare (1); baseline samples
+// against an empty scenario is the worst possible outcome — every
+// comparable flow was lost — and reports +Inf, never a flattering 1.
+// Sentinels key on sample counts, not means, so all-zero FCT samples
+// (instant transfers) still compare as ratios.
+func FCTStretch(scenario, baseline []float64) float64 {
+	if len(baseline) == 0 {
+		return 1
+	}
+	if len(scenario) == 0 {
+		return math.Inf(1)
+	}
+	b := Mean(baseline)
+	if b == 0 {
+		return 1 // degenerate baseline of instant completions
+	}
+	return Mean(scenario) / b
+}
+
 // W1Distance returns the first Wasserstein (earth mover's) distance between
 // two empirical distributions, the accuracy score used for FCT comparisons:
 // it is the average horizontal gap between the two CDFs.

@@ -166,3 +166,28 @@ func TestW1TriangleProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFCTStretch(t *testing.T) {
+	if got := FCTStretch([]float64{2, 4}, []float64{1, 2}); got != 2 {
+		t.Errorf("stretch = %g, want 2", got)
+	}
+	if got := FCTStretch(nil, nil); got != 1 {
+		t.Errorf("no data: stretch = %g, want 1", got)
+	}
+	if got := FCTStretch([]float64{5}, nil); got != 1 {
+		t.Errorf("no baseline: stretch = %g, want 1", got)
+	}
+	// Baseline completed flows but the scenario completed none: the worst
+	// outcome must not report a flattering 1.
+	if got := FCTStretch(nil, []float64{1, 2}); !math.IsInf(got, 1) {
+		t.Errorf("total loss: stretch = %g, want +Inf", got)
+	}
+	// All-zero samples are data (instant transfers), not absence: they
+	// must compare as ratios, not trip the sentinels.
+	if got := FCTStretch([]float64{0, 0}, []float64{1}); got != 0 {
+		t.Errorf("instant scenario completions: stretch = %g, want 0", got)
+	}
+	if got := FCTStretch([]float64{1}, []float64{0}); got != 1 {
+		t.Errorf("degenerate all-zero baseline: stretch = %g, want 1", got)
+	}
+}

@@ -17,8 +17,12 @@ func (s *Simulator) controlActive() bool {
 }
 
 // SendToSwitch implements flowsim.Engine: the message applies at its
-// datapath after the control latency.
+// datapath after the control latency. While the controller is detached the
+// message is lost (the control channel is the thing that failed).
 func (s *Simulator) SendToSwitch(msg openflow.Message) {
+	if s.fstate.ControllerDetached() {
+		return
+	}
 	s.sched(event{at: s.k.Now().Add(s.cfg.ControlLatency), kind: evToSwitch, msg: msg})
 }
 
@@ -29,8 +33,14 @@ func (s *Simulator) After(d simtime.Duration, fn func()) {
 
 // sendToController delivers a switch-originated message: to the punt sink
 // immediately (the hybrid's flow engine models the latency on its side),
-// or to the local controller after the control latency.
+// or to the local controller after the control latency. A detached
+// controller never sees it; the dispatch side likewise drops (and pends,
+// for PortStatus) messages caught in flight when the channel breaks.
 func (s *Simulator) sendToController(msg openflow.Message) {
+	if s.fstate.ControllerDetached() {
+		s.fstate.NotePendingStatus(msg)
+		return
+	}
 	if s.cfg.PuntSink != nil {
 		s.cfg.PuntSink(msg)
 		return
@@ -48,7 +58,7 @@ func (s *Simulator) sendToController(msg openflow.Message) {
 func (s *Simulator) puntPacket(p *packet, sw netgraph.NodeID, in netgraph.PortNum, miss bool) {
 	s.col.PacketIns++
 	if buf := s.punted[sw]; len(buf) < s.cfg.QueuePackets {
-		s.punted[sw] = append(buf, &puntedPkt{pkt: p, in: in})
+		s.punted[sw] = append(buf, &puntedPkt{pkt: p, in: in, miss: miss})
 	} else {
 		s.dropPacket(p)
 	}
@@ -92,6 +102,11 @@ func (s *Simulator) handleToSwitch(msg openflow.Message) {
 	sw := s.net.Switches[dp]
 	if sw == nil {
 		return // message to a non-switch: controller bug, dropped
+	}
+	if s.fstate.SwitchIsDown(dp) {
+		// A crashed switch cannot apply anything; the message is lost,
+		// so the restart genuinely comes back with empty tables.
+		return
 	}
 	switch m := msg.(type) {
 	case *openflow.FlowMod, *openflow.GroupMod:

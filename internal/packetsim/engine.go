@@ -83,7 +83,8 @@ func (s *Simulator) enqueue(p *packet, pid portID) {
 		s.ports[pid] = op
 	}
 	if !op.link.Up {
-		s.dropPacket(p)
+		// Offered to a dead link: lost until recovery (TCP senders RTO).
+		s.losePacket(p)
 		return
 	}
 	if len(op.queue) >= s.cfg.QueuePackets {
@@ -145,14 +146,16 @@ func (s *Simulator) startTx(pid portID, op *outPort) {
 	op.busy = true
 	p := op.queue[0]
 	ser := simtime.TransferTime(p.bits, s.txRate(pid, op))
-	s.sched(event{at: s.k.Now().Add(ser), kind: evTxDone, port: pid})
+	s.sched(event{at: s.k.Now().Add(ser), kind: evTxDone, port: pid, gen: op.txGen})
 }
 
 // txDone finishes serialization: the packet departs onto the wire and the
-// next queued packet starts.
-func (s *Simulator) txDone(pid portID) {
+// next queued packet starts. A stale generation stamp means a link failure
+// flushed this transmitter after the event was armed — the flush already
+// accounted for the packet.
+func (s *Simulator) txDone(pid portID, gen uint64) {
 	op := s.ports[pid]
-	if op == nil || len(op.queue) == 0 {
+	if op == nil || op.txGen != gen || len(op.queue) == 0 {
 		return
 	}
 	p := op.queue[0]
@@ -162,15 +165,17 @@ func (s *Simulator) txDone(pid portID) {
 
 	peer, peerPort := op.link.Peer(pid.node)
 	if op.link.Up {
+		rx := portID{node: peer, port: peerPort}
 		s.sched(event{
 			at:   s.k.Now().Add(op.link.Delay),
 			kind: evArriveNode,
 			pkt:  p,
 			node: peer,
-			port: portID{node: peer, port: peerPort},
+			port: rx,
+			gen:  s.linkEpoch[rx],
 		})
 	} else {
-		s.dropPacket(p)
+		s.losePacket(p)
 	}
 	if len(op.queue) > 0 {
 		s.startTx(pid, op)
@@ -357,6 +362,13 @@ func (s *Simulator) handleRTO(f *pktFlow) {
 	f.nextSeq = f.sendBase + 1
 	s.emit(f, f.sendBase, true)
 	s.armRTO(f)
+}
+
+// losePacket accounts for a packet lost to a link or switch failure: it
+// counts toward the scenario loss metric and then drops like any other.
+func (s *Simulator) losePacket(p *packet) {
+	s.col.PacketsLost++
+	s.dropPacket(p)
 }
 
 // dropPacket accounts for a lost packet. TCP recovers via dup-ACKs/RTO;

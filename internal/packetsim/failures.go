@@ -1,0 +1,162 @@
+// Failure semantics of the packet engine: link failures drop queued and
+// in-flight packets and idle the transmitters, switch crashes wipe
+// OpenFlow state and lose parked punts, and controller detach severs the
+// control channel — the packet-granular half of the scenario engine's
+// dynamic-network contract. The Notify* entry points carry only the
+// data-plane consequences, so the hybrid coupler can propagate a change
+// the flow engine already applied (topology flip, table wipe, PortStatus)
+// without doubling it.
+package packetsim
+
+import (
+	"sort"
+
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+)
+
+// handleLinkChange applies a scheduled link state change: topology flip,
+// data-plane flush, and PortStatus punts from both endpoint switches. The
+// scripted link state composes with switch liveness through linkDesired,
+// so a link "recovering" under a crashed endpoint stays down until the
+// switch restarts.
+func (s *Simulator) handleLinkChange(id netgraph.LinkID, up bool) {
+	s.fstate.SetLink(id, up)
+	s.applyLinkState(id, s.fstate.LinkDesired(id), -1)
+}
+
+// applyLinkState moves a link to the given operational state (no-op when
+// already there): topology flip, data-plane flush, PortStatus.
+func (s *Simulator) applyLinkState(id netgraph.LinkID, up bool, silent netgraph.NodeID) {
+	l := s.topo.Link(id)
+	if l.Up == up {
+		return
+	}
+	s.topo.SetLinkUp(id, up)
+	s.NotifyLinkChange(id, up)
+	s.portStatus(l, up, silent)
+}
+
+// NotifyLinkChange applies the data-plane consequences of a link state
+// change without touching the topology or the control plane — the entry
+// point the hybrid coupler drives after the flow engine flipped the shared
+// state. On failure, every packet queued on either direction is lost, the
+// pending serialization is cancelled, and packets mid-propagation are
+// invalidated via the link epoch. Recovery needs no action: the queues
+// drained at failure time and transmitters restart with the next packet.
+func (s *Simulator) NotifyLinkChange(id netgraph.LinkID, up bool) {
+	if up {
+		return
+	}
+	l := s.topo.Link(id)
+	for _, from := range []netgraph.NodeID{l.A, l.B} {
+		peer, peerPort := l.Peer(from)
+		s.linkEpoch[portID{node: peer, port: peerPort}]++
+		if op := s.ports[portID{node: from, port: l.PortAt(from)}]; op != nil {
+			op.txGen++ // cancel the in-flight evTxDone
+			for i, p := range op.queue {
+				s.losePacket(p)
+				op.queue[i] = nil
+			}
+			op.queue = op.queue[:0]
+			op.busy = false
+		}
+	}
+}
+
+// handleSwitchChange applies a scheduled switch crash or restart.
+func (s *Simulator) handleSwitchChange(sw netgraph.NodeID, up bool) {
+	swState := s.net.Switches[sw]
+	if swState == nil || !s.fstate.SetSwitch(sw, up) {
+		return
+	}
+	silent := netgraph.NodeID(-1)
+	if !up {
+		swState.Reset()
+		s.NotifySwitchChange(sw, false)
+		silent = sw
+	}
+	for _, p := range s.topo.Node(sw).Ports() {
+		l := s.topo.LinkAt(sw, p)
+		if l == nil {
+			continue
+		}
+		// LinkDesired keeps a restart from reviving a link still inside
+		// its own scripted outage (and a crash from "double-failing" one).
+		s.applyLinkState(l.ID, s.fstate.LinkDesired(l.ID), silent)
+	}
+}
+
+// NotifySwitchChange applies the packet-engine-local consequences of a
+// switch crash the flow engine already executed against the shared state:
+// parked punts are lost and the switch's meter buckets reset. Link-level
+// flushes arrive separately through NotifyLinkChange.
+func (s *Simulator) NotifySwitchChange(sw netgraph.NodeID, up bool) {
+	if up {
+		return
+	}
+	for _, bp := range s.punted[sw] {
+		s.losePacket(bp.pkt)
+	}
+	delete(s.punted, sw)
+	for k := range s.meters {
+		if k.sw == sw {
+			delete(s.meters, k)
+		}
+	}
+}
+
+// handleCtrlChange applies a controller detach or reattach. Outages nest
+// by counting (FailureState.SetController; only the reattach matching the
+// first detach restores the channel). On reattach, links that changed
+// while detached announce their CURRENT state first (from every live
+// endpoint), so PortStatus-driven controllers reconverge on the truth
+// before any re-announced PacketIns arrive.
+func (s *Simulator) handleCtrlChange(attached bool) {
+	if !s.fstate.SetController(attached) || !attached {
+		return
+	}
+	s.fstate.ResyncPortStatus(s.net, s.sendToController)
+	s.NotifyControllerChange(true)
+}
+
+// NotifyControllerChange re-announces every parked packet with a fresh
+// PacketIn once the control channel returns (their originals may have been
+// lost while detached) — modeling a switch re-punting buffered packets on
+// reconnect. Switches announce in ID order for determinism.
+func (s *Simulator) NotifyControllerChange(attached bool) {
+	if !attached {
+		return
+	}
+	sws := make([]netgraph.NodeID, 0, len(s.punted))
+	for sw, buf := range s.punted {
+		if len(buf) > 0 {
+			sws = append(sws, sw)
+		}
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	for _, sw := range sws {
+		for _, bp := range s.punted[sw] {
+			s.col.PacketIns++
+			reason := openflow.ReasonAction
+			if bp.miss {
+				reason = openflow.ReasonNoMatch
+			}
+			s.sendToController(&openflow.PacketIn{
+				Switch: sw, InPort: bp.in, Key: s.keyOf(bp.pkt), Reason: reason,
+			})
+		}
+	}
+}
+
+// portStatus punts a link state change to the controller from both
+// endpoint switches, except a crashed (silent) one, which cannot speak.
+// While detached, sendToController pends the link for the reattach resync
+// instead.
+func (s *Simulator) portStatus(l *netgraph.Link, up bool, silent netgraph.NodeID) {
+	for _, end := range []netgraph.NodeID{l.A, l.B} {
+		if end != silent && s.net.Switches[end] != nil {
+			s.sendToController(&openflow.PortStatus{Switch: end, Port: l.PortAt(end), Up: up})
+		}
+	}
+}

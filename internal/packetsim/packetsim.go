@@ -102,6 +102,19 @@ type Simulator struct {
 	// hybrid run; the transmitter sees only the residual capacity.
 	extLoad map[portID]float64
 
+	// linkEpoch invalidates in-flight propagation when a link dies: a
+	// packet's arrival event carries the receiving port's epoch at
+	// transmit time, and a mismatch at dispatch means the link failed
+	// under it — the packet is lost and counted.
+	linkEpoch map[portID]uint64
+
+	// fstate composes overlapping scripted outages (links, switches, and
+	// controller detach all nest by counting; the detach count gates the
+	// control channel in standalone runs — in hybrid runs the flow
+	// engine's control plane owns it) and records link changes missed
+	// while detached for the reattach resync.
+	fstate *dataplane.FailureState
+
 	// Control plane state.
 	ctrl           flowsim.Controller
 	ctx            *flowsim.Context
@@ -128,6 +141,11 @@ type outPort struct {
 	queue   []*packet
 	busy    bool
 	dropped uint64
+	// txGen cancels the pending serialization-done event when a link
+	// failure flushes the queue: evTxDone fires only when its stamp still
+	// matches, so a transmitter restarted after recovery cannot be popped
+	// early by a stale completion.
+	txGen uint64
 }
 
 type packet struct {
@@ -141,8 +159,9 @@ type packet struct {
 
 // puntedPkt is a packet parked at a switch awaiting control-plane action.
 type puntedPkt struct {
-	pkt *packet
-	in  netgraph.PortNum
+	pkt  *packet
+	in   netgraph.PortNum
+	miss bool // table miss (vs explicit output:controller)
 }
 
 type flowPhase uint8
@@ -199,6 +218,9 @@ const (
 	evToController
 	evExpiry
 	evTimer
+	evLinkChange
+	evSwitchChange
+	evCtrlChange
 )
 
 // event is the pooled kernel envelope of this engine.
@@ -213,6 +235,8 @@ type event struct {
 	gen  uint64
 	msg  openflow.Message
 	fn   func()
+	link netgraph.LinkID
+	up   bool
 }
 
 func (e *event) Time() simtime.Time { return e.at }
@@ -271,6 +295,8 @@ func New(cfg Config) *Simulator {
 		txBits:    make(map[portID]float64),
 		lastTx:    make(map[portID]float64),
 		extLoad:   make(map[portID]float64),
+		linkEpoch: make(map[portID]uint64),
+		fstate:    dataplane.NewFailureState(cfg.Topology),
 		ctrl:      cfg.Controller,
 		punted:    make(map[netgraph.NodeID][]*puntedPkt),
 		expiryAt:  make(map[netgraph.NodeID]simtime.Time),
@@ -329,6 +355,29 @@ func (s *Simulator) Load(tr traffic.Trace) {
 	}
 }
 
+// ScheduleLinkChange schedules a link failure (up=false) or recovery. On
+// failure, queued and in-flight packets on both directions are lost and
+// counted, the transmitters idle until recovery, and both endpoint
+// switches punt PortStatus to the attached controller.
+func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool) {
+	s.sched(event{at: at, kind: evLinkChange, link: link, up: up})
+}
+
+// ScheduleSwitchChange schedules a switch crash (up=false) or restart: a
+// crash takes the attached links down, wipes the switch's OpenFlow state
+// and loses its punt-parked packets; a restart brings the links back up
+// with the tables still empty.
+func (s *Simulator) ScheduleSwitchChange(at simtime.Time, sw netgraph.NodeID, up bool) {
+	s.sched(event{at: at, kind: evSwitchChange, node: sw, up: up})
+}
+
+// ScheduleControllerChange schedules a controller detach (attached=false)
+// or reattach. While detached, messages in both directions are lost; on
+// reattach, parked packets re-announce themselves with fresh PacketIns.
+func (s *Simulator) ScheduleControllerChange(at simtime.Time, attached bool) {
+	s.sched(event{at: at, kind: evCtrlChange, up: attached})
+}
+
 // Run executes until the queue drains or virtual time passes until. It may
 // be called once, and only on a simulator that owns its kernel;
 // shared-kernel engines are driven via Begin / kernel.Run / Finish.
@@ -373,8 +422,13 @@ func (s *Simulator) dispatch(e *event) {
 	case evSend:
 		s.trySend(e.flow)
 	case evTxDone:
-		s.txDone(e.port)
+		s.txDone(e.port, e.gen)
 	case evArriveNode:
+		if e.gen != s.linkEpoch[e.port] {
+			// The link died under the packet mid-propagation.
+			s.losePacket(e.pkt)
+			return
+		}
 		s.arrive(e.pkt, e.node, e.port.port)
 	case evRTO:
 		if e.flow.rtoGen == e.gen && e.flow.phase == phaseRunning {
@@ -386,10 +440,23 @@ func (s *Simulator) dispatch(e *event) {
 	case evToSwitch:
 		s.handleToSwitch(e.msg)
 	case evToController:
+		if s.fstate.ControllerDetached() {
+			// The channel broke while the message was in flight: it is
+			// lost at delivery. A lost PortStatus still resyncs on
+			// reattach (the link change it announced goes pending).
+			s.fstate.NotePendingStatus(e.msg)
+			return
+		}
 		s.ctrl.Handle(s.ctx, e.msg)
 	case evExpiry:
 		s.handleExpiry(e.node)
 	case evTimer:
 		e.fn()
+	case evLinkChange:
+		s.handleLinkChange(e.link, e.up)
+	case evSwitchChange:
+		s.handleSwitchChange(e.node, e.up)
+	case evCtrlChange:
+		s.handleCtrlChange(e.up)
 	}
 }

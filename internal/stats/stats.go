@@ -50,6 +50,7 @@ type Collector struct {
 
 	linkSeries []LinkSample
 	flows      []FlowRecord
+	reroutes   []simtime.Time
 
 	// Counters.
 	FlowsStarted   uint64
@@ -62,6 +63,10 @@ type Collector struct {
 	RateChanges    uint64
 	EventsRun      uint64
 	PathChanges    uint64
+	// PacketsLost counts packets lost to link/switch failures in the
+	// packet-level engine (queued or in flight on a link that died, or
+	// offered to a dead link before recovery).
+	PacketsLost uint64
 }
 
 // NewCollector returns a collector sampling link utilization at the given
@@ -75,6 +80,14 @@ func (c *Collector) AddLinkSample(s LinkSample) { c.linkSeries = append(c.linkSe
 
 // AddFlow records a finished flow.
 func (c *Collector) AddFlow(r FlowRecord) { c.flows = append(c.flows, r) }
+
+// AddReroute records the instant a flow's transmitting path changed — the
+// time series scenario metrics use to measure reconvergence latency after
+// a scripted failure.
+func (c *Collector) AddReroute(at simtime.Time) { c.reroutes = append(c.reroutes, at) }
+
+// RerouteTimes returns every recorded path-change instant in event order.
+func (c *Collector) RerouteTimes() []simtime.Time { return c.reroutes }
 
 // Flows returns all finished flow records.
 func (c *Collector) Flows() []FlowRecord { return c.flows }
