@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz-smoke lint ci
+.PHONY: all build test race bench bench-baseline bench-compare fuzz-smoke lint ci
 
 all: build
 
@@ -14,21 +14,39 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/...
+	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/...
 	$(GO) test -race -run 'TestParallel|TestE8Parallel' ./internal/experiments/...
+	$(GO) test -race -run 'TestShardDeterminism' ./internal/packetsim/
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Regenerate the committed benchmark baseline (do this deliberately, on a
+# quiet machine, when a PR intentionally changes event counts or
+# performance; the bench-compare CI job gates against this file).
+bench-baseline:
+	$(GO) run ./cmd/horsebench -quick -parallel 1 -json BENCH_baseline.json
+
+# The CI bench-compare gate, locally: quick suite vs the committed
+# baseline at the default ±20% tolerance.
+bench-compare:
+	$(GO) run ./cmd/horsebench -quick -parallel 1 -json BENCH_new.json -compare BENCH_baseline.json
 
 # A short native-fuzzing pass over the trace codec (seed corpus checked in
 # under internal/traffic/testdata/fuzz).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
 
+# golangci-lint (the CI lint job) when installed; vet+gofmt otherwise.
 lint:
-	$(GO) vet ./...
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "golangci-lint not installed; falling back to vet+gofmt"; \
+		$(GO) vet ./...; \
+		out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+			echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		fi \
 	fi
 
-ci: build lint test race bench fuzz-smoke
+ci: build lint test race bench fuzz-smoke bench-compare

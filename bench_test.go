@@ -6,12 +6,11 @@
 package horse_test
 
 import (
+	"fmt"
 	"testing"
 
 	"horse"
 	"horse/internal/experiments"
-	"horse/internal/header"
-	"horse/internal/openflow"
 )
 
 // BenchmarkE1PolicyCoexistence times the Figure-1 all-policies scenario.
@@ -70,7 +69,7 @@ func BenchmarkE3PacketLevel(b *testing.B) {
 			Sizes: horse.FixedSize(4e6), TCPFraction: 0.5, CBRRateBps: 2e7,
 		})
 		sim := horse.NewPacketSimulator(horse.PacketConfig{Topology: topo, Miss: horse.MissDrop})
-		installBenchRoutes(sim)
+		horse.InstallMACRoutes(sim.Network())
 		sim.Load(tr)
 		b.StartTimer()
 		sim.Run(horse.Time(2 * horse.Second))
@@ -83,34 +82,6 @@ func retarget(tr horse.Trace) horse.Trace {
 	out := make(horse.Trace, len(tr))
 	copy(out, tr)
 	return out
-}
-
-// installBenchRoutes pre-installs proactive MAC state on the packet
-// baseline, mirroring the E3 methodology.
-func installBenchRoutes(sim *horse.PacketSimulator) {
-	net := sim.Network()
-	topo := net.Topo
-	for _, host := range topo.Hosts() {
-		next := topo.ECMPNextHops(host, horse.HopCost)
-		for _, sw := range topo.Switches() {
-			if len(next[sw]) == 0 {
-				continue
-			}
-			out := topo.PortToward(sw, next[sw][0])
-			if out == 0 {
-				continue
-			}
-			net.Switches[sw].Apply(&openflow.FlowMod{
-				Op: openflow.FlowAdd, Priority: 10,
-				Match: header.Match{}.WithEthDst(hostMAC(host)),
-				Instr: openflow.Apply(openflow.Output(out)),
-			}, 0)
-		}
-	}
-}
-
-func hostMAC(id horse.NodeID) header.MAC {
-	return header.MACFromUint64(uint64(id) + 1)
 }
 
 // BenchmarkE4IXPReplay times a 6-hour replay on a 100-member fabric.
@@ -159,5 +130,37 @@ func BenchmarkE8Resilience(b *testing.B) {
 			[]horse.Duration{500 * horse.Millisecond},
 			[]horse.Duration{200 * horse.Millisecond},
 		)
+	}
+}
+
+// benchE9 times one packet-level fat-tree run at a shard count; the
+// BenchmarkE9Sharded/K=N variants divide out as the speedup curve
+// (compare ns/op across K — on a multi-core machine K=4 should run the
+// same event population >1.5× faster than K=1).
+func benchE9(b *testing.B, shards int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo := horse.FatTree(4, horse.Gig)
+		gen := horse.NewGenerator(101)
+		tr := gen.PoissonArrivals(horse.PoissonConfig{
+			Hosts: topo.Hosts(), Lambda: 40 * float64(len(topo.Hosts())),
+			Horizon: 200 * horse.Millisecond,
+			Sizes:   horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+		})
+		sim := horse.NewPacketSimulator(horse.PacketConfig{
+			Topology: topo, Miss: horse.MissDrop, Shards: shards,
+		})
+		horse.InstallMACRoutes(sim.Network())
+		sim.Load(tr)
+		b.StartTimer()
+		sim.Run(horse.Time(2 * horse.Second))
+	}
+}
+
+// BenchmarkE9Sharded is the E9 scaling matrix: the identical event
+// population at K ∈ {1, 2, 4}.
+func BenchmarkE9Sharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("K=%d", shards), func(b *testing.B) { benchE9(b, shards) })
 	}
 }

@@ -1,0 +1,76 @@
+// Many-core packet simulation of a fat-tree fabric: the same workload runs
+// on the serial engine and on the sharded executor (one event loop per
+// topology partition, conservatively synchronized on the cut's propagation
+// delay), reporting events/sec, the speedup, and the determinism contract —
+// Records() must be byte-identical at every shard count.
+//
+//	go run ./examples/manycore-fabric
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"horse"
+)
+
+func main() {
+	const k = 4 // fat-tree arity: 20 switches, 16 hosts, 4 pods
+	build := func(shards int) *horse.PacketSimulator {
+		topo := horse.FatTree(k, horse.Gig)
+		sim := horse.NewPacketSimulator(horse.PacketConfig{
+			Topology: topo, Miss: horse.MissDrop, Shards: shards,
+		})
+		horse.InstallMACRoutes(sim.Network())
+		gen := horse.NewGenerator(101)
+		sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+			Hosts: topo.Hosts(), Lambda: 40 * float64(len(topo.Hosts())),
+			Horizon: 200 * horse.Millisecond,
+			Sizes:   horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+		}))
+		return sim
+	}
+
+	fmt.Printf("k=%d fat-tree on %d cores (GOMAXPROCS)\n\n", k, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %10s %10s %12s %9s %s\n", "shards", "events", "wall-ms", "events/ms", "speedup", "records")
+
+	var baseline []string
+	var baseWall time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		sim := build(shards)
+		start := time.Now()
+		col := sim.Run(horse.Time(2 * horse.Second))
+		wall := time.Since(start)
+
+		// The determinism contract: identical records at any shard count.
+		var digest []string
+		for _, r := range col.Flows() {
+			digest = append(digest, fmt.Sprintf("%d|%v|%s|%v|%g", r.ID, r.End, r.Outcome, r.Completed, r.SentBits))
+		}
+		verdict := "identical"
+		if baseline == nil {
+			baseline = digest
+			baseWall = wall
+			verdict = "reference"
+		} else if len(digest) != len(baseline) {
+			verdict = "DIVERGED"
+		} else {
+			for i := range digest {
+				if digest[i] != baseline[i] {
+					verdict = "DIVERGED"
+					break
+				}
+			}
+		}
+		ev := sim.EventsDispatched()
+		fmt.Printf("%-8d %10d %10.1f %12.1f %8.2fx %s\n",
+			shards, ev, float64(wall.Microseconds())/1000,
+			float64(ev)/(float64(wall.Microseconds())/1000),
+			float64(baseWall)/float64(wall), verdict)
+	}
+	fmt.Println("\nShards>1 partitions the fabric (pods as natural cuts) and runs one")
+	fmt.Println("event loop per shard; windows synchronize on the 50µs cut latency.")
+	fmt.Println("On a single-core machine the speedup column stays ~1; the records")
+	fmt.Println("column must say identical everywhere regardless.")
+}

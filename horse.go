@@ -275,10 +275,18 @@ type (
 	PacketSimulator = packetsim.Simulator
 	// PacketConfig parameterizes it.
 	PacketConfig = packetsim.Config
+	// Network is the shared data-plane state (switch tables) behind an
+	// engine, exposed for pre-installing rules.
+	Network = dataplane.Network
 )
 
 // NewPacketSimulator builds the packet-level engine.
 func NewPacketSimulator(cfg PacketConfig) *PacketSimulator { return packetsim.New(cfg) }
+
+// InstallMACRoutes pre-installs shortest-path MAC forwarding for every
+// host on a network's switches — the identical-pre-installed-state
+// methodology of the E3/E9 packet baselines.
+func InstallMACRoutes(n *Network) { dataplane.InstallMACRoutes(n) }
 
 // Hybrid fidelity: both engines coupled under one kernel.
 type (

@@ -26,6 +26,8 @@ var (
 	fullE7Fractions  = []float64{0, 0.25, 0.5, 0.75, 1}
 	fullE8MTBFs      = []simtime.Duration{500 * simtime.Millisecond, 2 * simtime.Second}
 	fullE8Recoveries = []simtime.Duration{100 * simtime.Millisecond, 400 * simtime.Millisecond}
+	fullE9Arities    = []int{4, 8}
+	fullE9Shards     = []int{1, 2, 4, 8}
 )
 
 // Main parses args, runs the selected experiments, prints the tables to
@@ -35,9 +37,11 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run the reduced suite")
-	only := fs.String("only", "", "run a single experiment (E1..E8)")
+	only := fs.String("only", "", "run a single experiment (E1..E9)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells")
 	jsonOut := fs.String("json", "", "write a horse-bench/v1 JSON report to this path (\"-\" = stdout)")
+	compare := fs.String("compare", "", "gate this run against a baseline horse-bench/v1 report; regressions exit 1")
+	compareTol := fs.Float64("compare-tol", DefaultCompareTol, "relative tolerance for -compare timing columns")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -74,6 +78,9 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 		"E8": func() []*experiments.Table {
 			return []*experiments.Table{experiments.E8With(opts, fullE8MTBFs, fullE8Recoveries)}
 		},
+		"E9": func() []*experiments.Table {
+			return []*experiments.Table{experiments.E9With(opts, fullE9Arities, fullE9Shards)}
+		},
 	}[strings.ToUpper(*only)]
 	if !ok {
 		return fail(fmt.Errorf("unknown experiment %q", *only))
@@ -101,6 +108,15 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "%s: note: wall-time columns measured with %d parallel workers; use -parallel 1 for uncontended timings\n", name, *parallel)
 	}
 
+	// Load the comparison baseline before the run: a bad path fails fast.
+	var baseline *experiments.Report
+	if *compare != "" {
+		var err error
+		if baseline, err = LoadReport(*compare); err != nil {
+			return fail(err)
+		}
+	}
+
 	start := time.Now()
 	tables := pick()
 	wall := time.Since(start)
@@ -110,25 +126,39 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 			t.Fprint(func(format string, a ...interface{}) { fmt.Fprintf(stdout, format, a...) })
 		}
 	}
-	if *jsonOut == "" {
-		return 0
-	}
 	rep := experiments.NewReport(tables, *parallel, wall)
-	if jsonFile == nil {
-		if err := rep.WriteJSON(stdout); err != nil {
-			return fail(err)
+	if *jsonOut != "" {
+		if jsonFile == nil {
+			if err := rep.WriteJSON(stdout); err != nil {
+				return fail(err)
+			}
+		} else {
+			if err := rep.WriteJSON(jsonFile); err != nil {
+				jsonFile.Close()
+				return fail(err)
+			}
+			if err := jsonFile.Close(); err != nil {
+				return fail(err)
+			}
+			if err := os.Rename(jsonFile.Name(), *jsonOut); err != nil {
+				return fail(err)
+			}
 		}
-		return 0
 	}
-	if err := rep.WriteJSON(jsonFile); err != nil {
-		jsonFile.Close()
-		return fail(err)
-	}
-	if err := jsonFile.Close(); err != nil {
-		return fail(err)
-	}
-	if err := os.Rename(jsonFile.Name(), *jsonOut); err != nil {
-		return fail(err)
+	if baseline != nil {
+		if baseline.Parallel != rep.Parallel {
+			fmt.Fprintf(stderr, "%s: note: baseline ran -parallel %d, this run %d; timing columns not gated (deterministic columns still are)\n",
+				name, baseline.Parallel, rep.Parallel)
+		}
+		if bad := Compare(baseline, rep, *compareTol); len(bad) > 0 {
+			fmt.Fprintf(stderr, "%s: benchmark regression vs %s:\n", name, *compare)
+			for _, v := range bad {
+				fmt.Fprintf(stderr, "  %s\n", v)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "%s: no benchmark regression vs %s (tolerance %.0f%%)\n",
+			name, *compare, *compareTol*100)
 	}
 	return 0
 }

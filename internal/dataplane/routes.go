@@ -1,0 +1,34 @@
+package dataplane
+
+import (
+	"horse/internal/addr"
+	"horse/internal/header"
+	"horse/internal/netgraph"
+	"horse/internal/openflow"
+)
+
+// InstallMACRoutes pre-installs shortest-path MAC forwarding for every
+// host directly on the network's switches — the E3 "identical
+// pre-installed state" methodology, shared by the experiment harness,
+// the benchmarks, and the examples so the baseline state cannot drift
+// between them.
+func InstallMACRoutes(n *Network) {
+	topo := n.Topo
+	for _, host := range topo.Hosts() {
+		next := topo.ECMPNextHops(host, netgraph.HopCost)
+		for _, sw := range topo.Switches() {
+			if len(next[sw]) == 0 {
+				continue
+			}
+			out := topo.PortToward(sw, next[sw][0])
+			if out == netgraph.NoPort {
+				continue
+			}
+			n.Switches[sw].Apply(&openflow.FlowMod{
+				Op: openflow.FlowAdd, Priority: 10,
+				Match: header.Match{}.WithEthDst(addr.HostMAC(host)),
+				Instr: openflow.Apply(openflow.Output(out)),
+			}, 0)
+		}
+	}
+}

@@ -14,8 +14,9 @@ import (
 // population strays far from the bucket count, and recalculates the day
 // width from a sample of inter-event gaps, following the classic design.
 //
-// Like Heap, Calendar dequeues in nondecreasing time order with FIFO
-// tie-breaking, so the two implementations are interchangeable.
+// Like Heap, Calendar dequeues in nondecreasing time order with
+// (order key, FIFO) tie-breaking, so the two implementations are
+// interchangeable.
 //
 // Peek shares Pop's cursor walk and caches the located head bucket, so the
 // Peek-then-Pop pattern of a simulation loop costs one amortized-O(1)
@@ -67,7 +68,7 @@ func (c *Calendar) bucketFor(t simtime.Time) int {
 // Push schedules an event.
 func (c *Calendar) Push(ev Event) {
 	c.seq++
-	it := item{ev: ev, seq: c.seq}
+	it := item{ev: ev, key: orderKeyOf(ev), seq: c.seq}
 	idx := c.bucketFor(ev.Time())
 	b := c.buckets[idx]
 	// Insert keeping the bucket sorted (buckets are short on average, so a

@@ -7,8 +7,10 @@
 // min-heap (the default, O(log n) per operation) and a calendar queue
 // (amortized O(1) when event times are spread roughly uniformly, as is the
 // case for high-churn Poisson traffic). Both dequeue events in
-// nondecreasing time order and break ties by insertion order, so a
-// simulation run is fully deterministic for a given input sequence.
+// nondecreasing time order and break ties by order key (Keyed) and then
+// insertion order, so a simulation run is fully deterministic for a
+// given input sequence — and, with entity-derived keys, reproducible by
+// the sharded executor regardless of how scheduling interleaves.
 package eventq
 
 import (
@@ -24,12 +26,40 @@ type Event interface {
 	Time() simtime.Time
 }
 
+// Keyed is an Event that carries a deterministic order key. Queues sort by
+// (time, key, insertion order): at one instant, smaller keys fire first,
+// and equal keys keep FIFO order. Keys exist for parallel determinism —
+// a sharded run cannot reproduce the global insertion order of a serial
+// run, but it can reproduce (time, key) because keys derive from stable
+// simulation entities (link direction, datapath, flow), not from schedule
+// history. Engines that want identical results at any shard count stamp
+// every event; events without keys sort after all keyed events at the
+// same instant (DefaultOrderKey) in plain FIFO order.
+type Keyed interface {
+	Event
+	// OrderKey returns the event's order key. It must not change while
+	// the event is queued.
+	OrderKey() uint64
+}
+
+// DefaultOrderKey is the order key assumed for events that do not
+// implement Keyed. It sorts after every keyed event at the same instant.
+const DefaultOrderKey = ^uint64(0)
+
+func orderKeyOf(ev Event) uint64 {
+	if k, ok := ev.(Keyed); ok {
+		return k.OrderKey()
+	}
+	return DefaultOrderKey
+}
+
 // Queue is a temporally ordered event queue.
 type Queue interface {
 	// Push schedules an event.
 	Push(Event)
 	// Pop removes and returns the earliest event. Ties are broken by
-	// insertion order (FIFO). Pop returns nil when the queue is empty.
+	// order key (Keyed; DefaultOrderKey otherwise) and then insertion
+	// order (FIFO). Pop returns nil when the queue is empty.
 	Pop() Event
 	// Peek returns the earliest event without removing it, or nil.
 	Peek() Event
@@ -37,9 +67,12 @@ type Queue interface {
 	Len() int
 }
 
-// item pairs an event with its insertion sequence number for stable ordering.
+// item pairs an event with its cached order key and insertion sequence
+// number for stable ordering. The key is captured once at Push so the hot
+// comparison path never re-asserts the Keyed interface.
 type item struct {
 	ev  Event
+	key uint64
 	seq uint64
 }
 
@@ -47,6 +80,9 @@ func less(a, b item) bool {
 	at, bt := a.ev.Time(), b.ev.Time()
 	if at != bt {
 		return at < bt
+	}
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.seq < b.seq
 }
@@ -80,7 +116,7 @@ func (h *heapImpl) Pop() interface{} {
 // Push schedules an event.
 func (q *Heap) Push(ev Event) {
 	q.h.seq++
-	heap.Push(&q.h, item{ev: ev, seq: q.h.seq})
+	heap.Push(&q.h, item{ev: ev, key: orderKeyOf(ev), seq: q.h.seq})
 }
 
 // Pop removes and returns the earliest event, or nil if the queue is empty.

@@ -1,6 +1,7 @@
 package flowsim
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -8,6 +9,7 @@ import (
 	"horse/internal/fairshare"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
+	"horse/internal/runner"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/traffic"
@@ -336,12 +338,17 @@ func (s *Simulator) drainAlloc() {
 	shifted := s.shiftScratch[:0]
 	shifted = append(shifted, s.shiftPending...)
 	s.shiftPending = s.shiftPending[:0]
-	for _, c := range changed {
+	settled := s.parallelSettle(changed)
+	for i, c := range changed {
 		f := s.flows[FlowID(c.ID)]
 		if f == nil || f.state != StateActive {
 			continue
 		}
-		s.settleFlow(f)
+		if settled != nil {
+			s.applySettle(f, settled[i])
+		} else {
+			s.settleFlow(f)
+		}
 		s.adjustLedgers(f, c.NewRate-f.rate)
 		f.rate = c.NewRate
 		s.col.RateChanges++
@@ -363,6 +370,74 @@ func (s *Simulator) drainAlloc() {
 		s.shiftScratch = shifted
 		s.cfg.OnRateShift(dedup)
 	}
+}
+
+// parallelSettleMin is the drain size below which fanning the settle scan
+// out costs more than the arithmetic it parallelizes.
+const parallelSettleMin = 256
+
+// parallelSettle computes, for every changed flow, the bits it transferred
+// since its last settle — the pure, per-flow half of the drain — on a
+// worker pool of Config.Shards workers. Returns nil (caller settles
+// serially) when the pool is not configured or the drain is small. The
+// computation per flow is the exact expression settleFlow evaluates, so
+// the fanned-out drain is bit-identical to the serial one; the mutating
+// half (flow totals, shared switch entries, ledgers) stays with the
+// caller's serial apply pass.
+func (s *Simulator) parallelSettle(changed []fairshare.Changed) []float64 {
+	if s.cfg.Shards <= 1 || len(changed) < parallelSettleMin {
+		return nil
+	}
+	out := make([]float64, len(changed))
+	now := s.k.Now()
+	workers := s.cfg.Shards
+	chunk := (len(changed) + workers - 1) / workers
+	var cells []runner.Cell[struct{}]
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(changed) {
+			break
+		}
+		if hi > len(changed) {
+			hi = len(changed)
+		}
+		cells = append(cells, runner.Cell[struct{}]{
+			ID: fmt.Sprintf("settle%d", w),
+			Run: func() struct{} {
+				for i := lo; i < hi; i++ {
+					f := s.flows[FlowID(changed[i].ID)]
+					if f == nil || f.state != StateActive || now <= f.lastSettle {
+						continue
+					}
+					out[i] = f.rate * now.Sub(f.lastSettle).Seconds()
+				}
+				return struct{}{}
+			},
+		})
+	}
+	runner.Run(cells, workers)
+	return out
+}
+
+// applySettle is settleFlow with the transferred bits precomputed by
+// parallelSettle.
+func (s *Simulator) applySettle(f *Flow, bits float64) {
+	if f.state == StateActive && s.k.Now() > f.lastSettle && bits > 0 {
+		f.sent += bits
+		if !math.IsInf(f.remaining, 1) {
+			f.remaining -= bits
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		for _, e := range f.entries {
+			e.Bytes += uint64(bits / 8)
+			e.Packets += uint64(bits/packetBits) + 1
+			e.LastUsed = s.k.Now()
+		}
+	}
+	f.lastSettle = s.k.Now()
 }
 
 // scheduleCompletion (re)schedules the flow's completion event based on its

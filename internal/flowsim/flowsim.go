@@ -148,6 +148,15 @@ type Config struct {
 	// changes do not reschedule events (default 1%).
 	RateEpsilon float64
 
+	// Shards > 1 fans the settle scan of the rate-shift drain — the
+	// per-flow transferred-bits computation after every fair-share
+	// re-solve — across a worker pool of that size. The solve itself and
+	// the apply pass stay serial (they mutate shared allocator, ledger,
+	// and switch-entry state), so results are bit-identical to the
+	// serial path for any value; the win shows on drains touching
+	// thousands of flows (shared-fabric churn, E6-style workloads).
+	Shards int
+
 	// Kernel attaches the simulator to an externally owned simulation
 	// kernel so several engines share one virtual clock (hybrid runs).
 	// Nil means the simulator creates and drives its own kernel, and Run
@@ -212,6 +221,41 @@ type event struct {
 }
 
 func (e *event) Time() simtime.Time { return e.at }
+
+// OrderKey implements eventq.Keyed with the kernel-wide class scheme
+// (simcore.OrderKey). Control-plane kinds use the same classes and
+// entities as the packet engine's, which pins the cross-engine dispatch
+// order of hybrid runs: a FlowMod delivery scheduled by this engine
+// sorts against the packet engine's same-instant data events exactly
+// where a standalone packet run would sort its own delivery.
+func (e *event) OrderKey() uint64 {
+	switch e.kind {
+	case evLinkChange:
+		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.link))
+	case evSwitchChange:
+		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.sw))
+	case evCtrlChange:
+		return simcore.OrderKey(simcore.ClassTopoChange, ^uint32(0))
+	case evToSwitch:
+		return simcore.OrderKey(simcore.ClassToSwitch, uint32(e.msg.Datapath()))
+	case evExpiry:
+		return simcore.OrderKey(simcore.ClassExpiry, uint32(e.sw))
+	case evToController:
+		return simcore.OrderKey(simcore.ClassToController, uint32(e.msg.Datapath()))
+	case evTimer:
+		return simcore.OrderKey(simcore.ClassTimer, 0)
+	case evArrival:
+		return simcore.OrderKey(simcore.ClassData+0, 0)
+	case evComplete:
+		return simcore.OrderKey(simcore.ClassData+1, uint32(e.flow.ID))
+	case evRamp:
+		return simcore.OrderKey(simcore.ClassData+2, uint32(e.flow.ID))
+	case evResolveBatch:
+		return simcore.OrderKey(simcore.ClassData+3, 0)
+	default: // evStatsTick
+		return simcore.OrderKey(simcore.ClassData+4, 0)
+	}
+}
 
 // Fire implements simcore.Event: execute on dispatch.
 func (e *event) Fire() {

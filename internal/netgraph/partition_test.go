@@ -1,0 +1,94 @@
+package netgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"horse/internal/simtime"
+)
+
+func TestPartitionKFatTree(t *testing.T) {
+	topo := FatTree(4, Gig)
+	parts := topo.PartitionK(4)
+	if len(parts) != topo.NumNodes() {
+		t.Fatalf("parts length %d, want %d", len(parts), topo.NumNodes())
+	}
+	counts := make(map[int32]int)
+	for _, sw := range topo.Switches() {
+		p := parts[sw]
+		if p < 0 || p >= 4 {
+			t.Fatalf("switch %d in part %d", sw, p)
+		}
+		counts[p]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d parts populated", len(counts))
+	}
+	// Balance: 20 switches over 4 parts, cap ceil(20/4)=5.
+	for p, n := range counts {
+		if n > 5 {
+			t.Errorf("part %d oversized: %d switches", p, n)
+		}
+	}
+	// Hosts follow their attached switch: host links never cross the cut.
+	for _, h := range topo.Hosts() {
+		sw, _ := topo.AttachedSwitch(h)
+		if parts[h] != parts[sw] {
+			t.Errorf("host %d in part %d, its switch %d in part %d", h, parts[h], sw, parts[sw])
+		}
+	}
+	if la := CutLookahead(topo, parts); la != 50*simtime.Microsecond {
+		t.Errorf("lookahead %v, want the uniform 50µs link delay", la)
+	}
+	if cut := CutSize(topo, parts); cut == 0 || cut >= topo.NumLinks() {
+		t.Errorf("cut size %d of %d links", cut, topo.NumLinks())
+	}
+	// Deterministic for a given topology.
+	if again := FatTree(4, Gig).PartitionK(4); !reflect.DeepEqual(parts, again) {
+		t.Error("partition is not deterministic")
+	}
+}
+
+func TestPartitionKDegenerate(t *testing.T) {
+	topo := LeafSpine(2, 2, 2, Gig, TenGig)
+	for _, k := range []int{0, 1} {
+		parts := topo.PartitionK(k)
+		for n, p := range parts {
+			if p != 0 {
+				t.Fatalf("k=%d: node %d in part %d", k, n, p)
+			}
+		}
+	}
+	// More parts than switches clamps to the switch count.
+	parts := topo.PartitionK(64)
+	maxPart := int32(0)
+	for _, sw := range topo.Switches() {
+		if parts[sw] > maxPart {
+			maxPart = parts[sw]
+		}
+	}
+	if int(maxPart)+1 > len(topo.Switches()) {
+		t.Fatalf("clamp failed: %d parts for %d switches", maxPart+1, len(topo.Switches()))
+	}
+}
+
+func TestCutLookaheadDisjointAndZeroDelay(t *testing.T) {
+	// Two islands: no cut links at all → Forever (shards never sync).
+	topo := New()
+	a, b := topo.AddSwitch("a"), topo.AddSwitch("b")
+	ha, hb := topo.AddHost("ha"), topo.AddHost("hb")
+	topo.Connect(a, ha, 1e9, simtime.Microsecond)
+	topo.Connect(b, hb, 1e9, simtime.Microsecond)
+	parts := topo.PartitionK(2)
+	if parts[a] == parts[b] {
+		t.Fatal("islands landed in one part")
+	}
+	if la := CutLookahead(topo, parts); la != simtime.Forever {
+		t.Errorf("disjoint lookahead %v, want Forever", la)
+	}
+	// A zero-delay cut link collapses the lookahead to 0 (no safe window).
+	topo.Connect(a, b, 1e9, 0)
+	if la := CutLookahead(topo, parts); la != 0 {
+		t.Errorf("zero-delay cut lookahead %v, want 0", la)
+	}
+}

@@ -1,7 +1,10 @@
 // Control-plane attachment of the packet engine: punts with buffered
 // packets, latency-modeled message delivery, rule installation, timeout
 // expiry, and stats replies — the packet-granular mirror of
-// flowsim/control.go, speaking the same flowsim.Controller interface.
+// flowsim/control.go, speaking the same flowsim.Controller interface. In
+// sharded runs the controller lives on shard 0; switch-originated
+// messages cross to it (and its replies cross back) through the barrier
+// outboxes, with the control latency as lookahead.
 package packetsim
 
 import (
@@ -23,7 +26,7 @@ func (s *Simulator) SendToSwitch(msg openflow.Message) {
 	if s.fstate.ControllerDetached() {
 		return
 	}
-	s.sched(event{at: s.k.Now().Add(s.cfg.ControlLatency), kind: evToSwitch, msg: msg})
+	s.sched(event{at: s.k.Now().Add(s.cfg.ControlLatency), kind: evToSwitch, msg: msg, node: msg.Datapath()})
 }
 
 // After implements flowsim.Engine: fn runs on the controller after d.
@@ -38,7 +41,7 @@ func (s *Simulator) After(d simtime.Duration, fn func()) {
 // for PortStatus) messages caught in flight when the channel breaks.
 func (s *Simulator) sendToController(msg openflow.Message) {
 	if s.fstate.ControllerDetached() {
-		s.fstate.NotePendingStatus(msg)
+		s.notePending(msg)
 		return
 	}
 	if s.cfg.PuntSink != nil {
@@ -48,7 +51,7 @@ func (s *Simulator) sendToController(msg openflow.Message) {
 	if s.ctrl == nil {
 		return
 	}
-	s.sched(event{at: s.k.Now().Add(s.cfg.ControlLatency), kind: evToController, msg: msg})
+	s.sched(event{at: s.k.Now().Add(s.cfg.ControlLatency), kind: evToController, msg: msg, node: msg.Datapath()})
 }
 
 // puntPacket parks a packet at a switch pending control-plane action and
@@ -81,9 +84,6 @@ func (s *Simulator) retryPunted(sw netgraph.NodeID) {
 	}
 	keep := buf[:0]
 	for _, bp := range buf {
-		if bp.pkt.flow.phase != phaseRunning && !bp.pkt.ack {
-			continue // flow ended while parked; the packet is moot
-		}
 		if !s.forward(bp.pkt, sw, bp.in, true) {
 			keep = append(keep, bp)
 		}
@@ -121,7 +121,9 @@ func (s *Simulator) handleToSwitch(msg openflow.Message) {
 			return
 		}
 		s.col.FlowMods++
-		delete(s.meters, meterKey{sw: dp, id: m.MeterID}) // reset the bucket
+		if mm := s.meters[dp]; mm != nil {
+			delete(mm, m.MeterID) // reset the bucket
+		}
 		s.retryPunted(dp)
 	case *openflow.PacketOut:
 		s.handlePacketOut(m)
@@ -146,7 +148,9 @@ func (s *Simulator) NotifyApplied(msg openflow.Message) {
 	case *openflow.FlowMod, *openflow.GroupMod:
 		s.retryPunted(dp)
 	case *openflow.MeterMod:
-		delete(s.meters, meterKey{sw: dp, id: m.MeterID})
+		if mm := s.meters[dp]; mm != nil {
+			delete(mm, m.MeterID)
+		}
 		s.retryPunted(dp)
 	case *openflow.PacketOut:
 		s.handlePacketOut(m)
@@ -175,7 +179,7 @@ func (s *Simulator) handlePacketOut(m *openflow.PacketOut) {
 		case s.keyOf(bp.pkt) != m.Key:
 			keep = append(keep, bp)
 		case out != netgraph.NoPort:
-			s.enqueue(bp.pkt, portID{node: m.Switch, port: out})
+			s.enqueue(bp.pkt, s.dirFrom(m.Switch, out))
 		default:
 			if !s.forward(bp.pkt, m.Switch, bp.in, true) {
 				keep = append(keep, bp)
@@ -195,7 +199,7 @@ func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
 	if next == simtime.Never {
 		return
 	}
-	if cur, ok := s.expiryAt[dp]; ok && cur <= next && cur >= s.k.Now() {
+	if cur := s.expiryAt[dp]; cur != simtime.Never && cur <= next && cur >= s.k.Now() {
 		return // an earlier (or equal) check is already scheduled
 	}
 	s.expiryAt[dp] = next
@@ -207,7 +211,7 @@ func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
 // FlowRemoved, and re-arms the timer. Traffic hitting an evicted rule
 // simply misses and punts again — the packet-granular re-resolution.
 func (s *Simulator) handleExpiry(dp netgraph.NodeID) {
-	delete(s.expiryAt, dp)
+	s.expiryAt[dp] = simtime.Never
 	sw := s.net.Switches[dp]
 	if sw == nil {
 		return
@@ -218,17 +222,14 @@ func (s *Simulator) handleExpiry(dp netgraph.NodeID) {
 	s.scheduleExpiry(dp)
 }
 
-// portStats builds a PortStatsReply from the transmit counters. Rates are
-// averaged since the previous request for the same port (first request
-// reports the average since the epoch) — the polling-delta a real
-// controller computes anyway.
+// portStats builds a PortStatsReply from the transmit and receive
+// counters of the switch's own directions. Rates are averaged since the
+// previous request for the same port (first request reports the average
+// since the epoch) — the polling-delta a real controller computes anyway.
+// Receive counters are the bits observed arriving on the switch's side of
+// each link, so the reply reads only state this switch's shard owns.
 func (s *Simulator) portStats(dp netgraph.NodeID, port netgraph.PortNum) *openflow.PortStatsReply {
 	reply := &openflow.PortStatsReply{Switch: dp, At: s.k.Now()}
-	if s.statsReqAt == nil {
-		s.statsReqAt = make(map[portID]simtime.Time)
-		s.statsReqTxBits = make(map[portID]float64)
-		s.statsReqRxBits = make(map[portID]float64)
-	}
 	for _, p := range s.topo.Node(dp).Ports() {
 		if port != netgraph.NoPort && p != port {
 			continue
@@ -237,32 +238,25 @@ func (s *Simulator) portStats(dp netgraph.NodeID, port netgraph.PortNum) *openfl
 		if l == nil {
 			continue
 		}
-		txPid := portID{node: dp, port: p}
-		peer, peerPort := l.Peer(dp)
-		rxPid := portID{node: peer, port: peerPort}
+		txDir := s.dirFrom(dp, p)
+		rxDir := txDir ^ 1 // the opposite direction of the same link
 		ps := openflow.PortStats{
 			Port: p, LinkBps: l.BandwidthBps, Up: l.Up,
-			TxBits: s.txBits[txPid], RxBits: s.txBits[rxPid],
+			TxBits: s.txBits[txDir], RxBits: s.rxBits[rxDir],
 		}
 		// Baselines are keyed by the replying port only, so polling one
 		// switch never disturbs a neighbor's next delta.
-		if last := s.statsReqAt[txPid]; s.k.Now() > last {
+		if last := s.statsReqAt[txDir]; s.k.Now() > last {
 			window := s.k.Now().Sub(last).Seconds()
-			ps.TxRateBps = (s.txBits[txPid] - s.statsReqTxBits[txPid]) / window
-			ps.RxRateBps = (s.txBits[rxPid] - s.statsReqRxBits[txPid]) / window
+			ps.TxRateBps = (s.txBits[txDir] - s.statsReqTxBits[txDir]) / window
+			ps.RxRateBps = (s.rxBits[rxDir] - s.statsReqRxBits[txDir]) / window
 		}
-		s.statsReqAt[txPid] = s.k.Now()
-		s.statsReqTxBits[txPid] = s.txBits[txPid]
-		s.statsReqRxBits[txPid] = s.txBits[rxPid]
+		s.statsReqAt[txDir] = s.k.Now()
+		s.statsReqTxBits[txDir] = s.txBits[txDir]
+		s.statsReqRxBits[txDir] = s.rxBits[rxDir]
 		reply.Stats = append(reply.Stats, ps)
 	}
 	return reply
-}
-
-// meterKey names a meter bucket on a switch.
-type meterKey struct {
-	sw netgraph.NodeID
-	id openflow.MeterID
 }
 
 // meterBucket is the token-bucket state enforcing one meter at packet
@@ -287,11 +281,15 @@ func (s *Simulator) meterAdmit(sw netgraph.NodeID, id openflow.MeterID, bits flo
 	if burst < 2*DataPacketBits {
 		burst = 2 * DataPacketBits
 	}
-	k := meterKey{sw: sw, id: id}
-	b := s.meters[k]
+	mm := s.meters[sw]
+	if mm == nil {
+		mm = make(map[openflow.MeterID]*meterBucket)
+		s.meters[sw] = mm
+	}
+	b := mm[id]
 	if b == nil {
 		b = &meterBucket{tokens: burst, last: s.k.Now()}
-		s.meters[k] = b
+		mm[id] = b
 	}
 	if now := s.k.Now(); now > b.last {
 		b.tokens += m.RateBps * now.Sub(b.last).Seconds()

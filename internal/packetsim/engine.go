@@ -10,18 +10,20 @@ import (
 )
 
 // trySend lets a flow emit as many packets as its window (TCP) or schedule
-// (CBR) currently allows.
+// (CBR) currently allows. Runs on the flow's sender shard.
 func (s *Simulator) trySend(f *pktFlow) {
-	if f.phase != phaseRunning {
+	if f.srcDead || f.senderStopped {
 		return
 	}
 	if !f.started {
 		f.started = true
 		s.col.FlowsStarted++
 	}
-	if f.demand.Duration > 0 && s.k.Now() >= f.arrival.Add(f.demand.Duration) {
-		// Deadline passed for an open-ended flow.
-		s.complete(f)
+	if f.demand.Duration > 0 && s.k.Now() >= f.deadline() {
+		// Deadline passed for an open-ended flow: the sender stops and
+		// dates the completion candidate (the receiver side needs no
+		// notification — its own candidates can only be later).
+		s.senderStop(f)
 		return
 	}
 	if f.tcp {
@@ -47,40 +49,51 @@ func (s *Simulator) trySend(f *pktFlow) {
 	}
 }
 
+// senderStop ends the sending side at its deadline: the completion
+// candidate is dated now, emissions cease, and pending RTO timers die.
+func (s *Simulator) senderStop(f *pktFlow) {
+	if f.senderStopped {
+		return
+	}
+	f.senderStopped = true
+	f.deadlineDoneAt = s.k.Now()
+	f.rtoGen++ // cancel timers
+}
+
 // emit injects a packet at the flow's source host.
 func (s *Simulator) emit(f *pktFlow, seq int, retrans bool) {
 	p := &packet{flow: f, seq: seq, bits: DataPacketBits, retrans: retrans}
 	f.sentBits += p.bits
 	if sw, _ := s.topo.AttachedSwitch(f.demand.Src); sw < 0 {
-		f.phase = phaseDropped
+		f.srcDead = true
 		return
 	}
 	// Host NIC → switch: enqueue on the host's side of the access link.
-	s.enqueue(p, portID{node: f.demand.Src, port: s.hostPort(f.demand.Src)})
+	s.enqueue(p, s.hostDir(f.demand.Src))
 }
 
-// hostPort returns the host's own port number on its access link.
-func (s *Simulator) hostPort(host netgraph.NodeID) netgraph.PortNum {
+// hostDir returns the host's transmit direction on its access link.
+func (s *Simulator) hostDir(host netgraph.NodeID) int32 {
 	sw, swPort := s.topo.AttachedSwitch(host)
 	if sw < 0 {
-		return netgraph.NoPort
+		return -1
 	}
 	l := s.topo.LinkAt(sw, swPort)
-	return l.PortAt(host)
+	return s.dirFrom(host, l.PortAt(host))
 }
 
-// enqueue places a packet on an output port's drop-tail queue and starts
-// the transmitter if idle.
-func (s *Simulator) enqueue(p *packet, pid portID) {
-	op := s.ports[pid]
+// enqueue places a packet on an output direction's drop-tail queue and
+// starts the transmitter if idle. Runs on the transmitting node's shard.
+func (s *Simulator) enqueue(p *packet, dir int32) {
+	if dir < 0 {
+		s.dropPacket(p)
+		return
+	}
+	op := s.ports[dir]
 	if op == nil {
-		l := s.topo.LinkAt(pid.node, pid.port)
-		if l == nil {
-			s.dropPacket(p)
-			return
-		}
-		op = &outPort{link: l, from: pid.node}
-		s.ports[pid] = op
+		l := s.dirLink(dir)
+		op = &outPort{link: l, from: dirFromNode(l, dir)}
+		s.ports[dir] = op
 	}
 	if !op.link.Up {
 		// Offered to a dead link: lost until recovery (TCP senders RTO).
@@ -94,7 +107,7 @@ func (s *Simulator) enqueue(p *packet, pid portID) {
 	}
 	op.queue = append(op.queue, p)
 	if !op.busy {
-		s.startTx(pid, op)
+		s.startTx(dir, op)
 	}
 }
 
@@ -105,14 +118,14 @@ func (s *Simulator) enqueue(p *packet, pid portID) {
 // leftovers).
 const minResidualFrac = 0.01
 
-// txRate returns the transmit rate of a port: line rate minus any
-// flow-level load the hybrid coupler reported for this link direction.
-func (s *Simulator) txRate(pid portID, op *outPort) float64 {
+// txRate returns the transmit rate of a direction: line rate minus any
+// flow-level load the hybrid coupler reported for it.
+func (s *Simulator) txRate(dir int32, op *outPort) float64 {
 	bw := op.link.BandwidthBps
 	if len(s.extLoad) == 0 {
 		return bw
 	}
-	if load, ok := s.extLoad[pid]; ok {
+	if load, ok := s.extLoad[dir]; ok {
 		bw -= load
 		if min := op.link.BandwidthBps * minResidualFrac; bw < min {
 			bw = min
@@ -128,63 +141,63 @@ func (s *Simulator) txRate(pid portID, op *outPort) float64 {
 // load. In-flight serializations keep their old finish time; the next
 // packet sees the new rate.
 func (s *Simulator) SetExternalLoad(link netgraph.LinkID, forward bool, bps float64) {
-	l := s.topo.Link(link)
-	from := l.B
-	if forward {
-		from = l.A
+	dir := int32(link) << 1
+	if !forward {
+		dir |= 1
 	}
-	pid := portID{node: from, port: l.PortAt(from)}
 	if bps <= 0 {
-		delete(s.extLoad, pid)
+		delete(s.extLoad, dir)
 		return
 	}
-	s.extLoad[pid] = bps
+	s.extLoad[dir] = bps
 }
 
 // startTx begins serializing the head-of-line packet.
-func (s *Simulator) startTx(pid portID, op *outPort) {
+func (s *Simulator) startTx(dir int32, op *outPort) {
 	op.busy = true
 	p := op.queue[0]
-	ser := simtime.TransferTime(p.bits, s.txRate(pid, op))
-	s.sched(event{at: s.k.Now().Add(ser), kind: evTxDone, port: pid, gen: op.txGen})
+	ser := simtime.TransferTime(p.bits, s.txRate(dir, op))
+	s.sched(event{at: s.k.Now().Add(ser), kind: evTxDone, dir: dir, gen: op.txGen})
 }
 
 // txDone finishes serialization: the packet departs onto the wire and the
 // next queued packet starts. A stale generation stamp means a link failure
 // flushed this transmitter after the event was armed — the flush already
 // accounted for the packet.
-func (s *Simulator) txDone(pid portID, gen uint64) {
-	op := s.ports[pid]
+func (s *Simulator) txDone(dir int32, gen uint64) {
+	op := s.ports[dir]
 	if op == nil || op.txGen != gen || len(op.queue) == 0 {
 		return
 	}
 	p := op.queue[0]
 	copy(op.queue, op.queue[1:])
+	op.queue[len(op.queue)-1] = nil
 	op.queue = op.queue[:len(op.queue)-1]
-	s.txBits[pid] += p.bits
+	s.txBits[dir] += p.bits
 
-	peer, peerPort := op.link.Peer(pid.node)
 	if op.link.Up {
-		rx := portID{node: peer, port: peerPort}
+		// The arrival event carries the direction's epoch at transmit
+		// time; a link failure between now and delivery bumps it and the
+		// packet is lost mid-propagation. Epochs mutate only between
+		// windows, so this cross-shard read is safe in sharded runs.
 		s.sched(event{
 			at:   s.k.Now().Add(op.link.Delay),
 			kind: evArriveNode,
 			pkt:  p,
-			node: peer,
-			port: rx,
-			gen:  s.linkEpoch[rx],
+			dir:  dir,
+			gen:  s.linkEpoch[dir],
 		})
 	} else {
 		s.losePacket(p)
 	}
 	if len(op.queue) > 0 {
-		s.startTx(pid, op)
+		s.startTx(dir, op)
 	} else {
 		op.busy = false
 	}
 }
 
-// arrive processes a packet arriving at a node.
+// arrive processes a packet arriving at a node. Runs on the node's shard.
 func (s *Simulator) arrive(p *packet, node netgraph.NodeID, in netgraph.PortNum) {
 	n := s.topo.Node(node)
 	if n.Kind == netgraph.KindHost {
@@ -236,17 +249,17 @@ func (s *Simulator) forward(p *packet, node netgraph.NodeID, in netgraph.PortNum
 		if !s.controlActive() {
 			// No control plane: punts count and drop (the E3 baseline).
 			if !buffered {
-				p.flow.punts++
+				s.puntsBy[p.flow.idx]++
 			}
 			s.dropPacket(p)
 			return true
 		}
-		p.flow.punts++
+		s.puntsBy[p.flow.idx]++
 		s.puntPacket(p, node, in, d.Miss)
 	case d.Flood:
 		s.dropPacket(p) // flooding unsupported at packet granularity
 	case d.Out != netgraph.NoPort:
-		s.enqueue(p, portID{node: node, port: d.Out})
+		s.enqueue(p, s.dirFrom(node, d.Out))
 	default:
 		s.dropPacket(p)
 	}
@@ -261,7 +274,9 @@ func (s *Simulator) keyOf(p *packet) header.FlowKey {
 	return p.flow.demand.Key
 }
 
-// deliver handles a packet reaching a host.
+// deliver handles a packet reaching a host. Runs on the host's shard —
+// for data packets, the flow's receiver side, whose state nothing else
+// writes.
 func (s *Simulator) deliver(p *packet, host netgraph.NodeID) {
 	f := p.flow
 	if p.ack {
@@ -270,34 +285,49 @@ func (s *Simulator) deliver(p *packet, host netgraph.NodeID) {
 		}
 		return
 	}
-	if host != f.demand.Dst || f.phase != phaseRunning {
+	if host != f.demand.Dst {
 		return
-	}
-	// Receiver: cumulative ACK bookkeeping.
-	f.received[p.seq] = true
-	for f.received[f.recvNext] {
-		delete(f.received, f.recvNext)
-		f.recvNext++
 	}
 	if f.tcp {
+		if f.recvDoneAt != simtime.Never {
+			// Duplicate after full receive (a retransmission crossed the
+			// final ACK): re-ACK so the sender quiesces. Real TCP does
+			// exactly this; the sender learns completion only from the
+			// ACK stream — no out-of-band state crosses the shards.
+			ack := &packet{flow: f, ack: true, ackSeq: f.recvNext, bits: AckPacketBits}
+			s.enqueue(ack, s.hostDir(f.demand.Dst))
+			return
+		}
+		// Receiver: cumulative ACK bookkeeping.
+		f.received[p.seq] = true
+		for f.received[f.recvNext] {
+			delete(f.received, f.recvNext)
+			f.recvNext++
+		}
 		ack := &packet{flow: f, ack: true, ackSeq: f.recvNext, bits: AckPacketBits}
-		s.enqueue(ack, portID{node: f.demand.Dst, port: s.hostPort(f.demand.Dst)})
-	}
-	if f.recvNext >= f.packets {
-		s.complete(f)
+		s.enqueue(ack, s.hostDir(f.demand.Dst))
+		if f.recvNext >= f.packets {
+			f.recvDoneAt = s.k.Now()
+		}
 		return
 	}
-	if !f.tcp && f.nextSeq >= f.packets && f.recvNext < f.packets {
-		// CBR done sending but receiver has holes: packets were dropped;
-		// a UDP flow just ends when the horizon does (no retransmission).
-		// Completion for CBR is "all sent packets arrived or were lost".
-		s.complete(f)
-	}
+	// UDP/CBR: each data packet resolves exactly once (delivered here or
+	// dropped wherever it died); completion is "every packet resolved",
+	// dated by the last resolution — assembled at Finish from the
+	// per-shard counters.
+	s.resolveUDP(f)
 }
 
-// handleAck advances the TCP sender.
+// resolveUDP accounts one UDP data packet reaching its end of life on
+// this shard (delivery at the receiver or a drop anywhere en route).
+func (s *Simulator) resolveUDP(f *pktFlow) {
+	s.udpRes[f.idx]++
+	s.udpLast[f.idx] = s.k.Now()
+}
+
+// handleAck advances the TCP sender. Runs on the sender shard.
 func (s *Simulator) handleAck(f *pktFlow, ackSeq int) {
-	if f.phase != phaseRunning {
+	if f.srcDead || f.senderStopped {
 		return
 	}
 	if ackSeq > f.sendBase {
@@ -319,6 +349,9 @@ func (s *Simulator) handleAck(f *pktFlow, ackSeq int) {
 		s.armRTO(f)
 		s.trySend(f)
 		return
+	}
+	if f.sendBase >= f.packets {
+		return // post-completion duplicate; the transfer is fully acked
 	}
 	// Duplicate ACK.
 	f.dupAcks++
@@ -350,8 +383,8 @@ func (s *Simulator) armRTO(f *pktFlow) {
 
 // handleRTO retransmits from sendBase with a collapsed window. Callers
 // must have validated the event's generation stamp against f.rtoGen (the
-// dispatch gate); completion bumps the generation, so a timer armed before
-// the final ACK can never fire a retransmission afterwards.
+// dispatch gate); the final cumulative ACK zeroes inFlight, so a timer
+// armed before it can never fire a retransmission afterwards.
 func (s *Simulator) handleRTO(f *pktFlow) {
 	if f.inFlight == 0 || f.sendBase >= f.packets {
 		return
@@ -372,41 +405,44 @@ func (s *Simulator) losePacket(p *packet) {
 }
 
 // dropPacket accounts for a lost packet. TCP recovers via dup-ACKs/RTO;
-// CBR/UDP losses are simply gone.
+// CBR/UDP losses resolve the packet where it died.
 func (s *Simulator) dropPacket(p *packet) {
 	if p.ack {
 		return // lost ACKs are recovered by later cumulative ACKs or RTO
 	}
-	f := p.flow
-	if f.tcp {
+	if p.flow.tcp {
 		return // sender-side timers handle it
 	}
-	// For UDP, receiving side just never sees it; mark the hole as
-	// received so completion (all packets accounted) can still happen.
-	f.received[p.seq] = true
-	for f.received[f.recvNext] {
-		delete(f.received, f.recvNext)
-		f.recvNext++
-	}
-	if f.recvNext >= f.packets && f.phase == phaseRunning {
-		s.complete(f)
-	}
+	s.resolveUDP(p.flow)
 }
 
-// complete finalizes a flow.
-func (s *Simulator) complete(f *pktFlow) {
-	if f.phase != phaseRunning {
-		return
+// record emits the flow's statistics record, assembling completion from
+// the single-writer candidates: the earliest of the deadline stop
+// (sender), the full receive (receiver), and — for UDP — the last packet
+// resolution once every packet is accounted for. That earliest candidate
+// is exactly the completion a serial run's first-finisher logic hits.
+func (s *Simulator) record(f *pktFlow, sims []*Simulator) {
+	punts := 0
+	var resolved int64
+	resolvedLast := simtime.Time(0)
+	for _, c := range sims {
+		punts += int(c.puntsBy[f.idx])
+		resolved += int64(c.udpRes[f.idx])
+		if c.udpLast[f.idx] > resolvedLast {
+			resolvedLast = c.udpLast[f.idx]
+		}
 	}
-	f.phase = phaseDone
-	f.done = s.k.Now()
-	f.rtoGen++ // cancel timers
-}
-
-// record emits the flow's statistics record.
-func (s *Simulator) record(f *pktFlow) {
-	completed := f.phase == phaseDone
-	end := f.done
+	end := simtime.Never
+	if f.deadlineDoneAt < end {
+		end = f.deadlineDoneAt
+	}
+	if f.recvDoneAt < end {
+		end = f.recvDoneAt
+	}
+	if !f.tcp && resolved >= int64(f.packets) && resolvedLast < end {
+		end = resolvedLast
+	}
+	completed := end != simtime.Never
 	if !completed {
 		end = s.k.Now()
 	}
@@ -416,8 +452,10 @@ func (s *Simulator) record(f *pktFlow) {
 	}
 	outcome := "completed"
 	switch {
-	case f.phase == phaseDropped:
+	case f.srcDead:
 		outcome = "dropped"
+		completed = false
+		end = s.k.Now()
 	case !completed:
 		outcome = "running"
 	}
@@ -429,19 +467,30 @@ func (s *Simulator) record(f *pktFlow) {
 		SentBits:  f.sentBits,
 		Completed: completed,
 		Outcome:   outcome,
-		Punts:     f.punts,
+		Punts:     punts,
 	})
 }
 
-// sampleStats snapshots per-port throughput state. Utilization is
-// approximated by the transmitted bits since the previous sample.
+// sampleStats snapshots per-direction throughput state for the directions
+// this shard owns. Utilization is approximated by the transmitted bits
+// since the previous sample.
 func (s *Simulator) sampleStats() {
 	period := s.cfg.StatsEvery.Seconds()
 	if period <= 0 {
 		return
 	}
-	for pid, op := range s.ports {
-		delta := s.txBits[pid] - s.lastTx[pid]
+	for dir := int32(0); int(dir) < len(s.ports); dir++ {
+		// Ownership comes from the direction index alone: peeking at
+		// s.ports first would race with another shard's lazy outPort
+		// store on a direction it owns.
+		if s.nshards > 1 && s.partOf[dirFromNode(s.dirLink(dir), dir)] != s.shardID {
+			continue
+		}
+		op := s.ports[dir]
+		if op == nil {
+			continue
+		}
+		delta := s.txBits[dir] - s.lastTx[dir]
 		rate := delta / period
 		frac := 0.0
 		if op.link.BandwidthBps > 0 {
@@ -450,9 +499,9 @@ func (s *Simulator) sampleStats() {
 		s.col.AddLinkSample(stats.LinkSample{
 			At:      s.k.Now(),
 			Link:    op.link.ID,
-			Forward: op.link.A == pid.node,
+			Forward: op.link.A == op.from,
 			RateBps: rate, UsedFrac: frac,
 		})
-		s.lastTx[pid] = s.txBits[pid]
+		s.lastTx[dir] = s.txBits[dir]
 	}
 }

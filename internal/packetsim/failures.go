@@ -6,6 +6,13 @@
 // data-plane consequences, so the hybrid coupler can propagate a change
 // the flow engine already applied (topology flip, table wipe, PortStatus)
 // without doubling it.
+//
+// In sharded runs every handler here executes on the coordinator between
+// windows (scripted changes mutate ports, punt buffers, and epochs owned
+// by many shards); the barrier publishes the writes before any shard
+// resumes. ClassTopoChange makes the serial engine fire these first at an
+// instant too, so both execution modes order failure against traffic
+// identically.
 package packetsim
 
 import (
@@ -48,11 +55,9 @@ func (s *Simulator) NotifyLinkChange(id netgraph.LinkID, up bool) {
 	if up {
 		return
 	}
-	l := s.topo.Link(id)
-	for _, from := range []netgraph.NodeID{l.A, l.B} {
-		peer, peerPort := l.Peer(from)
-		s.linkEpoch[portID{node: peer, port: peerPort}]++
-		if op := s.ports[portID{node: from, port: l.PortAt(from)}]; op != nil {
+	for _, dir := range []int32{int32(id) << 1, int32(id)<<1 | 1} {
+		s.linkEpoch[dir]++
+		if op := s.ports[dir]; op != nil {
 			op.txGen++ // cancel the in-flight evTxDone
 			for i, p := range op.queue {
 				s.losePacket(p)
@@ -98,12 +103,8 @@ func (s *Simulator) NotifySwitchChange(sw netgraph.NodeID, up bool) {
 	for _, bp := range s.punted[sw] {
 		s.losePacket(bp.pkt)
 	}
-	delete(s.punted, sw)
-	for k := range s.meters {
-		if k.sw == sw {
-			delete(s.meters, k)
-		}
-	}
+	s.punted[sw] = nil
+	s.meters[sw] = nil
 }
 
 // handleCtrlChange applies a controller detach or reattach. Outages nest
@@ -128,10 +129,10 @@ func (s *Simulator) NotifyControllerChange(attached bool) {
 	if !attached {
 		return
 	}
-	sws := make([]netgraph.NodeID, 0, len(s.punted))
+	var sws []netgraph.NodeID
 	for sw, buf := range s.punted {
 		if len(buf) > 0 {
-			sws = append(sws, sw)
+			sws = append(sws, netgraph.NodeID(sw))
 		}
 	}
 	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })

@@ -17,6 +17,23 @@
 // packet granularity (E7). In hybrid runs the engine shares its kernel and
 // network with a flow-level simulator and punts through a PuntSink
 // instead of owning the controller.
+//
+// # Parallel execution
+//
+// With Config.Shards > 1 the engine partitions the topology
+// (netgraph.PartitionK), runs one kernel loop per shard on a worker pool,
+// and synchronizes conservatively on the cut's minimum propagation delay
+// (simcore/shard). Every mutable entity — output port, switch state, punt
+// buffer, flow sender, flow receiver — has exactly one owning shard, so
+// windows run lock-free; cross-cut packet and control-message events ride
+// per-shard outboxes and merge at window barriers in (time, order key,
+// per-source FIFO) order. Because events carry deterministic order keys
+// (simcore.OrderKey) in serial runs too, a K-shard run dispatches
+// interacting events in exactly the serial order: Records() is
+// byte-identical for any Shards value, including the Shards <= 1 serial
+// path. Scripted topology changes execute single-threaded between windows
+// (they mutate many shards' state); controllers run on shard 0 and see
+// that shard's collector.
 package packetsim
 
 import (
@@ -68,6 +85,17 @@ type Config struct {
 	// ablation switch; ignored when Kernel is supplied).
 	UseCalendarQueue bool
 
+	// Shards > 1 runs the engine on the sharded multi-core executor:
+	// the topology is edge-cut partitioned into up to Shards parts, each
+	// with its own event loop, synchronized on the cut's minimum
+	// propagation delay. Records() is byte-identical to the serial engine
+	// for any value. Ignored (serial execution) for shared-kernel /
+	// hybrid runs, and when the cut admits no positive lookahead.
+	Shards int
+	// ShardWorkers bounds the worker pool driving shard windows (0 means
+	// one worker per shard).
+	ShardWorkers int
+
 	// Kernel attaches the engine to an externally owned simulation kernel
 	// (hybrid runs). Nil means the engine creates and drives its own.
 	Kernel *simcore.Kernel
@@ -81,7 +109,13 @@ type Config struct {
 	PuntSink func(msg openflow.Message)
 }
 
-// Simulator is a packet-level simulation run.
+// Simulator is a packet-level simulation run. In a sharded run one
+// Simulator value exists per shard: clones share the immutable topology,
+// the dataplane network, and the dense per-entity state arrays (each
+// entry written only by its owning shard), while the kernel, event pool,
+// collector, and outbox are per-clone. The coordinator (the value New
+// returns) owns the global kernel for scripted topology changes and is
+// the only clone whose Run/Finish the caller drives.
 type Simulator struct {
 	cfg       Config
 	topo      *netgraph.Topology
@@ -90,48 +124,68 @@ type Simulator struct {
 	ownKernel bool
 	pool      simcore.Pool[event]
 
-	flows   []*pktFlow
-	ports   map[portID]*outPort
-	col     *stats.Collector
-	counter uint64 // packets forwarded, for reporting
+	flows []*pktFlow
+	col   *stats.Collector // per-clone; merged into the coordinator at Finish
 
-	txBits map[portID]float64 // per link-direction transmitted bits
-	lastTx map[portID]float64 // txBits at the previous stats sample
+	counter uint64 // packets forwarded (per-clone; merged at Finish)
 
-	// extLoad is the external (flow-level) load per transmit port in a
-	// hybrid run; the transmitter sees only the residual capacity.
-	extLoad map[portID]float64
+	// Dense per-link-direction state, indexed by dir (link<<1 | fromB).
+	// Entries are written only by the direction's owning shard, except
+	// linkEpoch, which scripted link failures bump between windows.
+	ports     []*outPort
+	txBits    []float64 // bits serialized onto the wire per direction
+	rxBits    []float64 // bits observed arriving per direction
+	lastTx    []float64 // txBits at the previous stats sample
+	linkEpoch []uint64
 
-	// linkEpoch invalidates in-flight propagation when a link dies: a
-	// packet's arrival event carries the receiving port's epoch at
-	// transmit time, and a mismatch at dispatch means the link failed
-	// under it — the packet is lost and counted.
-	linkEpoch map[portID]uint64
+	// dirAt maps (node, port) to the transmit direction index.
+	dirAt [][]int32
+
+	// extLoad is the external (flow-level) load per transmit direction in
+	// a hybrid run; the transmitter sees only the residual capacity.
+	// Hybrid runs are serial, so a plain map suffices.
+	extLoad map[int32]float64
 
 	// fstate composes overlapping scripted outages (links, switches, and
 	// controller detach all nest by counting; the detach count gates the
 	// control channel in standalone runs — in hybrid runs the flow
 	// engine's control plane owns it) and records link changes missed
-	// while detached for the reattach resync.
-	fstate *dataplane.FailureState
+	// while detached for the reattach resync. Sharded runs mutate it only
+	// between windows; in-window pendings buffer per clone.
+	fstate        *dataplane.FailureState
+	pendingStatus []openflow.Message
 
-	// Control plane state.
+	// Control plane state. Dense per-node state is written only by the
+	// node's owning shard; the controller itself runs on shard 0.
 	ctrl           flowsim.Controller
 	ctx            *flowsim.Context
-	punted         map[netgraph.NodeID][]*puntedPkt
-	expiryAt       map[netgraph.NodeID]simtime.Time
-	meters         map[meterKey]*meterBucket
-	statsReqAt     map[portID]simtime.Time // last PortStatsRequest per tx port
-	statsReqTxBits map[portID]float64      // tx bits at that request
-	statsReqRxBits map[portID]float64      // rx (peer tx) bits at that request
+	punted         [][]*puntedPkt
+	expiryAt       []simtime.Time // Never = no check scheduled
+	meters         []map[openflow.MeterID]*meterBucket
+	statsReqAt     []simtime.Time // last PortStatsRequest per tx direction
+	statsReqTxBits []float64      // tx bits at that request
+	statsReqRxBits []float64      // rx bits at that request
+
+	// Per-clone, per-flow accounting merged at Finish: PacketIns
+	// triggered, and (UDP) packets resolved — delivered or dropped — with
+	// the last resolution instant, which is what dates a CBR completion.
+	puntsBy []int32
+	udpRes  []int32
+	udpLast []simtime.Time
+
+	// Sharding. nshards <= 1 means the serial path: clones == {self}.
+	nshards       int
+	shardID       int32
+	isCoordinator bool
+	partOf        []int32 // node → owning shard
+	clones        []*Simulator
+	outbox        []outMsg
+	pendingProtos []event // events scheduled before Begin (sharded runs)
+	lookahead     simtime.Duration
+	dispatched    uint64 // total events across kernels, set after a sharded Run
 
 	begun    bool
 	finished bool
-}
-
-type portID struct {
-	node netgraph.NodeID
-	port netgraph.PortNum
 }
 
 // outPort is a link-direction transmitter with a drop-tail queue.
@@ -164,25 +218,30 @@ type puntedPkt struct {
 	miss bool // table miss (vs explicit output:controller)
 }
 
-type flowPhase uint8
-
-const (
-	phaseRunning flowPhase = iota
-	phaseDone
-	phaseDropped
-)
-
-// pktFlow is sender+receiver state of one transfer.
+// pktFlow is the state of one transfer, split by owner so a sharded run
+// never writes a field from two shards: the sender side (source host's
+// shard) and the receiver side (destination host's shard) communicate
+// only through packets, and completion is assembled at Finish from the
+// single-writer completion candidates — exactly the first of them a
+// serial run would have hit.
 type pktFlow struct {
 	id      int64
+	idx     int32 // dense index (id - 1)
+	home    int32 // owning shard of the sender side
 	demand  traffic.Demand
 	packets int // total data packets to send (finite flows)
 
-	phase   flowPhase
 	arrival simtime.Time
-	started bool // first send event fired (counts FlowsStarted once)
 
-	// Sender state (TCP).
+	// Sender-owned state.
+	started       bool // first send event fired (counts FlowsStarted once)
+	srcDead       bool // source host has no attached switch
+	senderStopped bool // deadline reached; no further emissions
+	// deadlineDoneAt is the completion candidate the deadline path sets:
+	// the first send tick at or after arrival+Duration (Never otherwise).
+	deadlineDoneAt simtime.Time
+
+	// Sender TCP state.
 	tcp      bool
 	cwnd     float64 // in packets
 	ssthresh float64
@@ -193,16 +252,24 @@ type pktFlow struct {
 	rtoAt    simtime.Time
 	rtoGen   uint64
 
-	// Receiver state.
-	recvNext int // next expected seq
-	received map[int]bool
+	// Receiver-owned state.
+	recvNext int          // next expected seq (TCP cumulative ACK edge)
+	received map[int]bool // TCP out-of-order buffer
+	// recvDoneAt is the completion candidate the receiver sets when every
+	// data packet has arrived (Never otherwise).
+	recvDoneAt simtime.Time
 
-	// CBR state.
+	// Sender CBR state.
 	cbrInterval simtime.Duration
+	sentBits    float64
+}
 
-	done     simtime.Time
-	sentBits float64
-	punts    int
+// deadline returns the flow's absolute deadline, or Never.
+func (f *pktFlow) deadline() simtime.Time {
+	if f.demand.Duration <= 0 {
+		return simtime.Never
+	}
+	return f.arrival.Add(f.demand.Duration)
 }
 
 // event kinds
@@ -230,7 +297,7 @@ type event struct {
 	sim  *Simulator
 	flow *pktFlow
 	pkt  *packet
-	port portID
+	dir  int32 // link direction (evTxDone: transmitter; evArriveNode: traveled)
 	node netgraph.NodeID
 	gen  uint64
 	msg  openflow.Message
@@ -240,6 +307,41 @@ type event struct {
 }
 
 func (e *event) Time() simtime.Time { return e.at }
+
+// OrderKey implements eventq.Keyed: the deterministic tie-break that makes
+// dispatch order — and therefore Records() — independent of the shard
+// count. Keys derive from stable entities (link direction, datapath, flow
+// index), never from schedule history; events of one (kind, entity) pair
+// are generated by a single shard, so FIFO order within a key is
+// reproducible too.
+func (e *event) OrderKey() uint64 {
+	switch e.kind {
+	case evLinkChange:
+		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.link))
+	case evSwitchChange:
+		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.node))
+	case evCtrlChange:
+		return simcore.OrderKey(simcore.ClassTopoChange, ^uint32(0))
+	case evToSwitch:
+		return simcore.OrderKey(simcore.ClassToSwitch, uint32(e.node))
+	case evExpiry:
+		return simcore.OrderKey(simcore.ClassExpiry, uint32(e.node))
+	case evToController:
+		return simcore.OrderKey(simcore.ClassToController, uint32(e.node))
+	case evTimer:
+		return simcore.OrderKey(simcore.ClassTimer, 0)
+	case evArriveNode:
+		return simcore.OrderKey(simcore.ClassData+0, uint32(e.dir))
+	case evTxDone:
+		return simcore.OrderKey(simcore.ClassData+1, uint32(e.dir))
+	case evSend:
+		return simcore.OrderKey(simcore.ClassData+2, uint32(e.flow.idx))
+	case evRTO:
+		return simcore.OrderKey(simcore.ClassData+3, uint32(e.flow.idx))
+	default: // evStats
+		return simcore.OrderKey(simcore.ClassData+4, uint32(e.node))
+	}
+}
 
 // Fire implements simcore.Event.
 func (e *event) Fire() { e.sim.dispatch(e) }
@@ -251,14 +353,6 @@ func (e *event) Release() {
 	s := e.sim
 	*e = event{}
 	s.pool.Put(e)
-}
-
-// sched schedules a pooled copy of proto on the kernel.
-func (s *Simulator) sched(proto event) {
-	e := s.pool.Get()
-	*e = proto
-	e.sim = s
-	s.k.Schedule(e)
 }
 
 // New builds a packet-level simulator.
@@ -284,26 +378,78 @@ func New(cfg Config) *Simulator {
 	if net == nil {
 		net = dataplane.NewNetwork(cfg.Topology, cfg.Miss)
 	}
+	topo := cfg.Topology
+	nDirs := 2 * topo.NumLinks()
+	nNodes := topo.NumNodes()
 	s := &Simulator{
 		cfg:       cfg,
-		topo:      cfg.Topology,
+		topo:      topo,
 		net:       net,
 		k:         k,
 		ownKernel: ownKernel,
-		ports:     make(map[portID]*outPort),
 		col:       stats.NewCollector(cfg.StatsEvery),
-		txBits:    make(map[portID]float64),
-		lastTx:    make(map[portID]float64),
-		extLoad:   make(map[portID]float64),
-		linkEpoch: make(map[portID]uint64),
-		fstate:    dataplane.NewFailureState(cfg.Topology),
-		ctrl:      cfg.Controller,
-		punted:    make(map[netgraph.NodeID][]*puntedPkt),
-		expiryAt:  make(map[netgraph.NodeID]simtime.Time),
-		meters:    make(map[meterKey]*meterBucket),
+
+		ports:     make([]*outPort, nDirs),
+		txBits:    make([]float64, nDirs),
+		rxBits:    make([]float64, nDirs),
+		lastTx:    make([]float64, nDirs),
+		linkEpoch: make([]uint64, nDirs),
+		extLoad:   make(map[int32]float64),
+
+		fstate: dataplane.NewFailureState(topo),
+		ctrl:   cfg.Controller,
+
+		punted:         make([][]*puntedPkt, nNodes),
+		expiryAt:       make([]simtime.Time, nNodes),
+		meters:         make([]map[openflow.MeterID]*meterBucket, nNodes),
+		statsReqAt:     make([]simtime.Time, nDirs),
+		statsReqTxBits: make([]float64, nDirs),
+		statsReqRxBits: make([]float64, nDirs),
+
+		nshards: 1,
+	}
+	for i := range s.expiryAt {
+		s.expiryAt[i] = simtime.Never
+	}
+	// (node, port) → transmit direction index.
+	s.dirAt = make([][]int32, nNodes)
+	for _, l := range topo.Links() {
+		s.setDir(l.A, l.APort, int32(l.ID)<<1)
+		s.setDir(l.B, l.BPort, int32(l.ID)<<1|1)
 	}
 	s.ctx = flowsim.NewContext(s)
+	s.clones = []*Simulator{s}
+	s.initShards()
 	return s
+}
+
+func (s *Simulator) setDir(n netgraph.NodeID, p netgraph.PortNum, dir int32) {
+	row := s.dirAt[n]
+	for int(p) >= len(row) {
+		row = append(row, -1)
+	}
+	row[p] = dir
+	s.dirAt[n] = row
+}
+
+// dirFrom returns the transmit direction index of (node, port), or -1.
+func (s *Simulator) dirFrom(n netgraph.NodeID, p netgraph.PortNum) int32 {
+	row := s.dirAt[n]
+	if int(p) >= len(row) {
+		return -1
+	}
+	return row[p]
+}
+
+// dirLink returns the link a direction index belongs to.
+func (s *Simulator) dirLink(d int32) *netgraph.Link { return s.topo.Link(netgraph.LinkID(d >> 1)) }
+
+// dirFromNode returns the transmitting endpoint of a direction.
+func dirFromNode(l *netgraph.Link, d int32) netgraph.NodeID {
+	if d&1 == 0 {
+		return l.A
+	}
+	return l.B
 }
 
 // Network exposes the switch state for pre-installing rules.
@@ -318,18 +464,30 @@ func (s *Simulator) Now() simtime.Time { return s.k.Now() }
 // Topology implements flowsim.Engine.
 func (s *Simulator) Topology() *netgraph.Topology { return s.topo }
 
-// Kernel returns the simulation kernel driving this engine.
+// Kernel returns the simulation kernel driving this engine (the
+// coordinator kernel of a sharded run).
 func (s *Simulator) Kernel() *simcore.Kernel { return s.k }
 
 // PacketsForwarded returns how many packet hops were simulated — the work
-// metric E3 reports next to wall-clock time.
+// metric E3 reports next to wall-clock time. Valid after Finish.
 func (s *Simulator) PacketsForwarded() uint64 { return s.counter }
+
+// EventsDispatched returns the number of kernel events fired across every
+// shard — the events/sec numerator of the E9 scaling sweep. Valid after
+// Run returns.
+func (s *Simulator) EventsDispatched() uint64 {
+	if s.dispatched > 0 {
+		return s.dispatched
+	}
+	return s.k.Dispatched()
+}
 
 // Load schedules the demands.
 func (s *Simulator) Load(tr traffic.Trace) {
 	for _, d := range tr {
 		f := &pktFlow{
 			id:       int64(len(s.flows) + 1),
+			idx:      int32(len(s.flows)),
 			demand:   d,
 			arrival:  d.Start,
 			tcp:      d.TCP,
@@ -337,6 +495,9 @@ func (s *Simulator) Load(tr traffic.Trace) {
 			ssthresh: math.Inf(1),
 			received: make(map[int]bool),
 			rtoAt:    simtime.Never,
+
+			deadlineDoneAt: simtime.Never,
+			recvDoneAt:     simtime.Never,
 		}
 		if math.IsInf(d.SizeBits, 1) {
 			// Open-ended CBR flows run until their deadline.
@@ -349,6 +510,9 @@ func (s *Simulator) Load(tr traffic.Trace) {
 		}
 		if !f.tcp && d.RateBps > 0 && !math.IsInf(d.RateBps, 1) {
 			f.cbrInterval = simtime.TransferTime(DataPacketBits, d.RateBps)
+		}
+		if s.partOf != nil {
+			f.home = s.partOf[d.Src]
 		}
 		s.flows = append(s.flows, f)
 		s.sched(event{at: d.Start, kind: evSend, flow: f})
@@ -386,7 +550,11 @@ func (s *Simulator) Run(until simtime.Time) *stats.Collector {
 		panic("packetsim: Run on a shared-kernel simulator; drive the shared kernel instead")
 	}
 	s.Begin()
-	s.k.Run(until)
+	if s.nshards > 1 {
+		s.runSharded(until)
+	} else {
+		s.k.Run(until)
+	}
 	return s.Finish()
 }
 
@@ -396,23 +564,43 @@ func (s *Simulator) Begin() {
 		panic("packetsim: Run called twice")
 	}
 	s.begun = true
+	for _, c := range s.allSims() {
+		c.puntsBy = make([]int32, len(s.flows))
+		c.udpRes = make([]int32, len(s.flows))
+		c.udpLast = make([]simtime.Time, len(s.flows))
+	}
+	if s.nshards > 1 {
+		s.routePending()
+	}
 	if s.ctrl != nil {
-		s.ctrl.Start(s.ctx)
+		// In sharded runs the controller lives on shard 0: Start must
+		// hand out that clone's context, so After-closures captured by
+		// apps schedule through shard 0's own clock and routing (a
+		// coordinator context would push into live kernels mid-window).
+		ctx := s.ctx
+		if s.nshards > 1 {
+			ctx = s.clones[0].ctx
+		}
+		s.ctrl.Start(ctx)
 	}
 	if s.cfg.StatsEvery > 0 {
-		s.sched(event{at: simtime.Time(s.cfg.StatsEvery), kind: evStats})
+		for i := 0; i < s.nshards; i++ {
+			s.sched(event{at: simtime.Time(s.cfg.StatsEvery), kind: evStats, node: netgraph.NodeID(i)})
+		}
 	}
 }
 
-// Finish records every flow and returns the collector; calling it again is
-// a no-op.
+// Finish merges the shards' collectors and accounting, records every
+// flow, and returns the collector; calling it again is a no-op.
 func (s *Simulator) Finish() *stats.Collector {
 	if s.finished {
 		return s.col
 	}
 	s.finished = true
+	s.mergeShards()
+	sims := s.allSims()
 	for _, f := range s.flows {
-		s.record(f)
+		s.record(f, sims)
 	}
 	return s.col
 }
@@ -422,21 +610,24 @@ func (s *Simulator) dispatch(e *event) {
 	case evSend:
 		s.trySend(e.flow)
 	case evTxDone:
-		s.txDone(e.port, e.gen)
+		s.txDone(e.dir, e.gen)
 	case evArriveNode:
-		if e.gen != s.linkEpoch[e.port] {
+		if e.gen != s.linkEpoch[e.dir] {
 			// The link died under the packet mid-propagation.
 			s.losePacket(e.pkt)
 			return
 		}
-		s.arrive(e.pkt, e.node, e.port.port)
+		s.rxBits[e.dir] += e.pkt.bits
+		l := s.dirLink(e.dir)
+		peer, peerPort := l.Peer(dirFromNode(l, e.dir))
+		s.arrive(e.pkt, peer, peerPort)
 	case evRTO:
-		if e.flow.rtoGen == e.gen && e.flow.phase == phaseRunning {
+		if e.flow.rtoGen == e.gen && !e.flow.srcDead && !e.flow.senderStopped {
 			s.handleRTO(e.flow)
 		}
 	case evStats:
 		s.sampleStats()
-		s.sched(event{at: s.k.Now().Add(s.cfg.StatsEvery), kind: evStats})
+		s.sched(event{at: s.k.Now().Add(s.cfg.StatsEvery), kind: evStats, node: e.node})
 	case evToSwitch:
 		s.handleToSwitch(e.msg)
 	case evToController:
@@ -444,7 +635,7 @@ func (s *Simulator) dispatch(e *event) {
 			// The channel broke while the message was in flight: it is
 			// lost at delivery. A lost PortStatus still resyncs on
 			// reattach (the link change it announced goes pending).
-			s.fstate.NotePendingStatus(e.msg)
+			s.notePending(e.msg)
 			return
 		}
 		s.ctrl.Handle(s.ctx, e.msg)

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"horse/internal/simcore"
+	"horse/internal/simtime"
+)
+
+type testEvent struct {
+	at   simtime.Time
+	fire func(*testEvent)
+}
+
+func (e *testEvent) Time() simtime.Time { return e.at }
+func (e *testEvent) Fire()              { e.fire(e) }
+func (e *testEvent) Release()           {}
+
+// TestWindowsRespectLookahead: a two-shard ping-pong where each event
+// schedules a reply on the other shard one lookahead later, delivered
+// only at barriers. Every event must fire exactly once, cross events
+// never fire inside the window that generated them, and the coordinator
+// clock parks on the last dispatched instant.
+func TestWindowsRespectLookahead(t *testing.T) {
+	const la = 10
+	k0 := simcore.New(simcore.Config{})
+	k1 := simcore.New(simcore.Config{})
+	kernels := []*simcore.Kernel{k0, k1}
+	global := simcore.New(simcore.Config{})
+
+	var mu sync.Mutex
+	var fired []simtime.Time
+	var outbox []*testEvent
+	var targets []int
+
+	var mkEvent func(shard int, at simtime.Time, hops int) *testEvent
+	mkEvent = func(shard int, at simtime.Time, hops int) *testEvent {
+		return &testEvent{at: at, fire: func(e *testEvent) {
+			mu.Lock()
+			fired = append(fired, e.at)
+			mu.Unlock()
+			if hops > 0 {
+				// Cross to the other shard with exactly the lookahead.
+				mu.Lock()
+				outbox = append(outbox, mkEvent(1-shard, e.at+la, hops-1))
+				targets = append(targets, 1-shard)
+				mu.Unlock()
+			}
+		}}
+	}
+	k0.Schedule(mkEvent(0, 0, 6))
+	k1.Schedule(mkEvent(1, 3, 4))
+
+	exchange := func() {
+		for i, ev := range outbox {
+			kernels[targets[i]].Schedule(ev)
+		}
+		outbox = outbox[:0]
+		targets = targets[:0]
+	}
+	x := New(Config{Lookahead: la, Parallel: 2}, global, kernels, exchange)
+	x.Run(simtime.Never)
+
+	want := 6 + 1 + 4 + 1
+	if len(fired) != want {
+		t.Fatalf("%d events fired, want %d", len(fired), want)
+	}
+	if x.Dispatched() != uint64(want) {
+		t.Errorf("Dispatched = %d, want %d", x.Dispatched(), want)
+	}
+	if global.Now() != 60 {
+		t.Errorf("coordinator parked at %v, want the last event time 60", global.Now())
+	}
+}
+
+// TestGlobalEventsBoundWindows: a global event at t=25 must execute
+// before any shard event at t >= 25 runs, even though the shard's queue
+// holds events on both sides of it from the start.
+func TestGlobalEventsBoundWindows(t *testing.T) {
+	k0 := simcore.New(simcore.Config{})
+	global := simcore.New(simcore.Config{})
+	var order []string
+	add := func(k *simcore.Kernel, at simtime.Time, label string) {
+		k.Schedule(&testEvent{at: at, fire: func(e *testEvent) { order = append(order, label) }})
+	}
+	add(k0, 10, "s10")
+	add(k0, 25, "s25")
+	add(k0, 40, "s40")
+	add(global, 25, "g25")
+	x := New(Config{Lookahead: 5, Parallel: 1}, global, []*simcore.Kernel{k0}, nil)
+	x.Run(simtime.Never)
+	want := []string{"s10", "g25", "s25", "s40"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRunBoundParks: stopping at a bound leaves later events queued and
+// the coordinator clock at the bound.
+func TestRunBoundParks(t *testing.T) {
+	k0 := simcore.New(simcore.Config{})
+	global := simcore.New(simcore.Config{})
+	fired := 0
+	k0.Schedule(&testEvent{at: 5, fire: func(*testEvent) { fired++ }})
+	k0.Schedule(&testEvent{at: 50, fire: func(*testEvent) { fired++ }})
+	x := New(Config{Lookahead: simtime.Forever, Parallel: 1}, global, []*simcore.Kernel{k0}, nil)
+	x.Run(20)
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	if global.Now() != 20 {
+		t.Errorf("coordinator parked at %v, want the bound 20", global.Now())
+	}
+	if k0.Len() != 1 {
+		t.Errorf("%d events left, want 1", k0.Len())
+	}
+}

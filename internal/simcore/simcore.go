@@ -8,12 +8,15 @@
 //
 // The kernel makes three promises:
 //
-//   - Determinism: events fire in nondecreasing time order with FIFO
-//     tie-breaking by schedule order, regardless of queue implementation.
-//   - A Peek-free fast path: the dispatch loop only inspects the queue
-//     head (Peek) when a pre-advance hook has deferred work pending;
-//     otherwise it pops directly, so queues never pay for head inspection
-//     on the common path.
+//   - Determinism: events fire in nondecreasing time order, breaking ties
+//     by deterministic order key (eventq.Keyed) and then FIFO schedule
+//     order, regardless of queue implementation. Order keys derive from
+//     stable simulation entities, which is what lets the sharded executor
+//     (simcore/shard) reproduce a serial run's dispatch order exactly.
+//   - A Peek-free fast path: an unbounded dispatch loop only inspects the
+//     queue head (Peek) when a pre-advance hook has deferred work pending;
+//     otherwise it pops directly. Bounded runs pay one Peek per event to
+//     honor the bound without disturbing tie order.
 //   - Pre-advance hooks: an engine may defer work that must settle before
 //     virtual time advances past the current instant (flowsim's batched
 //     fair-share re-solve). The kernel drains pending hooks exactly when
@@ -65,11 +68,6 @@ type Kernel struct {
 	now        simtime.Time
 	hooks      []hook
 	dispatched uint64
-	// staged holds an event a previous Run popped but could not fire
-	// because it lay beyond the time bound; the next Run considers it
-	// against the queue head (it wins ties — it was scheduled earlier
-	// than anything pushed since).
-	staged Event
 }
 
 // New builds a kernel over the configured queue.
@@ -89,12 +87,26 @@ func New(cfg Config) *Kernel {
 func (k *Kernel) Now() simtime.Time { return k.now }
 
 // Len returns the number of scheduled events.
-func (k *Kernel) Len() int {
-	n := k.q.Len()
-	if k.staged != nil {
-		n++
+func (k *Kernel) Len() int { return k.q.Len() }
+
+// NextTime returns the firing time of the earliest queued event, or
+// simtime.Never when the queue is empty. The sharded executor uses it to
+// compute the conservative window bound across shard kernels.
+func (k *Kernel) NextTime() simtime.Time {
+	h := k.q.Peek()
+	if h == nil {
+		return simtime.Never
 	}
-	return n
+	return h.Time()
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything (a
+// no-op when t is not ahead of the clock). The sharded executor uses it to
+// park the coordinator clock at barrier instants and at the run bound.
+func (k *Kernel) AdvanceTo(t simtime.Time) {
+	if t != simtime.Never && t > k.now {
+		k.now = t
+	}
 }
 
 // Dispatched returns how many events have fired — the work metric shared
@@ -134,18 +146,15 @@ func (k *Kernel) drainHooks() {
 
 // Run executes events until the queue drains or the next event lies beyond
 // until (use simtime.Never for no bound). On the time bound the clock
-// advances to until and the out-of-bound event is staged for the next Run,
-// so Run may be called repeatedly with increasing bounds to step a
-// simulation.
+// advances to until and the out-of-bound event stays queued, so Run may be
+// called repeatedly with increasing bounds to step a simulation — the
+// window loop of the sharded executor. Leaving the event in the queue (as
+// opposed to popping and staging it) keeps its (time, key, seq) position
+// intact, so stepping never perturbs tie order.
 func (k *Kernel) Run(until simtime.Time) {
 	for {
-		ev := k.next()
+		ev := k.next(until)
 		if ev == nil {
-			return
-		}
-		if ev.Time() > until {
-			k.staged = ev
-			k.now = until
 			return
 		}
 		if t := ev.Time(); t > k.now {
@@ -161,55 +170,66 @@ func (k *Kernel) Run(until simtime.Time) {
 // pre-advance hooks: deferred work settles before the clock would advance
 // (the drain may schedule events earlier than the stalled head, so the
 // queue is re-examined after each pass). Returns nil when everything has
-// drained. On the common path — no hook pending, nothing staged — this is
-// a single Pop with no head inspection (the Peek-free fast path).
-func (k *Kernel) next() Event {
+// drained or the head lies beyond the bound (the clock then parks at the
+// bound). On the common unbounded path — no hook pending — this is a
+// single Pop with no head inspection (the Peek-free fast path).
+func (k *Kernel) next(until simtime.Time) Event {
 	for {
 		if k.anyPending() {
-			head := k.peekAny()
+			head := k.q.Peek()
 			if head == nil || head.Time() > k.now {
 				k.drainHooks()
-				if head == nil && k.Len() == 0 {
+				if head == nil && k.q.Len() == 0 {
 					return nil
 				}
 				continue
 			}
 		}
-		return k.popAny()
-	}
-}
-
-// peekAny previews the earliest event across the staged slot and the
-// queue; the staged event wins ties (it was scheduled first).
-func (k *Kernel) peekAny() Event {
-	h := k.q.Peek()
-	if k.staged == nil {
-		if h == nil {
+		if until != simtime.Never {
+			head := k.q.Peek()
+			if head == nil {
+				return nil
+			}
+			if head.Time() > until {
+				k.now = until
+				return nil
+			}
+		}
+		ev := k.q.Pop()
+		if ev == nil {
 			return nil
 		}
-		return h.(Event)
+		return ev.(Event)
 	}
-	if h == nil || k.staged.Time() <= h.Time() {
-		return k.staged
-	}
-	return h.(Event)
 }
 
-// popAny removes the earliest event across the staged slot and the queue.
-func (k *Kernel) popAny() Event {
-	if k.staged != nil {
-		if h := k.q.Peek(); h == nil || k.staged.Time() <= h.Time() {
-			ev := k.staged
-			k.staged = nil
-			return ev
-		}
-		return k.q.Pop().(Event)
-	}
-	ev := k.q.Pop()
-	if ev == nil {
-		return nil
-	}
-	return ev.(Event)
+// Order classes shared by every engine on the kernel. An event's order
+// key is OrderKey(class, entity): at one instant, lower classes fire
+// first, and within a class the stable entity ID (link direction,
+// datapath, flow index) breaks the tie. Both engines MUST use the same
+// class for equivalent control-plane events — it is what keeps a hybrid
+// run (where the flow engine owns the control plane) dispatch-identical
+// to a standalone packet run, and what lets the sharded executor merge
+// cross-shard events into exactly the serial order.
+//
+// Classes are ordered so that at one instant: scripted topology changes
+// land first (the outage is in effect before that instant's traffic),
+// then controller→switch applications, table expiries, switch→controller
+// deliveries and controller timers, and finally the engines' data-plane
+// events (per-engine subclasses from ClassData up).
+const (
+	ClassTopoChange uint64 = iota
+	ClassToSwitch
+	ClassExpiry
+	ClassToController
+	ClassTimer
+	ClassData // first engine-specific data class; engines add offsets
+)
+
+// OrderKey packs an order class and a stable entity ID into an
+// eventq.Keyed key.
+func OrderKey(class uint64, entity uint32) uint64 {
+	return class<<32 | uint64(entity)
 }
 
 // Pool recycles event envelopes so steady-state simulation allocates no

@@ -61,7 +61,7 @@ func TestRunUntilBound(t *testing.T) {
 		t.Errorf("Now = %v, want clock parked at the bound", k.Now())
 	}
 	if k.Len() != 1 {
-		t.Fatalf("Len = %d, want the out-of-bound event staged", k.Len())
+		t.Fatalf("Len = %d, want the out-of-bound event still queued", k.Len())
 	}
 	// Stepping: an event scheduled between runs, earlier than the staged
 	// one, fires first; the staged event then fires at its own time.
