@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare fuzz-smoke lint ci
+.PHONY: all build test race bench bench-baseline bench-compare fuzz-smoke lint ci api api-check
 
 all: build
 
@@ -37,8 +37,19 @@ bench-compare:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
 
+# Regenerate the checked-in public-API surface golden. Run after any
+# deliberate façade change; TestAPISurfaceGolden (and the lint job's
+# api-check) diff the live source against this file.
+api:
+	$(GO) run ./cmd/horseapi > api/horse.txt
+
+# Fail if the committed surface golden is stale (the CI lint job's check).
+api-check:
+	$(GO) run ./cmd/horseapi | diff -u api/horse.txt - || \
+		(echo "api/horse.txt is stale; run 'make api' and commit the result" >&2; exit 1)
+
 # golangci-lint (the CI lint job) when installed; vet+gofmt otherwise.
-lint:
+lint: api-check
 	@if command -v golangci-lint >/dev/null 2>&1; then \
 		golangci-lint run; \
 	else \

@@ -1,0 +1,73 @@
+package horse_test
+
+import (
+	"os"
+	"testing"
+
+	"horse/internal/apisurface"
+)
+
+// TestAPISurfaceGolden diffs the checked-in export surface (api/horse.txt)
+// against the live façade source. A mismatch means the public API changed:
+// review the diff, and if the change is intended, regenerate the golden
+// with `make api` and commit it alongside — accidental breaking changes
+// cannot land silently.
+func TestAPISurfaceGolden(t *testing.T) {
+	want, err := os.ReadFile("api/horse.txt")
+	if err != nil {
+		t.Fatalf("missing golden (run `make api`): %v", err)
+	}
+	got, err := apisurface.Surface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface drifted from api/horse.txt.\n"+
+			"If the change is intended, run `make api` and commit the result.\n\n--- api/horse.txt\n+++ live\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// surfaceDiff renders a minimal line diff (the surfaces are sorted line
+// sets, so set difference reads well).
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range splitLines(want) {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range splitLines(got) {
+		gotSet[l] = true
+	}
+	var out []byte
+	for _, l := range splitLines(want) {
+		if !gotSet[l] {
+			out = append(out, '-')
+			out = append(out, l...)
+			out = append(out, '\n')
+		}
+	}
+	for _, l := range splitLines(got) {
+		if !wantSet[l] {
+			out = append(out, '+')
+			out = append(out, l...)
+			out = append(out, '\n')
+		}
+	}
+	return string(out)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

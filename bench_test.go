@@ -54,7 +54,7 @@ func BenchmarkE3FlowLevel(b *testing.B) {
 		})
 		sim.Load(retarget(tr))
 		b.StartTimer()
-		sim.Run(horse.Time(2 * horse.Second))
+		sim.RunUntil(horse.Time(2 * horse.Second))
 	}
 }
 
@@ -72,7 +72,7 @@ func BenchmarkE3PacketLevel(b *testing.B) {
 		horse.InstallMACRoutes(sim.Network())
 		sim.Load(tr)
 		b.StartTimer()
-		sim.Run(horse.Time(2 * horse.Second))
+		sim.RunUntil(horse.Time(2 * horse.Second))
 	}
 }
 
@@ -153,7 +153,7 @@ func benchE9(b *testing.B, shards int) {
 		horse.InstallMACRoutes(sim.Network())
 		sim.Load(tr)
 		b.StartTimer()
-		sim.Run(horse.Time(2 * horse.Second))
+		sim.RunUntil(horse.Time(2 * horse.Second))
 	}
 }
 

@@ -1,0 +1,537 @@
+package horse_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"horse"
+)
+
+// fatTreeWorkload is the golden parity workload: a k=4 fat tree and a
+// mixed CBR/TCP Poisson trace that crosses pods.
+func fatTreeWorkload() (*horse.Topology, horse.Trace) {
+	topo := horse.FatTree(4, horse.Gig)
+	gen := horse.NewGenerator(101)
+	tr := gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 20 * float64(len(topo.Hosts())),
+		Horizon: 100 * horse.Millisecond,
+		Sizes:   horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+	})
+	return topo, tr
+}
+
+// failureWorkload is the scripted-failure parity scenario: a dual-spine
+// leaf-spine under proactive forwarding with one core link dying
+// mid-traffic and recovering.
+func failureWorkload() (*horse.Topology, horse.Trace, *horse.Scenario) {
+	topo := horse.LeafSpine(4, 2, 2, horse.Gig, horse.TenGig)
+	gen := horse.NewGenerator(91)
+	tr := gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 150, Horizon: 2 * horse.Second,
+		Sizes: horse.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
+	})
+	leaf0 := topo.MustLookup("leaf0")
+	spine0 := topo.MustLookup("spine0")
+	core := topo.LinkAt(leaf0, topo.PortToward(leaf0, spine0)).ID
+	tl := horse.NewScenario().
+		LinkOutage(horse.Time(500*horse.Millisecond), horse.Time(1200*horse.Millisecond), core)
+	return topo, tr, tl
+}
+
+// assertCollectorsEqual pins byte-identical output: records, link series,
+// reroute times, and every counter.
+func assertCollectorsEqual(t *testing.T, name string, want, got *horse.Collector) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Flows(), got.Flows()) {
+		t.Errorf("%s: flow records differ (legacy %d vs builder %d)", name, len(want.Flows()), len(got.Flows()))
+	}
+	if !reflect.DeepEqual(want.LinkSeries(), got.LinkSeries()) {
+		t.Errorf("%s: link series differ", name)
+	}
+	if !reflect.DeepEqual(want.RerouteTimes(), got.RerouteTimes()) {
+		t.Errorf("%s: reroute times differ", name)
+	}
+	type counters struct {
+		started, completed, dropped, looped, stuck    uint64
+		packetIns, flowMods, rateChanges, pathChanges uint64
+		packetsLost                                   uint64
+	}
+	w := counters{want.FlowsStarted, want.FlowsCompleted, want.FlowsDropped, want.FlowsLooped, want.FlowsStuck,
+		want.PacketIns, want.FlowMods, want.RateChanges, want.PathChanges, want.PacketsLost}
+	g := counters{got.FlowsStarted, got.FlowsCompleted, got.FlowsDropped, got.FlowsLooped, got.FlowsStuck,
+		got.PacketIns, got.FlowMods, got.RateChanges, got.PathChanges, got.PacketsLost}
+	if w != g {
+		t.Errorf("%s: counters differ: legacy %+v vs builder %+v", name, w, g)
+	}
+}
+
+// TestBuilderLegacyParityFlow pins that a builder-constructed flow engine
+// produces byte-identical results to the legacy constructor — golden
+// fat-tree and scripted-failure scenario.
+func TestBuilderLegacyParityFlow(t *testing.T) {
+	window := horse.Time(10 * horse.Second)
+
+	topoL, trL := fatTreeWorkload()
+	legacy := horse.NewSimulator(horse.Config{
+		Topology:   topoL,
+		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
+		Miss:       horse.MissController,
+		StatsEvery: 10 * horse.Millisecond,
+	})
+	legacy.Load(trL)
+	colL := legacy.RunUntil(window)
+
+	topoB, trB := fatTreeWorkload()
+	eng, err := horse.New(topoB,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithStatsEvery(10*horse.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Load(trB)
+	colB, err := eng.Run(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCollectorsEqual(t, "fat-tree/flow", colL, colB)
+
+	// Scripted failure: legacy Apply+Load vs WithScenario (which applies
+	// at New, before Load — the same relative order).
+	topoL2, trL2, tlL := failureWorkload()
+	legacy2 := horse.NewSimulator(horse.Config{
+		Topology:   topoL2,
+		Controller: horse.NewChain(&horse.ProactiveMAC{}),
+		Miss:       horse.MissController,
+	})
+	if err := tlL.Apply(legacy2, window); err != nil {
+		t.Fatal(err)
+	}
+	legacy2.Load(trL2)
+	colL2 := legacy2.RunUntil(window)
+
+	topoB2, trB2, tlB := failureWorkload()
+	eng2, err := horse.New(topoB2,
+		horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithScenario(tlB),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Load(trB2)
+	colB2, err := eng2.Run(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colL2.RerouteTimes()) == 0 {
+		t.Error("failure scenario never rerouted (scenario not applied?)")
+	}
+	assertCollectorsEqual(t, "failure/flow", colL2, colB2)
+}
+
+// TestBuilderLegacyParityPacket pins builder/legacy parity for the packet
+// engine on the golden fat tree with pre-installed routes, serial and
+// sharded.
+func TestBuilderLegacyParityPacket(t *testing.T) {
+	window := horse.Time(2 * horse.Second)
+	for _, shards := range []int{1, 2} {
+		topoL, trL := fatTreeWorkload()
+		legacy := horse.NewPacketSimulator(horse.PacketConfig{
+			Topology: topoL, Miss: horse.MissDrop, Shards: shards,
+		})
+		horse.InstallMACRoutes(legacy.Network())
+		legacy.Load(trL)
+		colL := legacy.RunUntil(window)
+
+		topoB, trB := fatTreeWorkload()
+		eng, err := horse.New(topoB,
+			horse.WithFidelity(horse.Packet),
+			horse.WithMiss(horse.MissDrop),
+			horse.WithShards(shards),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horse.InstallMACRoutes(eng.Network())
+		eng.Load(trB)
+		colB, err := eng.Run(context.Background(), window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertCollectorsEqual(t, "fat-tree/packet", colL, colB)
+	}
+}
+
+// TestBuilderLegacyParityHybrid pins builder/legacy parity for the hybrid
+// coupler under a scripted failure at a 50% packet share.
+func TestBuilderLegacyParityHybrid(t *testing.T) {
+	window := horse.Time(10 * horse.Second)
+
+	topoL, trL, tlL := failureWorkload()
+	legacy := horse.NewHybridSimulator(horse.HybridConfig{
+		Topology:    topoL,
+		Controller:  horse.NewChain(&horse.ProactiveMAC{}),
+		Miss:        horse.MissController,
+		PacketLevel: horse.PacketFraction(0.5),
+	})
+	if err := tlL.Apply(legacy, window); err != nil {
+		t.Fatal(err)
+	}
+	legacy.Load(trL)
+	colL := legacy.RunUntil(window)
+
+	topoB, trB, tlB := failureWorkload()
+	eng, err := horse.New(topoB,
+		horse.WithFidelity(horse.Hybrid),
+		horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithPacketFraction(0.5),
+		horse.WithScenario(tlB),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Load(trB)
+	colB, err := eng.Run(context.Background(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCollectorsEqual(t, "failure/hybrid", colL, colB)
+	if !reflect.DeepEqual(legacy.Records(), eng.(*horse.HybridSimulator).Records()) {
+		t.Error("failure/hybrid: merged Records differ")
+	}
+}
+
+// TestRecordSinkStreamsIdenticalRecords pins the streaming contract: the
+// sink receives exactly the records, in exactly the order, an in-memory
+// run of the identical scenario retains.
+func TestRecordSinkStreamsIdenticalRecords(t *testing.T) {
+	window := horse.Time(10 * horse.Second)
+	run := func(sink func(horse.FlowRecord)) *horse.Collector {
+		topo, tr, tl := failureWorkload()
+		opts := []horse.Option{
+			horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+			horse.WithMiss(horse.MissController),
+			horse.WithScenario(tl),
+		}
+		if sink != nil {
+			opts = append(opts, horse.WithRecordSink(sink))
+		}
+		eng, err := horse.New(topo, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Load(tr)
+		col, err := eng.Run(context.Background(), window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	want := run(nil).Flows()
+	var got []horse.FlowRecord
+	col := run(func(r horse.FlowRecord) { got = append(got, r) })
+	if len(col.Flows()) != 0 {
+		t.Errorf("sink run retained %d records", len(col.Flows()))
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("streamed records differ from in-memory run: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestHybridMidRunCollectorDoesNotDuplicateSink: a Collector() snapshot
+// taken from a mid-run hook (Collector is on the Engine interface, so
+// progress/observer callbacks can reach it) must not stream records to
+// the sink — only the end-of-Run delivery does, exactly once.
+func TestHybridMidRunCollectorDoesNotDuplicateSink(t *testing.T) {
+	window := horse.Time(10 * horse.Second)
+	run := func(peek bool) []horse.FlowRecord {
+		topo, tr, tl := failureWorkload()
+		var streamed []horse.FlowRecord
+		var eng horse.Engine
+		opts := []horse.Option{
+			horse.WithFidelity(horse.Hybrid),
+			horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+			horse.WithMiss(horse.MissController),
+			horse.WithPacketFraction(0.5),
+			horse.WithScenario(tl),
+			horse.WithRecordSink(func(r horse.FlowRecord) { streamed = append(streamed, r) }),
+		}
+		if peek {
+			opts = append(opts, horse.WithProgressEvery(200*horse.Millisecond, func(horse.Progress) {
+				_ = eng.Collector().FlowsStarted // mid-run snapshot
+			}))
+		}
+		var err error
+		eng, err = horse.New(topo, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Load(tr)
+		if _, err := eng.Run(context.Background(), window); err != nil {
+			t.Fatal(err)
+		}
+		return streamed
+	}
+	clean := run(false)
+	peeked := run(true)
+	if len(clean) == 0 {
+		t.Fatal("sink received nothing")
+	}
+	if !reflect.DeepEqual(clean, peeked) {
+		t.Errorf("mid-run Collector() perturbed the record stream: %d records vs %d", len(peeked), len(clean))
+	}
+}
+
+// TestRecordSinkMillionFlows is the scale contract: a ≥1M-flow run with a
+// record sink completes with no retained []FlowRecord (the collector
+// stays empty; finalized flow state is evicted as records stream).
+func TestRecordSinkMillionFlows(t *testing.T) {
+	const n = 1_000_000
+	topo := horse.Star(4, horse.Gig)
+	hosts := topo.Hosts()
+	streamed := 0
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		// Records stream in finalize order (the order Flows() would hold
+		// them — pinned by TestRecordSinkStreamsIdenticalRecords); here
+		// only the scale contract matters.
+		horse.WithRecordSink(func(r horse.FlowRecord) { streamed++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := make(horse.Trace, n)
+	for i := range tr {
+		src, dst := hosts[i%len(hosts)], hosts[(i+1)%len(hosts)]
+		tr[i] = horse.Demand{
+			Key:      udpKey(src, dst, uint16(30000+i%1000)),
+			Src:      src,
+			Dst:      dst,
+			Start:    horse.Time(i) * horse.Time(10*horse.Microsecond),
+			SizeBits: 1e4, RateBps: 1e9,
+		}
+	}
+	eng.Load(tr)
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != n {
+		t.Errorf("streamed %d records, want %d", streamed, n)
+	}
+	if len(col.Flows()) != 0 {
+		t.Errorf("collector retained %d records in sink mode", len(col.Flows()))
+	}
+	if col.FlowsCompleted != n {
+		t.Errorf("completed %d of %d", col.FlowsCompleted, n)
+	}
+}
+
+// udpKey builds a UDP flow key on the repo's addressing plan (host n has
+// MAC n+1).
+func udpKey(src, dst horse.NodeID, sport uint16) horse.FlowKey {
+	var k horse.FlowKey
+	sv, dv := uint64(src)+1, uint64(dst)+1
+	for i := 5; i >= 0; i-- {
+		k.EthSrc[i] = byte(sv)
+		k.EthDst[i] = byte(dv)
+		sv >>= 8
+		dv >>= 8
+	}
+	k.EthType = 0x0800
+	k.Proto = 17
+	k.SrcPort, k.DstPort = sport, 80
+	return k
+}
+
+// TestRunCancellationFlow: cancelling the context mid-run returns
+// promptly with ctx.Err() and a partial, consistent collector (every
+// arrived flow settled and recorded).
+func TestRunCancellationFlow(t *testing.T) {
+	topo := horse.LeafSpine(2, 2, 2, horse.Gig, horse.TenGig)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+		// Cancel deterministically from the progress callback partway in.
+		horse.WithProgressEvery(100*horse.Millisecond, func(p horse.Progress) {
+			if p.Now >= horse.Time(500*horse.Millisecond) {
+				cancel()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := horse.NewGenerator(3)
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 200, Horizon: 5 * horse.Second,
+		Sizes: horse.FixedSize(1e7), TCPFraction: 0.5, CBRRateBps: 1e7,
+	}))
+	col, err := eng.Run(ctx, horse.Never)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if now := eng.Now(); now < horse.Time(500*horse.Millisecond) || now >= horse.Time(5*horse.Second) {
+		t.Errorf("stopped at %v; want shortly after the 500ms cancel, far before the 5s workload end", now)
+	}
+	if len(col.Flows()) == 0 {
+		t.Error("partial collector has no records")
+	}
+	for _, r := range col.Flows() {
+		if r.End > eng.Now() {
+			t.Errorf("flow %d recorded beyond the stop instant: %v > %v", r.ID, r.End, eng.Now())
+		}
+	}
+}
+
+// TestRunCancellationShardedPacket: the sharded executor honors
+// cancellation at window barriers.
+func TestRunCancellationShardedPacket(t *testing.T) {
+	topo, tr := fatTreeWorkload()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run: must stop at the first barrier
+	eng, err := horse.New(topo,
+		horse.WithFidelity(horse.Packet),
+		horse.WithMiss(horse.MissDrop),
+		horse.WithShards(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horse.InstallMACRoutes(eng.Network())
+	eng.Load(tr)
+	col, err := eng.Run(ctx, horse.Time(2*horse.Second))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	if got, want := len(col.Flows()), len(tr); got != want {
+		t.Errorf("partial collector records %d flows, want all %d loaded (as unfinished)", got, want)
+	}
+}
+
+// TestProgressReports pins the progress lifecycle: monotone virtual
+// times, non-decreasing event counts, roughly one report per period.
+func TestProgressReports(t *testing.T) {
+	topo := horse.LeafSpine(2, 2, 2, horse.Gig, horse.TenGig)
+	var reports []horse.Progress
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithProgressEvery(100*horse.Millisecond, func(p horse.Progress) {
+			reports = append(reports, p)
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := horse.NewGenerator(5)
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 100, Horizon: horse.Second,
+		Sizes: horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 1e7,
+	}))
+	if _, err := eng.Run(context.Background(), horse.Never); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 5 {
+		t.Fatalf("got %d progress reports over ~1s at 100ms period", len(reports))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Now <= reports[i-1].Now || reports[i].Events < reports[i-1].Events {
+			t.Fatalf("non-monotone progress: %+v after %+v", reports[i], reports[i-1])
+		}
+	}
+}
+
+// TestObserveAcrossFidelities pins the Observe hook: the same scripted
+// outage reports the same observation sequence from the flow and packet
+// engines.
+func TestObserveAcrossFidelities(t *testing.T) {
+	window := horse.Time(5 * horse.Second)
+	observe := func(fidelity horse.Fidelity) []horse.Observation {
+		topo, tr, tl := failureWorkload()
+		opts := []horse.Option{
+			horse.WithFidelity(fidelity),
+			horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+			horse.WithMiss(horse.MissController),
+			horse.WithScenario(tl),
+		}
+		var obs []horse.Observation
+		opts = append(opts, horse.WithObserver(func(o horse.Observation) { obs = append(obs, o) }))
+		eng, err := horse.New(topo, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Load(tr)
+		if _, err := eng.Run(context.Background(), window); err != nil {
+			t.Fatal(err)
+		}
+		return obs
+	}
+	flowObs := observe(horse.Flow)
+	pktObs := observe(horse.Packet)
+	if len(flowObs) != 2 {
+		t.Fatalf("flow observations = %v, want down+up", flowObs)
+	}
+	if flowObs[0].Kind != horse.ObsLinkChange || flowObs[0].Up ||
+		flowObs[1].Kind != horse.ObsLinkChange || !flowObs[1].Up {
+		t.Fatalf("flow observations = %v", flowObs)
+	}
+	if !reflect.DeepEqual(flowObs, pktObs) {
+		t.Errorf("observation sequences differ across fidelities: flow %v vs packet %v", flowObs, pktObs)
+	}
+}
+
+// TestBuildErrors pins the eager-validation contract: bad arguments and
+// fidelity-incompatible options fail New with a typed *BuildError.
+func TestBuildErrors(t *testing.T) {
+	topo := horse.Star(2, horse.Gig)
+	cases := []struct {
+		name string
+		opts []horse.Option
+	}{
+		{"nil topology", nil},
+		{"fraction out of range", []horse.Option{horse.WithPacketFraction(1.5)}},
+		{"fraction on flow engine", []horse.Option{horse.WithPacketFraction(0.5)}},
+		{"tcp on packet engine", []horse.Option{horse.WithFidelity(horse.Packet), horse.WithTCP(horse.TCPParams{RTT: horse.Millisecond})}},
+		{"shards on hybrid", []horse.Option{horse.WithFidelity(horse.Hybrid), horse.WithPacketFraction(0.5), horse.WithShards(2)}},
+		{"negative stats period", []horse.Option{horse.WithStatsEvery(-horse.Second)}},
+		{"nil controller", []horse.Option{horse.WithController(nil)}},
+		{"nil sink", []horse.Option{horse.WithRecordSink(nil)}},
+		{"unknown fidelity", []horse.Option{horse.WithFidelity(horse.Fidelity(9))}},
+		{"full recompute on packet", []horse.Option{horse.WithFidelity(horse.Packet), horse.WithFullRecompute()}},
+		{"queue on flow", []horse.Option{horse.WithQueuePackets(10)}},
+		{"scenario with unknown link", []horse.Option{horse.WithScenario(horse.NewScenario().LinkDown(0, 99))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := topo
+			if tc.name == "nil topology" {
+				tp = nil
+			}
+			eng, err := horse.New(tp, tc.opts...)
+			if err == nil {
+				t.Fatal("New accepted an invalid configuration")
+			}
+			if eng != nil {
+				t.Error("New returned both an engine and an error")
+			}
+			var be *horse.BuildError
+			var se *horse.ScenarioEventError
+			if !errors.As(err, &be) && !errors.As(err, &se) {
+				t.Errorf("error %T (%v) is neither *BuildError nor *ScenarioEventError", err, err)
+			}
+		})
+	}
+	// Options validate independently of order: fidelity last still wins.
+	if _, err := horse.New(topo, horse.WithPacketFraction(0.5), horse.WithFidelity(horse.Hybrid)); err != nil {
+		t.Errorf("option order mattered: %v", err)
+	}
+}

@@ -17,15 +17,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
+	"horse"
 	"horse/internal/benchcli"
 	"horse/internal/controller"
-	"horse/internal/dataplane"
 	"horse/internal/flowsim"
 	"horse/internal/ixp"
 	"horse/internal/metrics"
@@ -83,18 +85,20 @@ func runScenario() {
 		fatal(err)
 	}
 
-	sim := flowsim.New(flowsim.Config{
-		Topology:   topo,
-		Controller: ctrl,
-		Miss:       dataplane.MissController,
-		StatsEvery: simtime.FromSeconds(statsEvery.Seconds()),
-	})
+	eng, err := horse.New(topo,
+		horse.WithController(ctrl),
+		horse.WithMiss(horse.MissController),
+		horse.WithStatsEvery(simtime.FromSeconds(statsEvery.Seconds())),
+	)
+	if err != nil {
+		fatal(err)
+	}
 
 	tr, err := buildWorkload(topo, fab, *tracePath, *lambda, *horizon, *tcpFrac, *seed, *replay, *epoch, *aggGbs)
 	if err != nil {
 		fatal(err)
 	}
-	sim.Load(tr)
+	eng.Load(tr)
 
 	// A monitoring policy polls forever, so an open-ended run would never
 	// drain; bound it at the workload end plus a grace period.
@@ -113,9 +117,18 @@ func runScenario() {
 		fmt.Fprintf(os.Stderr, "horse: monitoring enabled; bounding run at %v (override with -until)\n", bound)
 	}
 
+	// Ctrl-C cancels the run through the engine lifecycle: the simulation
+	// stops promptly and reports the partial (but consistent) statistics
+	// accumulated up to the interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	col := sim.Run(bound)
+	col, runErr := eng.Run(ctx, bound)
 	wall := time.Since(start)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "horse: run interrupted (%v); reporting partial statistics\n", runErr)
+	}
 
 	fmt.Printf("topology: %d switches, %d hosts, %d links\n",
 		len(topo.Switches()), len(topo.Hosts()), topo.NumLinks())

@@ -1,0 +1,29 @@
+// Command horseapi prints the exported API surface of the horse façade
+// package as deterministic text. `make api` redirects it into
+// api/horse.txt, the golden file TestAPISurfaceGolden (and the CI lint
+// job) diffs against the live source — so a breaking change to the public
+// API cannot land silently.
+//
+// Usage:
+//
+//	horseapi [-dir .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"horse/internal/apisurface"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to render (the repo root)")
+	flag.Parse()
+	s, err := apisurface.Surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "horseapi:", err)
+		os.Exit(1)
+	}
+	fmt.Print(s)
+}

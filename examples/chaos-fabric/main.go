@@ -9,33 +9,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"horse"
 )
 
 func main() {
+	const window = horse.Time(10 * horse.Minute)
 	run := func(disturb bool) (*horse.Collector, *horse.Scenario) {
 		topo := horse.LeafSpine(4, 2, 2, horse.Gig, horse.TenGig)
-		sim := horse.NewSimulator(horse.Config{
-			Topology:   topo,
-			Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
-			Miss:       horse.MissController,
-		})
+		eng, err := horse.New(topo,
+			horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+			horse.WithMiss(horse.MissController),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
 		gen := horse.NewGenerator(23)
-		sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
 			Hosts: topo.Hosts(), Lambda: 150, Horizon: 2 * horse.Second,
 			Sizes: horse.Pareto{XMin: 1e5, Alpha: 1.5}, TCPFraction: 0.5, CBRRateBps: 1e7,
 		}))
 
 		// Both runs see the same demand surge (so FCT stretch compares
 		// identical workloads); only the disturbed run gets the failures.
+		// Apply validates each timeline against the topology and the run
+		// window before anything schedules.
 		surge := horse.NewScenario().Surge(horse.Time(1500*horse.Millisecond),
 			gen.PoissonArrivals(horse.PoissonConfig{
 				Hosts: topo.Hosts(), Lambda: 400, Horizon: 200 * horse.Millisecond,
 				Sizes: horse.FixedSize(2e6), CBRRateBps: 2e7,
 			}))
-		surge.Apply(sim)
+		if err := surge.Apply(eng, window); err != nil {
+			log.Fatal(err)
+		}
 
 		// The failure timeline: random core-link outages, a spine crash
 		// with table wipe, and a controller outage.
@@ -47,9 +56,15 @@ func main() {
 		tl.SwitchOutage(horse.Time(500*horse.Millisecond), horse.Time(700*horse.Millisecond), spine0).
 			ControllerOutage(horse.Time(1200*horse.Millisecond), horse.Time(1350*horse.Millisecond))
 		if disturb {
-			tl.Apply(sim)
+			if err := tl.Apply(eng, window); err != nil {
+				log.Fatal(err)
+			}
 		}
-		return sim.Run(horse.Time(10 * horse.Minute)), tl
+		col, err := eng.Run(context.Background(), window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return col, tl
 	}
 
 	baseline, _ := run(false)

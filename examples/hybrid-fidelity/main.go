@@ -11,7 +11,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math"
 
 	"horse"
@@ -49,29 +51,34 @@ func run(p float64) (map[int64]float64, uint64) {
 	topo := horse.Dumbbell(3, 3, horse.Gig, horse.LinkSpec{
 		BandwidthBps: 2e8, Delay: horse.Millisecond,
 	})
-	sim := horse.NewHybridSimulator(horse.HybridConfig{
-		Topology:       topo,
-		Controller:     horse.NewChain(&horse.ReactiveMAC{}),
-		Miss:           horse.MissController,
-		ControlLatency: horse.Millisecond,
-		TCP:            horse.TCPParams{RTT: 2200 * horse.Microsecond, MSS: 1500, InitialWindow: 10},
-		PacketLevel:    horse.PacketFraction(p),
-	})
+	eng, err := horse.New(topo,
+		horse.WithFidelity(horse.Hybrid),
+		horse.WithController(horse.NewChain(&horse.ReactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithControlLatency(horse.Millisecond),
+		horse.WithTCP(horse.TCPParams{RTT: 2200 * horse.Microsecond, MSS: 1500, InitialWindow: 10}),
+		horse.WithPacketFraction(p),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Twelve staggered 2 Mbit transfers, half TCP, crossing the 200 Mbps
 	// bottleneck.
 	gen := horse.NewGenerator(7)
-	sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
 		Hosts: topo.Hosts(), Lambda: 30, Horizon: 400 * horse.Millisecond,
 		Sizes: horse.FixedSize(2e6), TCPFraction: 0.5, CBRRateBps: 2e7,
 	}))
-	sim.Run(horse.Time(30 * horse.Second))
+	if _, err := eng.Run(context.Background(), horse.Time(30*horse.Second)); err != nil {
+		log.Fatal(err)
+	}
 
 	out := make(map[int64]float64)
-	for _, r := range sim.Records() {
+	for _, r := range eng.(*horse.HybridSimulator).Records() {
 		if r.Completed {
 			out[r.ID] = r.FCT().Seconds()
 		}
 	}
-	return out, sim.Kernel().Dispatched()
+	return out, eng.Kernel().Dispatched()
 }

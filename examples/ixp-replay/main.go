@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"horse"
 )
@@ -21,20 +23,30 @@ func main() {
 	fmt.Printf("fabric: %d members on %d edges / %d cores\n",
 		len(fabric.Members), len(fabric.Edges), len(fabric.Cores))
 
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   fabric.Topo,
-		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}, &horse.Monitor{Every: 10 * horse.Minute}),
-		Miss:       horse.MissController,
-		StatsEvery: 10 * horse.Minute,
-	})
+	eng, err := horse.New(fabric.Topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{}, &horse.Monitor{Every: 10 * horse.Minute})),
+		horse.WithMiss(horse.MissController),
+		horse.WithStatsEvery(10*horse.Minute),
+		// A simulated day is a long run: report progress every 6 virtual
+		// hours off the kernel's pre-advance path.
+		horse.WithProgressEvery(horse.Duration(6*horse.Hour), func(p horse.Progress) {
+			fmt.Printf("progress: t=%v, %d events dispatched\n", p.Now, p.Events)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 24 hours of diurnal gravity traffic, 200 Gbps aggregate at peak
 	// density 0.2 (each member pair peers with probability 0.2).
 	trace := fabric.ReplayTrace(200e9, 0.2, horse.Hour, 24*horse.Hour, 7)
 	fmt.Printf("replaying %d epoch flows over a simulated day\n", len(trace))
-	sim.Load(trace)
+	eng.Load(trace)
 
-	col := sim.Run(horse.Time(25 * horse.Hour))
+	col, err := eng.Run(context.Background(), horse.Time(25*horse.Hour))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("events=%d completed=%d\n", col.EventsRun, col.FlowsCompleted)
 

@@ -13,7 +13,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"horse"
 )
@@ -25,12 +27,24 @@ func main() {
 	s0 := topo.MustLookup("s0")
 	s1 := topo.MustLookup("s1")
 
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   topo,
-		Controller: horse.NewChain(&horse.ProactiveMAC{}),
-		Miss:       horse.MissController,
-		StatsEvery: 100 * horse.Millisecond,
-	})
+	// The direct link dies at t=3s and recovers at t=8s; the Observe hook
+	// narrates each applied flip as the run executes.
+	direct := topo.LinkAt(s0, topo.PortToward(s0, s1)).ID
+	tl := horse.NewScenario().
+		LinkOutage(horse.Time(3*horse.Second), horse.Time(8*horse.Second), direct)
+
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithStatsEvery(100*horse.Millisecond),
+		horse.WithScenario(tl),
+		horse.WithObserver(func(o horse.Observation) {
+			fmt.Printf("observed: %s\n", o)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A 10-second 100 Mbps transfer h0→h1 over the direct s0-s1 link.
 	d := horse.Demand{
@@ -41,15 +55,12 @@ func main() {
 		SizeBits: 1e9,
 		RateBps:  1e8,
 	}
-	sim.Load(horse.Trace{d})
+	eng.Load(horse.Trace{d})
 
-	// The direct link dies at t=3s and recovers at t=8s.
-	direct := topo.LinkAt(s0, topo.PortToward(s0, s1)).ID
-	tl := horse.NewScenario().
-		LinkOutage(horse.Time(3*horse.Second), horse.Time(8*horse.Second), direct)
-	tl.Apply(sim)
-
-	col := sim.Run(horse.Never)
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		log.Fatal(err)
+	}
 	f := col.Flows()[0]
 	out := horse.EvaluateScenario(tl, col, nil)
 	fmt.Printf("outcome=%s FCT=%.3fs sent=%.0f bits path-changes=%d reroute-latency=%v\n",

@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"time"
 
@@ -17,19 +19,24 @@ import (
 
 func main() {
 	const k = 4 // fat-tree arity: 20 switches, 16 hosts, 4 pods
-	build := func(shards int) *horse.PacketSimulator {
+	build := func(shards int) horse.Engine {
 		topo := horse.FatTree(k, horse.Gig)
-		sim := horse.NewPacketSimulator(horse.PacketConfig{
-			Topology: topo, Miss: horse.MissDrop, Shards: shards,
-		})
-		horse.InstallMACRoutes(sim.Network())
+		eng, err := horse.New(topo,
+			horse.WithFidelity(horse.Packet),
+			horse.WithMiss(horse.MissDrop),
+			horse.WithShards(shards),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		horse.InstallMACRoutes(eng.Network())
 		gen := horse.NewGenerator(101)
-		sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
 			Hosts: topo.Hosts(), Lambda: 40 * float64(len(topo.Hosts())),
 			Horizon: 200 * horse.Millisecond,
 			Sizes:   horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
 		}))
-		return sim
+		return eng
 	}
 
 	fmt.Printf("k=%d fat-tree on %d cores (GOMAXPROCS)\n\n", k, runtime.GOMAXPROCS(0))
@@ -38,9 +45,12 @@ func main() {
 	var baseline []string
 	var baseWall time.Duration
 	for _, shards := range []int{1, 2, 4, 8} {
-		sim := build(shards)
+		eng := build(shards)
 		start := time.Now()
-		col := sim.Run(horse.Time(2 * horse.Second))
+		col, err := eng.Run(context.Background(), horse.Time(2*horse.Second))
+		if err != nil {
+			log.Fatal(err)
+		}
 		wall := time.Since(start)
 
 		// The determinism contract: identical records at any shard count.
@@ -63,7 +73,7 @@ func main() {
 				}
 			}
 		}
-		ev := sim.EventsDispatched()
+		ev := eng.(*horse.PacketSimulator).EventsDispatched()
 		fmt.Printf("%-8d %10d %10.1f %12.1f %8.2fx %s\n",
 			shards, ev, float64(wall.Microseconds())/1000,
 			float64(ev)/(float64(wall.Microseconds())/1000),

@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"strings"
 
 	"horse"
@@ -54,13 +56,15 @@ func main() {
 		panic(err)
 	}
 
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   topo,
-		Controller: ctrl,
-		Miss:       horse.MissController,
-	})
+	eng, err := horse.New(topo,
+		horse.WithController(ctrl),
+		horse.WithMiss(horse.MissController),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	gen := horse.NewGenerator(3)
-	sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
 		Hosts:       topo.Hosts(),
 		Lambda:      300,
 		Horizon:     5 * horse.Second,
@@ -70,7 +74,10 @@ func main() {
 		DstPorts:    []uint16{80, 443, 9000},
 	}))
 	// The monitoring app polls forever, so bound the run.
-	col := sim.Run(horse.Time(30 * horse.Second))
+	col, err := eng.Run(context.Background(), horse.Time(30*horse.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("flows=%d completed=%d blackholed(dropped)=%d\n",
 		len(col.Flows()), col.FlowsCompleted, col.FlowsDropped)

@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"horse"
 )
@@ -15,12 +17,16 @@ func main() {
 	// A 4-leaf / 2-spine fabric with 8 hosts per leaf.
 	topo := horse.LeafSpine(4, 2, 8, horse.Gig, horse.TenGig)
 
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   topo,
-		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
-		Miss:       horse.MissController,
-		StatsEvery: 100 * horse.Millisecond,
-	})
+	// One constructor for every fidelity; swap horse.WithFidelity(
+	// horse.Packet) or (horse.Hybrid) in and the program still runs.
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithStatsEvery(100*horse.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 10 virtual seconds of Poisson arrivals: 80% TCP transfers with
 	// heavy-tailed sizes, 20% 10 Mbps CBR flows.
@@ -33,9 +39,12 @@ func main() {
 		TCPFraction: 0.8,
 		CBRRateBps:  1e7,
 	})
-	sim.Load(trace)
+	eng.Load(trace)
 
-	col := sim.Run(horse.Never)
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("simulated %d flows through %d events\n", len(col.Flows()), col.EventsRun)
 	fmt.Printf("completed=%d dropped=%d packet-ins=%d flow-mods=%d\n",

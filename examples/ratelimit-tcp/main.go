@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"horse"
 )
@@ -40,11 +42,13 @@ func run(rateMbps float64) (fctSeconds, sentBits float64) {
 		}}})
 	}
 
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   topo,
-		Controller: horse.NewChain(apps...),
-		Miss:       horse.MissController,
-	})
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(apps...)),
+		horse.WithMiss(horse.MissController),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// One backlogged 200 Mbit TCP transfer, starting after rule install.
 	d := horse.Demand{
@@ -56,8 +60,11 @@ func run(rateMbps float64) (fctSeconds, sentBits float64) {
 		RateBps:  horse.Unlimited,
 		TCP:      true,
 	}
-	sim.Load(horse.Trace{d})
-	col := sim.Run(horse.Never)
+	eng.Load(horse.Trace{d})
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		log.Fatal(err)
+	}
 	f := col.Flows()[0]
 	if !f.Completed {
 		panic("transfer did not complete: " + f.Outcome)

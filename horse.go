@@ -12,25 +12,33 @@
 // OpenFlow state with no protocol connections, only latency-modeled
 // message events.
 //
-// Quickstart:
+// Quickstart — one constructor, one Engine interface, fidelity as a dial:
 //
 //	topo := horse.LeafSpine(4, 2, 8, horse.Gig, horse.TenGig)
-//	sim := horse.NewSimulator(horse.Config{
-//		Topology:   topo,
-//		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
-//		Miss:       horse.MissController,
-//	})
+//	eng, err := horse.New(topo,
+//		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+//		horse.WithMiss(horse.MissController),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	gen := horse.NewGenerator(42)
-//	sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+//	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
 //		Hosts: topo.Hosts(), Lambda: 500, Horizon: 10 * horse.Second,
 //		Sizes: horse.Pareto{XMin: 1e5, Alpha: 1.3}, TCPFraction: 0.8,
 //	}))
-//	col := sim.Run(horse.Never)
+//	col, err := eng.Run(ctx, horse.Never)
 //	fmt.Println(horse.Summarize(col.FCTs()))
 //
-// The package is a façade over the internal building blocks; everything
-// below is a type alias or thin constructor, so the full documentation
-// lives on the aliased types.
+// Swap horse.WithFidelity(horse.Packet) or horse.WithFidelity(horse.Hybrid)
+// in and the same program runs at packet granularity, or with a
+// packet-level foreground over a fluid background — same Engine surface,
+// same Run lifecycle (context cancellation, WithProgress reports), same
+// streaming results path (WithRecordSink).
+//
+// The package is a façade over the internal building blocks; beyond the
+// New builder, everything below is a type alias or thin constructor, so
+// the full documentation lives on the aliased types.
 package horse
 
 import (
@@ -165,7 +173,13 @@ const (
 	MissController = dataplane.MissController
 )
 
-// NewSimulator builds a flow-level simulator.
+// NewSimulator builds a flow-level simulator from a legacy Config.
+//
+// Deprecated: use New with WithFidelity(Flow) (the default) and the
+// matching options — see the "Migrating to the unified API" section of
+// the README. NewSimulator remains as a thin wrapper so existing code
+// keeps building; note that Run now takes a context (RunUntil is the
+// drop-in for the old signature).
 func NewSimulator(cfg Config) *Simulator { return flowsim.New(cfg) }
 
 // Controller applications (the modular policy generator).
@@ -280,7 +294,10 @@ type (
 	Network = dataplane.Network
 )
 
-// NewPacketSimulator builds the packet-level engine.
+// NewPacketSimulator builds the packet-level engine from a legacy Config.
+//
+// Deprecated: use New with WithFidelity(Packet) — see the "Migrating to
+// the unified API" section of the README.
 func NewPacketSimulator(cfg PacketConfig) *PacketSimulator { return packetsim.New(cfg) }
 
 // InstallMACRoutes pre-installs shortest-path MAC forwarding for every
@@ -299,7 +316,11 @@ type (
 	Kernel = simcore.Kernel
 )
 
-// NewHybridSimulator builds a hybrid-fidelity simulator.
+// NewHybridSimulator builds a hybrid-fidelity simulator from a legacy
+// Config.
+//
+// Deprecated: use New with WithFidelity(Hybrid) and WithPacketFraction —
+// see the "Migrating to the unified API" section of the README.
 func NewHybridSimulator(cfg HybridConfig) *HybridSimulator { return hybrid.New(cfg) }
 
 // PacketFraction flags ~p of the demand stream for packet-level
@@ -312,8 +333,14 @@ type (
 	// switch outages, controller detach, demand surges) that drives any
 	// engine — flow-level, packet-level, or hybrid.
 	Scenario = scenario.Timeline
-	// ScenarioEngine is the simulator surface a Scenario compiles onto.
+	// ScenarioEngine is the simulator surface a Scenario compiles onto —
+	// the same interface as Engine, now that the scenario surface and the
+	// public engine surface are one.
+	//
+	// Deprecated: use Engine.
 	ScenarioEngine = scenario.Engine
+	// ScenarioEventError reports a timeline event Apply/Validate rejected.
+	ScenarioEventError = scenario.EventError
 	// ScenarioOutcome summarizes what a scripted disruption cost a run.
 	ScenarioOutcome = scenario.Outcome
 	// FailureConfig parameterizes RandomLinkFailures.

@@ -1,0 +1,117 @@
+package horse_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"horse"
+)
+
+// ExampleNew builds the default flow-level engine with the unified
+// builder and runs a small leaf-spine workload to completion.
+func ExampleNew() {
+	topo := horse.LeafSpine(2, 2, 2, horse.Gig, horse.TenGig)
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := horse.NewGenerator(42)
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 50, Horizon: horse.Second,
+		Sizes: horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 1e7,
+	}))
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fidelity=flow flows=%d completed=%d\n", len(col.Flows()), col.FlowsCompleted)
+	// Output: fidelity=flow flows=50 completed=50
+}
+
+// ExampleNew_packet selects the packet-level engine with the same
+// builder: every packet is simulated against pre-installed routes.
+func ExampleNew_packet() {
+	topo := horse.Dumbbell(2, 2, horse.Gig, horse.TenGig)
+	eng, err := horse.New(topo,
+		horse.WithFidelity(horse.Packet),
+		horse.WithMiss(horse.MissDrop),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	horse.InstallMACRoutes(eng.Network())
+	gen := horse.NewGenerator(7)
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 20, Horizon: 500 * horse.Millisecond,
+		Sizes: horse.FixedSize(4e5), TCPFraction: 0.5, CBRRateBps: 1e7,
+	}))
+	col, err := eng.Run(context.Background(), horse.Time(10*horse.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	completed := 0
+	for _, r := range col.Flows() {
+		if r.Completed {
+			completed++
+		}
+	}
+	fmt.Printf("fidelity=packet flows=%d completed=%d\n", len(col.Flows()), completed)
+	// Output: fidelity=packet flows=9 completed=9
+}
+
+// ExampleNew_hybrid runs half the demand stream packet-by-packet and the
+// rest at flow level, under one clock and one control plane.
+func ExampleNew_hybrid() {
+	topo := horse.Dumbbell(2, 2, horse.Gig, horse.TenGig)
+	eng, err := horse.New(topo,
+		horse.WithFidelity(horse.Hybrid),
+		horse.WithController(horse.NewChain(&horse.ReactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithPacketFraction(0.5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := horse.NewGenerator(7)
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 20, Horizon: 500 * horse.Millisecond,
+		Sizes: horse.FixedSize(4e5), TCPFraction: 0.5, CBRRateBps: 1e7,
+	}))
+	col, err := eng.Run(context.Background(), horse.Time(10*horse.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkt, flow := eng.(*horse.HybridSimulator).Split()
+	fmt.Printf("fidelity=hybrid packet-flows=%d flow-flows=%d completed=%d\n", pkt, flow, col.FlowsCompleted)
+	// Output: fidelity=hybrid packet-flows=4 flow-flows=5 completed=9
+}
+
+// ExampleNew_recordSink streams flow records as they finalize instead of
+// retaining them — the bounded-memory results path.
+func ExampleNew_recordSink() {
+	topo := horse.LeafSpine(2, 2, 2, horse.Gig, horse.TenGig)
+	streamed := 0
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithRecordSink(func(r horse.FlowRecord) { streamed++ }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := horse.NewGenerator(42)
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 50, Horizon: horse.Second,
+		Sizes: horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 1e7,
+	}))
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed=%d retained=%d\n", streamed, len(col.Flows()))
+	// Output: streamed=50 retained=0
+}

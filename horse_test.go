@@ -21,7 +21,7 @@ func TestQuickstart(t *testing.T) {
 		Sizes: horse.Pareto{XMin: 1e5, Alpha: 1.3}, TCPFraction: 0.8,
 		CBRRateBps: 1e7,
 	}))
-	col := sim.Run(horse.Never)
+	col := sim.RunUntil(horse.Never)
 	if len(col.Flows()) == 0 {
 		t.Fatal("no flows")
 	}
@@ -43,7 +43,7 @@ func TestPublicIXPAPI(t *testing.T) {
 		Miss:       horse.MissController,
 	})
 	sim.Load(f.ReplayTrace(1e9, 0.3, horse.Hour, horse.Hour, 7))
-	col := sim.Run(2 * horse.Time(horse.Hour))
+	col := sim.RunUntil(2 * horse.Time(horse.Hour))
 	if len(col.Flows()) == 0 {
 		t.Fatal("no replay flows")
 	}

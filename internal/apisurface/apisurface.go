@@ -1,0 +1,153 @@
+// Package apisurface renders the exported API surface of a Go package as
+// a deterministic, diffable text listing — the backing of the checked-in
+// api/horse.txt golden file and the test that gates accidental breaking
+// changes to the public façade. It works on syntax alone (go/parser +
+// go/printer, no type checking), which is exactly right for a façade
+// package made of aliases, thin constructors, and option functions: every
+// exported declaration's shape is in the source.
+package apisurface
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Header is the first line of every rendered surface.
+const Header = "# API surface of package horse. Regenerate with `make api`."
+
+// Surface parses the (single) Go package in dir — test files excluded —
+// and renders one line per exported declaration: constants, variables,
+// type declarations (aliases included), functions, and methods on
+// exported receivers. Lines are sorted, so the output is independent of
+// declaration order and file layout; any change to an exported name or
+// signature changes the text.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return "", fmt.Errorf("apisurface: multiple packages in %s: %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return "", fmt.Errorf("apisurface: no Go files in %s", dir)
+	}
+
+	var lines []string
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			lines = append(lines, renderDecl(fset, decl)...)
+		}
+	}
+	sort.Strings(lines)
+	return Header + "\n" + strings.Join(lines, "\n") + "\n", nil
+}
+
+// renderDecl renders the exported parts of one top-level declaration.
+func renderDecl(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		fn := *d
+		fn.Doc, fn.Body = nil, nil
+		return []string{render(fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				s := *sp
+				s.Doc, s.Comment = nil, nil
+				out = append(out, "type "+render(fset, &s))
+			case *ast.ValueSpec:
+				if line, ok := renderValueSpec(fset, d.Tok, sp); ok {
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// renderValueSpec renders a const/var spec when it declares at least one
+// exported name (unexported names in the same spec are kept — they are
+// part of the declaration's shape and rare in a façade).
+func renderValueSpec(fset *token.FileSet, tok token.Token, sp *ast.ValueSpec) (string, bool) {
+	exported := false
+	for _, n := range sp.Names {
+		if n.IsExported() {
+			exported = true
+		}
+	}
+	if !exported {
+		return "", false
+	}
+	s := *sp
+	s.Doc, s.Comment = nil, nil
+	return tok.String() + " " + render(fset, &s), true
+}
+
+// exportedReceiver reports whether a function is package-level or a
+// method on an exported named type.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// render pretty-prints a node on one line (the printer emits no trailing
+// newline for expressions; multi-line literals collapse via field lists
+// staying as-written, which is fine — the text only needs determinism).
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

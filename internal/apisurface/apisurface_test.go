@@ -1,0 +1,108 @@
+package apisurface
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurfaceRendersExportedDeclsOnly(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `package demo
+
+// Exported is documented.
+type Exported = int
+
+type hidden struct{}
+
+const (
+	Visible   = 1
+	invisible = 2
+)
+
+var NewThing = newThing
+
+func newThing() int { return 0 }
+
+// Do does.
+func Do(x int, ys ...string) (int, error) { return x, nil }
+
+func (h hidden) Method() {}
+
+type Box struct{ N int }
+
+func (b *Box) Get() int { return b.N }
+`)
+	write(t, dir, "a_test.go", `package demo
+
+func TestOnly() {}
+`)
+	got, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"type Exported = int",
+		"const Visible = 1",
+		"var NewThing = newThing",
+		"func Do(x int, ys ...string) (int, error)",
+		"func (b *Box) Get() int",
+		"type Box struct{ N int }",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("surface missing %q:\n%s", want, got)
+		}
+	}
+	for _, reject := range []string{"hidden", "invisible", "newThing()", "TestOnly"} {
+		for _, line := range strings.Split(got, "\n") {
+			if strings.HasPrefix(line, "func "+reject) || strings.Contains(line, " "+reject+" =") ||
+				strings.Contains(line, "type "+reject) || strings.Contains(line, "(h hidden)") {
+				t.Errorf("surface leaked unexported decl in %q", line)
+			}
+		}
+	}
+}
+
+func TestSurfaceIsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "b.go", "package demo\n\nfunc B() {}\n\nfunc A() {}\n")
+	write(t, dir, "a.go", "package demo\n\nfunc C() {}\n")
+	s1, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("same input, different surfaces")
+	}
+	lines := strings.Split(strings.TrimSpace(s1), "\n")
+	if len(lines) != 4 || lines[1] != "func A()" || lines[2] != "func B()" || lines[3] != "func C()" {
+		t.Fatalf("lines not sorted/complete: %q", lines)
+	}
+}
+
+func TestSurfaceOnRealFacade(t *testing.T) {
+	got, err := Surface("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func New(topo *Topology, opts ...Option) (Engine, error)",
+		"type Engine = scenario.Engine",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("façade surface missing %q", want)
+		}
+	}
+}

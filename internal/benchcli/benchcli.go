@@ -150,6 +150,10 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "%s: note: baseline ran -parallel %d, this run %d; timing columns not gated (deterministic columns still are)\n",
 				name, baseline.Parallel, rep.Parallel)
 		}
+		if why := FingerprintMismatch(baseline, rep); why != "" {
+			fmt.Fprintf(stderr, "%s: warning: host fingerprint mismatch — %s; timing columns not gated (deterministic columns still are)\n",
+				name, why)
+		}
 		if bad := Compare(baseline, rep, *compareTol); len(bad) > 0 {
 			fmt.Fprintf(stderr, "%s: benchmark regression vs %s:\n", name, *compare)
 			for _, v := range bad {

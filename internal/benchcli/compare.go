@@ -52,12 +52,14 @@ func LoadReport(path string) (*experiments.Report, error) {
 //   - tables/rows present in the baseline must still exist; new tables
 //     (a new experiment) pass without a baseline.
 //   - timing columns are compared only when both reports ran with the
-//     same worker count: a contended default-parallel run gated against
-//     a -parallel 1 baseline measures the scheduler, not the simulator.
+//     same worker count AND carry matching host fingerprints: a contended
+//     default-parallel run gated against a -parallel 1 baseline measures
+//     the scheduler, and a fast runner gated against a slow dev box's
+//     baseline trivially passes (see FingerprintMismatch).
 func Compare(old, cur *experiments.Report, tol float64) []string {
 	var bad []string
 	fail := func(format string, a ...interface{}) { bad = append(bad, fmt.Sprintf(format, a...)) }
-	timing := old.Parallel == cur.Parallel
+	timing := old.Parallel == cur.Parallel && FingerprintMismatch(old, cur) == ""
 
 	oldTables := make(map[string]*experiments.Table, len(old.Tables))
 	for _, t := range old.Tables {
@@ -140,6 +142,25 @@ func Compare(old, cur *experiments.Report, tol float64) []string {
 			cur.WallMS, old.WallMS, (cur.WallMS/old.WallMS-1)*100, tol*100)
 	}
 	return bad
+}
+
+// FingerprintMismatch explains why two reports' timing columns are not
+// comparable across hardware — a non-empty human-readable reason when the
+// host fingerprints differ (or the baseline predates fingerprinting) —
+// or "" when they match. Callers print it as a warning; Compare uses it
+// to skip timing columns (deterministic columns still gate).
+func FingerprintMismatch(old, cur *experiments.Report) string {
+	switch {
+	case old.Host == nil:
+		return "baseline has no host fingerprint (regenerate it with `make bench-baseline`)"
+	case cur.Host == nil:
+		return "current report has no host fingerprint"
+	case *old.Host != *cur.Host:
+		return fmt.Sprintf("baseline measured on %s/%d-core/%s, this run on %s/%d-core/%s",
+			old.Host.CPUModel, old.Host.Cores, old.Host.GOARCH,
+			cur.Host.CPUModel, cur.Host.Cores, cur.Host.GOARCH)
+	}
+	return ""
 }
 
 type colKind int

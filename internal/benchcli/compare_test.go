@@ -88,6 +88,52 @@ func TestCompareParallelMismatchSkipsTiming(t *testing.T) {
 	}
 }
 
+// TestCompareFingerprintMismatchSkipsTiming: a report measured on
+// different hardware than the baseline is not timing-comparable — only
+// the deterministic columns stay gated.
+func TestCompareFingerprintMismatchSkipsTiming(t *testing.T) {
+	slow := slowedBy(1.25)
+	slow.Host = &experiments.Host{CPUModel: "Imaginary-X1", Cores: 128, GOARCH: "arm64"}
+	if why := FingerprintMismatch(sampleReport(), slow); why == "" {
+		t.Fatal("fingerprint mismatch not detected")
+	}
+	if bad := Compare(sampleReport(), slow, DefaultCompareTol); len(bad) != 0 {
+		t.Fatalf("timing gated across differing hosts: %v", bad)
+	}
+	drift := sampleReport()
+	drift.Host = &experiments.Host{CPUModel: "Imaginary-X1", Cores: 128, GOARCH: "arm64"}
+	drift.Tables[0].Rows[0][1] = "999"
+	if bad := Compare(sampleReport(), drift, DefaultCompareTol); len(bad) == 0 {
+		t.Fatal("event-count drift passed under a host mismatch")
+	}
+}
+
+// TestCompareLegacyBaselineSkipsTiming: a baseline generated before
+// fingerprinting carries no host stanza; it cannot vouch for timing.
+func TestCompareLegacyBaselineSkipsTiming(t *testing.T) {
+	old := sampleReport()
+	old.Host = nil
+	if why := FingerprintMismatch(old, sampleReport()); !strings.Contains(why, "no host fingerprint") {
+		t.Fatalf("legacy baseline reason = %q", why)
+	}
+	if bad := Compare(old, slowedBy(1.25), DefaultCompareTol); len(bad) != 0 {
+		t.Fatalf("timing gated against an unfingerprinted baseline: %v", bad)
+	}
+}
+
+func TestFingerprintStamped(t *testing.T) {
+	rep := sampleReport()
+	if rep.Host == nil {
+		t.Fatal("NewReport did not stamp a host fingerprint")
+	}
+	if rep.Host.Cores <= 0 || rep.Host.GOARCH == "" || rep.Host.CPUModel == "" {
+		t.Fatalf("incomplete fingerprint: %+v", rep.Host)
+	}
+	if FingerprintMismatch(rep, sampleReport()) != "" {
+		t.Fatal("same-host fingerprints mismatch")
+	}
+}
+
 func TestCompareSpeedupPasses(t *testing.T) {
 	if bad := Compare(sampleReport(), slowedBy(0.5), DefaultCompareTol); len(bad) != 0 {
 		t.Fatalf("2x speedup flagged as regression: %v", bad)

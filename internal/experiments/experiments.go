@@ -16,10 +16,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"horse"
 	"horse/internal/addr"
 	"horse/internal/controller"
 	"horse/internal/dataplane"
@@ -37,6 +39,17 @@ import (
 	"horse/internal/tcpmodel"
 	"horse/internal/traffic"
 )
+
+// mustEngine unwraps a horse.New result inside an experiment cell. Every
+// grid cell builds from compile-time-constant options, so a build error
+// is a programming error; panicking propagates it through the runner pool
+// as a *runner.CellPanic.
+func mustEngine(eng horse.Engine, err error) horse.Engine {
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
 
 // Options controls how the experiment grid executes.
 type Options struct {
@@ -150,16 +163,17 @@ func cbrDemand(src, dst netgraph.NodeID, start simtime.Time, sizeBits, rateBps f
 	}
 }
 
-// runFlowSim executes one flow-level simulation and times it with the
-// options' clock.
+// runFlowSim executes one flow-level simulation through the unified
+// engine API and times it with the options' clock.
 func (o Options) runFlowSim(topo *netgraph.Topology, ctrl flowsim.Controller, tr traffic.Trace, statsEvery simtime.Duration) (*stats.Collector, time.Duration) {
-	sim := flowsim.New(flowsim.Config{
-		Topology: topo, Controller: ctrl, Miss: dataplane.MissController,
-		StatsEvery: statsEvery,
-	})
-	sim.Load(tr)
+	eng := mustEngine(horse.New(topo,
+		horse.WithController(ctrl),
+		horse.WithMiss(dataplane.MissController),
+		horse.WithStatsEvery(statsEvery),
+	))
+	eng.Load(tr)
 	start := o.now()
-	col := sim.Run(simtime.Time(10 * simtime.Minute))
+	col, _ := eng.Run(context.Background(), simtime.Time(10*simtime.Minute))
 	return col, o.since(start)
 }
 
@@ -214,12 +228,13 @@ func e1Spec(o Options) *spec {
 		sp.cell(name, func() [][]string {
 			topo, edges, cores := build()
 			ctrl := mk(topo, edges, cores)
-			sim := flowsim.New(flowsim.Config{
-				Topology: topo, Controller: ctrl, Miss: dataplane.MissController,
-				StatsEvery: 100 * simtime.Millisecond,
-			})
-			sim.Load(workload(topo))
-			col := sim.Run(simtime.Time(time.Minute))
+			eng := mustEngine(horse.New(topo,
+				horse.WithController(ctrl),
+				horse.WithMiss(dataplane.MissController),
+				horse.WithStatsEvery(100*simtime.Millisecond),
+			))
+			eng.Load(workload(topo))
+			col, _ := eng.Run(context.Background(), simtime.Time(time.Minute))
 			var coreSum float64
 			var coreN int
 			for d, u := range col.MeanLinkUtilization() {
@@ -416,27 +431,31 @@ func e3Spec(o Options) *spec {
 			topoF := sc.mkTopo()
 			trF := sc.mkTr(topoF)
 			startF := o.now()
-			simF := flowsim.New(flowsim.Config{
-				Topology: topoF, Controller: &controller.ProactiveMAC{}, Miss: dataplane.MissDrop,
-				ControlLatency: simtime.Microsecond, StatsEvery: 100 * simtime.Millisecond,
-				TCP: tcpmodel.Params{RTT: sc.rtt, MSS: 1500, InitialWindow: 10},
+			engF := mustEngine(horse.New(topoF,
+				horse.WithController(&controller.ProactiveMAC{}),
+				horse.WithMiss(dataplane.MissDrop),
 				// With µs control latency the proactive installs beat the
 				// first arrival, so both simulators see identical rules.
-			})
-			simF.Load(trF)
-			colF := simF.Run(simtime.Time(sc.window))
+				horse.WithControlLatency(simtime.Microsecond),
+				horse.WithStatsEvery(100*simtime.Millisecond),
+				horse.WithTCP(tcpmodel.Params{RTT: sc.rtt, MSS: 1500, InitialWindow: 10}),
+			))
+			engF.Load(trF)
+			colF, _ := engF.Run(context.Background(), simtime.Time(sc.window))
 			wallF := o.since(startF)
 
 			// Packet-level run with identical pre-installed state.
 			topoP := sc.mkTopo()
 			trP := sc.mkTr(topoP)
-			simP := packetsim.New(packetsim.Config{
-				Topology: topoP, Miss: dataplane.MissDrop, StatsEvery: 100 * simtime.Millisecond,
-			})
-			installMACRoutes(simP.Network())
+			engP := mustEngine(horse.New(topoP,
+				horse.WithFidelity(horse.Packet),
+				horse.WithMiss(dataplane.MissDrop),
+				horse.WithStatsEvery(100*simtime.Millisecond),
+			))
+			installMACRoutes(engP.Network())
 			startP := o.now()
-			simP.Load(trP)
-			colP := simP.Run(simtime.Time(sc.window))
+			engP.Load(trP)
+			colP, _ := engP.Run(context.Background(), simtime.Time(sc.window))
 			wallP := o.since(startP)
 
 			fctF, fctP := colF.FCTs(), colP.FCTs()
@@ -508,13 +527,14 @@ func e4Spec(o Options, memberCounts []int, hours int) *spec {
 			}
 			agg := float64(members) * 1e9 // ~1 Gbps mean per member (busy IXP)
 			tr := fab.ReplayTrace(agg, 0.2, simtime.Hour, simtime.Duration(hours)*simtime.Hour, 9)
-			sim := flowsim.New(flowsim.Config{
-				Topology: fab.Topo, Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
-				Miss: dataplane.MissController, StatsEvery: 10 * simtime.Minute,
-			})
-			sim.Load(tr)
+			eng := mustEngine(horse.New(fab.Topo,
+				horse.WithController(controller.NewChain(&controller.ECMPLoadBalancer{})),
+				horse.WithMiss(dataplane.MissController),
+				horse.WithStatsEvery(10*simtime.Minute),
+			))
+			eng.Load(tr)
 			start := o.now()
-			col := sim.Run(simtime.Time(simtime.Duration(hours+1) * simtime.Hour))
+			col, _ := eng.Run(context.Background(), simtime.Time(simtime.Duration(hours+1)*simtime.Hour))
 			wall := o.since(start)
 			peak := 0.0
 			for d, u := range col.PeakLinkUtilization() {
@@ -684,15 +704,20 @@ func e6Spec(o Options) *spec {
 			wl, v := wl, v
 			sp.cell(wl.name+"/"+v.name, func() [][]string {
 				topo, tr := wl.build()
-				sim := flowsim.New(flowsim.Config{
-					Topology: topo, Controller: controller.NewChain(&controller.ECMPLoadBalancer{}),
-					Miss:             dataplane.MissController,
-					UseCalendarQueue: v.calendar,
-					FullRecompute:    v.full,
-				})
-				sim.Load(tr)
+				opts := []horse.Option{
+					horse.WithController(controller.NewChain(&controller.ECMPLoadBalancer{})),
+					horse.WithMiss(dataplane.MissController),
+				}
+				if v.calendar {
+					opts = append(opts, horse.WithCalendarQueue())
+				}
+				if v.full {
+					opts = append(opts, horse.WithFullRecompute())
+				}
+				eng := mustEngine(horse.New(topo, opts...))
+				eng.Load(tr)
 				start := o.now()
-				col := sim.Run(simtime.Time(10 * simtime.Minute))
+				col, _ := eng.Run(context.Background(), simtime.Time(10*simtime.Minute))
 				wall := o.since(start)
 				return row(wl.name, v.name, di(col.EventsRun), di(col.RateChanges), ms(wall))
 			})
@@ -756,13 +781,16 @@ func e7Spec(o Options, fractions []float64) *spec {
 
 		// Reference: the standalone controller-attached packet engine.
 		topoR, trR := e7Scenario()
-		simR := packetsim.New(packetsim.Config{
-			Topology: topoR, Miss: dataplane.MissController,
-			Controller: e7Controller(), ControlLatency: simtime.Millisecond,
-		})
-		simR.Load(trR)
+		engR := mustEngine(horse.New(topoR,
+			horse.WithFidelity(horse.Packet),
+			horse.WithMiss(dataplane.MissController),
+			horse.WithController(e7Controller()),
+			horse.WithControlLatency(simtime.Millisecond),
+		))
+		simR := engR.(*packetsim.Simulator)
+		engR.Load(trR)
 		startR := o.now()
-		colR := simR.Run(e7Window)
+		colR, _ := engR.Run(context.Background(), e7Window)
 		wallR := o.since(startR)
 		ref := colR.Flows()
 		refFCT := make(map[int64]float64, len(ref))
@@ -783,18 +811,21 @@ func e7Spec(o Options, fractions []float64) *spec {
 
 		for _, p := range fractions {
 			topo, tr := e7Scenario()
-			hyb := hybrid.New(hybrid.Config{
-				Topology: topo, Miss: dataplane.MissController,
-				Controller: e7Controller(), ControlLatency: simtime.Millisecond,
+			eng := mustEngine(horse.New(topo,
+				horse.WithFidelity(horse.Hybrid),
+				horse.WithMiss(dataplane.MissController),
+				horse.WithController(e7Controller()),
+				horse.WithControlLatency(simtime.Millisecond),
 				// Flow-level TCP RTT matched to the dumbbell (the E3
 				// methodology), so the accuracy column measures fidelity,
 				// not a mis-set fluid model.
-				TCP:         tcpmodel.Params{RTT: 2200 * simtime.Microsecond, MSS: 1500, InitialWindow: 10},
-				PacketLevel: hybrid.Fraction(p),
-			})
-			hyb.Load(tr)
+				horse.WithTCP(tcpmodel.Params{RTT: 2200 * simtime.Microsecond, MSS: 1500, InitialWindow: 10}),
+				horse.WithPacketFraction(p),
+			))
+			hyb := eng.(*hybrid.Simulator)
+			eng.Load(tr)
 			start := o.now()
-			col := hyb.Run(e7Window)
+			col, _ := eng.Run(context.Background(), e7Window)
 			wall := o.since(start)
 			recs := hyb.Records()
 
@@ -914,27 +945,31 @@ func e8Spec(o Options, mtbfs, recoveries []simtime.Duration) *spec {
 		pol := pol
 		sp.cell(pol.name, func() [][]string {
 			topoB, trB := e8Scenario()
-			simB := flowsim.New(flowsim.Config{
-				Topology: topoB, Controller: pol.mk(), Miss: dataplane.MissController,
-			})
-			simB.Load(trB)
-			colB := simB.Run(e8Window)
+			engB := mustEngine(horse.New(topoB,
+				horse.WithController(pol.mk()),
+				horse.WithMiss(dataplane.MissController),
+			))
+			engB.Load(trB)
+			colB, _ := engB.Run(context.Background(), e8Window)
 
 			var rows [][]string
 			for _, mtbf := range mtbfs {
 				for _, rec := range recoveries {
-					// Disturbed run: reproducible failures on core links.
+					// Disturbed run: reproducible failures on core links,
+					// compiled onto the engine at build time (WithScenario
+					// validates and applies before any Load).
 					topo, tr := e8Scenario()
 					tl := scenario.RandomLinkFailures(topo, scenario.FailureConfig{
 						Seed: 7, MTBF: mtbf, Recovery: rec,
 						Horizon: simtime.Time(2 * simtime.Second), CoreOnly: true,
 					})
-					sim := flowsim.New(flowsim.Config{
-						Topology: topo, Controller: pol.mk(), Miss: dataplane.MissController,
-					})
-					tl.Apply(sim)
-					sim.Load(tr)
-					col := sim.Run(e8Window)
+					eng := mustEngine(horse.New(topo,
+						horse.WithController(pol.mk()),
+						horse.WithMiss(dataplane.MissController),
+						horse.WithScenario(tl),
+					))
+					eng.Load(tr)
+					col, _ := eng.Run(context.Background(), e8Window)
 
 					out := scenario.Evaluate(tl, col, colB)
 					rows = append(rows, []string{
@@ -1003,14 +1038,16 @@ func e9Spec(o Options, arities, shardCounts []int) *spec {
 			var rows [][]string
 			run := func(shards int) (*stats.Collector, *packetsim.Simulator, time.Duration) {
 				topo, tr := e9Scenario(k)
-				sim := packetsim.New(packetsim.Config{
-					Topology: topo, Miss: dataplane.MissDrop, Shards: shards,
-				})
-				installMACRoutes(sim.Network())
-				sim.Load(tr)
+				eng := mustEngine(horse.New(topo,
+					horse.WithFidelity(horse.Packet),
+					horse.WithMiss(dataplane.MissDrop),
+					horse.WithShards(shards),
+				))
+				installMACRoutes(eng.Network())
+				eng.Load(tr)
 				start := o.now()
-				col := sim.Run(e9Window)
-				return col, sim, o.since(start)
+				col, _ := eng.Run(context.Background(), e9Window)
+				return col, eng.(*packetsim.Simulator), o.since(start)
 			}
 			colRef, simRef, wallRef := run(1)
 			ref := colRef.Flows()

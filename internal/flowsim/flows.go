@@ -10,6 +10,7 @@ import (
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/runner"
+	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/traffic"
@@ -510,6 +511,15 @@ func (s *Simulator) finalize(f *Flow, completed bool, outcome string) {
 		PathLen:   f.lastPathLen,
 		Punts:     f.punts,
 	})
+	if s.recordSink != nil {
+		// Streaming mode: the record has left the building and nothing
+		// re-resolves a Done flow (markDirty and the batch runner both
+		// skip them; in-flight events hold the pointer and die on the gen
+		// stamp), so the flow state can be reclaimed — the piece that
+		// keeps multi-million-flow runs at bounded memory.
+		delete(s.flows, f.ID)
+		delete(s.dirtyFlows, f.ID)
+	}
 }
 
 // scheduleRamp arms the next TCP window re-evaluation one RTT out, when
@@ -709,6 +719,9 @@ func (s *Simulator) applyLinkChange(id netgraph.LinkID, up bool, silent netgraph
 	if s.cfg.OnLinkChange != nil {
 		s.cfg.OnLinkChange(id, up)
 	}
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.LinkChange, Link: id, Up: up,
+	})
 }
 
 // handleSwitchChange applies a switch crash or restart: a crash wipes the
@@ -747,6 +760,9 @@ func (s *Simulator) handleSwitchChange(sw netgraph.NodeID, up bool) {
 	if s.cfg.OnSwitchChange != nil {
 		s.cfg.OnSwitchChange(sw, up)
 	}
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.SwitchChange, Switch: sw, Up: up,
+	})
 }
 
 // handleCtrlChange applies a controller detach or reattach. Outages nest
@@ -776,6 +792,9 @@ func (s *Simulator) handleCtrlChange(attached bool) {
 	if s.cfg.OnControllerChange != nil {
 		s.cfg.OnControllerChange(attached)
 	}
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.ControllerChange, Up: attached,
+	})
 }
 
 // handleStatsTick samples link utilization and reschedules itself.

@@ -17,6 +17,7 @@
 package flowsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,6 +27,7 @@ import (
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/simcore"
+	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/tcpmodel"
@@ -345,6 +347,12 @@ type Simulator struct {
 	shiftPending []fairshare.ResourceID
 	shiftScratch []fairshare.ResourceID
 
+	// observers receive applied network-dynamics events (the public
+	// Observe hook); recordSink, when set, streams finished-flow records
+	// and lets finalized flows be evicted (bounded-memory runs).
+	observers  simevent.Observers
+	recordSink func(stats.FlowRecord)
+
 	begun    bool
 	finished bool
 }
@@ -497,18 +505,51 @@ func (s *Simulator) ScheduleControllerChange(at simtime.Time, attached bool) {
 	s.sched(event{at: at, kind: evCtrlChange, up: attached})
 }
 
-// Run executes the simulation until the event queue drains or virtual time
-// exceeds `until` (use simtime.Never for no bound). It returns the
-// statistics collector. Run may be called once, and only on a simulator
-// that owns its kernel; shared-kernel simulators are driven by their owner
-// via Begin / kernel.Run / Finish.
-func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+// Run executes the simulation until the event queue drains, virtual time
+// exceeds `until` (use simtime.Never for no bound), or ctx is cancelled.
+// It returns the statistics collector — on cancellation a partial but
+// consistent one (every unfinished flow settled to the stop instant and
+// recorded), together with ctx.Err(). Run may be called once, and only on
+// a simulator that owns its kernel; shared-kernel simulators are driven
+// by their owner via Begin / kernel.Run / Finish.
+func (s *Simulator) Run(ctx context.Context, until simtime.Time) (*stats.Collector, error) {
 	if !s.ownKernel {
 		panic("flowsim: Run on a shared-kernel simulator; drive the shared kernel instead")
 	}
 	s.Begin()
-	s.k.Run(until)
-	return s.Finish()
+	err := s.k.RunContext(ctx, until)
+	return s.Finish(), err
+}
+
+// RunUntil is Run without a lifecycle: no cancellation, no error.
+//
+// Deprecated: use Run with a context.
+func (s *Simulator) RunUntil(until simtime.Time) *stats.Collector {
+	col, _ := s.Run(context.Background(), until)
+	return col
+}
+
+// Observe registers an observer of applied network dynamics (link and
+// switch state flips, controller detach/reattach). Register before Run;
+// observers run synchronously at the instant a change takes effect.
+func (s *Simulator) Observe(fn simevent.Observer) { s.observers.Add(fn) }
+
+// SetRecordSink streams every stats.FlowRecord to sink the moment the
+// flow finalizes, in exactly the order the collector would have
+// accumulated them, and evicts finalized flow state — so a multi-million-
+// flow run completes with O(1) record memory (Collector().Flows() stays
+// empty). Install before Run.
+func (s *Simulator) SetRecordSink(sink func(stats.FlowRecord)) {
+	s.recordSink = sink
+	s.col.SetFlowSink(sink)
+}
+
+// SetProgress arms progress reporting: fn receives a simevent.Progress at
+// most once per `every` of virtual time, driven off the kernel's
+// pre-advance path so everything at the reported instant has settled.
+// Install before Run.
+func (s *Simulator) SetProgress(every simtime.Duration, fn simevent.ProgressFunc) {
+	simevent.ArmProgress(s.k, every, fn)
 }
 
 // Begin starts the control plane and arms statistics sampling. It is the

@@ -29,7 +29,7 @@ func TestParallelSettleBitIdentical(t *testing.T) {
 			Miss: dataplane.MissController, Shards: shards,
 		})
 		sim.Load(tr)
-		return sim.Run(simtime.Time(10 * simtime.Minute)).Flows()
+		return sim.RunUntil(simtime.Time(10 * simtime.Minute)).Flows()
 	}
 	serial := run(0)
 	for _, shards := range []int{2, 4} {

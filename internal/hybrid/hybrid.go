@@ -23,6 +23,7 @@
 package hybrid
 
 import (
+	"context"
 	"sort"
 
 	"horse/internal/dataplane"
@@ -32,6 +33,7 @@ import (
 	"horse/internal/openflow"
 	"horse/internal/packetsim"
 	"horse/internal/simcore"
+	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/tcpmodel"
@@ -94,6 +96,13 @@ type Simulator struct {
 	flowStarts []simtime.Time
 	pktIdx     []int
 	loaded     int
+
+	// sink, when set, streams the merged (load-order) records instead of
+	// accumulating them in the merged collector; merged caches the
+	// collector built at the end of Run so repeated Collector() calls
+	// cannot re-stream.
+	sink   func(stats.FlowRecord)
+	merged *stats.Collector
 }
 
 // New builds a hybrid simulator over the configured topology.
@@ -178,6 +187,29 @@ func (s *Simulator) applyRateShift(resources []fairshare.ResourceID) {
 // Kernel returns the shared simulation kernel.
 func (s *Simulator) Kernel() *simcore.Kernel { return s.k }
 
+// Now returns the current virtual time of the shared kernel.
+func (s *Simulator) Now() simtime.Time { return s.k.Now() }
+
+// Observe registers an observer of applied network dynamics. Topology and
+// control-plane changes apply once, at the flow engine (which owns the
+// shared state flips), so observers register there.
+func (s *Simulator) Observe(fn simevent.Observer) { s.flow.Observe(fn) }
+
+// SetRecordSink streams every merged stats.FlowRecord to sink at the end
+// of the run, in load (trace) order — the same records, in the same
+// order, Collector().Flows() would have held. The per-engine collectors
+// still buffer their own records internally (the hybrid must re-number
+// and merge across engines), so unlike the flow engine's sink this bounds
+// only the merged copy. Install before Run.
+func (s *Simulator) SetRecordSink(sink func(stats.FlowRecord)) { s.sink = sink }
+
+// SetProgress arms progress reporting off the shared kernel's pre-advance
+// path: fn receives a simevent.Progress at most once per `every` of
+// virtual time. Install before Run.
+func (s *Simulator) SetProgress(every simtime.Duration, fn simevent.ProgressFunc) {
+	simevent.ArmProgress(s.k, every, fn)
+}
+
 // Topology returns the simulated topology (shared by both engines).
 func (s *Simulator) Topology() *netgraph.Topology { return s.cfg.Topology }
 
@@ -215,15 +247,26 @@ func (s *Simulator) Load(tr traffic.Trace) {
 	}
 }
 
-// Run executes both engines to the bound and returns the merged collector
-// (see Collector). Run may be called once.
-func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+// Run executes both engines until the shared queue drains, virtual time
+// passes until, or ctx is cancelled, and returns the merged collector
+// (see Collector) — on cancellation a partial but consistent one,
+// together with ctx.Err(). Run may be called once.
+func (s *Simulator) Run(ctx context.Context, until simtime.Time) (*stats.Collector, error) {
 	s.flow.Begin()
 	s.pkt.Begin()
-	s.k.Run(until)
+	err := s.k.RunContext(ctx, until)
 	s.flow.Finish()
 	s.pkt.Finish()
-	return s.Collector()
+	s.merged = s.buildCollector(true)
+	return s.merged, err
+}
+
+// RunUntil is Run without a lifecycle: no cancellation, no error.
+//
+// Deprecated: use Run with a context.
+func (s *Simulator) RunUntil(until simtime.Time) *stats.Collector {
+	col, _ := s.Run(context.Background(), until)
+	return col
 }
 
 // Records returns one record per demand that produced one, ordered and
@@ -259,10 +302,27 @@ func (s *Simulator) Records() []stats.FlowRecord {
 
 // Collector merges both engines' output: the flow engine's link series and
 // control counters, every Records entry, and the kernel's dispatch count
-// as EventsRun (the hybrid's total work metric).
+// as EventsRun (the hybrid's total work metric). After Run it returns the
+// collector Run built; before, it assembles a fresh snapshot.
 func (s *Simulator) Collector() *stats.Collector {
+	if s.merged != nil {
+		return s.merged
+	}
+	// Mid-run snapshots never stream: only the one collector Run builds
+	// at the end delivers to the record sink, so a Collector() call from
+	// a progress or observer hook cannot duplicate records in the stream.
+	return s.buildCollector(false)
+}
+
+// buildCollector assembles the merged collector. stream=true routes the
+// records through the installed sink (the end-of-Run delivery); false
+// accumulates them in the snapshot.
+func (s *Simulator) buildCollector(stream bool) *stats.Collector {
 	fc, pc := s.flow.Collector(), s.pkt.Collector()
 	col := stats.NewCollector(s.cfg.StatsEvery)
+	if stream && s.sink != nil {
+		col.SetFlowSink(s.sink)
+	}
 	for _, smp := range fc.LinkSeries() {
 		col.AddLinkSample(smp)
 	}

@@ -149,7 +149,7 @@ func TestIXPEndToEndReplay(t *testing.T) {
 		StatsEvery: 10 * simtime.Minute,
 	})
 	sim.Load(f.ReplayTrace(2e9, 0.5, simtime.Hour, 2*simtime.Hour, 3))
-	col := sim.Run(simtime.Time(3 * simtime.Hour))
+	col := sim.RunUntil(simtime.Time(3 * simtime.Hour))
 	if len(col.Flows()) == 0 {
 		t.Fatal("no flows recorded")
 	}

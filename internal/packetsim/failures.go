@@ -20,6 +20,7 @@ import (
 
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
+	"horse/internal/simevent"
 )
 
 // handleLinkChange applies a scheduled link state change: topology flip,
@@ -42,6 +43,9 @@ func (s *Simulator) applyLinkState(id netgraph.LinkID, up bool, silent netgraph.
 	s.topo.SetLinkUp(id, up)
 	s.NotifyLinkChange(id, up)
 	s.portStatus(l, up, silent)
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.LinkChange, Link: id, Up: up,
+	})
 }
 
 // NotifyLinkChange applies the data-plane consequences of a link state
@@ -90,6 +94,9 @@ func (s *Simulator) handleSwitchChange(sw netgraph.NodeID, up bool) {
 		// its own scripted outage (and a crash from "double-failing" one).
 		s.applyLinkState(l.ID, s.fstate.LinkDesired(l.ID), silent)
 	}
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.SwitchChange, Switch: sw, Up: up,
+	})
 }
 
 // NotifySwitchChange applies the packet-engine-local consequences of a
@@ -114,11 +121,16 @@ func (s *Simulator) NotifySwitchChange(sw netgraph.NodeID, up bool) {
 // endpoint), so PortStatus-driven controllers reconverge on the truth
 // before any re-announced PacketIns arrive.
 func (s *Simulator) handleCtrlChange(attached bool) {
-	if !s.fstate.SetController(attached) || !attached {
+	if !s.fstate.SetController(attached) {
 		return
 	}
-	s.fstate.ResyncPortStatus(s.net, s.sendToController)
-	s.NotifyControllerChange(true)
+	if attached {
+		s.fstate.ResyncPortStatus(s.net, s.sendToController)
+		s.NotifyControllerChange(true)
+	}
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.ControllerChange, Up: attached,
+	})
 }
 
 // NotifyControllerChange re-announces every parked packet with a fresh

@@ -37,6 +37,7 @@
 package packetsim
 
 import (
+	"context"
 	"math"
 
 	"horse/internal/dataplane"
@@ -44,6 +45,7 @@ import (
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/simcore"
+	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/traffic"
@@ -174,6 +176,17 @@ type Simulator struct {
 	udpLast []simtime.Time
 
 	// Sharding. nshards <= 1 means the serial path: clones == {self}.
+	// observers receive applied network-dynamics events (the public
+	// Observe hook); in sharded runs the handlers — and therefore the
+	// notifications — execute on the coordinator between windows.
+	observers simevent.Observers
+
+	// Progress reporting (coordinator-only state): serial runs ride a
+	// kernel pre-advance hook, sharded runs report at window barriers.
+	progressFn    simevent.ProgressFunc
+	progressEvery simtime.Duration
+	progressNext  simtime.Time
+
 	nshards       int
 	shardID       int32
 	isCoordinator bool
@@ -542,20 +555,63 @@ func (s *Simulator) ScheduleControllerChange(at simtime.Time, attached bool) {
 	s.sched(event{at: at, kind: evCtrlChange, up: attached})
 }
 
-// Run executes until the queue drains or virtual time passes until. It may
-// be called once, and only on a simulator that owns its kernel;
+// Run executes until the queue drains, virtual time passes until, or ctx
+// is cancelled. It returns the collector — on cancellation a partial but
+// consistent one (sharded runs stop at a window barrier, so every
+// delivered event's effects are published), together with ctx.Err(). Run
+// may be called once, and only on a simulator that owns its kernel;
 // shared-kernel engines are driven via Begin / kernel.Run / Finish.
-func (s *Simulator) Run(until simtime.Time) *stats.Collector {
+func (s *Simulator) Run(ctx context.Context, until simtime.Time) (*stats.Collector, error) {
 	if !s.ownKernel {
 		panic("packetsim: Run on a shared-kernel simulator; drive the shared kernel instead")
 	}
 	s.Begin()
+	var err error
 	if s.nshards > 1 {
-		s.runSharded(until)
+		err = s.runSharded(ctx, until)
 	} else {
-		s.k.Run(until)
+		err = s.k.RunContext(ctx, until)
 	}
-	return s.Finish()
+	return s.Finish(), err
+}
+
+// RunUntil is Run without a lifecycle: no cancellation, no error.
+//
+// Deprecated: use Run with a context.
+func (s *Simulator) RunUntil(until simtime.Time) *stats.Collector {
+	col, _ := s.Run(context.Background(), until)
+	return col
+}
+
+// Observe registers an observer of applied network dynamics (link and
+// switch state flips, controller detach/reattach). Register before Run;
+// observers run on the coordinator, between windows in sharded runs.
+func (s *Simulator) Observe(fn simevent.Observer) { s.observers.Add(fn) }
+
+// SetRecordSink streams every stats.FlowRecord to sink instead of
+// accumulating it in the collector. The packet engine records flows at
+// Finish in flow-ID (load) order — after the sharded barrier merge — so
+// the stream is byte-identical to what Collector().Flows() would have
+// held, for any shard count. Install before Run.
+func (s *Simulator) SetRecordSink(sink func(stats.FlowRecord)) {
+	s.col.SetFlowSink(sink)
+}
+
+// SetProgress arms progress reporting: fn receives a simevent.Progress at
+// most once per `every` of virtual time — off the kernel pre-advance path
+// in serial runs, at window barriers in sharded ones. Install before Run.
+func (s *Simulator) SetProgress(every simtime.Duration, fn simevent.ProgressFunc) {
+	if every <= 0 || fn == nil {
+		return
+	}
+	if s.nshards > 1 {
+		// Reported by exchange() at barriers, off the fields below.
+		s.progressFn = fn
+		s.progressEvery = every
+		s.progressNext = simtime.Time(every)
+		return
+	}
+	simevent.ArmProgress(s.k, every, fn)
 }
 
 // Begin starts the control plane (if attached) and arms stats sampling.

@@ -16,6 +16,7 @@
 package packetsim
 
 import (
+	"context"
 	"sort"
 
 	"horse/internal/flowsim"
@@ -23,6 +24,7 @@ import (
 	"horse/internal/openflow"
 	"horse/internal/simcore"
 	"horse/internal/simcore/shard"
+	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 )
@@ -183,6 +185,7 @@ func (s *Simulator) routePending() {
 // shared failure state — a set keyed by link, so merge order is
 // immaterial. Runs single-threaded between windows.
 func (s *Simulator) exchange() {
+	s.reportShardProgress()
 	var msgs []outMsg
 	for _, c := range s.clones {
 		msgs = append(msgs, c.outbox...)
@@ -217,18 +220,59 @@ func (s *Simulator) exchange() {
 	}
 }
 
-// runSharded drives the conservative window loop.
-func (s *Simulator) runSharded(until simtime.Time) {
+// reportShardProgress emits a progress report at a window barrier when the
+// reporting period has elapsed: virtual time is the farthest shard clock,
+// the event count sums every kernel. Runs single-threaded (exchange).
+func (s *Simulator) reportShardProgress() {
+	if s.progressFn == nil {
+		return
+	}
+	now := simtime.Time(0)
+	events := s.k.Dispatched()
+	for _, c := range s.clones {
+		if t := c.k.Now(); t > now {
+			now = t
+		}
+		events += c.k.Dispatched()
+	}
+	if now < s.progressNext {
+		return
+	}
+	s.progressFn(simevent.Progress{Now: now, Events: events})
+	s.progressNext = now.Add(s.progressEvery)
+}
+
+// runSharded drives the conservative window loop, stopping at the next
+// barrier if ctx is cancelled (the error reports whether it was).
+func (s *Simulator) runSharded(ctx context.Context, until simtime.Time) error {
 	kernels := make([]*simcore.Kernel, len(s.clones))
 	for i, c := range s.clones {
 		kernels[i] = c.k
 	}
+	stopped := false
+	var interrupt func() bool
+	if done := ctx.Done(); done != nil {
+		interrupt = func() bool {
+			select {
+			case <-done:
+				stopped = true
+				return true
+			default:
+				return false
+			}
+		}
+	}
 	x := shard.New(shard.Config{
 		Lookahead: s.lookahead,
 		Parallel:  s.cfg.ShardWorkers,
+		Interrupt: interrupt,
 	}, s.k, kernels, s.exchange)
 	x.Run(until)
 	s.dispatched = x.Dispatched()
+	if stopped {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // mergeShards folds the clones' collectors, counters, and link-sample

@@ -109,7 +109,7 @@ func TestCompiledPolicyRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := flowsim.New(flowsim.Config{Topology: topo, Controller: chain, Miss: dataplane.MissController})
-	sim.Run(simtime.Time(simtime.Second))
+	sim.RunUntil(simtime.Time(simtime.Second))
 	// Policy defaults must be installed on every switch: table 0 has at
 	// least the goto default.
 	for _, sw := range sim.Network().Switches {

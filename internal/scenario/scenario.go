@@ -14,7 +14,7 @@
 //		LinkOutage(3*simtime.Second, 8*simtime.Second, direct).
 //		SwitchOutage(4*simtime.Second, 5*simtime.Second, spine0).
 //		ControllerOutage(6*simtime.Second, 7*simtime.Second)
-//	tl.Apply(sim) // any of flowsim / packetsim / hybrid
+//	tl.Apply(sim, horizon) // any of flowsim / packetsim / hybrid
 //
 // or generated: RandomLinkFailures draws a reproducible failure/recovery
 // process (exponential inter-failure times, fixed repair time) over the
@@ -24,13 +24,17 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"horse/internal/dataplane"
 	"horse/internal/metrics"
 	"horse/internal/netgraph"
+	"horse/internal/simcore"
+	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 	"horse/internal/traffic"
@@ -91,15 +95,43 @@ type Event struct {
 	Demands traffic.Trace
 }
 
-// Engine is the simulator surface a timeline compiles onto. All three
-// Horse engines — flowsim, packetsim, hybrid — implement it, each mapping
-// the scheduled changes to its own fidelity's semantics.
+// Engine is the one simulator surface of Horse: every engine — the
+// flow-level simulator, the packet-level simulator, and the hybrid
+// coupler — implements it, each mapping the same calls to its own
+// fidelity's semantics. It is the interface the public façade exposes as
+// horse.Engine (this package hosts it because the timeline compiler is
+// its lowest-level consumer): feed with Load and the Schedule*Change
+// methods (or a Timeline), execute with Run, inspect through Topology /
+// Network / Kernel / Collector / Now, and hook dynamics with Observe.
 type Engine interface {
+	// Topology returns the simulated network graph.
 	Topology() *netgraph.Topology
+	// Network returns the shared OpenFlow data-plane state (switch
+	// tables), e.g. for pre-installing rules.
+	Network() *dataplane.Network
+	// Kernel returns the discrete-event kernel driving the engine (the
+	// coordinator kernel of a sharded run).
+	Kernel() *simcore.Kernel
+	// Collector returns the engine's statistics collector.
+	Collector() *stats.Collector
+	// Now returns the current virtual time.
+	Now() simtime.Time
+	// Load schedules every demand in the trace.
 	Load(tr traffic.Trace)
+	// Run executes until the event queue drains, virtual time exceeds
+	// until (simtime.Never = no bound), or ctx is cancelled — in which
+	// case the returned collector is partial but consistent and the
+	// error is ctx.Err(). Run may be called once.
+	Run(ctx context.Context, until simtime.Time) (*stats.Collector, error)
+	// ScheduleLinkChange schedules a link failure (up=false) or recovery.
 	ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool)
+	// ScheduleSwitchChange schedules a switch crash (up=false) or restart.
 	ScheduleSwitchChange(at simtime.Time, sw netgraph.NodeID, up bool)
+	// ScheduleControllerChange schedules a controller detach
+	// (attached=false) or reattach.
 	ScheduleControllerChange(at simtime.Time, attached bool)
+	// Observe registers an observer of applied network dynamics.
+	Observe(fn simevent.Observer)
 }
 
 // Timeline is an ordered script of network events. Build with New and the
@@ -176,12 +208,66 @@ func (t *Timeline) Events() []Event {
 	return out
 }
 
+// EventError reports a timeline event that cannot be scheduled: a
+// negative time, an unknown link or switch, or an instant beyond the run
+// horizon. Index is the event's position in time order (what Events
+// returns).
+type EventError struct {
+	Index  int
+	Event  Event
+	Reason string
+}
+
+func (e *EventError) Error() string {
+	return fmt.Sprintf("scenario: event %d (%s at %v): %s", e.Index, e.Event.Kind, e.Event.At, e.Reason)
+}
+
+// Validate checks every timeline event against a topology and a run
+// horizon (simtime.Never disables the horizon check): event times must be
+// non-negative and at or before the horizon, links and switches must
+// exist (and switch events must name a switch, not a host). It returns
+// the first offending event, in time order.
+func (t *Timeline) Validate(topo *netgraph.Topology, horizon simtime.Time) error {
+	for i, e := range t.Events() {
+		fail := func(reason string) error {
+			return &EventError{Index: i, Event: e, Reason: reason}
+		}
+		if e.At < 0 {
+			return fail("negative event time")
+		}
+		if horizon != simtime.Never && e.At > horizon {
+			return fail(fmt.Sprintf("scheduled after the run horizon %v", horizon))
+		}
+		switch e.Kind {
+		case LinkDown, LinkUp:
+			if int(e.Link) < 0 || int(e.Link) >= topo.NumLinks() {
+				return fail(fmt.Sprintf("unknown link %d", e.Link))
+			}
+		case SwitchFail, SwitchRestart:
+			if int(e.Switch) < 0 || int(e.Switch) >= topo.NumNodes() {
+				return fail(fmt.Sprintf("unknown switch %d", e.Switch))
+			}
+			if topo.Node(e.Switch).Kind != netgraph.KindSwitch {
+				return fail(fmt.Sprintf("node %d is not a switch", e.Switch))
+			}
+		}
+	}
+	return nil
+}
+
 // Apply compiles the timeline onto an engine: every event becomes a
-// scheduled simulator event (and surges become loaded demands). Call it
-// before Run, alongside the workload Load; it may be applied to any number
-// of engines, which is how cross-fidelity comparisons script one failure
-// story for all three.
-func (t *Timeline) Apply(eng Engine) {
+// scheduled simulator event (and surges become loaded demands). The
+// timeline is validated first — against the engine's topology and the run
+// horizon the caller will pass to Run (simtime.Never for an unbounded
+// run) — and nothing schedules on error, so a mistyped link ID or an
+// event beyond the horizon fails loudly instead of silently
+// mis-scheduling. Call it before Run, alongside the workload Load; it may
+// be applied to any number of engines, which is how cross-fidelity
+// comparisons script one failure story for all three.
+func (t *Timeline) Apply(eng Engine, horizon simtime.Time) error {
+	if err := t.Validate(eng.Topology(), horizon); err != nil {
+		return err
+	}
 	for _, e := range t.Events() {
 		switch e.Kind {
 		case LinkDown:
@@ -205,6 +291,7 @@ func (t *Timeline) Apply(eng Engine) {
 			eng.Load(shifted)
 		}
 	}
+	return nil
 }
 
 // Failures counts the disruptive events (link downs, switch crashes,

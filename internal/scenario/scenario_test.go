@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 
 	"horse/internal/addr"
@@ -153,9 +155,9 @@ func TestScriptedOutageAcceptance(t *testing.T) {
 		Topology: topoF, Controller: outageController(), Miss: dataplane.MissController,
 		ControlLatency: simtime.Millisecond,
 	})
-	tlF.Apply(simF)
+	tlF.Apply(simF, simtime.Never)
 	simF.Load(trF)
-	colF := simF.Run(outageWindow)
+	colF := simF.RunUntil(outageWindow)
 	recsF := colF.Flows()
 	if len(recsF) != 3 {
 		t.Fatalf("flow records = %d", len(recsF))
@@ -188,9 +190,9 @@ func TestScriptedOutageAcceptance(t *testing.T) {
 		Topology: topoP, Controller: outageController(), Miss: dataplane.MissController,
 		ControlLatency: simtime.Millisecond,
 	})
-	tlP.Apply(simP)
+	tlP.Apply(simP, simtime.Never)
 	simP.Load(trP)
-	colP := simP.Run(outageWindow)
+	colP := simP.RunUntil(outageWindow)
 	if colP.PacketsLost == 0 {
 		t.Error("packet engine lost no packets across a link failure")
 	}
@@ -208,9 +210,9 @@ func TestScriptedOutageAcceptance(t *testing.T) {
 		ControlLatency: simtime.Millisecond,
 		PacketLevel:    hybrid.Fraction(1),
 	})
-	tlH.Apply(hyb)
+	tlH.Apply(hyb, simtime.Never)
 	hyb.Load(trH)
-	hyb.Run(outageWindow)
+	hyb.RunUntil(outageWindow)
 	recsH := hyb.Records()
 	recsP := colP.Flows()
 	if len(recsH) != len(recsP) {
@@ -239,9 +241,9 @@ func TestGoldenCrossEngineFailureParity(t *testing.T) {
 			Topology: topo, Controller: outageController(), Miss: dataplane.MissController,
 			ControlLatency: simtime.Millisecond,
 		})
-		tl.Apply(sim)
+		tl.Apply(sim, simtime.Never)
 		sim.Load(tr)
-		return sim.Run(outageWindow), sim, tr
+		return sim.RunUntil(outageWindow), sim, tr
 	}
 	runPkt := func() (*stats.Collector, *packetsim.Simulator, traffic.Trace) {
 		topo, tr, tl := outageScenario()
@@ -249,9 +251,9 @@ func TestGoldenCrossEngineFailureParity(t *testing.T) {
 			Topology: topo, Controller: outageController(), Miss: dataplane.MissController,
 			ControlLatency: simtime.Millisecond,
 		})
-		tl.Apply(sim)
+		tl.Apply(sim, simtime.Never)
 		sim.Load(tr)
-		return sim.Run(outageWindow), sim, tr
+		return sim.RunUntil(outageWindow), sim, tr
 	}
 	colF, simF, trF := runFlow()
 	colP, simP, _ := runPkt()
@@ -319,9 +321,9 @@ func TestScenarioReplayByteDeterministic(t *testing.T) {
 		RandomLinkFailures(topo, FailureConfig{
 			Seed: 7, MTBF: simtime.Second, Recovery: 200 * simtime.Millisecond,
 			Horizon: simtime.Time(2 * simtime.Second), CoreOnly: true,
-		}).Apply(sim)
+		}).Apply(sim, simtime.Never)
 		sim.Load(tr)
-		col := sim.Run(simtime.Time(10 * simtime.Minute))
+		col := sim.RunUntil(simtime.Time(10 * simtime.Minute))
 		var flows, links bytes.Buffer
 		if err := col.WriteFlowsCSV(&flows); err != nil {
 			t.Fatal(err)
@@ -359,9 +361,9 @@ func TestSwitchCrashAcrossEngines(t *testing.T) {
 		Topology: topo, Controller: outageController(), Miss: dataplane.MissController,
 		ControlLatency: simtime.Millisecond,
 	})
-	tl.Apply(sim)
+	tl.Apply(sim, simtime.Never)
 	sim.Load(tr)
-	col := sim.Run(simtime.Time(simtime.Minute))
+	col := sim.RunUntil(simtime.Time(simtime.Minute))
 	r := col.Flows()[0]
 	if !r.Completed {
 		t.Fatalf("flow outcome = %s", r.Outcome)
@@ -383,9 +385,9 @@ func TestSwitchCrashAcrossEngines(t *testing.T) {
 		ControlLatency: simtime.Millisecond,
 	})
 	spine0D := topoD.MustLookup("spine0")
-	New().SwitchFail(simtime.Time(simtime.Second), spine0D).Apply(simD)
+	New().SwitchFail(simtime.Time(simtime.Second), spine0D).Apply(simD, simtime.Never)
 	simD.Load(traffic.Trace{cbr(topoD.MustLookup("h0"), topoD.MustLookup("h2"), 0, 1.5e8, 5e7, 31001)})
-	simD.Run(simtime.Time(simtime.Minute))
+	simD.RunUntil(simtime.Time(simtime.Minute))
 	dead := 0
 	for _, tab := range simD.Network().Switches[spine0D].Tables {
 		dead += tab.Len()
@@ -402,9 +404,9 @@ func TestSwitchCrashAcrossEngines(t *testing.T) {
 		ControlLatency: simtime.Millisecond,
 	})
 	New().SwitchOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second),
-		topoP.MustLookup("spine0")).Apply(simP)
+		topoP.MustLookup("spine0")).Apply(simP, simtime.Never)
 	simP.Load(traffic.Trace{cbr(topoP.MustLookup("h0"), topoP.MustLookup("h2"), 0, 1.5e8, 5e7, 31000)})
-	colP := simP.Run(simtime.Time(simtime.Minute))
+	colP := simP.RunUntil(simtime.Time(simtime.Minute))
 	if rp := colP.Flows()[0]; !rp.Completed {
 		t.Fatalf("packet flow outcome = %s", rp.Outcome)
 	}
@@ -424,9 +426,9 @@ func TestReactiveMACSurvivesSwitchRestart(t *testing.T) {
 		Topology: topo, Controller: controller.NewChain(&controller.ReactiveMAC{}),
 		Miss: dataplane.MissController, ControlLatency: simtime.Millisecond,
 	})
-	New().SwitchOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second), spine).Apply(sim)
+	New().SwitchOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second), spine).Apply(sim, simtime.Never)
 	sim.Load(traffic.Trace{cbr(topo.MustLookup("h0"), topo.MustLookup("h2"), 0, 1.5e8, 5e7, 36000)})
-	r := sim.Run(simtime.Time(simtime.Minute)).Flows()[0]
+	r := sim.RunUntil(simtime.Time(simtime.Minute)).Flows()[0]
 	if !r.Completed {
 		t.Fatalf("flow outcome = %s: restarted switch never regained its defaults", r.Outcome)
 	}
@@ -442,9 +444,9 @@ func TestReactiveMACSurvivesSwitchRestart(t *testing.T) {
 	})
 	// Punt at t=0 → PacketIn delivered at 1ms → FlowMods land at 2ms; the
 	// crash at 1.5ms swallows them.
-	New().SwitchOutage(simtime.Time(1500*simtime.Microsecond), simtime.Time(simtime.Second), leaf0).Apply(sim2)
+	New().SwitchOutage(simtime.Time(1500*simtime.Microsecond), simtime.Time(simtime.Second), leaf0).Apply(sim2, simtime.Never)
 	sim2.Load(traffic.Trace{cbr(topo2.MustLookup("h0"), topo2.MustLookup("h2"), 0, 1e6, 1e7, 36001)})
-	r2 := sim2.Run(simtime.Time(simtime.Minute)).Flows()[0]
+	r2 := sim2.RunUntil(simtime.Time(simtime.Minute)).Flows()[0]
 	if !r2.Completed {
 		t.Fatalf("flow outcome = %s: punt dedup stranded a flow whose FlowMods died with the crash", r2.Outcome)
 	}
@@ -470,9 +472,9 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 	// Flow level, no reattach: the punt is lost, the flow waits forever.
 	topo, tr := mk()
 	sim := flowsim.New(flowsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
-	New().ControllerDetach(simtime.Time(50 * simtime.Millisecond)).Apply(sim)
+	New().ControllerDetach(simtime.Time(50*simtime.Millisecond)).Apply(sim, simtime.Never)
 	sim.Load(tr)
-	if r := sim.Run(simtime.Time(2 * simtime.Second)).Flows()[0]; r.Completed {
+	if r := sim.RunUntil(simtime.Time(2 * simtime.Second)).Flows()[0]; r.Completed {
 		t.Fatal("flow completed with the controller detached")
 	}
 
@@ -480,9 +482,9 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 	// only after the channel returns.
 	topo, tr = mk()
 	sim = flowsim.New(flowsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
-	New().ControllerOutage(simtime.Time(50*simtime.Millisecond), simtime.Time(300*simtime.Millisecond)).Apply(sim)
+	New().ControllerOutage(simtime.Time(50*simtime.Millisecond), simtime.Time(300*simtime.Millisecond)).Apply(sim, simtime.Never)
 	sim.Load(tr)
-	r := sim.Run(simtime.Time(2 * simtime.Second)).Flows()[0]
+	r := sim.RunUntil(simtime.Time(2 * simtime.Second)).Flows()[0]
 	if !r.Completed {
 		t.Fatalf("flow outcome = %s after reattach", r.Outcome)
 	}
@@ -493,9 +495,9 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 	// Packet level, same story.
 	topo, tr = mk()
 	simP := packetsim.New(packetsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
-	New().ControllerOutage(simtime.Time(50*simtime.Millisecond), simtime.Time(300*simtime.Millisecond)).Apply(simP)
+	New().ControllerOutage(simtime.Time(50*simtime.Millisecond), simtime.Time(300*simtime.Millisecond)).Apply(simP, simtime.Never)
 	simP.Load(tr)
-	rp := simP.Run(simtime.Time(2 * simtime.Second)).Flows()[0]
+	rp := simP.RunUntil(simtime.Time(2 * simtime.Second)).Flows()[0]
 	if !rp.Completed {
 		t.Fatalf("packet flow outcome = %s after reattach", rp.Outcome)
 	}
@@ -514,14 +516,14 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 		var col *stats.Collector
 		if engine == "flowsim" {
 			simN := flowsim.New(flowsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
-			tl.Apply(simN)
+			tl.Apply(simN, simtime.Never)
 			simN.Load(tr)
-			col = simN.Run(simtime.Time(2 * simtime.Second))
+			col = simN.RunUntil(simtime.Time(2 * simtime.Second))
 		} else {
 			simN := packetsim.New(packetsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
-			tl.Apply(simN)
+			tl.Apply(simN, simtime.Never)
 			simN.Load(tr)
-			col = simN.Run(simtime.Time(2 * simtime.Second))
+			col = simN.RunUntil(simtime.Time(2 * simtime.Second))
 		}
 		rn := col.Flows()[0]
 		if !rn.Completed {
@@ -552,8 +554,8 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 		Topology: topoF, Controller: outageController(), Miss: dataplane.MissController,
 	})
 	tlF, directF := script(topoF)
-	tlF.Apply(simF)
-	simF.Run(simtime.Time(5 * simtime.Second))
+	tlF.Apply(simF, simtime.Never)
+	simF.RunUntil(simtime.Time(5 * simtime.Second))
 	if topoF.Link(directF).Up {
 		t.Error("flowsim: switch restart revived a link still inside its scripted outage")
 	}
@@ -563,8 +565,8 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 		Topology: topoP, Controller: outageController(), Miss: dataplane.MissController,
 	})
 	tlP, directP := script(topoP)
-	tlP.Apply(simP)
-	simP.Run(simtime.Time(5 * simtime.Second))
+	tlP.Apply(simP, simtime.Never)
+	simP.RunUntil(simtime.Time(5 * simtime.Second))
 	if topoP.Link(directP).Up {
 		t.Error("packetsim: switch restart revived a link still inside its scripted outage")
 	}
@@ -580,8 +582,8 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 	New().
 		LinkOutage(simtime.Time(simtime.Second), simtime.Time(10*simtime.Second), directN).
 		LinkOutage(simtime.Time(2*simtime.Second), simtime.Time(3*simtime.Second), directN).
-		Apply(simN)
-	simN.Run(simtime.Time(5 * simtime.Second))
+		Apply(simN, simtime.Never)
+	simN.RunUntil(simtime.Time(5 * simtime.Second))
 	if topoN.Link(directN).Up {
 		t.Error("flowsim: inner recovery ended an outer outage of the same link")
 	}
@@ -599,8 +601,8 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 		tl2.LinkOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second), direct2).
 			SwitchOutage(simtime.Time(1500*simtime.Millisecond), simtime.Time(4*simtime.Second), s0)
 	}
-	tl2.Apply(sim2)
-	sim2.Run(simtime.Time(3 * simtime.Second))
+	tl2.Apply(sim2, simtime.Never)
+	sim2.RunUntil(simtime.Time(3 * simtime.Second))
 	if topo2.Link(direct2).Up {
 		t.Error("flowsim: link recovery revived a link on a still-crashed switch")
 	}
@@ -625,9 +627,9 @@ func TestReattachResyncsPortStatus(t *testing.T) {
 	New().
 		ControllerOutage(simtime.Time(500*simtime.Millisecond), simtime.Time(2*simtime.Second)).
 		LinkDown(simtime.Time(simtime.Second), direct).
-		Apply(sim)
+		Apply(sim, simtime.Never)
 	sim.Load(traffic.Trace{cbr(h("h0"), h("h1"), 0, 2e8, 5e7, 34000)}) // 4s transfer
-	col := sim.Run(simtime.Time(simtime.Minute))
+	col := sim.RunUntil(simtime.Time(simtime.Minute))
 
 	r := col.Flows()[0]
 	if !r.Completed {
@@ -662,9 +664,9 @@ func TestDetachCatchesInFlightPortStatus(t *testing.T) {
 	New().
 		LinkDown(simtime.Time(simtime.Second), direct).
 		ControllerOutage(simtime.Time(simtime.Second+500*simtime.Microsecond), simtime.Time(2*simtime.Second)).
-		Apply(sim)
+		Apply(sim, simtime.Never)
 	sim.Load(traffic.Trace{cbr(h("h0"), h("h1"), 0, 2e8, 5e7, 35000)}) // 4s transfer
-	col := sim.Run(simtime.Time(simtime.Minute))
+	col := sim.RunUntil(simtime.Time(simtime.Minute))
 
 	r := col.Flows()[0]
 	if !r.Completed {
@@ -686,8 +688,8 @@ func TestSurgeInjectsShiftedDemands(t *testing.T) {
 	New().Surge(simtime.Time(simtime.Second), traffic.Trace{
 		cbr(h0, h3, 0, 1e6, 1e7, 33000),
 		cbr(h0, h3, simtime.Time(100*simtime.Millisecond), 1e6, 1e7, 33001),
-	}).Apply(sim)
-	col := sim.Run(simtime.Time(simtime.Minute))
+	}).Apply(sim, simtime.Never)
+	col := sim.RunUntil(simtime.Time(simtime.Minute))
 	recs := col.Flows()
 	if len(recs) != 2 {
 		t.Fatalf("records = %d", len(recs))
@@ -700,5 +702,78 @@ func TestSurgeInjectsShiftedDemands(t *testing.T) {
 		if !r.Completed {
 			t.Errorf("surge flow %d: %s", r.ID, r.Outcome)
 		}
+	}
+}
+
+// TestTimelineValidate pins the validation satellite: negative event
+// times, unknown link/switch subjects, host nodes posing as switches, and
+// events beyond the run horizon all fail with a typed *EventError, and a
+// clean timeline passes at any horizon.
+func TestTimelineValidate(t *testing.T) {
+	topo := netgraph.LeafSpine(2, 2, 2, netgraph.Gig, netgraph.TenGig)
+	host := topo.Hosts()[0]
+	spine := topo.MustLookup("spine0")
+	link := topo.Links()[0].ID
+	horizon := simtime.Time(10 * simtime.Second)
+
+	cases := []struct {
+		name   string
+		tl     *Timeline
+		reason string
+	}{
+		{"negative time", New().LinkDown(-1, link), "negative"},
+		{"unknown link", New().LinkDown(simtime.Time(simtime.Second), netgraph.LinkID(9999)), "unknown link"},
+		{"unknown switch", New().SwitchFail(simtime.Time(simtime.Second), netgraph.NodeID(9999)), "unknown switch"},
+		{"host as switch", New().SwitchFail(simtime.Time(simtime.Second), host), "not a switch"},
+		{"beyond horizon", New().LinkDown(horizon+1, link), "after the run horizon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tl.Validate(topo, horizon)
+			if err == nil {
+				t.Fatal("Validate accepted an invalid timeline")
+			}
+			var ee *EventError
+			if !errors.As(err, &ee) {
+				t.Fatalf("error %T, want *EventError", err)
+			}
+			if !strings.Contains(err.Error(), tc.reason) {
+				t.Errorf("error %q does not mention %q", err, tc.reason)
+			}
+		})
+	}
+
+	good := New().
+		LinkOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second), link).
+		SwitchOutage(simtime.Time(3*simtime.Second), simtime.Time(4*simtime.Second), spine).
+		ControllerOutage(simtime.Time(5*simtime.Second), simtime.Time(6*simtime.Second))
+	if err := good.Validate(topo, horizon); err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+	// Never disables the horizon check but nothing else.
+	if err := New().LinkDown(horizon+1, link).Validate(topo, simtime.Never); err != nil {
+		t.Fatalf("horizon check not disabled at Never: %v", err)
+	}
+}
+
+// TestApplyRejectsInvalidAndSchedulesNothing: a bad timeline fails Apply
+// before any event reaches the engine.
+func TestApplyRejectsInvalidAndSchedulesNothing(t *testing.T) {
+	topo := netgraph.LeafSpine(2, 2, 2, netgraph.Gig, netgraph.TenGig)
+	sim := flowsim.New(flowsim.Config{Topology: topo})
+	before := sim.Kernel().Len()
+	bad := New().
+		LinkDown(simtime.Time(simtime.Second), topo.Links()[0].ID).
+		SwitchFail(simtime.Time(2*simtime.Second), netgraph.NodeID(9999))
+	if err := bad.Apply(sim, simtime.Never); err == nil {
+		t.Fatal("Apply accepted an unknown switch")
+	}
+	if sim.Kernel().Len() != before {
+		t.Errorf("Apply scheduled %d events despite the validation error", sim.Kernel().Len()-before)
+	}
+	// The horizon passed to Apply gates late events too.
+	late := New().LinkDown(simtime.Time(5*simtime.Second), topo.Links()[0].ID)
+	if err := late.Apply(sim, simtime.Time(simtime.Second)); err == nil {
+		t.Fatal("Apply accepted an event beyond the run horizon")
 	}
 }

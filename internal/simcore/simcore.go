@@ -25,6 +25,8 @@
 package simcore
 
 import (
+	"context"
+
 	"horse/internal/eventq"
 	"horse/internal/simtime"
 )
@@ -165,6 +167,45 @@ func (k *Kernel) Run(until simtime.Time) {
 		ev.Release()
 	}
 }
+
+// RunContext is Run with cooperative cancellation: the dispatch loop
+// polls ctx.Done() every ctxPollEvery dispatches and returns ctx.Err()
+// when the context is cancelled or past its deadline, leaving the queue
+// (and the clock) exactly where the last dispatched event put them — the
+// caller can settle partial results or resume with another Run. A context
+// that can never be cancelled (context.Background) takes the plain Run
+// fast path.
+func (k *Kernel) RunContext(ctx context.Context, until simtime.Time) error {
+	done := ctx.Done()
+	if done == nil {
+		k.Run(until)
+		return nil
+	}
+	for {
+		for i := 0; i < ctxPollEvery; i++ {
+			ev := k.next(until)
+			if ev == nil {
+				return nil
+			}
+			if t := ev.Time(); t > k.now {
+				k.now = t
+			}
+			k.dispatched++
+			ev.Fire()
+			ev.Release()
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+}
+
+// ctxPollEvery bounds how many events RunContext dispatches between
+// cancellation polls: small enough to stop promptly (microseconds of real
+// work), large enough to keep the channel poll off the per-event path.
+const ctxPollEvery = 256
 
 // next removes and returns the earliest runnable event, honoring
 // pre-advance hooks: deferred work settles before the clock would advance

@@ -1,6 +1,7 @@
 package simcore
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -161,5 +162,70 @@ func TestMultipleHooks(t *testing.T) {
 	k.Run(simtime.Never)
 	if len(order) != 3 || order[0] != "h1" || order[1] != "h2" || order[2] != "ev" {
 		t.Fatalf("order = %v, want [h1 h2 ev]", order)
+	}
+}
+
+// TestRunContextCancellation: a cancelled context stops the dispatch loop
+// promptly (within the poll granularity) and returns ctx.Err(); the queue
+// and clock stay consistent for a later resume or settle.
+func TestRunContextCancellation(t *testing.T) {
+	k := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	dispatched := 0
+	// A self-rescheduling event: without cancellation this runs forever.
+	var reschedule func(e *testEvent)
+	reschedule = func(e *testEvent) {
+		dispatched++
+		if dispatched == 10 {
+			cancel()
+		}
+		k.Schedule(&testEvent{at: e.at + 1, fire: reschedule})
+	}
+	k.Schedule(&testEvent{at: 0, fire: reschedule})
+	if err := k.RunContext(ctx, simtime.Never); err != context.Canceled {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if dispatched < 10 || dispatched > 10+2*ctxPollEvery {
+		t.Errorf("dispatched %d events; cancellation not honored within the poll window", dispatched)
+	}
+	if k.Len() == 0 {
+		t.Error("queue drained despite cancellation")
+	}
+	// The kernel is resumable after a cancel: a fresh context continues.
+	before := dispatched
+	k.Schedule(&testEvent{at: k.Now() + 1000, fire: func(e *testEvent) {}})
+	stop := k.Now() + 500
+	if err := k.RunContext(context.Background(), stop); err != nil {
+		t.Fatalf("resume RunContext = %v", err)
+	}
+	if dispatched <= before {
+		t.Error("resume dispatched nothing")
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: an uncancellable context takes the
+// plain Run path and honors the bound identically.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	run := func(useCtx bool) []simtime.Time {
+		k := New(Config{})
+		var fired []simtime.Time
+		for _, at := range []simtime.Time{5, 15, 25} {
+			k.Schedule(&testEvent{at: at, fire: func(e *testEvent) { fired = append(fired, e.at) }})
+		}
+		if useCtx {
+			if err := k.RunContext(context.Background(), 20); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			k.Run(20)
+		}
+		if k.Now() != 20 {
+			t.Fatalf("clock parked at %v, want 20", k.Now())
+		}
+		return fired
+	}
+	a, b := run(false), run(true)
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("Run %v vs RunContext %v", a, b)
 	}
 }

@@ -51,6 +51,7 @@ type Collector struct {
 	linkSeries []LinkSample
 	flows      []FlowRecord
 	reroutes   []simtime.Time
+	flowSink   func(FlowRecord)
 
 	// Counters.
 	FlowsStarted   uint64
@@ -78,8 +79,23 @@ func NewCollector(sampleEvery simtime.Duration) *Collector {
 // AddLinkSample appends one utilization observation.
 func (c *Collector) AddLinkSample(s LinkSample) { c.linkSeries = append(c.linkSeries, s) }
 
-// AddFlow records a finished flow.
-func (c *Collector) AddFlow(r FlowRecord) { c.flows = append(c.flows, r) }
+// SetFlowSink diverts finished-flow records: with a sink installed, every
+// AddFlow streams its record to sink in recording order instead of
+// accumulating it in memory, so Flows() stays empty and a multi-million-
+// flow run holds O(1) record state. Counters, link series, and reroute
+// times still accumulate. Install before the run; the record stream is
+// byte-identical (same records, same order) to what Flows() would have
+// returned.
+func (c *Collector) SetFlowSink(sink func(FlowRecord)) { c.flowSink = sink }
+
+// AddFlow records a finished flow (or streams it to the flow sink).
+func (c *Collector) AddFlow(r FlowRecord) {
+	if c.flowSink != nil {
+		c.flowSink(r)
+		return
+	}
+	c.flows = append(c.flows, r)
+}
 
 // AddReroute records the instant a flow's transmitting path changed — the
 // time series scenario metrics use to measure reconvergence latency after

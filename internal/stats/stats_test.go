@@ -89,3 +89,18 @@ func TestLinkDirString(t *testing.T) {
 		t.Error("rev string wrong")
 	}
 }
+
+func TestFlowSinkDivertsRecords(t *testing.T) {
+	c := NewCollector(0)
+	var got []FlowRecord
+	c.AddFlow(FlowRecord{ID: 1}) // before the sink: retained
+	c.SetFlowSink(func(r FlowRecord) { got = append(got, r) })
+	c.AddFlow(FlowRecord{ID: 2, Completed: true})
+	c.AddFlow(FlowRecord{ID: 3})
+	if len(c.Flows()) != 1 || c.Flows()[0].ID != 1 {
+		t.Errorf("retained = %v, want only the pre-sink record", c.Flows())
+	}
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Errorf("streamed = %v, want records 2 and 3 in order", got)
+	}
+}
