@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare fuzz-smoke lint ci api api-check
+.PHONY: all build test race bench bench-baseline bench-compare fuzz-smoke service-smoke lint ci api api-check
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/...
+	$(GO) test -race ./internal/runner/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/... ./internal/service/...
 	$(GO) test -race -run 'TestParallel|TestE8Parallel' ./internal/experiments/...
 	$(GO) test -race -run 'TestShardDeterminism' ./internal/packetsim/
 
@@ -37,16 +37,21 @@ bench-compare:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
 
-# Regenerate the checked-in public-API surface golden. Run after any
-# deliberate façade change; TestAPISurfaceGolden (and the lint job's
-# api-check) diff the live source against this file.
-api:
-	$(GO) run ./cmd/horseapi > api/horse.txt
+# End-to-end daemon smoke: horsed on a unix socket, horsectl submit with
+# streamed records, a mid-run cancel, and a SIGTERM drain.
+service-smoke:
+	./scripts/service-smoke.sh
 
-# Fail if the committed surface golden is stale (the CI lint job's check).
+# Regenerate the checked-in public-API surface goldens (api/horse.txt,
+# api/wire.txt, api/service.txt). Run after any deliberate change to a
+# public surface; TestAPISurfaceGolden (and the lint job's api-check)
+# diff the live source against these files.
+api:
+	$(GO) run ./cmd/horseapi -out api
+
+# Fail if any committed surface golden is stale (the CI lint job's check).
 api-check:
-	$(GO) run ./cmd/horseapi | diff -u api/horse.txt - || \
-		(echo "api/horse.txt is stale; run 'make api' and commit the result" >&2; exit 1)
+	$(GO) run ./cmd/horseapi -check -out api
 
 # golangci-lint (the CI lint job) when installed; vet+gofmt otherwise.
 lint: api-check
@@ -60,4 +65,4 @@ lint: api-check
 		fi \
 	fi
 
-ci: build lint test race bench fuzz-smoke bench-compare
+ci: build lint test race bench fuzz-smoke service-smoke bench-compare

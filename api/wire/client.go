@@ -1,0 +1,413 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Client is a horse-wire client over one connection: synchronous calls
+// (Submit, Status, List, Cancel, Retire, Watch) multiplexed with
+// server-push session streams. It is safe for concurrent use; one
+// background goroutine reads frames and routes responses to callers and
+// events to their session's Stream.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	welcome Welcome
+
+	writeMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Frame
+	streams map[string]*Stream
+	readErr error
+}
+
+// Dial connects and performs the Hello handshake offering every version
+// this package speaks. network/addr are net.Dial arguments ("unix",
+// "/run/horsed.sock" or "tcp", "host:port").
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DialAddr dials a scheme-prefixed address: "unix:/path/to.sock" or
+// "tcp:host:port" (a bare path containing a slash counts as unix,
+// anything else as tcp).
+func DialAddr(addr string) (*Client, error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return Dial("unix", strings.TrimPrefix(addr, "unix:"))
+	case strings.HasPrefix(addr, "tcp:"):
+		return Dial("tcp", strings.TrimPrefix(addr, "tcp:"))
+	case strings.Contains(addr, "/"):
+		return Dial("unix", addr)
+	default:
+		return Dial("tcp", addr)
+	}
+}
+
+// NewClient performs the handshake on an established connection and
+// starts the frame reader.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		pending: map[uint64]chan *Frame{},
+		streams: map[string]*Stream{},
+	}
+	params, _ := json.Marshal(HelloParams{Versions: Versions})
+	hello := Frame{V: Versions[len(Versions)-1], ID: 1, Method: MethodHello, Params: params}
+	c.nextID = 1
+	if err := c.write(&hello); err != nil {
+		return nil, err
+	}
+	// The handshake response is read synchronously, before the reader
+	// goroutine exists: nothing else can arrive first.
+	resp, err := c.readFrame()
+	if err != nil {
+		return nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	if resp.Error != nil {
+		return nil, resp.Error
+	}
+	if err := json.Unmarshal(resp.Result, &c.welcome); err != nil {
+		return nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() string { return c.welcome.Version }
+
+// Server returns the server identity from the handshake.
+func (c *Client) Server() string { return c.welcome.Server }
+
+// Close tears the connection down; pending calls and open streams fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) write(f *Frame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err = c.conn.Write(b)
+	return err
+}
+
+func (c *Client) readFrame() (*Frame, error) {
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return nil, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	return &f, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := c.readFrame()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch {
+		case f.ID != 0:
+			c.mu.Lock()
+			ch := c.pending[f.ID]
+			delete(c.pending, f.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		case f.Event != "" && f.Session != "":
+			c.mu.Lock()
+			st := c.ensureStreamLocked(f.Session)
+			c.mu.Unlock()
+			st.push(f)
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	c.mu.Lock()
+	c.readErr = err
+	pend := c.pending
+	c.pending = map[uint64]chan *Frame{}
+	streams := c.streams
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- &Frame{Error: &Error{Code: CodeInternal, Message: err.Error()}}
+	}
+	for _, st := range streams {
+		st.fail(err)
+	}
+}
+
+// ensureStreamLocked returns the session's stream, creating a buffering
+// one if none exists yet — events that race ahead of the caller
+// attaching (the server pushes as soon as the Submit response is out)
+// are buffered, never lost.
+func (c *Client) ensureStreamLocked(session string) *Stream {
+	st := c.streams[session]
+	if st == nil {
+		st = newStream(session)
+		c.streams[session] = st
+	}
+	return st
+}
+
+// Call performs one raw request. Most callers want the typed wrappers.
+func (c *Client) Call(method string, params, result interface{}) error {
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		raw = b
+	}
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.write(&Frame{V: c.welcome.Version, ID: id, Method: method, Params: raw}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	resp := <-ch
+	if resp.Error != nil {
+		return resp.Error
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("wire: %s result: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Submit submits a session. When p.Stream is set, the returned Stream
+// carries the session's push events (Progress, Record, Done); otherwise
+// it is nil and a later Watch can replay the retained results.
+func (c *Client) Submit(p SubmitParams) (SessionStatus, *Stream, error) {
+	var st SessionStatus
+	if err := c.Call(MethodSubmit, p, &st); err != nil {
+		return SessionStatus{}, nil, err
+	}
+	if !p.Stream {
+		return st, nil, nil
+	}
+	c.mu.Lock()
+	stream := c.ensureStreamLocked(st.Session)
+	c.mu.Unlock()
+	return st, stream, nil
+}
+
+// Status inspects one session.
+func (c *Client) Status(session string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.Call(MethodStatus, SessionParams{Session: session}, &st)
+	return st, err
+}
+
+// List lists every session in submission order.
+func (c *Client) List() ([]SessionStatus, error) {
+	var res ListResult
+	err := c.Call(MethodList, struct{}{}, &res)
+	return res.Sessions, err
+}
+
+// Cancel cancels a queued or running session and returns its post-cancel
+// status.
+func (c *Client) Cancel(session string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.Call(MethodCancel, SessionParams{Session: session}, &st)
+	return st, err
+}
+
+// Retire removes a terminal session from the daemon.
+func (c *Client) Retire(session string) (SessionStatus, error) {
+	var st SessionStatus
+	err := c.Call(MethodRetire, SessionParams{Session: session}, &st)
+	return st, err
+}
+
+// Watch subscribes to a session's push events. For a finished session
+// that retained its results, the stream replays every record and closes
+// with the Done event.
+func (c *Client) Watch(session string) (SessionStatus, *Stream, error) {
+	var st SessionStatus
+	if err := c.Call(MethodWatch, SessionParams{Session: session}, &st); err != nil {
+		return SessionStatus{}, nil, err
+	}
+	c.mu.Lock()
+	stream := c.ensureStreamLocked(session)
+	c.mu.Unlock()
+	stream.rearm()
+	return st, stream, nil
+}
+
+// Event is one element of a session stream.
+type Event struct {
+	// Kind is EventProgress, EventRecord, or EventDone.
+	Kind     string
+	Progress *ProgressEvent
+	Record   *Record
+	Done     *DoneEvent
+}
+
+// Stream is the ordered event stream of one session on one connection.
+// Events buffer client-side until consumed, so a slow consumer never
+// loses records.
+type Stream struct {
+	session string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []Event
+	done bool
+	err  error
+}
+
+func newStream(session string) *Stream {
+	s := &Stream{session: session}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Session returns the stream's session ID.
+func (s *Stream) Session() string { return s.session }
+
+func (s *Stream) push(f *Frame) {
+	ev := Event{Kind: f.Event}
+	switch f.Event {
+	case EventProgress:
+		ev.Progress = &ProgressEvent{}
+		if json.Unmarshal(f.Data, ev.Progress) != nil {
+			return
+		}
+	case EventRecord:
+		ev.Record = &Record{}
+		if json.Unmarshal(f.Data, ev.Record) != nil {
+			return
+		}
+	case EventDone:
+		ev.Done = &DoneEvent{}
+		if json.Unmarshal(f.Data, ev.Done) != nil {
+			return
+		}
+	default:
+		return
+	}
+	s.mu.Lock()
+	s.buf = append(s.buf, ev)
+	if ev.Kind == EventDone {
+		s.done = true
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// rearm clears a consumed Done marker so a repeated Watch on the same
+// connection can receive the replayed stream. (Each Watch should be
+// drained before the next; interleaved watches of one session on one
+// connection are not supported.)
+func (s *Stream) rearm() {
+	s.mu.Lock()
+	if s.done && len(s.buf) == 0 {
+		s.done = false
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stream) fail(err error) {
+	s.mu.Lock()
+	if !s.done && s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Recv returns the next event, blocking until one arrives. After the
+// Done event has been consumed it returns io.EOF; a connection failure
+// before Done surfaces as that error.
+func (s *Stream) Recv() (Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.buf) > 0 {
+			ev := s.buf[0]
+			s.buf = s.buf[1:]
+			return ev, nil
+		}
+		if s.done {
+			return Event{}, io.EOF
+		}
+		if s.err != nil {
+			return Event{}, s.err
+		}
+		s.cond.Wait()
+	}
+}
+
+// Drain consumes the stream to completion, invoking the callbacks per
+// event kind (nil callbacks skip), and returns the Done event.
+func (s *Stream) Drain(onProgress func(ProgressEvent), onRecord func(Record)) (DoneEvent, error) {
+	for {
+		ev, err := s.Recv()
+		if err == io.EOF {
+			return DoneEvent{}, io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return DoneEvent{}, err
+		}
+		switch ev.Kind {
+		case EventProgress:
+			if onProgress != nil {
+				onProgress(*ev.Progress)
+			}
+		case EventRecord:
+			if onRecord != nil {
+				onRecord(*ev.Record)
+			}
+		case EventDone:
+			return *ev.Done, nil
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Float is a float64 that survives JSON: the demand model uses ±Inf for
+// backlogged rates and open-ended sizes, which encoding/json rejects, so
+// the wire encodes non-finite values as the strings "+inf", "-inf" and
+// "nan". Finite values are plain JSON numbers and round-trip exactly
+// (Go emits the shortest representation that parses back to the same
+// float64), which is what keeps wire-delivered records byte-identical to
+// an in-process run.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+inf", "inf":
+			*f = Float(math.Inf(1))
+		case "-inf":
+			*f = Float(math.Inf(-1))
+		case "nan":
+			*f = Float(math.NaN())
+		default:
+			return fmt.Errorf("wire: invalid float string %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}

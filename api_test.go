@@ -7,24 +7,33 @@ import (
 	"horse/internal/apisurface"
 )
 
-// TestAPISurfaceGolden diffs the checked-in export surface (api/horse.txt)
-// against the live façade source. A mismatch means the public API changed:
-// review the diff, and if the change is intended, regenerate the golden
-// with `make api` and commit it alongside — accidental breaking changes
-// cannot land silently.
+// TestAPISurfaceGolden diffs the checked-in export surfaces (api/*.txt)
+// against the live sources: the root façade, the api/wire protocol
+// package, and the exported internal/service session layer. A mismatch
+// means a public API changed: review the diff, and if the change is
+// intended, regenerate the goldens with `make api` and commit them
+// alongside — accidental breaking changes cannot land silently.
 func TestAPISurfaceGolden(t *testing.T) {
-	want, err := os.ReadFile("api/horse.txt")
-	if err != nil {
-		t.Fatalf("missing golden (run `make api`): %v", err)
-	}
-	got, err := apisurface.Surface(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != string(want) {
-		t.Errorf("public API surface drifted from api/horse.txt.\n"+
-			"If the change is intended, run `make api` and commit the result.\n\n--- api/horse.txt\n+++ live\n%s",
-			surfaceDiff(string(want), got))
+	for _, p := range []struct{ dir, golden string }{
+		{".", "api/horse.txt"},
+		{"api/wire", "api/wire.txt"},
+		{"internal/service", "api/service.txt"},
+	} {
+		t.Run(p.golden, func(t *testing.T) {
+			want, err := os.ReadFile(p.golden)
+			if err != nil {
+				t.Fatalf("missing golden (run `make api`): %v", err)
+			}
+			got, err := apisurface.Surface(p.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("public API surface drifted from %s.\n"+
+					"If the change is intended, run `make api` and commit the result.\n\n--- %s\n+++ live\n%s",
+					p.golden, p.golden, surfaceDiff(string(want), got))
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 package horse_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -48,13 +49,18 @@ func BenchmarkE3FlowLevel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		t2 := horse.LeafSpine(3, 2, 3, horse.Gig, horse.TenGig)
-		sim := horse.NewSimulator(horse.Config{
-			Topology: t2, Controller: horse.NewChain(&horse.ProactiveMAC{}),
-			Miss: horse.MissController,
-		})
-		sim.Load(retarget(tr))
+		eng, err := horse.New(t2,
+			horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+			horse.WithMiss(horse.MissController),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Load(retarget(tr))
 		b.StartTimer()
-		sim.RunUntil(horse.Time(2 * horse.Second))
+		if _, err := eng.Run(context.Background(), horse.Time(2*horse.Second)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -68,11 +74,16 @@ func BenchmarkE3PacketLevel(b *testing.B) {
 			Hosts: topo.Hosts(), Lambda: 30, Horizon: horse.Second,
 			Sizes: horse.FixedSize(4e6), TCPFraction: 0.5, CBRRateBps: 2e7,
 		})
-		sim := horse.NewPacketSimulator(horse.PacketConfig{Topology: topo, Miss: horse.MissDrop})
-		horse.InstallMACRoutes(sim.Network())
-		sim.Load(tr)
+		eng, err := horse.New(topo, horse.WithFidelity(horse.Packet), horse.WithMiss(horse.MissDrop))
+		if err != nil {
+			b.Fatal(err)
+		}
+		horse.InstallMACRoutes(eng.Network())
+		eng.Load(tr)
 		b.StartTimer()
-		sim.RunUntil(horse.Time(2 * horse.Second))
+		if _, err := eng.Run(context.Background(), horse.Time(2*horse.Second)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -147,13 +158,19 @@ func benchE9(b *testing.B, shards int) {
 			Horizon: 200 * horse.Millisecond,
 			Sizes:   horse.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
 		})
-		sim := horse.NewPacketSimulator(horse.PacketConfig{
-			Topology: topo, Miss: horse.MissDrop, Shards: shards,
-		})
-		horse.InstallMACRoutes(sim.Network())
-		sim.Load(tr)
+		eng, err := horse.New(topo,
+			horse.WithFidelity(horse.Packet), horse.WithMiss(horse.MissDrop),
+			horse.WithShards(shards),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		horse.InstallMACRoutes(eng.Network())
+		eng.Load(tr)
 		b.StartTimer()
-		sim.RunUntil(horse.Time(2 * horse.Second))
+		if _, err := eng.Run(context.Background(), horse.Time(2*horse.Second)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

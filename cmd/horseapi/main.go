@@ -1,29 +1,85 @@
-// Command horseapi prints the exported API surface of the horse façade
-// package as deterministic text. `make api` redirects it into
-// api/horse.txt, the golden file TestAPISurfaceGolden (and the CI lint
-// job) diffs against the live source — so a breaking change to the public
-// API cannot land silently.
+// Command horseapi renders the exported API surface of the repo's public
+// packages as deterministic text goldens under api/: horse.txt (the root
+// façade), wire.txt (the api/wire protocol package), and service.txt
+// (the exported surface of internal/service, the session layer hosted
+// apps embed). `make api` regenerates them; TestAPISurfaceGolden and the
+// CI lint job's `make api-check` diff the live source against these
+// files — so a breaking change to any public surface cannot land
+// silently.
 //
 // Usage:
 //
-//	horseapi [-dir .]
+//	horseapi -out api            # (re)write every golden
+//	horseapi -check -out api     # exit nonzero if any golden is stale
+//	horseapi -dir api/wire       # print one package's surface to stdout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"horse/internal/apisurface"
 )
 
+// packages maps source directory (relative to -root) to golden file name
+// (relative to -out).
+var packages = []struct{ dir, golden string }{
+	{".", "horse.txt"},
+	{"api/wire", "wire.txt"},
+	{"internal/service", "service.txt"},
+}
+
 func main() {
-	dir := flag.String("dir", ".", "directory of the package to render (the repo root)")
+	root := flag.String("root", ".", "repository root")
+	out := flag.String("out", "", "write per-package goldens into this directory")
+	check := flag.Bool("check", false, "with -out: diff instead of writing, exit 1 on drift")
+	dir := flag.String("dir", "", "render a single package directory to stdout")
 	flag.Parse()
-	s, err := apisurface.Surface(*dir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "horseapi:", err)
+
+	if *dir != "" {
+		s, err := apisurface.Surface(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(s)
+		return
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("pass -out DIR (golden mode) or -dir PKG (stdout mode)"))
+	}
+
+	stale := false
+	for _, p := range packages {
+		s, err := apisurface.Surface(filepath.Join(*root, p.dir))
+		if err != nil {
+			fatal(err)
+		}
+		golden := filepath.Join(*out, p.golden)
+		if *check {
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "horseapi: %s: %v\n", golden, err)
+				stale = true
+				continue
+			}
+			if string(want) != s {
+				fmt.Fprintf(os.Stderr, "horseapi: %s is stale (package %s drifted); run 'make api' and commit the result\n", golden, p.dir)
+				stale = true
+			}
+			continue
+		}
+		if err := os.WriteFile(golden, []byte(s), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if stale {
 		os.Exit(1)
 	}
-	fmt.Print(s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "horseapi:", err)
+	os.Exit(1)
 }

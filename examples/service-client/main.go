@@ -1,0 +1,153 @@
+// Simulation as a service: the horse-wire protocol end to end. The
+// program embeds a horsed-style server on a throwaway unix socket (pass
+// -addr to talk to a real daemon instead), dials it with the wire
+// client, and submits two sessions — a streamed flow-level leaf–spine
+// run whose records arrive as server pushes, and a second session
+// canceled mid-run to show the partial-but-consistent terminal summary.
+// The spec is pure data: the daemon rebuilds topology, workload, and
+// options from it through the same façade bridge a one-shot caller
+// uses, so the streamed records are byte-identical to a local run.
+//
+//	go run ./examples/service-client
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"horse"
+	"horse/api/wire"
+	"horse/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (unix:/path or tcp:host:port); empty = embed a server")
+	flag.Parse()
+
+	target := *addr
+	if target == "" {
+		stop, sock, err := embedServer()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		target = "unix:" + sock
+		fmt.Printf("embedded server on %s\n", target)
+	}
+
+	c, err := wire.DialAddr(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("handshake: %s via %s\n\n", c.Server(), c.Version())
+
+	// One serializable spec: a 4×2 leaf–spine fabric, a seed-reproducible
+	// Poisson workload under ECMP, 5 virtual seconds.
+	spec := wire.SessionSpec{
+		Topology: wire.TopoSpec{Kind: wire.TopoLeafSpine, Leaves: 4, Spines: 2, Hosts: 4},
+		Workload: wire.WorkloadSpec{Poisson: &wire.PoissonSpec{
+			Seed: 42, Lambda: 300, HorizonNs: int64(2 * horse.Second),
+			Size:        wire.SizeSpec{Kind: wire.SizePareto, XMin: 1e5, Alpha: 1.3},
+			TCPFraction: 0.8, CBRRateBps: 1e7,
+		}},
+		Options: wire.OptionsSpec{
+			Fidelity:   wire.FidelityFlow,
+			Controller: []wire.AppSpec{{Kind: wire.AppECMP}},
+			Miss:       "controller",
+		},
+		UntilNs: int64(5 * horse.Second),
+	}
+
+	// Session 1: streamed. Records flow over the socket as the engine
+	// finalizes them; the daemon retains nothing.
+	st, stream, err := c.Submit(wire.SubmitParams{Name: "demo", Spec: spec, Stream: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (%q, %s fidelity, cost %d worker)\n", st.Session, st.Name, st.Fidelity, st.Workers)
+	records := 0
+	done, err := stream.Drain(
+		func(p wire.ProgressEvent) {
+			fmt.Printf("  t=%.1fs  %d events\n", horse.Time(p.NowNs).Seconds(), p.Events)
+		},
+		func(r wire.Record) { records++ },
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: state=%s records=%d completed=%d", done.State, records, done.Summary.Counters.FlowsCompleted)
+	if fct := done.Summary.FCT; fct != nil {
+		fmt.Printf(" fct_p99=%.1fms", fct.P99*1e3)
+	}
+	fmt.Println()
+
+	// Session 2: canceled mid-run. A much heavier workload (so the cancel
+	// lands while the engine is still busy); the terminal summary
+	// reflects the stop instant — partial, but internally consistent.
+	heavy := spec
+	heavy.Workload = wire.WorkloadSpec{Poisson: &wire.PoissonSpec{
+		Seed: 42, Lambda: 4000, HorizonNs: int64(30 * horse.Second),
+		Size:        wire.SizeSpec{Kind: wire.SizePareto, XMin: 1e5, Alpha: 1.3},
+		TCPFraction: 0.8, CBRRateBps: 1e7,
+	}}
+	heavy.UntilNs = int64(60 * horse.Second)
+	st2, stream2, err := c.Submit(wire.SubmitParams{Name: "doomed", Spec: heavy, Stream: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		if _, err := c.Cancel(st2.Session); err != nil {
+			log.Print(err)
+		}
+	}()
+	done2, err := stream2.Drain(nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncanceled %s: state=%s started=%d completed=%d\n", st2.Session, done2.State,
+		done2.Summary.Counters.FlowsStarted, done2.Summary.Counters.FlowsCompleted)
+
+	if _, err := c.Retire(st.Session); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Retire(st2.Session); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// embedServer runs an in-process service on a temp unix socket — the
+// same Manager+Server pair cmd/horsed wraps.
+func embedServer() (stop func(), sock string, err error) {
+	dir, err := os.MkdirTemp("", "horse-svc")
+	if err != nil {
+		return nil, "", err
+	}
+	sock = filepath.Join(dir, "horsed.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	srv := service.NewServer(service.New(service.Config{}), "service-client-demo")
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Print(err)
+		}
+	}()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Print(err)
+		}
+		os.RemoveAll(dir)
+	}, sock, nil
+}

@@ -1,6 +1,7 @@
 package horse_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,18 +11,23 @@ import (
 // TestQuickstart exercises the documented public-API quickstart.
 func TestQuickstart(t *testing.T) {
 	topo := horse.LeafSpine(4, 2, 8, horse.Gig, horse.TenGig)
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   topo,
-		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
-		Miss:       horse.MissController,
-	})
+	eng, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gen := horse.NewGenerator(42)
-	sim.Load(gen.PoissonArrivals(horse.PoissonConfig{
+	eng.Load(gen.PoissonArrivals(horse.PoissonConfig{
 		Hosts: topo.Hosts(), Lambda: 100, Horizon: 2 * horse.Second,
 		Sizes: horse.Pareto{XMin: 1e5, Alpha: 1.3}, TCPFraction: 0.8,
 		CBRRateBps: 1e7,
 	}))
-	col := sim.RunUntil(horse.Never)
+	col, err := eng.Run(context.Background(), horse.Never)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(col.Flows()) == 0 {
 		t.Fatal("no flows")
 	}
@@ -37,13 +43,18 @@ func TestPublicIXPAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := horse.NewSimulator(horse.Config{
-		Topology:   f.Topo,
-		Controller: horse.NewChain(&horse.ECMPLoadBalancer{}),
-		Miss:       horse.MissController,
-	})
-	sim.Load(f.ReplayTrace(1e9, 0.3, horse.Hour, horse.Hour, 7))
-	col := sim.RunUntil(2 * horse.Time(horse.Hour))
+	eng, err := horse.New(f.Topo,
+		horse.WithController(horse.NewChain(&horse.ECMPLoadBalancer{})),
+		horse.WithMiss(horse.MissController),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Load(f.ReplayTrace(1e9, 0.3, horse.Hour, horse.Hour, 7))
+	col, err := eng.Run(context.Background(), 2*horse.Time(horse.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(col.Flows()) == 0 {
 		t.Fatal("no replay flows")
 	}
@@ -52,8 +63,11 @@ func TestPublicIXPAPI(t *testing.T) {
 // TestPublicPacketBaseline exercises the packet-level baseline facade.
 func TestPublicPacketBaseline(t *testing.T) {
 	topo := horse.Dumbbell(1, 1, horse.Gig, horse.TenGig)
-	ps := horse.NewPacketSimulator(horse.PacketConfig{Topology: topo, Miss: horse.MissDrop})
-	if ps.Network() == nil {
+	eng, err := horse.New(topo, horse.WithFidelity(horse.Packet), horse.WithMiss(horse.MissDrop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Network() == nil {
 		t.Fatal("no network access")
 	}
 }

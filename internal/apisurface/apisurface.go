@@ -20,8 +20,11 @@ import (
 	"strings"
 )
 
-// Header is the first line of every rendered surface.
-const Header = "# API surface of package horse. Regenerate with `make api`."
+// Header is the first line of a rendered surface, parameterized by the
+// package name parsed from the sources.
+func Header(pkg string) string {
+	return fmt.Sprintf("# API surface of package %s. Regenerate with `make api`.", pkg)
+}
 
 // Surface parses the (single) Go package in dir — test files excluded —
 // and renders one line per exported declaration: constants, variables,
@@ -64,7 +67,7 @@ func Surface(dir string) (string, error) {
 		}
 	}
 	sort.Strings(lines)
-	return Header + "\n" + strings.Join(lines, "\n") + "\n", nil
+	return Header(pkgName) + "\n" + strings.Join(lines, "\n") + "\n", nil
 }
 
 // renderDecl renders the exported parts of one top-level declaration.

@@ -33,7 +33,7 @@ func runSim(t *testing.T, topo *netgraph.Topology, ctrl flowsim.Controller, tr t
 	t.Helper()
 	sim := flowsim.New(flowsim.Config{Topology: topo, Controller: ctrl, Miss: dataplane.MissController})
 	sim.Load(tr)
-	return sim.RunUntil(simtime.Time(5 * simtime.Minute))
+	return mustRun(sim, simtime.Time(5*simtime.Minute))
 }
 
 func TestProactiveMACDelivers(t *testing.T) {
@@ -69,7 +69,7 @@ func TestReactiveMACDelivers(t *testing.T) {
 	second := cbr(h0, h5, simtime.Time(simtime.Second), 1e6, 1e8)
 	second.Key.SrcPort = 41000
 	sim.Load(traffic.Trace{first, second})
-	col = sim.RunUntil(simtime.Time(simtime.Minute))
+	col = mustRun(sim, simtime.Time(simtime.Minute))
 	if col.Flows()[1].Punts != 0 {
 		t.Errorf("second flow punted %d times; rules should be cached", col.Flows()[1].Punts)
 	}
@@ -85,7 +85,7 @@ func TestReactiveIdleTimeoutCausesRepunt(t *testing.T) {
 	late := cbr(h0, h3, simtime.Time(10*simtime.Second), 1e6, 1e8)
 	late.Key.SrcPort = 42000
 	sim.Load(traffic.Trace{first, late})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	if col.Flows()[1].Punts == 0 {
 		t.Error("late flow should re-punt after idle eviction")
 	}
@@ -109,7 +109,7 @@ func TestECMPSpreadsFlows(t *testing.T) {
 		Miss: dataplane.MissController, StatsEvery: 100 * simtime.Millisecond,
 	})
 	sim.Load(tr)
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	for _, f := range col.Flows() {
 		if !f.Completed {
 			t.Fatalf("flow %d: %s", f.ID, f.Outcome)
@@ -151,7 +151,7 @@ func TestMisconfiguredLBConcentratesTraffic(t *testing.T) {
 			Miss: dataplane.MissController, StatsEvery: 100 * simtime.Millisecond,
 		})
 		sim.Load(mkTrace(topo))
-		col := sim.RunUntil(simtime.Time(simtime.Minute))
+		col := mustRun(sim, simtime.Time(simtime.Minute))
 		max := 0.0
 		for d, u := range col.PeakLinkUtilization() {
 			link := topo.Link(d.Link)
@@ -376,7 +376,7 @@ func TestProactiveMACReactsToLinkFailure(t *testing.T) {
 	// reroute the long way and the flow still completes.
 	sim.Load(traffic.Trace{cbr(h0, h1, 0, 5e8, 1e8)}) // 5s transfer
 	sim.ScheduleLinkChange(simtime.Time(2*simtime.Second), direct, false)
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s; controller failed to reroute", f.Outcome)

@@ -96,7 +96,7 @@ func TestReconvergenceOnPortStatus(t *testing.T) {
 			})
 			sim.Load(traffic.Trace{cbr(h0, h2, 0, 2.5e8, 5e7)}) // 5s transfer
 			sim.ScheduleLinkChange(simtime.Time(simtime.Second), dead.ID, false)
-			col := sim.RunUntil(simtime.Time(simtime.Minute))
+			col := mustRun(sim, simtime.Time(simtime.Minute))
 
 			r := col.Flows()[0]
 			if !r.Completed {
@@ -134,7 +134,7 @@ func TestPolicyAppsSurviveSwitchRestart(t *testing.T) {
 	sim.ScheduleSwitchChange(simtime.Time(2*simtime.Second), leaf0, true)
 	late := cbr(h0, h2, simtime.Time(3*simtime.Second), 1e6, 1e7)
 	sim.Load(traffic.Trace{late})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 
 	r := col.Flows()[0]
 	if r.Completed || r.Outcome != "dropped" {
@@ -164,7 +164,7 @@ func TestReconvergenceFlushesUnreachable(t *testing.T) {
 			sim.Load(traffic.Trace{cbr(h2, h0, simtime.Time(2*simtime.Second), 1e6, 1e7)})
 			sim.ScheduleLinkChange(simtime.Time(simtime.Second), up0.ID, false)
 			sim.ScheduleLinkChange(simtime.Time(simtime.Second), up1.ID, false)
-			col := sim.RunUntil(simtime.Time(5 * simtime.Second))
+			col := mustRun(sim, simtime.Time(5*simtime.Second))
 
 			r := col.Flows()[0]
 			if r.Completed || r.Outcome == "dropped" {

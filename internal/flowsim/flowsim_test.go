@@ -93,7 +93,7 @@ func TestCBRFlowCompletes(t *testing.T) {
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	// 1e8 bits at up to 1e8 bps: should take ~1s after the rules land.
 	sim.Load(traffic.Trace{cbr(h0, r0, simtime.Time(10*simtime.Millisecond), 1e8, 1e8)})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	flows := col.Flows()
 	if len(flows) != 1 {
 		t.Fatalf("records = %d", len(flows))
@@ -124,7 +124,7 @@ func TestTwoCBRShareBottleneck(t *testing.T) {
 		cbr(h0, r0, 0, 1e8, 1e8),
 		cbr(h1, r1, 0, 1e8, 1e8),
 	})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	for _, f := range col.Flows() {
 		if !f.Completed {
 			t.Fatalf("flow %d outcome = %s", f.ID, f.Outcome)
@@ -145,7 +145,7 @@ func TestEarlyFlowSpeedsUpAfterDeparture(t *testing.T) {
 		cbr(h0, r0, 0, 1.5e8, 1e8),
 		cbr(h1, r1, 0, 0.5e8, 1e8),
 	})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	var long, short *float64
 	for _, f := range col.Flows() {
 		fct := f.FCT().Seconds()
@@ -171,7 +171,7 @@ func TestReactiveControllerInstallsPath(t *testing.T) {
 	sim, topo := dumbbellSim(t, reactivePath{}, 1e9)
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e6, 1e8)})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -193,7 +193,7 @@ func TestDropMissBlackholes(t *testing.T) {
 	sim := New(Config{Topology: topo, Controller: NopController{}, Miss: dataplane.MissDrop})
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e6, 1e8)})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if f.Completed || f.Outcome != "dropped" {
 		t.Errorf("outcome = %s, want dropped", f.Outcome)
@@ -207,7 +207,7 @@ func TestTCPSlowStartDelaysCompletion(t *testing.T) {
 	sim, topo := dumbbellSim(t, proactiveMAC{}, 1e9)
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{tcp(h0, r0, 0, 1e7)}) // 10 Mbit transfer
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -228,7 +228,7 @@ func TestDeadlineCBRFlow(t *testing.T) {
 	d := cbr(h0, r0, 0, math.Inf(1), 1e8)
 	d.Duration = 2 * simtime.Second
 	sim.Load(traffic.Trace{d})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -257,7 +257,7 @@ func TestMeterPolicesCBR(t *testing.T) {
 		Instr: openflow.Apply(openflow.Output(topo.PortToward(sl, sr))).WithMeter(1),
 	}, 0)
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e8, 1e8)}) // wants 1e8, metered to 5e7
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -277,7 +277,7 @@ func TestLinkFailureStallsThenRecovers(t *testing.T) {
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e8, 1e8)})
 	sim.ScheduleLinkChange(simtime.Time(500*simtime.Millisecond), bottleneck, false)
 	sim.ScheduleLinkChange(simtime.Time(1500*simtime.Millisecond), bottleneck, true)
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -295,7 +295,7 @@ func TestStatsTickSampling(t *testing.T) {
 	})
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e9, 1e9)}) // 1s at 1 Gbps
-	col := sim.RunUntil(simtime.Time(1200 * simtime.Millisecond))
+	col := mustRun(sim, simtime.Time(1200*simtime.Millisecond))
 	series := col.LinkSeries()
 	if len(series) == 0 {
 		t.Fatal("no samples")
@@ -315,11 +315,11 @@ func TestStatsTickSampling(t *testing.T) {
 	}
 }
 
-func TestRunUntilCutsOff(t *testing.T) {
+func TestRunBoundCutsOff(t *testing.T) {
 	sim, topo := dumbbellSim(t, proactiveMAC{}, 1e9)
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e9, 1e8)}) // would take 10s
-	col := sim.RunUntil(simtime.Time(simtime.Second))
+	col := mustRun(sim, simtime.Time(simtime.Second))
 	f := col.Flows()[0]
 	if f.Completed {
 		t.Error("flow should not have completed in 1s")
@@ -368,7 +368,7 @@ func TestIdleTimeoutEvictsAndNotifies(t *testing.T) {
 	sim := New(Config{Topology: topo, Controller: ctrl, Miss: dataplane.MissDrop})
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, simtime.Time(5*simtime.Millisecond), 1e6, 1e8)})
-	sim.RunUntil(simtime.Time(simtime.Second))
+	mustRun(sim, simtime.Time(simtime.Second))
 	select {
 	case <-removed:
 	default:
@@ -422,7 +422,7 @@ func TestPortStatsRequestReply(t *testing.T) {
 	sim := New(Config{Topology: topo, Controller: ctrl, Miss: dataplane.MissController})
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e9, 1e9)})
-	sim.RunUntil(simtime.Time(2 * simtime.Second))
+	mustRun(sim, simtime.Time(2*simtime.Second))
 	if reply == nil {
 		t.Fatal("no PortStatsReply")
 	}
@@ -453,7 +453,7 @@ func TestManyFlowsDeterministic(t *testing.T) {
 			Sizes: traffic.Pareto{XMin: 1e5, Alpha: 1.4}, TCPFraction: 0.5, CBRRateBps: 1e7,
 		})
 		sim.Load(tr)
-		col := sim.RunUntil(simtime.Never)
+		col := mustRun(sim, simtime.Never)
 		var totalSent float64
 		for _, f := range col.Flows() {
 			totalSent += f.SentBits
@@ -479,7 +479,7 @@ func TestAllFlowsAccounted(t *testing.T) {
 		Sizes: traffic.FixedSize(1e6), TCPFraction: 0.3, CBRRateBps: 1e7,
 	})
 	sim.Load(tr)
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	if got := len(col.Flows()); got != len(tr) {
 		t.Errorf("records = %d, trace = %d", got, len(tr))
 	}

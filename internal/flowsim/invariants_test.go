@@ -34,7 +34,7 @@ func runVariant(t *testing.T, full, calendar bool) *stats.Collector {
 		FullRecompute: full, UseCalendarQueue: calendar,
 	})
 	sim.Load(tr)
-	return sim.RunUntil(simtime.Time(simtime.Minute))
+	return mustRun(sim, simtime.Time(simtime.Minute))
 }
 
 // TestRecomputeStrategiesAgree verifies the central E6 correctness claim:
@@ -87,7 +87,7 @@ func TestThroughputConservation(t *testing.T) {
 	topo, tr := mkWorkload(9)
 	sim := New(Config{Topology: topo, Controller: proactiveMAC{}, Miss: dataplane.MissController})
 	sim.Load(tr)
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	var horizon simtime.Time
 	for _, f := range col.Flows() {
 		if f.End > horizon {
@@ -140,7 +140,7 @@ func TestAIMDUnderPolicerSteadyState(t *testing.T) {
 		SizeBits: 5e8, RateBps: math.Inf(1), TCP: true,
 	}
 	sim.Load(traffic.Trace{d})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -171,7 +171,7 @@ func TestWaitingFlowExpiresAtDeadline(t *testing.T) {
 		SizeBits: math.Inf(1), RateBps: 1e7, Duration: simtime.Second,
 	}
 	sim.Load(traffic.Trace{d})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	f := col.Flows()[0]
 	if f.Completed || f.Outcome != "expired-waiting" {
 		t.Errorf("outcome = %q, want expired-waiting", f.Outcome)
@@ -196,7 +196,7 @@ func TestRunNeverTerminatesWithStats(t *testing.T) {
 	}})
 	done := make(chan struct{})
 	go func() {
-		sim.RunUntil(simtime.Never)
+		mustRun(sim, simtime.Never)
 		close(done)
 	}()
 	select {

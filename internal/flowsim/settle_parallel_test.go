@@ -1,6 +1,7 @@
 package flowsim_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -29,7 +30,11 @@ func TestParallelSettleBitIdentical(t *testing.T) {
 			Miss: dataplane.MissController, Shards: shards,
 		})
 		sim.Load(tr)
-		return sim.RunUntil(simtime.Time(10 * simtime.Minute)).Flows()
+		col, err := sim.Run(context.Background(), simtime.Time(10*simtime.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col.Flows()
 	}
 	serial := run(0)
 	for _, shards := range []int{2, 4} {

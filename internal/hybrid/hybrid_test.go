@@ -80,14 +80,14 @@ func TestGoldenFlowPacketParity(t *testing.T) {
 	})
 	installMACRoutes(simF.Network())
 	simF.Load(trF)
-	colF := simF.RunUntil(simtime.Time(simtime.Minute))
+	colF := mustRun(simF, simtime.Time(simtime.Minute))
 
 	// Packet-level run on identical state.
 	topoP, trP := fatTreeCBRScenario()
 	simP := packetsim.New(packetsim.Config{Topology: topoP, Miss: dataplane.MissDrop})
 	installMACRoutes(simP.Network())
 	simP.Load(trP)
-	colP := simP.RunUntil(simtime.Time(simtime.Minute))
+	colP := mustRun(simP, simtime.Time(simtime.Minute))
 
 	flowsF, flowsP := colF.Flows(), colP.Flows()
 	if len(flowsF) != len(trF) || len(flowsP) != len(trP) {
@@ -159,7 +159,7 @@ func TestHybridFullPacketMatchesStandalone(t *testing.T) {
 		ControlLatency: simtime.Millisecond,
 	})
 	standalone.Load(trS)
-	colS := standalone.RunUntil(simtime.Time(simtime.Minute))
+	colS := mustRun(standalone, simtime.Time(simtime.Minute))
 
 	topoH, trH := reactiveScenario()
 	hyb := New(Config{
@@ -169,7 +169,7 @@ func TestHybridFullPacketMatchesStandalone(t *testing.T) {
 		PacketLevel:    Fraction(1.0),
 	})
 	hyb.Load(trH)
-	hyb.RunUntil(simtime.Time(simtime.Minute))
+	mustRun(hyb, simtime.Time(simtime.Minute))
 	recs := hyb.Records()
 
 	flowsS := colS.Flows()
@@ -204,7 +204,7 @@ func TestHybridSplitRunsBothEngines(t *testing.T) {
 		PacketLevel:    Fraction(0.5),
 	})
 	hyb.Load(tr)
-	col := hyb.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(hyb, simtime.Time(simtime.Minute))
 	if len(hyb.pktIdx) == 0 || len(hyb.flowIdx) == 0 {
 		t.Fatalf("split degenerate: pkt=%d flow=%d", len(hyb.pktIdx), len(hyb.flowIdx))
 	}
@@ -263,7 +263,7 @@ func TestHybridCouplingThrottlesPackets(t *testing.T) {
 		// forward from t=0 (the E3 identical-state methodology).
 		installMACRoutes(hyb.Network())
 		hyb.Load(tr)
-		hyb.RunUntil(simtime.Time(10 * simtime.Second))
+		mustRun(hyb, simtime.Time(10*simtime.Second))
 		for _, r := range hyb.Records() {
 			if r.ID == 1 {
 				if !r.Completed {

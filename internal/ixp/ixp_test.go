@@ -1,6 +1,7 @@
 package ixp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -149,7 +150,10 @@ func TestIXPEndToEndReplay(t *testing.T) {
 		StatsEvery: 10 * simtime.Minute,
 	})
 	sim.Load(f.ReplayTrace(2e9, 0.5, simtime.Hour, 2*simtime.Hour, 3))
-	col := sim.RunUntil(simtime.Time(3 * simtime.Hour))
+	col, err := sim.Run(context.Background(), simtime.Time(3*simtime.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(col.Flows()) == 0 {
 		t.Fatal("no flows recorded")
 	}

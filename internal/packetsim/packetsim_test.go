@@ -66,7 +66,7 @@ func TestCBRPacketFlowCompletes(t *testing.T) {
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	// 1e7 bits at 1e8 bps ≈ 0.1s + per-packet delays.
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e7, 1e8)})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -86,7 +86,7 @@ func TestTCPPacketFlowCompletes(t *testing.T) {
 	installMACRoutes(sim.Network())
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{tcp(h0, r0, 0, 1e7)})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -112,7 +112,7 @@ func TestTCPRecoversFromCongestionLoss(t *testing.T) {
 	d1, d2 := tcp(h0, r0, 0, 2e6), tcp(h1, r1, 0, 2e6)
 	d2.Key.SrcPort = 41000
 	sim.Load(traffic.Trace{d1, d2})
-	col := sim.RunUntil(simtime.Time(5 * simtime.Minute))
+	col := mustRun(sim, simtime.Time(5*simtime.Minute))
 	drops := uint64(0)
 	for _, op := range sim.ports {
 		if op != nil {
@@ -142,7 +142,7 @@ func TestUDPLossAtBottleneck(t *testing.T) {
 	installMACRoutes(sim.Network())
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e7, 1e8)})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -164,7 +164,7 @@ func TestMissDropBlackholes(t *testing.T) {
 	// No routes installed: every packet dies at the first switch.
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e6, 1e8)})
-	col := sim.RunUntil(simtime.Time(simtime.Second))
+	col := mustRun(sim, simtime.Time(simtime.Second))
 	f := col.Flows()[0]
 	if f.Completed && f.SizeBits > f.SentBits {
 		t.Error("flow completed through a blackhole")
@@ -179,7 +179,7 @@ func TestDeadlineCBR(t *testing.T) {
 	d := cbr(h0, r0, 0, math.Inf(1), 1e7)
 	d.Duration = simtime.Second
 	sim.Load(traffic.Trace{d})
-	col := sim.RunUntil(simtime.Time(10 * simtime.Second))
+	col := mustRun(sim, simtime.Time(10*simtime.Second))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -199,7 +199,7 @@ func TestPacketVsFlowLevelAgreement(t *testing.T) {
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	size, rate := 1e7, 5e7
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, size, rate)})
-	col := sim.RunUntil(simtime.Never)
+	col := mustRun(sim, simtime.Never)
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -266,7 +266,7 @@ func TestReactiveControllerCompletesFlow(t *testing.T) {
 	})
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{tcp(h0, r0, 0, 1e6)})
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("reactive flow outcome = %s (punts=%d)", f.Outcome, f.Punts)
@@ -308,7 +308,7 @@ func TestIdleTimeoutExpiresAndReinstalls(t *testing.T) {
 	d2 := cbr(h0, r0, simtime.Time(simtime.Second), 1e6, 1e8)
 	d2.Key.SrcPort = 41000
 	sim.Load(traffic.Trace{d1, d2})
-	col := sim.RunUntil(simtime.Time(10 * simtime.Second))
+	col := mustRun(sim, simtime.Time(10*simtime.Second))
 	for _, f := range col.Flows() {
 		if !f.Completed {
 			t.Errorf("flow %d: %s", f.ID, f.Outcome)
@@ -354,7 +354,7 @@ func TestMeterPolicesPackets(t *testing.T) {
 		}, 0)
 	}
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 1e6, 1e8)})
-	col := sim.RunUntil(simtime.Time(10 * simtime.Second))
+	col := mustRun(sim, simtime.Time(10*simtime.Second))
 	f := col.Flows()[0]
 	if !f.Completed {
 		t.Fatalf("outcome = %s", f.Outcome)
@@ -392,7 +392,7 @@ func TestStatsSampling(t *testing.T) {
 	installMACRoutes(sim.Network())
 	h0, r0 := topo.MustLookup("h0"), topo.MustLookup("r0")
 	sim.Load(traffic.Trace{cbr(h0, r0, 0, 5e7, 1e8)})
-	col := sim.RunUntil(simtime.Time(2 * simtime.Second))
+	col := mustRun(sim, simtime.Time(2*simtime.Second))
 	series := col.LinkSeries()
 	if len(series) == 0 {
 		t.Fatal("no samples")

@@ -73,7 +73,7 @@ func runGolden(shards int) shardRunResult {
 	})
 	installMACRoutes(sim.Network())
 	sim.Load(tr)
-	col := sim.RunUntil(simtime.Time(2 * simtime.Second))
+	col := mustRun(sim, simtime.Time(2*simtime.Second))
 	return snapshot(sim, col)
 }
 
@@ -109,7 +109,7 @@ func runFailures(shards int, mk func() controller.App) shardRunResult {
 	sim.ScheduleSwitchChange(simtime.Time(30*simtime.Millisecond), agg, false)
 	sim.ScheduleSwitchChange(simtime.Time(75*simtime.Millisecond), agg, true)
 	sim.Load(tr)
-	col := sim.RunUntil(simtime.Time(2 * simtime.Second))
+	col := mustRun(sim, simtime.Time(2*simtime.Second))
 	return snapshot(sim, col)
 }
 
@@ -178,7 +178,7 @@ func TestShardDeterminismLateTraffic(t *testing.T) {
 			ControlLatency: simtime.Millisecond,
 		})
 		sim.Load(tr)
-		col := sim.RunUntil(simtime.Time(2 * simtime.Second))
+		col := mustRun(sim, simtime.Time(2*simtime.Second))
 		return snapshot(sim, col)
 	}
 	serial := run(0)
@@ -264,7 +264,7 @@ func TestShardPreRunExchange(t *testing.T) {
 		})
 		tr := traffic.Trace{cbr(src, dst, simtime.Time(ctrlLatency+10*simtime.Microsecond), 24000, 1e8)}
 		sim.Load(tr)
-		col := sim.RunUntil(simtime.Time(simtime.Second))
+		col := mustRun(sim, simtime.Time(simtime.Second))
 		return snapshot(sim, col)
 	}
 	serial := run(0)

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -109,7 +110,9 @@ func TestCompiledPolicyRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := flowsim.New(flowsim.Config{Topology: topo, Controller: chain, Miss: dataplane.MissController})
-	sim.RunUntil(simtime.Time(simtime.Second))
+	if _, err := sim.Run(context.Background(), simtime.Time(simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
 	// Policy defaults must be installed on every switch: table 0 has at
 	// least the goto default.
 	for _, sw := range sim.Network().Switches {

@@ -1,0 +1,75 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	b := NewBudget(4)
+	if b.Cap() != 4 || b.Used() != 0 {
+		t.Fatalf("fresh budget cap=%d used=%d", b.Cap(), b.Used())
+	}
+	if !b.TryAcquire(3) {
+		t.Fatal("3 of 4 should fit")
+	}
+	if b.TryAcquire(2) {
+		t.Fatal("2 more over a 4-cap with 3 used must not fit")
+	}
+	if !b.TryAcquire(1) {
+		t.Fatal("the last unit should fit")
+	}
+	if b.Used() != 4 {
+		t.Fatalf("used = %d, want 4", b.Used())
+	}
+	b.Release(3)
+	if !b.TryAcquire(2) {
+		t.Fatal("2 should fit after releasing 3")
+	}
+}
+
+func TestBudgetPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("NewBudget(0)", func() { NewBudget(0) })
+	b := NewBudget(2)
+	expectPanic("TryAcquire(0)", func() { b.TryAcquire(0) })
+	expectPanic("Release(0)", func() { b.Release(0) })
+	expectPanic("over-release", func() { b.Release(1) })
+}
+
+func TestBudgetConcurrent(t *testing.T) {
+	const cap, loops = 8, 200
+	b := NewBudget(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := 0
+			for i := 0; i < loops; i++ {
+				if b.TryAcquire(2) {
+					held += 2
+				}
+				if held > 0 {
+					b.Release(2)
+					held -= 2
+				}
+			}
+			if held > 0 {
+				b.Release(held)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 0 {
+		t.Fatalf("leaked %d units", b.Used())
+	}
+}

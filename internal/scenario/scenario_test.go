@@ -157,7 +157,7 @@ func TestScriptedOutageAcceptance(t *testing.T) {
 	})
 	tlF.Apply(simF, simtime.Never)
 	simF.Load(trF)
-	colF := simF.RunUntil(outageWindow)
+	colF := mustRun(simF, outageWindow)
 	recsF := colF.Flows()
 	if len(recsF) != 3 {
 		t.Fatalf("flow records = %d", len(recsF))
@@ -192,7 +192,7 @@ func TestScriptedOutageAcceptance(t *testing.T) {
 	})
 	tlP.Apply(simP, simtime.Never)
 	simP.Load(trP)
-	colP := simP.RunUntil(outageWindow)
+	colP := mustRun(simP, outageWindow)
 	if colP.PacketsLost == 0 {
 		t.Error("packet engine lost no packets across a link failure")
 	}
@@ -212,7 +212,7 @@ func TestScriptedOutageAcceptance(t *testing.T) {
 	})
 	tlH.Apply(hyb, simtime.Never)
 	hyb.Load(trH)
-	hyb.RunUntil(outageWindow)
+	mustRun(hyb, outageWindow)
 	recsH := hyb.Records()
 	recsP := colP.Flows()
 	if len(recsH) != len(recsP) {
@@ -243,7 +243,7 @@ func TestGoldenCrossEngineFailureParity(t *testing.T) {
 		})
 		tl.Apply(sim, simtime.Never)
 		sim.Load(tr)
-		return sim.RunUntil(outageWindow), sim, tr
+		return mustRun(sim, outageWindow), sim, tr
 	}
 	runPkt := func() (*stats.Collector, *packetsim.Simulator, traffic.Trace) {
 		topo, tr, tl := outageScenario()
@@ -253,7 +253,7 @@ func TestGoldenCrossEngineFailureParity(t *testing.T) {
 		})
 		tl.Apply(sim, simtime.Never)
 		sim.Load(tr)
-		return sim.RunUntil(outageWindow), sim, tr
+		return mustRun(sim, outageWindow), sim, tr
 	}
 	colF, simF, trF := runFlow()
 	colP, simP, _ := runPkt()
@@ -323,7 +323,7 @@ func TestScenarioReplayByteDeterministic(t *testing.T) {
 			Horizon: simtime.Time(2 * simtime.Second), CoreOnly: true,
 		}).Apply(sim, simtime.Never)
 		sim.Load(tr)
-		col := sim.RunUntil(simtime.Time(10 * simtime.Minute))
+		col := mustRun(sim, simtime.Time(10*simtime.Minute))
 		var flows, links bytes.Buffer
 		if err := col.WriteFlowsCSV(&flows); err != nil {
 			t.Fatal(err)
@@ -363,7 +363,7 @@ func TestSwitchCrashAcrossEngines(t *testing.T) {
 	})
 	tl.Apply(sim, simtime.Never)
 	sim.Load(tr)
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	r := col.Flows()[0]
 	if !r.Completed {
 		t.Fatalf("flow outcome = %s", r.Outcome)
@@ -387,7 +387,7 @@ func TestSwitchCrashAcrossEngines(t *testing.T) {
 	spine0D := topoD.MustLookup("spine0")
 	New().SwitchFail(simtime.Time(simtime.Second), spine0D).Apply(simD, simtime.Never)
 	simD.Load(traffic.Trace{cbr(topoD.MustLookup("h0"), topoD.MustLookup("h2"), 0, 1.5e8, 5e7, 31001)})
-	simD.RunUntil(simtime.Time(simtime.Minute))
+	mustRun(simD, simtime.Time(simtime.Minute))
 	dead := 0
 	for _, tab := range simD.Network().Switches[spine0D].Tables {
 		dead += tab.Len()
@@ -406,7 +406,7 @@ func TestSwitchCrashAcrossEngines(t *testing.T) {
 	New().SwitchOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second),
 		topoP.MustLookup("spine0")).Apply(simP, simtime.Never)
 	simP.Load(traffic.Trace{cbr(topoP.MustLookup("h0"), topoP.MustLookup("h2"), 0, 1.5e8, 5e7, 31000)})
-	colP := simP.RunUntil(simtime.Time(simtime.Minute))
+	colP := mustRun(simP, simtime.Time(simtime.Minute))
 	if rp := colP.Flows()[0]; !rp.Completed {
 		t.Fatalf("packet flow outcome = %s", rp.Outcome)
 	}
@@ -428,7 +428,7 @@ func TestReactiveMACSurvivesSwitchRestart(t *testing.T) {
 	})
 	New().SwitchOutage(simtime.Time(simtime.Second), simtime.Time(2*simtime.Second), spine).Apply(sim, simtime.Never)
 	sim.Load(traffic.Trace{cbr(topo.MustLookup("h0"), topo.MustLookup("h2"), 0, 1.5e8, 5e7, 36000)})
-	r := sim.RunUntil(simtime.Time(simtime.Minute)).Flows()[0]
+	r := mustRun(sim, simtime.Time(simtime.Minute)).Flows()[0]
 	if !r.Completed {
 		t.Fatalf("flow outcome = %s: restarted switch never regained its defaults", r.Outcome)
 	}
@@ -446,7 +446,7 @@ func TestReactiveMACSurvivesSwitchRestart(t *testing.T) {
 	// crash at 1.5ms swallows them.
 	New().SwitchOutage(simtime.Time(1500*simtime.Microsecond), simtime.Time(simtime.Second), leaf0).Apply(sim2, simtime.Never)
 	sim2.Load(traffic.Trace{cbr(topo2.MustLookup("h0"), topo2.MustLookup("h2"), 0, 1e6, 1e7, 36001)})
-	r2 := sim2.RunUntil(simtime.Time(simtime.Minute)).Flows()[0]
+	r2 := mustRun(sim2, simtime.Time(simtime.Minute)).Flows()[0]
 	if !r2.Completed {
 		t.Fatalf("flow outcome = %s: punt dedup stranded a flow whose FlowMods died with the crash", r2.Outcome)
 	}
@@ -474,7 +474,7 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 	sim := flowsim.New(flowsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
 	New().ControllerDetach(simtime.Time(50*simtime.Millisecond)).Apply(sim, simtime.Never)
 	sim.Load(tr)
-	if r := sim.RunUntil(simtime.Time(2 * simtime.Second)).Flows()[0]; r.Completed {
+	if r := mustRun(sim, simtime.Time(2*simtime.Second)).Flows()[0]; r.Completed {
 		t.Fatal("flow completed with the controller detached")
 	}
 
@@ -484,7 +484,7 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 	sim = flowsim.New(flowsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
 	New().ControllerOutage(simtime.Time(50*simtime.Millisecond), simtime.Time(300*simtime.Millisecond)).Apply(sim, simtime.Never)
 	sim.Load(tr)
-	r := sim.RunUntil(simtime.Time(2 * simtime.Second)).Flows()[0]
+	r := mustRun(sim, simtime.Time(2*simtime.Second)).Flows()[0]
 	if !r.Completed {
 		t.Fatalf("flow outcome = %s after reattach", r.Outcome)
 	}
@@ -497,7 +497,7 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 	simP := packetsim.New(packetsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
 	New().ControllerOutage(simtime.Time(50*simtime.Millisecond), simtime.Time(300*simtime.Millisecond)).Apply(simP, simtime.Never)
 	simP.Load(tr)
-	rp := simP.RunUntil(simtime.Time(2 * simtime.Second)).Flows()[0]
+	rp := mustRun(simP, simtime.Time(2*simtime.Second)).Flows()[0]
 	if !rp.Completed {
 		t.Fatalf("packet flow outcome = %s after reattach", rp.Outcome)
 	}
@@ -518,12 +518,12 @@ func TestControllerOutageAcrossEngines(t *testing.T) {
 			simN := flowsim.New(flowsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
 			tl.Apply(simN, simtime.Never)
 			simN.Load(tr)
-			col = simN.RunUntil(simtime.Time(2 * simtime.Second))
+			col = mustRun(simN, simtime.Time(2*simtime.Second))
 		} else {
 			simN := packetsim.New(packetsim.Config{Topology: topo, Controller: reactive(), Miss: dataplane.MissController})
 			tl.Apply(simN, simtime.Never)
 			simN.Load(tr)
-			col = simN.RunUntil(simtime.Time(2 * simtime.Second))
+			col = mustRun(simN, simtime.Time(2*simtime.Second))
 		}
 		rn := col.Flows()[0]
 		if !rn.Completed {
@@ -555,7 +555,7 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 	})
 	tlF, directF := script(topoF)
 	tlF.Apply(simF, simtime.Never)
-	simF.RunUntil(simtime.Time(5 * simtime.Second))
+	mustRun(simF, simtime.Time(5*simtime.Second))
 	if topoF.Link(directF).Up {
 		t.Error("flowsim: switch restart revived a link still inside its scripted outage")
 	}
@@ -566,7 +566,7 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 	})
 	tlP, directP := script(topoP)
 	tlP.Apply(simP, simtime.Never)
-	simP.RunUntil(simtime.Time(5 * simtime.Second))
+	mustRun(simP, simtime.Time(5*simtime.Second))
 	if topoP.Link(directP).Up {
 		t.Error("packetsim: switch restart revived a link still inside its scripted outage")
 	}
@@ -583,7 +583,7 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 		LinkOutage(simtime.Time(simtime.Second), simtime.Time(10*simtime.Second), directN).
 		LinkOutage(simtime.Time(2*simtime.Second), simtime.Time(3*simtime.Second), directN).
 		Apply(simN, simtime.Never)
-	simN.RunUntil(simtime.Time(5 * simtime.Second))
+	mustRun(simN, simtime.Time(5*simtime.Second))
 	if topoN.Link(directN).Up {
 		t.Error("flowsim: inner recovery ended an outer outage of the same link")
 	}
@@ -602,7 +602,7 @@ func TestOverlappingOutagesCompose(t *testing.T) {
 			SwitchOutage(simtime.Time(1500*simtime.Millisecond), simtime.Time(4*simtime.Second), s0)
 	}
 	tl2.Apply(sim2, simtime.Never)
-	sim2.RunUntil(simtime.Time(3 * simtime.Second))
+	mustRun(sim2, simtime.Time(3*simtime.Second))
 	if topo2.Link(direct2).Up {
 		t.Error("flowsim: link recovery revived a link on a still-crashed switch")
 	}
@@ -629,7 +629,7 @@ func TestReattachResyncsPortStatus(t *testing.T) {
 		LinkDown(simtime.Time(simtime.Second), direct).
 		Apply(sim, simtime.Never)
 	sim.Load(traffic.Trace{cbr(h("h0"), h("h1"), 0, 2e8, 5e7, 34000)}) // 4s transfer
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 
 	r := col.Flows()[0]
 	if !r.Completed {
@@ -666,7 +666,7 @@ func TestDetachCatchesInFlightPortStatus(t *testing.T) {
 		ControllerOutage(simtime.Time(simtime.Second+500*simtime.Microsecond), simtime.Time(2*simtime.Second)).
 		Apply(sim, simtime.Never)
 	sim.Load(traffic.Trace{cbr(h("h0"), h("h1"), 0, 2e8, 5e7, 35000)}) // 4s transfer
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 
 	r := col.Flows()[0]
 	if !r.Completed {
@@ -689,7 +689,7 @@ func TestSurgeInjectsShiftedDemands(t *testing.T) {
 		cbr(h0, h3, 0, 1e6, 1e7, 33000),
 		cbr(h0, h3, simtime.Time(100*simtime.Millisecond), 1e6, 1e7, 33001),
 	}).Apply(sim, simtime.Never)
-	col := sim.RunUntil(simtime.Time(simtime.Minute))
+	col := mustRun(sim, simtime.Time(simtime.Minute))
 	recs := col.Flows()
 	if len(recs) != 2 {
 		t.Fatalf("records = %d", len(recs))

@@ -48,7 +48,7 @@ func TestRunDispatchOrder(t *testing.T) {
 	}
 }
 
-func TestRunUntilBound(t *testing.T) {
+func TestRunBound(t *testing.T) {
 	k := New(Config{})
 	var fired []simtime.Time
 	for _, at := range []simtime.Time{5, 15, 25} {

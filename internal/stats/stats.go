@@ -108,6 +108,43 @@ func (c *Collector) RerouteTimes() []simtime.Time { return c.reroutes }
 // Flows returns all finished flow records.
 func (c *Collector) Flows() []FlowRecord { return c.flows }
 
+// Counters is a point-in-time copy of a Collector's event counters — the
+// value type the service daemon's status and done summaries encode onto
+// the wire. Counters stay valid with a flow sink installed (when Flows
+// is empty by design), so a streamed session still reports totals.
+type Counters struct {
+	FlowsStarted   uint64
+	FlowsCompleted uint64
+	FlowsDropped   uint64
+	FlowsLooped    uint64
+	FlowsStuck     uint64
+	PacketIns      uint64
+	FlowMods       uint64
+	RateChanges    uint64
+	EventsRun      uint64
+	PathChanges    uint64
+	PacketsLost    uint64
+}
+
+// Counters snapshots the collector's counters. Call it only when the run
+// is not concurrently mutating the collector (after Run returns, or on
+// the simulation goroutine).
+func (c *Collector) Counters() Counters {
+	return Counters{
+		FlowsStarted:   c.FlowsStarted,
+		FlowsCompleted: c.FlowsCompleted,
+		FlowsDropped:   c.FlowsDropped,
+		FlowsLooped:    c.FlowsLooped,
+		FlowsStuck:     c.FlowsStuck,
+		PacketIns:      c.PacketIns,
+		FlowMods:       c.FlowMods,
+		RateChanges:    c.RateChanges,
+		EventsRun:      c.EventsRun,
+		PathChanges:    c.PathChanges,
+		PacketsLost:    c.PacketsLost,
+	}
+}
+
 // LinkSeries returns the utilization time series.
 func (c *Collector) LinkSeries() []LinkSample { return c.linkSeries }
 

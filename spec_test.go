@@ -1,0 +1,163 @@
+package horse_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"horse"
+	"horse/api/wire"
+)
+
+// specFixture is a small deterministic session: two explicit demands on
+// a leaf-spine fabric plus a link flap. Used across the bridge tests and
+// mirrored by the service parity tests.
+func specFixture() *wire.SessionSpec {
+	return &wire.SessionSpec{
+		Topology: wire.TopoSpec{Kind: wire.TopoLeafSpine, Leaves: 2, Spines: 2, Hosts: 2},
+		Workload: wire.WorkloadSpec{Demands: []wire.DemandSpec{
+			{Src: "h0", Dst: "h3", SizeBits: 8e5, RateBps: wire.Float(math.Inf(1)), TCP: true},
+			{Src: "h1", Dst: "h2", StartNs: 1e6, SizeBits: 8e5, RateBps: 1e8},
+		}},
+		Scenario: []wire.EventSpec{
+			{AtNs: 2e6, Kind: wire.EventLinkDown, LinkA: "leaf0", LinkB: "spine0"},
+			{AtNs: 5e6, Kind: wire.EventLinkUp, LinkA: "leaf0", LinkB: "spine0"},
+		},
+		Options: wire.OptionsSpec{
+			Controller: []wire.AppSpec{{Kind: wire.AppProactiveMAC}},
+			Miss:       "controller",
+		},
+		UntilNs: int64(10 * horse.Second),
+	}
+}
+
+func TestNewFromSpecRuns(t *testing.T) {
+	eng, until, err := horse.NewFromSpec(specFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if until != horse.Time(10*horse.Second) {
+		t.Fatalf("until = %v, want 10s", until)
+	}
+	col, err := eng.Run(context.Background(), until)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.FlowsCompleted != 2 {
+		t.Fatalf("completed %d flows, want 2", col.FlowsCompleted)
+	}
+}
+
+// TestNewFromSpecParity is the contract behind the daemon: a spec-built
+// engine must produce records identical to the same simulation assembled
+// by hand through the public builder.
+func TestNewFromSpecParity(t *testing.T) {
+	eng, until, err := horse.NewFromSpec(specFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specCol, err := eng.Run(context.Background(), until)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same session, hand-assembled.
+	spec := specFixture()
+	topo, err := spec.Topology.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := spec.Workload.Trace(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := wire.Timeline(spec.Scenario, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := horse.New(topo,
+		horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand.Load(tr)
+	if err := tl.Apply(hand, until); err != nil {
+		t.Fatal(err)
+	}
+	handCol, err := hand.Run(context.Background(), until)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := specCol.Flows(), handCol.Flows()
+	if len(a) != len(b) {
+		t.Fatalf("spec run: %d records, hand run: %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n spec %+v\n hand %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewFromSpecValidation(t *testing.T) {
+	barely := func(mut func(*wire.SessionSpec)) *wire.SessionSpec {
+		s := specFixture()
+		mut(s)
+		return s
+	}
+	cases := []struct {
+		name    string
+		spec    *wire.SessionSpec
+		asBuild bool // expect *horse.BuildError (else *wire.SpecError)
+	}{
+		{"nil spec", nil, true},
+		{"bad topology", barely(func(s *wire.SessionSpec) { s.Topology.Kind = "moebius" }), false},
+		{"bad workload", barely(func(s *wire.SessionSpec) { s.Workload.Demands[0].Dst = "nowhere" }), false},
+		{"bad scenario", barely(func(s *wire.SessionSpec) { s.Scenario[0].Switch = ""; s.Scenario[0].Kind = "melt" }), false},
+		{"bad fidelity", barely(func(s *wire.SessionSpec) { s.Options.Fidelity = "quantum" }), true},
+		{"bad app", barely(func(s *wire.SessionSpec) { s.Options.Controller = []wire.AppSpec{{Kind: "oracle"}} }), true},
+		{"bad miss", barely(func(s *wire.SessionSpec) { s.Options.Miss = "explode" }), true},
+		{"bad option combo", barely(func(s *wire.SessionSpec) {
+			s.Options.Fidelity = wire.FidelityHybrid
+			s.Options.Shards = 4
+			pf := 0.5
+			s.Options.PacketFraction = &pf
+		}), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := horse.NewFromSpec(c.spec)
+			if err == nil {
+				t.Fatal("spec accepted, want error")
+			}
+			var berr *horse.BuildError
+			var serr *wire.SpecError
+			switch {
+			case c.asBuild && !errors.As(err, &berr):
+				t.Fatalf("error %v is not a *BuildError", err)
+			case !c.asBuild && !errors.As(err, &serr):
+				t.Fatalf("error %v is not a *SpecError", err)
+			}
+		})
+	}
+}
+
+func TestSpecOptionsDefaults(t *testing.T) {
+	// A zero OptionsSpec must behave exactly like no options at all.
+	spec := specFixture()
+	spec.Scenario = nil
+	spec.Options = wire.OptionsSpec{}
+	eng, until, err := horse.NewFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No controller and default drop-on-miss: flows still traverse the
+	// default-built engine (flow fidelity).
+	if _, err := eng.Run(context.Background(), until); err != nil {
+		t.Fatal(err)
+	}
+}
