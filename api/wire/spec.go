@@ -483,6 +483,14 @@ const (
 	FidelityHybrid = "hybrid"
 )
 
+// Event-queue backend names on the wire (OptionsSpec.EventQueue).
+const (
+	EventQueueHeap     = "heap"
+	EventQueueCalendar = "calendar"
+	EventQueueWheel    = "wheel"
+	EventQueueAuto     = "auto"
+)
+
 // Controller app kinds.
 const (
 	AppProactiveMAC = "proactive-mac"
@@ -526,7 +534,14 @@ type OptionsSpec struct {
 	// FullRecompute disables incremental fair-share solving.
 	FullRecompute bool `json:"full_recompute,omitempty"`
 	// CalendarQueue selects the calendar event queue.
+	//
+	// Deprecated: set EventQueue to "calendar" instead. A non-empty
+	// EventQueue wins validation (mismatched combinations are rejected).
 	CalendarQueue bool `json:"calendar_queue,omitempty"`
+	// EventQueue selects the kernel's event-queue backend: "" (default
+	// heap) | "heap" | "calendar" | "wheel" | "auto". Results are
+	// byte-identical across backends; only run time differs.
+	EventQueue string `json:"event_queue,omitempty"`
 	// Shards enables multi-core execution.
 	Shards int `json:"shards,omitempty"`
 	// ShardWorkers bounds the shard worker pool (packet engine).

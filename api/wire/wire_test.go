@@ -349,6 +349,23 @@ func TestV1Fixtures(t *testing.T) {
 		}
 	})
 
+	// A v1 submit carrying the event-queue backend selection (added after
+	// the first v1 cut; additive, so old daemons ignore it and old clients
+	// never send it).
+	t.Run("submit-event-queue", func(t *testing.T) {
+		f := decode(t, "submit-event-queue.json")
+		var p SubmitParams
+		if err := json.Unmarshal(f.Params, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Spec.Options.EventQueue != EventQueueWheel {
+			t.Fatalf("event_queue = %q, want %q", p.Spec.Options.EventQueue, EventQueueWheel)
+		}
+		if _, err := p.Spec.Topology.Build(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
 	t.Run("submit-result", func(t *testing.T) {
 		f := decode(t, "submit-result.json")
 		var st SessionStatus

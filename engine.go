@@ -3,6 +3,7 @@ package horse
 import (
 	"fmt"
 
+	"horse/internal/eventq"
 	"horse/internal/flowsim"
 	"horse/internal/hybrid"
 	"horse/internal/packetsim"
@@ -139,6 +140,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			StatsEvery:       o.statsEvery,
 			FullRecompute:    o.fullRecompute,
 			UseCalendarQueue: o.calendar,
+			EventQueue:       eventq.Backend(o.eventQueue),
 			RateEpsilon:      o.rateEpsilon,
 			Shards:           o.shards,
 		})
@@ -152,6 +154,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			Controller:       o.controller,
 			ControlLatency:   o.controlLat,
 			UseCalendarQueue: o.calendar,
+			EventQueue:       eventq.Backend(o.eventQueue),
 			Shards:           o.shards,
 			ShardWorkers:     o.shardWorkers,
 		})
@@ -164,6 +167,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			TCP:              o.tcp,
 			StatsEvery:       o.statsEvery,
 			UseCalendarQueue: o.calendar,
+			EventQueue:       eventq.Backend(o.eventQueue),
 			RateEpsilon:      o.rateEpsilon,
 			QueuePackets:     o.queuePackets,
 			RTOMin:           o.rtoMin,

@@ -1,0 +1,97 @@
+package eventq
+
+// Adaptive is the Auto backend: it starts on the binary heap (the safe
+// general-purpose choice) and watches the early push mix. If cancelable
+// pushes — timer-class events armed through PushCancelable — make up at
+// least half of the first adaptiveProbe pushes, the queue migrates once
+// to the timing wheel, whose O(1) schedule/cancel wins exactly when the
+// population is timer-dominated. Migration transplants live entries
+// (including their cancellation nodes, so outstanding Handles stay valid)
+// and preserves the FIFO sequence counter, so the pop sequence is
+// byte-identical to either backend run alone.
+//
+// The decision depends only on the push sequence, never on wall-clock
+// state, so Adaptive is as deterministic as the backends it wraps.
+type Adaptive struct {
+	q          Canceler
+	total      uint64
+	cancelable uint64
+	decided    bool
+}
+
+// adaptiveProbe is how many pushes Adaptive observes before deciding.
+const adaptiveProbe = 4096
+
+// NewAdaptive returns an Auto queue, initially heap-backed.
+func NewAdaptive() *Adaptive { return &Adaptive{q: NewHeap()} }
+
+// Push schedules an event.
+func (a *Adaptive) Push(ev Event) {
+	a.q.Push(ev)
+	a.observe(false)
+}
+
+// PushCancelable schedules an event and returns a cancellation handle.
+func (a *Adaptive) PushCancelable(ev Event) Handle {
+	h := a.q.PushCancelable(ev)
+	a.observe(true)
+	return h
+}
+
+// Cancel removes a scheduled event (see Canceler).
+func (a *Adaptive) Cancel(h Handle) (Event, bool) { return a.q.Cancel(h) }
+
+// Pop removes and returns the earliest live event, or nil if empty.
+func (a *Adaptive) Pop() Event { return a.q.Pop() }
+
+// Peek returns the earliest live event without removing it, or nil.
+func (a *Adaptive) Peek() Event { return a.q.Peek() }
+
+// Len returns the number of live queued events.
+func (a *Adaptive) Len() int { return a.q.Len() }
+
+func (a *Adaptive) observe(cancelable bool) {
+	if a.decided {
+		return
+	}
+	a.total++
+	if cancelable {
+		a.cancelable++
+	}
+	if a.total < adaptiveProbe {
+		return
+	}
+	a.decided = true
+	if a.cancelable*2 >= a.total {
+		a.migrate()
+	}
+}
+
+// migrate transplants the heap's live entries into a fresh wheel. Nodes
+// move as-is (generation intact), so handles issued by the heap cancel
+// correctly against the wheel; dead entries are dropped on the way.
+func (a *Adaptive) migrate() {
+	h := a.q.(*Heap)
+	w := NewWheel()
+	w.seq = h.seq
+	for _, it := range h.items {
+		if it.n != nil && it.n.dead {
+			h.pool.put(it.n)
+			continue
+		}
+		n := it.n
+		if n == nil {
+			n = w.pool.get()
+			n.ev = it.ev
+		}
+		n.t = it.t
+		n.key = it.key
+		n.seq = it.seq
+		n.prev, n.next = nil, nil
+		w.place(n)
+		w.n++
+	}
+	h.items = nil
+	h.dead = 0
+	a.q = w
+}

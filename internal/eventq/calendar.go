@@ -16,7 +16,8 @@ import (
 //
 // Like Heap, Calendar dequeues in nondecreasing time order with
 // (order key, FIFO) tie-breaking, so the two implementations are
-// interchangeable.
+// interchangeable. It implements Canceler with the heap's lazy scheme:
+// Cancel marks the entry dead in O(1); bucket scans prune corpses.
 //
 // Peek shares Pop's cursor walk and caches the located head bucket, so the
 // Peek-then-Pop pattern of a simulation loop costs one amortized-O(1)
@@ -27,13 +28,16 @@ type Calendar struct {
 	width     simtime.Duration // day width per bucket
 	lastTime  simtime.Time     // dequeue cursor; monotonically nondecreasing
 	bucketIdx int              // bucket holding lastTime
-	n         int
+	n         int              // physical entries, live + dead
+	dead      int              // cancelled entries not yet pruned
 	seq       uint64
+	pool      nodePool
 
 	// headIdx caches the bucket holding the current minimum item (-1 when
 	// unknown). Valid between a locate and the next mutation that could
 	// install an earlier item (Push of a smaller item invalidates or
-	// updates it; Pop of the head invalidates it; resize rebuilds it).
+	// updates it; Pop of the head invalidates it; Cancel may kill the head
+	// so it invalidates it; resize rebuilds it).
 	headIdx int
 }
 
@@ -68,8 +72,44 @@ func (c *Calendar) bucketFor(t simtime.Time) int {
 // Push schedules an event.
 func (c *Calendar) Push(ev Event) {
 	c.seq++
-	it := item{ev: ev, key: orderKeyOf(ev), seq: c.seq}
-	idx := c.bucketFor(ev.Time())
+	c.push(item{ev: ev, t: ev.Time(), key: orderKeyOf(ev), seq: c.seq})
+}
+
+// PushCancelable schedules an event and returns a cancellation handle.
+func (c *Calendar) PushCancelable(ev Event) Handle {
+	c.seq++
+	n := c.pool.get()
+	n.ev = ev
+	c.push(item{ev: ev, t: ev.Time(), key: orderKeyOf(ev), seq: c.seq, n: n})
+	return Handle{n: n, gen: n.gen}
+}
+
+// Cancel marks a scheduled event dead. The entry stays in its bucket until
+// a scan prunes it, but its event is returned to the caller now and never
+// touched again.
+func (c *Calendar) Cancel(h Handle) (Event, bool) {
+	n := h.n
+	if n == nil || n.gen != h.gen || n.dead {
+		return nil, false
+	}
+	ev := n.ev
+	n.ev = nil
+	n.dead = true
+	c.dead++
+	// The dead entry may be the cached head; relocate on next access.
+	c.headIdx = -1
+	return ev, true
+}
+
+func (c *Calendar) push(it item) {
+	// Keep the cursor at or below the minimum live time: Peek's direct
+	// search may have jumped it to a far-future head, and the year scan
+	// is only correct when no event precedes the cursor's day.
+	if it.t < c.lastTime {
+		c.lastTime = it.t
+		c.bucketIdx = c.bucketFor(it.t)
+	}
+	idx := c.bucketFor(it.t)
 	b := c.buckets[idx]
 	// Insert keeping the bucket sorted (buckets are short on average, so a
 	// linear scan from the back is cheap and preserves FIFO tie order).
@@ -92,11 +132,26 @@ func (c *Calendar) Push(ev Event) {
 	}
 }
 
-// findHead locates the bucket holding the earliest event, advancing the
-// dequeue cursor bookkeeping exactly as a dequeue would, and caches the
+// pruneFront drops cancelled entries from the front of bucket idx so the
+// bucket head, if any, is live.
+func (c *Calendar) pruneFront(idx int) {
+	b := c.buckets[idx]
+	for len(b) > 0 && b[0].n != nil && b[0].n.dead {
+		c.pool.put(b[0].n)
+		copy(b, b[1:])
+		b[len(b)-1] = item{}
+		b = b[:len(b)-1]
+		c.n--
+		c.dead--
+	}
+	c.buckets[idx] = b
+}
+
+// findHead locates the bucket holding the earliest live event, advancing
+// the dequeue cursor bookkeeping exactly as a dequeue would, and caches the
 // result. Returns -1 when empty.
 func (c *Calendar) findHead() int {
-	if c.n == 0 {
+	if c.n-c.dead == 0 {
 		return -1
 	}
 	if c.headIdx >= 0 {
@@ -106,8 +161,9 @@ func (c *Calendar) findHead() int {
 	// the current "year" only if its time falls within this day's span.
 	idx := c.bucketIdx
 	for i := 0; i < len(c.buckets); i++ {
+		c.pruneFront(idx)
 		b := c.buckets[idx]
-		if len(b) > 0 && b[0].ev.Time() < c.dayEnd(idx, i) {
+		if len(b) > 0 && b[0].t < c.dayEnd(idx, i) {
 			c.headIdx = idx
 			return idx
 		}
@@ -120,7 +176,9 @@ func (c *Calendar) findHead() int {
 	// globally earliest event (direct search). Equal times always hash to
 	// the same bucket, so the front of the winning bucket is the head.
 	minIdx, minIt := -1, item{}
-	for i, b := range c.buckets {
+	for i := range c.buckets {
+		c.pruneFront(i)
+		b := c.buckets[i]
 		if len(b) == 0 {
 			continue
 		}
@@ -129,12 +187,12 @@ func (c *Calendar) findHead() int {
 		}
 	}
 	c.bucketIdx = minIdx
-	c.lastTime = minIt.ev.Time()
+	c.lastTime = minIt.t
 	c.headIdx = minIdx
 	return minIdx
 }
 
-// Pop removes and returns the earliest event, or nil if empty.
+// Pop removes and returns the earliest live event, or nil if empty.
 func (c *Calendar) Pop() Event {
 	idx := c.findHead()
 	if idx < 0 {
@@ -146,7 +204,10 @@ func (c *Calendar) Pop() Event {
 	b[len(b)-1] = item{}
 	c.buckets[idx] = b[:len(b)-1]
 	c.n--
-	c.lastTime = it.ev.Time()
+	if it.n != nil {
+		c.pool.put(it.n)
+	}
+	c.lastTime = it.t
 	c.bucketIdx = idx
 	c.headIdx = -1
 	if c.n < len(c.buckets)/2 && len(c.buckets) > 2 {
@@ -162,7 +223,7 @@ func (c *Calendar) dayEnd(idx, step int) simtime.Time {
 	return simtime.Time((day + int64(step) + 1) * int64(c.width))
 }
 
-// Peek returns the earliest event without removing it, or nil.
+// Peek returns the earliest live event without removing it, or nil.
 func (c *Calendar) Peek() Event {
 	idx := c.findHead()
 	if idx < 0 {
@@ -171,15 +232,23 @@ func (c *Calendar) Peek() Event {
 	return c.buckets[idx][0].ev
 }
 
-// Len returns the number of queued events.
-func (c *Calendar) Len() int { return c.n }
+// Len returns the number of live queued events.
+func (c *Calendar) Len() int { return c.n - c.dead }
 
 // resize rebuilds the calendar with nbuckets buckets and a day width derived
-// from the current event spacing.
+// from the current event spacing. Cancelled entries are dropped here, so a
+// resize doubles as a full prune.
 func (c *Calendar) resize(nbuckets int) {
-	all := make([]item, 0, c.n)
+	all := make([]item, 0, c.n-c.dead)
 	for _, b := range c.buckets {
-		all = append(all, b...)
+		for _, it := range b {
+			if it.n != nil && it.n.dead {
+				c.pool.put(it.n)
+				c.dead--
+				continue
+			}
+			all = append(all, it)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return less(all[i], all[j]) })
 	width := c.sampleWidth(all)
@@ -187,7 +256,7 @@ func (c *Calendar) resize(nbuckets int) {
 	c.reinit(nbuckets, width, start)
 	c.n = 0
 	for _, it := range all {
-		idx := c.bucketFor(it.ev.Time())
+		idx := c.bucketFor(it.t)
 		c.buckets[idx] = append(c.buckets[idx], it)
 		c.n++
 	}
@@ -199,7 +268,7 @@ func (c *Calendar) sampleWidth(sorted []item) simtime.Duration {
 	if len(sorted) < 2 {
 		return c.width
 	}
-	span := sorted[len(sorted)-1].ev.Time() - sorted[0].ev.Time()
+	span := sorted[len(sorted)-1].t - sorted[0].t
 	if span <= 0 {
 		return c.width
 	}

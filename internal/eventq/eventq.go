@@ -3,21 +3,29 @@
 // block: every input to the topology — a flow arrival, a link failure, a
 // control-plane message delivery — is an event with a firing time.
 //
-// Two implementations are provided behind the Queue interface: a binary
-// min-heap (the default, O(log n) per operation) and a calendar queue
+// Three implementations are provided behind the Queue interface: a binary
+// min-heap (the default, O(log n) per operation), a calendar queue
 // (amortized O(1) when event times are spread roughly uniformly, as is the
-// case for high-churn Poisson traffic). Both dequeue events in
-// nondecreasing time order and break ties by order key (Keyed) and then
-// insertion order, so a simulation run is fully deterministic for a
-// given input sequence — and, with entity-derived keys, reproducible by
-// the sharded executor regardless of how scheduling interleaves.
+// case for high-churn Poisson traffic), and a hierarchical timing wheel
+// (O(1) schedule and O(1) true cancellation, built for timer-dominated
+// million-flow populations). All dequeue events in nondecreasing time
+// order and break ties by order key (Keyed) and then insertion order, so a
+// simulation run is fully deterministic for a given input sequence — and,
+// with entity-derived keys, reproducible by the sharded executor
+// regardless of how scheduling interleaves.
+//
+// Queues that additionally implement Canceler support true cancellation:
+// PushCancelable returns a Handle and Cancel removes the event before it
+// fires, instead of the generation-stamp pattern where stale timers sit in
+// the queue until they fire as no-ops. The wheel physically unlinks in
+// O(1); heap and calendar mark the entry dead and skip it on dequeue (the
+// entry is never compared through its event again, so cancelled envelopes
+// may be recycled immediately). Len always reports live events only, so
+// engine logic keyed on queue emptiness behaves identically on every
+// backend.
 package eventq
 
-import (
-	"container/heap"
-
-	"horse/internal/simtime"
-)
+import "horse/internal/simtime"
 
 // Event is anything that can be scheduled on a Queue.
 type Event interface {
@@ -63,23 +71,104 @@ type Queue interface {
 	Pop() Event
 	// Peek returns the earliest event without removing it, or nil.
 	Peek() Event
-	// Len returns the number of queued events.
+	// Len returns the number of queued (live, uncancelled) events.
 	Len() int
 }
 
-// item pairs an event with its cached order key and insertion sequence
-// number for stable ordering. The key is captured once at Push so the hot
-// comparison path never re-asserts the Keyed interface.
+// Canceler is the optional cancellation capability of a Queue. Engines
+// use it to remove dead timers (retransmission timers rearmed on every
+// ACK, flow timeouts rescheduled on every packet) instead of letting
+// generation-stamped corpses sit in the queue and fire as no-ops.
+type Canceler interface {
+	Queue
+	// PushCancelable schedules an event and returns a handle for Cancel.
+	PushCancelable(Event) Handle
+	// Cancel removes a previously scheduled event. It returns the event
+	// and true when the event was still queued (the caller owns
+	// recycling it, and the queue guarantees it will never touch the
+	// event again); a zero, stale, already-cancelled, or already-fired
+	// handle returns (nil, false).
+	Cancel(Handle) (Event, bool)
+}
+
+// Handle identifies one cancelable scheduled event. The zero Handle is
+// valid and cancels as a no-op. Handles are invalidated when the event
+// fires, is cancelled, or is popped — a stale Cancel is safe and returns
+// false.
+type Handle struct {
+	n   *node
+	gen uint32
+}
+
+// node is the per-event bookkeeping record behind a Handle. Heap and
+// calendar use only (ev, gen, dead) — the node marks a queue entry dead
+// so dequeue can skip it. The wheel stores events entirely in nodes:
+// slot chains and the overflow list link through prev/next, and `where`
+// records the node's current location so Cancel can unlink in O(1).
+// Nodes are pooled per queue; gen increments on every recycle so stale
+// handles never alias a reused node.
+type node struct {
+	ev    Event
+	t     simtime.Time
+	key   uint64
+	seq   uint64
+	prev  *node
+	next  *node
+	gen   uint32
+	where uint16
+	dead  bool
+}
+
+// Locations for node.where. Values below wheelLevels*wheelSlots are a
+// wheel slot index (level<<wheelBits | slot).
+const (
+	whereNone     = 0xFFFD // not tracked by location (heap/calendar/pooled)
+	whereReady    = 0xFFFE // in the wheel's sorted ready run
+	whereOverflow = 0xFFFF // in the wheel's overflow list
+)
+
+// nodePool is an intrusive free list of nodes, linked through next.
+type nodePool struct {
+	free *node
+}
+
+func (p *nodePool) get() *node {
+	if n := p.free; n != nil {
+		p.free = n.next
+		n.next = nil
+		return n
+	}
+	return &node{where: whereNone}
+}
+
+// put recycles a node, bumping gen so outstanding handles go stale.
+func (p *nodePool) put(n *node) {
+	n.gen++
+	n.ev = nil
+	n.prev = nil
+	n.dead = false
+	n.where = whereNone
+	n.next = p.free
+	p.free = n
+}
+
+// item pairs an event with its cached firing time, order key, and
+// insertion sequence number. Time and key are captured once at Push, so
+// the hot comparison path never calls back into the event — which also
+// means a cancelled event's envelope can be recycled while its dead entry
+// still sits in a lazy-cancel queue: the entry's ordering fields are
+// frozen and its ev pointer is never dereferenced again.
 type item struct {
 	ev  Event
+	t   simtime.Time
 	key uint64
 	seq uint64
+	n   *node // non-nil for cancelable entries
 }
 
 func less(a, b item) bool {
-	at, bt := a.ev.Time(), b.ev.Time()
-	if at != bt {
-		return at < bt
+	if a.t != b.t {
+		return a.t < b.t
 	}
 	if a.key != b.key {
 		return a.key < b.key
@@ -87,53 +176,199 @@ func less(a, b item) bool {
 	return a.seq < b.seq
 }
 
-// Heap is a binary min-heap Queue. The zero value is ready to use.
+// Heap is a binary min-heap Queue with hand-rolled typed sift-up/down
+// (no container/heap interface boxing: Push and Pop allocate nothing
+// beyond amortized slice growth). It implements Canceler with lazy
+// cancellation: Cancel marks the entry dead in O(1) and dequeue skips
+// corpses. The zero value is ready to use.
 type Heap struct {
-	h heapImpl
+	items []item
+	seq   uint64
+	dead  int // cancelled entries still physically in items
+	pool  nodePool
 }
 
 // NewHeap returns an empty binary-heap event queue.
 func NewHeap() *Heap { return &Heap{} }
 
-type heapImpl struct {
-	items []item
-	seq   uint64
+// Push schedules an event.
+func (q *Heap) Push(ev Event) {
+	q.seq++
+	q.push(item{ev: ev, t: ev.Time(), key: orderKeyOf(ev), seq: q.seq})
 }
 
-func (h *heapImpl) Len() int           { return len(h.items) }
-func (h *heapImpl) Less(i, j int) bool { return less(h.items[i], h.items[j]) }
-func (h *heapImpl) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *heapImpl) Push(x interface{}) { h.items = append(h.items, x.(item)) }
-func (h *heapImpl) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = item{} // release reference
-	h.items = old[:n-1]
+// PushCancelable schedules an event and returns a cancellation handle.
+func (q *Heap) PushCancelable(ev Event) Handle {
+	q.seq++
+	n := q.pool.get()
+	n.ev = ev
+	q.push(item{ev: ev, t: ev.Time(), key: orderKeyOf(ev), seq: q.seq, n: n})
+	return Handle{n: n, gen: n.gen}
+}
+
+// Cancel marks a scheduled event dead. The entry stays in the heap until
+// dequeue reaches it, but its event is returned to the caller now and
+// never touched again.
+func (q *Heap) Cancel(h Handle) (Event, bool) {
+	n := h.n
+	if n == nil || n.gen != h.gen || n.dead {
+		return nil, false
+	}
+	ev := n.ev
+	n.ev = nil
+	n.dead = true
+	q.dead++
+	return ev, true
+}
+
+func (q *Heap) push(it item) {
+	q.items = append(q.items, it)
+	q.siftUp(len(q.items) - 1)
+}
+
+func (q *Heap) siftUp(i int) {
+	it := q.items[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(it, q.items[p]) {
+			break
+		}
+		q.items[i] = q.items[p]
+		i = p
+	}
+	q.items[i] = it
+}
+
+func (q *Heap) siftDown(i int) {
+	n := len(q.items)
+	it := q.items[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(q.items[r], q.items[l]) {
+			m = r
+		}
+		if !less(q.items[m], it) {
+			break
+		}
+		q.items[i] = q.items[m]
+		i = m
+	}
+	q.items[i] = it
+}
+
+// removeMin removes and returns the root entry (live or dead).
+func (q *Heap) removeMin() item {
+	it := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = item{}
+	q.items = q.items[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
 	return it
 }
 
-// Push schedules an event.
-func (q *Heap) Push(ev Event) {
-	q.h.seq++
-	heap.Push(&q.h, item{ev: ev, key: orderKeyOf(ev), seq: q.h.seq})
-}
-
-// Pop removes and returns the earliest event, or nil if the queue is empty.
+// Pop removes and returns the earliest live event, or nil if the queue is
+// empty.
 func (q *Heap) Pop() Event {
-	if len(q.h.items) == 0 {
-		return nil
+	for len(q.items) > 0 {
+		it := q.removeMin()
+		if it.n != nil {
+			dead := it.n.dead
+			q.pool.put(it.n)
+			if dead {
+				q.dead--
+				continue
+			}
+		}
+		return it.ev
 	}
-	return heap.Pop(&q.h).(item).ev
+	return nil
 }
 
-// Peek returns the earliest event without removing it, or nil.
+// Peek returns the earliest live event without removing it, or nil.
 func (q *Heap) Peek() Event {
-	if len(q.h.items) == 0 {
-		return nil
+	for len(q.items) > 0 {
+		it := q.items[0]
+		if it.n != nil && it.n.dead {
+			q.removeMin()
+			q.pool.put(it.n)
+			q.dead--
+			continue
+		}
+		return it.ev
 	}
-	return q.h.items[0].ev
+	return nil
 }
 
-// Len returns the number of queued events.
-func (q *Heap) Len() int { return len(q.h.items) }
+// Len returns the number of live queued events.
+func (q *Heap) Len() int { return len(q.items) - q.dead }
+
+// Backend names an event-queue implementation. The zero value is the
+// binary heap.
+type Backend uint8
+
+const (
+	// BackendHeap is the binary min-heap: O(log n) per operation, the
+	// safe default for any workload.
+	BackendHeap Backend = iota
+	// BackendCalendar is the calendar queue: amortized O(1) when event
+	// times are spread roughly uniformly.
+	BackendCalendar
+	// BackendWheel is the hierarchical timing wheel: O(1) schedule and
+	// O(1) true cancellation, built for timer-dominated workloads.
+	BackendWheel
+	// BackendAuto starts on the heap and migrates once to the wheel when
+	// cancelable (timer-class) events dominate the early push mix.
+	BackendAuto
+)
+
+// String returns the wire name of the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendCalendar:
+		return "calendar"
+	case BackendWheel:
+		return "wheel"
+	case BackendAuto:
+		return "auto"
+	default:
+		return "heap"
+	}
+}
+
+// ParseBackend maps a wire name ("heap", "calendar", "wheel", "auto") to
+// a Backend. The empty string is the default heap.
+func ParseBackend(s string) (Backend, bool) {
+	switch s {
+	case "", "heap":
+		return BackendHeap, true
+	case "calendar":
+		return BackendCalendar, true
+	case "wheel":
+		return BackendWheel, true
+	case "auto":
+		return BackendAuto, true
+	}
+	return BackendHeap, false
+}
+
+// New returns an empty queue of the selected backend. Every backend
+// implements Canceler.
+func New(b Backend) Queue {
+	switch b {
+	case BackendCalendar:
+		return NewCalendar()
+	case BackendWheel:
+		return NewWheel()
+	case BackendAuto:
+		return NewAdaptive()
+	default:
+		return NewHeap()
+	}
+}

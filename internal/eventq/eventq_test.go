@@ -20,6 +20,8 @@ func queues() map[string]func() Queue {
 	return map[string]func() Queue{
 		"heap":     func() Queue { return NewHeap() },
 		"calendar": func() Queue { return NewCalendar() },
+		"wheel":    func() Queue { return NewWheel() },
+		"auto":     func() Queue { return NewAdaptive() },
 	}
 }
 

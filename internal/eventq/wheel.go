@@ -1,0 +1,462 @@
+package eventq
+
+import (
+	"math/bits"
+
+	"horse/internal/simtime"
+)
+
+// Wheel is a hierarchical timing wheel (Varghese & Lauck, SOSP 1987; the
+// mintmr minute-wheel lineage) implementing Queue and Canceler. Firing
+// times quantize into ticks; each of the wheelLevels levels holds
+// wheelSlots slots, with a level-i slot spanning wheelSlots^i ticks.
+// Schedule is O(1): the tick picks a level by distance from the cursor and
+// an intrusive doubly-linked node goes onto that slot's chain. Cancel is
+// O(1) true removal: the node unlinks from its chain and recycles
+// immediately — no corpse remains to heapify or fire. Far-future events
+// beyond the top level's horizon wait in an overflow list and cascade
+// down when the wheel drains up to them.
+//
+// Determinism matches the heap exactly. Slot chains are unordered, but a
+// slot is drained all at once into a sorted "ready run" — sorted by the
+// cached (time, key, FIFO-seq) triple — before anything pops, and events
+// scheduled at or before the cursor's tick insert into the ready run in
+// sorted position. Since every event in a pending slot fires strictly
+// after every event in the ready run, pops leave the wheel in exactly the
+// (time, key, seq) order a heap would produce, byte for byte.
+//
+// Advancing skips empty regions via per-level occupancy bitmaps: the next
+// occupied slot is found with a handful of word scans, not a tick-by-tick
+// rotation, so a sparse wheel is as cheap to drain as a heap.
+type Wheel struct {
+	tick simtime.Duration
+	// cur is the current tick: every event at a tick <= cur is in the
+	// ready run (or already popped); slots and overflow hold ticks > cur.
+	cur   uint64
+	heads [wheelLevels * wheelSlots]*node
+	occ   [wheelLevels][wheelSlots / 64]uint64
+	// ovBoundary is the absolute tick at and beyond which events go to
+	// the overflow list. It is fixed between overflow refills (rather
+	// than tracking the cursor) so a late push can never leapfrog into a
+	// slot ahead of an already-overflowed earlier event.
+	ovBoundary uint64
+	overflow   *node
+
+	// ready is the sorted run of due items; ready[readyAt:] is pending.
+	ready     []item
+	readyAt   int
+	liveReady int // live (uncancelled) items in ready[readyAt:]
+
+	n    int // live events across ready, slots, and overflow
+	seq  uint64
+	pool nodePool
+}
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelLevels = 4
+	wheelMask   = wheelSlots - 1
+)
+
+// DefaultWheelTick is the default tick width: fine enough that sub-tick
+// event bursts (which fall back to sorted ready-run insertion) stay rare
+// in packet-level runs, coarse enough that four 256-slot levels span ~50
+// days of simulated time before the overflow list is needed.
+const DefaultWheelTick = simtime.Microsecond
+
+// NewWheel returns an empty timing wheel with the default tick.
+func NewWheel() *Wheel { return NewWheelTick(DefaultWheelTick) }
+
+// NewWheelTick returns an empty timing wheel with the given tick width.
+func NewWheelTick(tick simtime.Duration) *Wheel {
+	if tick <= 0 {
+		tick = 1
+	}
+	w := &Wheel{tick: tick}
+	w.ovBoundary = w.windowEnd(wheelLevels - 1)
+	return w
+}
+
+func (w *Wheel) tickOf(t simtime.Time) uint64 {
+	if t < 0 {
+		return 0
+	}
+	return uint64(t) / uint64(w.tick)
+}
+
+// windowEnd returns the first tick past the span that level `level` can
+// address from the current cursor: the end of the cursor's enclosing
+// level-(level+1) slot.
+func (w *Wheel) windowEnd(level int) uint64 {
+	shift := uint((level + 1) * wheelBits)
+	return (w.cur>>shift + 1) << shift
+}
+
+// Push schedules an event.
+func (w *Wheel) Push(ev Event) { w.push(ev) }
+
+// PushCancelable schedules an event and returns a cancellation handle.
+func (w *Wheel) PushCancelable(ev Event) Handle {
+	n := w.push(ev)
+	return Handle{n: n, gen: n.gen}
+}
+
+func (w *Wheel) push(ev Event) *node {
+	w.seq++
+	n := w.pool.get()
+	n.ev = ev
+	n.t = ev.Time()
+	n.key = orderKeyOf(ev)
+	n.seq = w.seq
+	w.place(n)
+	w.n++
+	return n
+}
+
+// place routes a node to the ready run, a slot, or the overflow list
+// according to its tick's distance from the cursor.
+func (w *Wheel) place(n *node) {
+	d := w.tickOf(n.t)
+	switch {
+	case d <= w.cur:
+		w.insertReady(n)
+	case d < w.windowEnd(0):
+		w.insertSlot(0, int(d&wheelMask), n)
+	case d < w.windowEnd(1):
+		w.insertSlot(1, int(d>>wheelBits&wheelMask), n)
+	case d < w.windowEnd(2):
+		w.insertSlot(2, int(d>>(2*wheelBits)&wheelMask), n)
+	case d < w.ovBoundary:
+		w.insertSlot(3, int(d>>(3*wheelBits)&wheelMask), n)
+	default:
+		w.insertOverflow(n)
+	}
+}
+
+// insertReady places a due node into the pending ready run at its sorted
+// position, preserving exact heap pop order for events scheduled at (or
+// before) the current instant.
+func (w *Wheel) insertReady(n *node) {
+	n.where = whereReady
+	it := item{ev: n.ev, t: n.t, key: n.key, seq: n.seq, n: n}
+	lo, hi := w.readyAt, len(w.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(w.ready[mid], it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.ready = append(w.ready, item{})
+	copy(w.ready[lo+1:], w.ready[lo:])
+	w.ready[lo] = it
+	w.liveReady++
+}
+
+func (w *Wheel) insertSlot(level, slot int, n *node) {
+	idx := level<<wheelBits | slot
+	n.where = uint16(idx)
+	n.prev = nil
+	n.next = w.heads[idx]
+	if w.heads[idx] != nil {
+		w.heads[idx].prev = n
+	}
+	w.heads[idx] = n
+	w.occ[level][slot>>6] |= 1 << (uint(slot) & 63)
+}
+
+func (w *Wheel) insertOverflow(n *node) {
+	n.where = whereOverflow
+	n.prev = nil
+	n.next = w.overflow
+	if w.overflow != nil {
+		w.overflow.prev = n
+	}
+	w.overflow = n
+}
+
+// Cancel removes a scheduled event. Slot and overflow entries unlink and
+// recycle in O(1); a ready-run entry is marked dead and skipped on pop.
+func (w *Wheel) Cancel(h Handle) (Event, bool) {
+	n := h.n
+	if n == nil || n.gen != h.gen || n.dead {
+		return nil, false
+	}
+	ev := n.ev
+	switch n.where {
+	case whereReady:
+		n.ev = nil
+		n.dead = true
+		w.liveReady--
+		w.n--
+		// Node recycles when the ready run reaches it.
+	case whereOverflow:
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			w.overflow = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		}
+		w.n--
+		w.pool.put(n)
+	case whereNone:
+		return nil, false
+	default:
+		w.unlinkSlot(n)
+		w.n--
+		w.pool.put(n)
+	}
+	return ev, true
+}
+
+func (w *Wheel) unlinkSlot(n *node) {
+	idx := int(n.where)
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		w.heads[idx] = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if w.heads[idx] == nil {
+		level, slot := idx>>wheelBits, idx&wheelMask
+		w.occ[level][slot>>6] &^= 1 << (uint(slot) & 63)
+	}
+}
+
+// Pop removes and returns the earliest live event, or nil if empty.
+func (w *Wheel) Pop() Event {
+	for {
+		if w.liveReady == 0 {
+			if w.n == 0 {
+				w.purgeReady()
+				return nil
+			}
+			w.advance()
+		}
+		it := w.ready[w.readyAt]
+		w.ready[w.readyAt] = item{}
+		w.readyAt++
+		dead := it.n.dead
+		w.pool.put(it.n)
+		if dead {
+			continue
+		}
+		w.liveReady--
+		w.n--
+		if w.readyAt == len(w.ready) {
+			w.ready = w.ready[:0]
+			w.readyAt = 0
+		}
+		return it.ev
+	}
+}
+
+// Peek returns the earliest live event without removing it, or nil.
+func (w *Wheel) Peek() Event {
+	for {
+		if w.liveReady == 0 {
+			if w.n == 0 {
+				return nil
+			}
+			w.advance()
+		}
+		it := w.ready[w.readyAt]
+		if it.n.dead {
+			w.ready[w.readyAt] = item{}
+			w.readyAt++
+			w.pool.put(it.n)
+			continue
+		}
+		return it.ev
+	}
+}
+
+// Len returns the number of live queued events.
+func (w *Wheel) Len() int { return w.n }
+
+// purgeReady recycles any dead entries left in the ready run and resets it.
+func (w *Wheel) purgeReady() {
+	for i := w.readyAt; i < len(w.ready); i++ {
+		w.pool.put(w.ready[i].n)
+		w.ready[i] = item{}
+	}
+	w.ready = w.ready[:0]
+	w.readyAt = 0
+}
+
+// advance moves the cursor to the next occupied tick and drains that
+// level-0 slot into the ready run, cascading higher-level slots (and, as
+// a last resort, the overflow list) down as the cursor crosses their
+// windows. Precondition: no live ready items; postcondition: liveReady>0.
+func (w *Wheel) advance() {
+	w.purgeReady()
+	for {
+		if w.liveReady > 0 {
+			return
+		}
+		if s, ok := w.nextOcc(0, int(w.cur&wheelMask)); ok {
+			w.cur = w.cur&^uint64(wheelMask) | uint64(s)
+			w.drainSlot(s)
+			continue
+		}
+		if s, ok := w.nextOcc(1, int(w.cur>>wheelBits&wheelMask)+1); ok {
+			w.cur = w.cur&^(1<<(2*wheelBits)-1) | uint64(s)<<wheelBits
+			w.cascade(1, s)
+			continue
+		}
+		if s, ok := w.nextOcc(2, int(w.cur>>(2*wheelBits)&wheelMask)+1); ok {
+			w.cur = w.cur&^(1<<(3*wheelBits)-1) | uint64(s)<<(2*wheelBits)
+			w.cascade(2, s)
+			continue
+		}
+		if s, ok := w.nextOcc(3, int(w.cur>>(3*wheelBits)&wheelMask)+1); ok {
+			w.cur = w.cur&^(1<<(4*wheelBits)-1) | uint64(s)<<(3*wheelBits)
+			w.cascade(3, s)
+			continue
+		}
+		if w.overflow != nil {
+			w.refillFromOverflow()
+			continue
+		}
+		panic("eventq: wheel invariant violated: live events but nothing scheduled")
+	}
+}
+
+// nextOcc scans level's occupancy bitmap for the first occupied slot at or
+// after from.
+func (w *Wheel) nextOcc(level, from int) (int, bool) {
+	if from >= wheelSlots {
+		return 0, false
+	}
+	word := from >> 6
+	b := w.occ[level][word] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if b != 0 {
+			return word<<6 + bits.TrailingZeros64(b), true
+		}
+		word++
+		if word >= wheelSlots/64 {
+			return 0, false
+		}
+		b = w.occ[level][word]
+	}
+}
+
+// drainSlot empties level-0 slot s into the ready run and sorts it. The
+// chain is reversed first so items append in FIFO push order, which makes
+// the insertion sort linear for the common already-ordered case.
+func (w *Wheel) drainSlot(s int) {
+	n := w.heads[s]
+	w.heads[s] = nil
+	w.occ[0][s>>6] &^= 1 << (uint(s) & 63)
+	start := len(w.ready)
+	for n != nil {
+		next := n.next
+		n.prev, n.next = nil, nil
+		n.where = whereReady
+		w.ready = append(w.ready, item{ev: n.ev, t: n.t, key: n.key, seq: n.seq, n: n})
+		w.liveReady++
+		n = next
+	}
+	run := w.ready[start:]
+	// Chains are pushed at the front, so reverse to recover FIFO order.
+	for i, j := 0, len(run)-1; i < j; i, j = i+1, j-1 {
+		run[i], run[j] = run[j], run[i]
+	}
+	sortItems(run)
+}
+
+// cascade empties the slot at (level, s) and re-places each node with the
+// cursor now inside the slot's window, pushing it to a lower level (or the
+// ready run, for nodes at exactly the cursor tick).
+func (w *Wheel) cascade(level, s int) {
+	idx := level<<wheelBits | s
+	n := w.heads[idx]
+	w.heads[idx] = nil
+	w.occ[level][s>>6] &^= 1 << (uint(s) & 63)
+	for n != nil {
+		next := n.next
+		n.prev, n.next = nil, nil
+		w.place(n)
+		n = next
+	}
+}
+
+// refillFromOverflow jumps the cursor to the earliest overflowed tick,
+// re-anchors the overflow boundary there, and re-places every node that
+// now fits under it.
+func (w *Wheel) refillFromOverflow() {
+	min := ^uint64(0)
+	for n := w.overflow; n != nil; n = n.next {
+		if d := w.tickOf(n.t); d < min {
+			min = d
+		}
+	}
+	w.cur = min
+	w.ovBoundary = w.windowEnd(wheelLevels - 1)
+	n := w.overflow
+	w.overflow = nil
+	for n != nil {
+		next := n.next
+		n.prev, n.next = nil, nil
+		if w.tickOf(n.t) < w.ovBoundary {
+			w.place(n)
+		} else {
+			w.insertOverflow(n)
+		}
+		n = next
+	}
+}
+
+// sortItems orders a drained run by (time, key, seq). Small runs use an
+// insertion sort (linear when already ordered); larger runs use an
+// in-place heapsort to bound the worst case. Both are allocation-free,
+// and stability is irrelevant because seq makes the order total.
+func sortItems(a []item) {
+	if len(a) <= 32 {
+		for i := 1; i < len(a); i++ {
+			it := a[i]
+			j := i
+			for j > 0 && less(it, a[j-1]) {
+				a[j] = a[j-1]
+				j--
+			}
+			a[j] = it
+		}
+		return
+	}
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDownMax(a, i)
+	}
+	for end := len(a) - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownMax(a[:end], 0)
+	}
+}
+
+func siftDownMax(a []item, i int) {
+	it := a[i]
+	n := len(a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(a[l], a[r]) {
+			m = r
+		}
+		if !less(it, a[m]) {
+			break
+		}
+		a[i] = a[m]
+		i = m
+	}
+	a[i] = it
+}

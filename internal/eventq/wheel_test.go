@@ -1,0 +1,485 @@
+package eventq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"horse/internal/simtime"
+)
+
+type keyedEvent struct {
+	t   simtime.Time
+	key uint64
+	id  int
+}
+
+func (e *keyedEvent) Time() simtime.Time { return e.t }
+func (e *keyedEvent) OrderKey() uint64   { return e.key }
+
+// cancelers lists every backend in a stable order; all of them implement
+// Canceler.
+func cancelers() []struct {
+	name string
+	mk   func() Canceler
+} {
+	return []struct {
+		name string
+		mk   func() Canceler
+	}{
+		{"heap", func() Canceler { return NewHeap() }},
+		{"calendar", func() Canceler { return NewCalendar() }},
+		{"wheel", func() Canceler { return NewWheel() }},
+		{"auto", func() Canceler { return NewAdaptive() }},
+	}
+}
+
+func TestCancelSemantics(t *testing.T) {
+	for _, be := range cancelers() {
+		q := be.mk()
+		a := &keyedEvent{t: 100, key: 1, id: 0}
+		b := &keyedEvent{t: 200, key: 1, id: 1}
+		c := &keyedEvent{t: 300, key: 1, id: 2}
+		ha := q.PushCancelable(a)
+		q.Push(b)
+		hc := q.PushCancelable(c)
+		if q.Len() != 3 {
+			t.Fatalf("%s: Len = %d, want 3", be.name, q.Len())
+		}
+		if ev, ok := q.Cancel(ha); !ok || ev != a {
+			t.Fatalf("%s: Cancel(a) = (%v, %v), want (a, true)", be.name, ev, ok)
+		}
+		if q.Len() != 2 {
+			t.Fatalf("%s: Len after cancel = %d, want 2", be.name, q.Len())
+		}
+		if ev, ok := q.Cancel(ha); ok || ev != nil {
+			t.Fatalf("%s: double Cancel = (%v, %v), want (nil, false)", be.name, ev, ok)
+		}
+		if ev, ok := q.Cancel(Handle{}); ok || ev != nil {
+			t.Fatalf("%s: zero-handle Cancel = (%v, %v), want (nil, false)", be.name, ev, ok)
+		}
+		if got := q.Peek(); got != b {
+			t.Fatalf("%s: Peek = %v, want b (a was cancelled)", be.name, got)
+		}
+		if got := q.Pop(); got != b {
+			t.Fatalf("%s: Pop = %v, want b", be.name, got)
+		}
+		if got := q.Pop(); got != c {
+			t.Fatalf("%s: Pop = %v, want c", be.name, got)
+		}
+		// c has fired: its handle is stale now.
+		if ev, ok := q.Cancel(hc); ok || ev != nil {
+			t.Fatalf("%s: Cancel after fire = (%v, %v), want (nil, false)", be.name, ev, ok)
+		}
+		if q.Len() != 0 || q.Pop() != nil {
+			t.Fatalf("%s: queue not empty after drain", be.name)
+		}
+	}
+}
+
+// qop is one step of a scripted queue workload, shared by the randomized
+// cross-backend test and the fuzz target.
+type qop struct {
+	kind byte   // 0 push, 1 push-cancelable, 2 cancel, 3 pop, 4 peek
+	dt   int64  // firing-time offset from the drive clock (ns)
+	key  uint64 // order key
+	idx  int    // which recorded handle to cancel
+}
+
+// driveScript applies ops to a queue and returns a transcript of every
+// observable result. Two backends are equivalent iff their transcripts
+// match for every script.
+func driveScript(q Queue, ops []qop) []string {
+	c, _ := q.(Canceler)
+	var out []string
+	var handles []Handle
+	clock := simtime.Time(0)
+	id := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			q.Push(&keyedEvent{t: clock.Add(simtime.Duration(op.dt)), key: op.key, id: id})
+			id++
+		case 1:
+			h := c.PushCancelable(&keyedEvent{t: clock.Add(simtime.Duration(op.dt)), key: op.key, id: id})
+			handles = append(handles, h)
+			id++
+		case 2:
+			if len(handles) > 0 {
+				h := handles[op.idx%len(handles)]
+				ev, ok := c.Cancel(h)
+				evid := -1
+				if ev != nil {
+					evid = ev.(*keyedEvent).id
+				}
+				out = append(out, fmt.Sprintf("cancel %v %d", ok, evid))
+			}
+		case 3:
+			ev := q.Pop()
+			if ev == nil {
+				out = append(out, "pop nil")
+			} else {
+				ke := ev.(*keyedEvent)
+				clock = ke.t
+				out = append(out, fmt.Sprintf("pop %d@%d", ke.id, int64(ke.t)))
+			}
+		case 4:
+			ev := q.Peek()
+			if ev == nil {
+				out = append(out, "peek nil")
+			} else {
+				ke := ev.(*keyedEvent)
+				out = append(out, fmt.Sprintf("peek %d@%d", ke.id, int64(ke.t)))
+			}
+		}
+		out = append(out, fmt.Sprintf("len %d", q.Len()))
+	}
+	for {
+		ev := q.Pop()
+		if ev == nil {
+			break
+		}
+		ke := ev.(*keyedEvent)
+		out = append(out, fmt.Sprintf("drain %d@%d", ke.id, int64(ke.t)))
+	}
+	return out
+}
+
+func compareScripts(t *testing.T, ops []qop) {
+	t.Helper()
+	var ref []string
+	refName := ""
+	for _, be := range cancelers() {
+		got := driveScript(be.mk(), ops)
+		if ref == nil {
+			ref, refName = got, be.name
+			continue
+		}
+		n := len(ref)
+		if len(got) < n {
+			n = len(got)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("%s diverges from %s at step %d: %q vs %q", be.name, refName, i, got[i], ref[i])
+			}
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s transcript length %d != %s length %d (first %d steps agree)", be.name, len(got), refName, len(ref), n)
+		}
+	}
+}
+
+// TestCrossBackendCancelProperty drives every backend through randomized
+// (time, key, cancel) workloads and requires transcript-identical
+// behavior: same pop sequence, same Len after every op, same cancel
+// outcomes. Time offsets span every wheel level and the overflow list.
+// Offsets are never negative: the calendar queue assumes pushes at or
+// after the dequeue cursor (as every engine guarantees); past-time
+// inserts are covered by the heap-oracle fuzz target instead.
+func TestCrossBackendCancelProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(1200)
+		ops := make([]qop, n)
+		for i := range ops {
+			op := qop{kind: byte(rng.Intn(5)), key: uint64(rng.Intn(5))}
+			// Mostly pushes so the population grows; dt spread over
+			// exponentially many scales so slots, cascades, and overflow
+			// all trigger.
+			if op.kind > 1 && rng.Intn(3) == 0 {
+				op.kind = byte(rng.Intn(2))
+			}
+			op.dt = rng.Int63n(1 << uint(10+rng.Intn(35)))
+			op.idx = rng.Intn(1 << 16)
+			ops[i] = op
+		}
+		compareScripts(t, ops)
+	}
+}
+
+// decodeOps turns fuzz bytes into a bounded op script (10 bytes per op).
+func decodeOps(data []byte) []qop {
+	const opLen = 10
+	n := len(data) / opLen
+	if n > 2048 {
+		n = 2048
+	}
+	ops := make([]qop, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*opLen : (i+1)*opLen]
+		mant := int64(b[1])<<8 | int64(b[2])
+		shift := uint(b[3]) % 44
+		dt := mant << shift
+		if b[4]&0x80 != 0 {
+			dt = -dt
+		}
+		ops = append(ops, qop{
+			kind: b[0] % 5,
+			dt:   dt,
+			key:  uint64(b[5]),
+			idx:  int(b[6])<<8 | int(b[7]),
+		})
+	}
+	return ops
+}
+
+// FuzzWheelVsHeap fuzzes the wheel's cascade/overflow/ready paths against
+// the heap oracle: any decoded op script must produce identical
+// transcripts. The seed corpus (plus testdata/fuzz) covers far-future
+// overflow pushes, past-time ready inserts, and cancel-heavy mixes.
+func FuzzWheelVsHeap(f *testing.F) {
+	// Interleaved near/far pushes with pops: exercises cascade.
+	seed1 := make([]byte, 0, 400)
+	for i := 0; i < 40; i++ {
+		seed1 = append(seed1, byte(i%4), 0x12, byte(i*7), byte(i*3%44), 0, byte(i), 0, byte(i), 0, 0)
+	}
+	f.Add(seed1)
+	// Far-future overflow pushes followed by a full drain.
+	seed2 := make([]byte, 0, 400)
+	for i := 0; i < 20; i++ {
+		seed2 = append(seed2, 1, 0xff, 0xff, 43, 0, 1, 0, 0, 0, 0)
+	}
+	for i := 0; i < 20; i++ {
+		seed2 = append(seed2, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	}
+	f.Add(seed2)
+	// Cancel-heavy mix with past-time inserts.
+	seed3 := make([]byte, 0, 600)
+	for i := 0; i < 60; i++ {
+		seed3 = append(seed3, byte([]byte{1, 1, 2, 3, 2}[i%5]), byte(i), byte(i*11), byte(i%30), byte(i<<7), byte(i%3), 0, byte(i%13), 0, 0)
+	}
+	f.Add(seed3)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeOps(data)
+		if len(ops) == 0 {
+			return
+		}
+		ref := driveScript(NewHeap(), ops)
+		got := driveScript(NewWheel(), ops)
+		if len(got) != len(ref) {
+			t.Fatalf("wheel transcript length %d != heap %d", len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("wheel diverges from heap at step %d: %q vs %q", i, got[i], ref[i])
+			}
+		}
+	})
+}
+
+// TestWheelOverflowRefill pins the overflow path directly: events beyond
+// the top level's horizon must come back in exact order, including ones
+// pushed after the cursor has advanced (the frozen-boundary case that
+// prevents a late push from leapfrogging an overflowed earlier event).
+func TestWheelOverflowRefill(t *testing.T) {
+	w := NewWheel()
+	horizon := simtime.Time(int64(DefaultWheelTick) << (wheelBits * wheelLevels))
+	far := &keyedEvent{t: horizon * 2, id: 1}
+	farther := &keyedEvent{t: horizon * 3, id: 2}
+	near := &keyedEvent{t: 1000, id: 0}
+	w.Push(farther)
+	w.Push(far)
+	w.Push(near)
+	if got := w.Pop(); got != near {
+		t.Fatalf("Pop = %v, want near", got)
+	}
+	// The cursor sits at near's tick. A push between far and farther must
+	// not bypass far even though the wheel will refill from overflow.
+	between := &keyedEvent{t: horizon*2 + simtime.Time(simtime.Second), id: 3}
+	w.Push(between)
+	want := []*keyedEvent{far, between, farther}
+	for i, wv := range want {
+		if got := w.Pop(); got != wv {
+			t.Fatalf("Pop %d = %v, want id %d", i, got, wv.id)
+		}
+	}
+	if w.Pop() != nil || w.Len() != 0 {
+		t.Fatal("wheel not empty after drain")
+	}
+}
+
+// TestHeapPushPopAllocFree pins the satellite requirement: the typed heap
+// allocates nothing on steady-state Push/Pop (no container/heap interface
+// boxing).
+func TestHeapPushPopAllocFree(t *testing.T) {
+	q := NewHeap()
+	evs := make([]*testEvent, 1024)
+	for i := range evs {
+		evs[i] = &testEvent{t: simtime.Time(i * 997 % 1024), id: i}
+	}
+	run := func() {
+		for _, ev := range evs {
+			q.Push(ev)
+		}
+		for range evs {
+			q.Pop()
+		}
+	}
+	run() // warm the backing array
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("heap Push/Pop allocates %.1f per cycle, want 0", allocs)
+	}
+}
+
+// TestWheelScheduleCancelAllocFree pins 0 allocs/op on the wheel's
+// schedule/cancel hot path (pooled nodes, reused ready run).
+func TestWheelScheduleCancelAllocFree(t *testing.T) {
+	q := NewWheel()
+	evs := make([]*testEvent, 1024)
+	for i := range evs {
+		evs[i] = &testEvent{t: simtime.Time(i+1) * simtime.Time(simtime.Millisecond), id: i}
+	}
+	handles := make([]Handle, len(evs))
+	run := func() {
+		for i, ev := range evs {
+			handles[i] = q.PushCancelable(ev)
+		}
+		for i := range handles {
+			if _, ok := q.Cancel(handles[i]); !ok {
+				t.Fatal("cancel failed")
+			}
+		}
+	}
+	run() // warm the node pool
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("wheel schedule/cancel allocates %.1f per cycle, want 0", allocs)
+	}
+}
+
+// --- BenchmarkEventQueue* suite -------------------------------------------
+//
+// Three mixes over steady-state pending populations of 1e3..1e6 timers:
+//
+//   - ScheduleHeavy: the hold model — pop one, schedule one — measuring
+//     pure ordering cost as the population grows.
+//   - CancelHeavy: the RTO/idle-timeout pattern — every op cancels a live
+//     timer and rearms it, with a pop every few ops. Lazy-cancel backends
+//     pay corpse traffic here; the wheel unlinks in O(1).
+//   - MixedHorizon: bimodal horizons (µs-scale data events + second-scale
+//     timers, a third of which cancel) spanning several wheel levels.
+
+func benchBackends() []struct {
+	name string
+	mk   func() Canceler
+} {
+	return []struct {
+		name string
+		mk   func() Canceler
+	}{
+		{"heap", func() Canceler { return NewHeap() }},
+		{"calendar", func() Canceler { return NewCalendar() }},
+		{"wheel", func() Canceler { return NewWheel() }},
+	}
+}
+
+var benchSizes = []int{1_000, 100_000, 1_000_000}
+
+func BenchmarkEventQueueScheduleHeavy(b *testing.B) {
+	for _, size := range benchSizes {
+		for _, be := range benchBackends() {
+			b.Run(fmt.Sprintf("%s/pending=%d", be.name, size), func(b *testing.B) {
+				q := be.mk()
+				rng := rand.New(rand.NewSource(3))
+				clock := simtime.Time(0)
+				evs := make([]*testEvent, size)
+				for i := range evs {
+					evs[i] = &testEvent{t: clock.Add(simtime.Duration(rng.Int63n(int64(simtime.Second))))}
+					q.Push(evs[i])
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := q.Pop().(*testEvent)
+					clock = ev.t
+					ev.t = clock.Add(simtime.Duration(rng.Int63n(int64(simtime.Second))))
+					q.Push(ev)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEventQueueCancelHeavy(b *testing.B) {
+	for _, size := range benchSizes {
+		for _, be := range benchBackends() {
+			b.Run(fmt.Sprintf("%s/pending=%d", be.name, size), func(b *testing.B) {
+				q := be.mk()
+				rng := rand.New(rand.NewSource(5))
+				clock := simtime.Time(0)
+				rto := simtime.Duration(200 * simtime.Millisecond)
+				evs := make([]*testEvent, size)
+				handles := make([]Handle, size)
+				for i := range evs {
+					evs[i] = &testEvent{t: clock.Add(rto + simtime.Duration(rng.Int63n(int64(simtime.Millisecond)))), id: i}
+					handles[i] = q.PushCancelable(evs[i])
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					j := i % size
+					// Rearm: cancel the live timer, schedule its successor —
+					// the per-ACK RTO pattern.
+					if _, ok := q.Cancel(handles[j]); !ok {
+						b.Fatal("lost a timer")
+					}
+					evs[j].t = clock.Add(rto + simtime.Duration(rng.Int63n(int64(simtime.Millisecond))))
+					handles[j] = q.PushCancelable(evs[j])
+					if i%4 == 3 {
+						// A timer fires: pop it and rearm so the population
+						// holds and lazy backends get to shed corpses.
+						ev := q.Pop().(*testEvent)
+						clock = ev.t
+						ev.t = clock.Add(rto + simtime.Duration(rng.Int63n(int64(simtime.Millisecond))))
+						handles[ev.id] = q.PushCancelable(ev)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEventQueueMixedHorizon(b *testing.B) {
+	for _, size := range benchSizes {
+		for _, be := range benchBackends() {
+			b.Run(fmt.Sprintf("%s/pending=%d", be.name, size), func(b *testing.B) {
+				q := be.mk()
+				rng := rand.New(rand.NewSource(7))
+				clock := simtime.Time(0)
+				near := int64(100 * simtime.Microsecond)
+				far := int64(2 * simtime.Second)
+				evs := make([]*testEvent, size)
+				handles := make([]Handle, size)
+				for i := range evs {
+					horizon := near
+					if i%2 == 0 {
+						horizon = far
+					}
+					evs[i] = &testEvent{t: clock.Add(simtime.Duration(rng.Int63n(horizon)))}
+					handles[i] = q.PushCancelable(evs[i])
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := q.Pop().(*testEvent)
+					clock = ev.t
+					horizon := near
+					if i%2 == 0 {
+						horizon = far
+					}
+					ev.t = clock.Add(simtime.Duration(rng.Int63n(horizon)))
+					h := q.PushCancelable(ev)
+					if i%3 == 0 {
+						// A third of long timers get cancelled and rearmed.
+						j := i % size
+						if _, ok := q.Cancel(handles[j]); ok {
+							evs[j].t = clock.Add(simtime.Duration(rng.Int63n(far)))
+							handles[j] = q.PushCancelable(evs[j])
+						}
+					}
+					_ = h
+				}
+			})
+		}
+	}
+}

@@ -684,13 +684,14 @@ func e6Spec(o Options) *spec {
 		Columns: []string{"workload", "variant", "events", "rate-changes", "wall-ms"},
 	}}
 	variants := []struct {
-		name     string
-		calendar bool
-		full     bool
+		name  string
+		queue horse.EventQueue
+		full  bool
 	}{
-		{"heap+incremental", false, false},
-		{"calendar+incremental", true, false},
-		{"heap+full-recompute", false, true},
+		{"heap+incremental", horse.EventQueueHeap, false},
+		{"calendar+incremental", horse.EventQueueCalendar, false},
+		{"wheel+incremental", horse.EventQueueWheel, false},
+		{"heap+full-recompute", horse.EventQueueHeap, true},
 	}
 	workloads := []struct {
 		name  string
@@ -708,8 +709,8 @@ func e6Spec(o Options) *spec {
 					horse.WithController(controller.NewChain(&controller.ECMPLoadBalancer{})),
 					horse.WithMiss(dataplane.MissController),
 				}
-				if v.calendar {
-					opts = append(opts, horse.WithCalendarQueue())
+				if v.queue != horse.EventQueueHeap {
+					opts = append(opts, horse.WithEventQueue(v.queue))
 				}
 				if v.full {
 					opts = append(opts, horse.WithFullRecompute())
@@ -1028,7 +1029,7 @@ func e9Spec(o Options, arities, shardCounts []int) *spec {
 		ID:    "E9",
 		Title: "Sharded multi-core scaling: fat-tree size × shard count",
 		Columns: []string{
-			"fat-tree-k", "switches", "hosts", "flows", "shards",
+			"fat-tree-k", "switches", "hosts", "flows", "shards", "queue",
 			"pkt-hops", "events", "wall-ms", "events/ms", "speedup", "parity",
 		},
 	}}
@@ -1036,12 +1037,13 @@ func e9Spec(o Options, arities, shardCounts []int) *spec {
 		k := k
 		sp.cell(fmt.Sprintf("k=%d", k), func() [][]string {
 			var rows [][]string
-			run := func(shards int) (*stats.Collector, *packetsim.Simulator, time.Duration) {
+			run := func(shards int, q horse.EventQueue) (*stats.Collector, *packetsim.Simulator, time.Duration) {
 				topo, tr := e9Scenario(k)
 				eng := mustEngine(horse.New(topo,
 					horse.WithFidelity(horse.Packet),
 					horse.WithMiss(dataplane.MissDrop),
 					horse.WithShards(shards),
+					horse.WithEventQueue(q),
 				))
 				installMACRoutes(eng.Network())
 				eng.Load(tr)
@@ -1049,44 +1051,50 @@ func e9Spec(o Options, arities, shardCounts []int) *spec {
 				col, _ := eng.Run(context.Background(), e9Window)
 				return col, eng.(*packetsim.Simulator), o.since(start)
 			}
-			colRef, simRef, wallRef := run(1)
+			// The serial heap run is the reference for every (queue, shards)
+			// arm: parity across both dimensions at once pins the executor
+			// contract AND the backends' identical dispatch order.
+			colRef, simRef, wallRef := run(1, horse.EventQueueHeap)
 			ref := colRef.Flows()
-			for _, shards := range shardCounts {
-				col, sim, wall := colRef, simRef, wallRef
-				if shards != 1 {
-					col, sim, wall = run(shards)
-				}
-				recs := col.Flows()
-				parity := "identical"
-				if len(recs) != len(ref) {
-					parity = "DIVERGED"
-				} else {
-					for i := range recs {
-						if recs[i] != ref[i] {
-							parity = "DIVERGED"
-							break
+			for _, q := range []horse.EventQueue{horse.EventQueueHeap, horse.EventQueueWheel} {
+				for _, shards := range shardCounts {
+					col, sim, wall := colRef, simRef, wallRef
+					if shards != 1 || q != horse.EventQueueHeap {
+						col, sim, wall = run(shards, q)
+					}
+					recs := col.Flows()
+					parity := "identical"
+					if len(recs) != len(ref) {
+						parity = "DIVERGED"
+					} else {
+						for i := range recs {
+							if recs[i] != ref[i] {
+								parity = "DIVERGED"
+								break
+							}
 						}
 					}
+					topo := sim.Topology()
+					ev := sim.EventsDispatched()
+					rows = append(rows, []string{
+						fmt.Sprintf("%d", k),
+						fmt.Sprintf("%d", len(topo.Switches())),
+						fmt.Sprintf("%d", len(topo.Hosts())),
+						fmt.Sprintf("%d", len(recs)),
+						fmt.Sprintf("%d", shards),
+						q.String(),
+						di(sim.PacketsForwarded()), di(ev), ms(wall),
+						f2(float64(ev) / math.Max(float64(wall.Microseconds())/1000, 1)),
+						f2(float64(wallRef) / math.Max(float64(wall), 1)),
+						parity,
+					})
 				}
-				topo := sim.Topology()
-				ev := sim.EventsDispatched()
-				rows = append(rows, []string{
-					fmt.Sprintf("%d", k),
-					fmt.Sprintf("%d", len(topo.Switches())),
-					fmt.Sprintf("%d", len(topo.Hosts())),
-					fmt.Sprintf("%d", len(recs)),
-					fmt.Sprintf("%d", shards),
-					di(sim.PacketsForwarded()), di(ev), ms(wall),
-					f2(float64(ev) / math.Max(float64(wall.Microseconds())/1000, 1)),
-					f2(float64(wallRef) / math.Max(float64(wall), 1)),
-					parity,
-				})
 			}
 			return rows
 		})
 	}
 	sp.table.Notes = append(sp.table.Notes,
-		"expected shape: events/ms grows with shard count on multi-core hardware (speedup > 1 for K > 1); parity stays identical at every K",
+		"expected shape: events/ms grows with shard count on multi-core hardware (speedup > 1 for K > 1); parity stays identical at every K and every queue backend",
 		"wall times are contended when sibling cells share the pool; the speedup column divides same-cell runs, and CI runners with few cores report speedup ~1",
 	)
 	return sp

@@ -121,15 +121,16 @@ func TestE5Shape(t *testing.T) {
 
 func TestE6Shape(t *testing.T) {
 	tb := E6Ablations()
-	if len(tb.Rows) != 6 {
+	const variants = 4 // heap, calendar, wheel (incremental) + heap full-recompute
+	if len(tb.Rows) != 2*variants {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	// Determinism: within a workload, all variants process identical
-	// event and rate-change counts.
+	// event and rate-change counts — including across queue backends.
 	ev := colIndex(tb, "events")
 	rc := colIndex(tb, "rate-changes")
-	for _, base := range []int{0, 3} {
-		for i := base + 1; i < base+3; i++ {
+	for _, base := range []int{0, variants} {
+		for i := base + 1; i < base+variants; i++ {
 			if tb.Rows[i][ev] != tb.Rows[base][ev] || tb.Rows[i][rc] != tb.Rows[base][rc] {
 				t.Errorf("variant %s diverged from %s", tb.Rows[i][1], tb.Rows[base][1])
 			}

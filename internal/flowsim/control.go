@@ -205,14 +205,20 @@ func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
 	if cur, ok := s.expiryAt[dp]; ok && cur <= next && cur >= s.k.Now() {
 		return // an earlier (or equal) check is already scheduled
 	}
+	// The outstanding check (if any) is later than next: replace it
+	// instead of stacking a second event beside it.
+	if t, ok := s.expiryTimer[dp]; ok {
+		s.k.Cancel(t)
+	}
 	s.expiryAt[dp] = next
-	s.sched(event{at: next, kind: evExpiry, sw: dp})
+	s.expiryTimer[dp] = s.schedTimer(event{at: next, kind: evExpiry, sw: dp})
 }
 
 // handleExpiry evicts expired entries on a switch, notifies the controller
 // with FlowRemoved, re-resolves affected flows, and re-arms the timer.
 func (s *Simulator) handleExpiry(dp netgraph.NodeID) {
 	delete(s.expiryAt, dp)
+	delete(s.expiryTimer, dp)
 	sw := s.net.Switches[dp]
 	if sw == nil {
 		return

@@ -10,6 +10,7 @@ import (
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/runner"
+	"horse/internal/simcore"
 	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
@@ -113,9 +114,11 @@ func (s *Simulator) park(f *Flow, at netgraph.NodeID) {
 	}
 	s.waiting[at][f.ID] = f
 	// Open-ended flows still end at their deadline even while waiting.
+	s.k.Cancel(f.completion)
+	f.completion = simcore.Timer{}
+	f.gen++
 	if f.Deadline != simtime.Never {
-		f.gen++
-		s.sched(event{at: f.Deadline, kind: evComplete, flow: f, gen: f.gen})
+		f.completion = s.schedTimer(event{at: f.Deadline, kind: evComplete, flow: f, gen: f.gen})
 	}
 }
 
@@ -444,6 +447,8 @@ func (s *Simulator) applySettle(f *Flow, bits float64) {
 // scheduleCompletion (re)schedules the flow's completion event based on its
 // remaining volume, current rate, and deadline.
 func (s *Simulator) scheduleCompletion(f *Flow) {
+	s.k.Cancel(f.completion)
+	f.completion = simcore.Timer{}
 	f.gen++
 	at := simtime.Never
 	if !math.IsInf(f.remaining, 1) && f.rate > 0 {
@@ -461,7 +466,7 @@ func (s *Simulator) scheduleCompletion(f *Flow) {
 	if at == simtime.Never {
 		return
 	}
-	s.sched(event{at: at, kind: evComplete, flow: f, gen: f.gen})
+	f.completion = s.schedTimer(event{at: at, kind: evComplete, flow: f, gen: f.gen})
 }
 
 // handleComplete ends a flow: either its volume is transferred or its
@@ -494,7 +499,11 @@ func (s *Simulator) finalize(f *Flow, completed bool, outcome string) {
 		return
 	}
 	f.state = StateDone
-	f.gen++ // kill in-flight events
+	f.gen++ // backstop: kill anything the cancels below missed
+	s.k.Cancel(f.completion)
+	f.completion = simcore.Timer{}
+	s.k.Cancel(f.ramp)
+	f.ramp = simcore.Timer{}
 	s.unpark(f)
 	size := f.SizeBits
 	if math.IsInf(size, 1) {
@@ -540,7 +549,7 @@ func (s *Simulator) scheduleRamp(f *Flow) {
 		return
 	}
 	f.ramping = true
-	s.sched(event{at: s.k.Now().Add(s.cfg.TCP.RTT), kind: evRamp, flow: f})
+	f.ramp = s.schedTimer(event{at: s.k.Now().Add(s.cfg.TCP.RTT), kind: evRamp, flow: f})
 }
 
 // pathCapacity returns the minimum link capacity along the flow's path.

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"horse/internal/dataplane"
+	"horse/internal/eventq"
 	"horse/internal/fairshare"
 	"horse/internal/header"
 	"horse/internal/netgraph"
@@ -74,7 +75,13 @@ type Flow struct {
 	sent       float64
 	rate       float64
 	lastSettle simtime.Time
-	gen        uint64 // invalidates stale completion/ramp events
+	gen        uint64 // backstop: invalidates stale completion/ramp events
+
+	// Outstanding timer handles: cancelling removes the event from the
+	// queue outright (no dead corpse waiting to fire as a gen-stamped
+	// no-op). The gen stamp stays as a defensive second line.
+	completion simcore.Timer
+	ramp       simcore.Timer
 
 	// Path state.
 	hops        []dataplane.Hop
@@ -145,7 +152,13 @@ type Config struct {
 	// FullRecompute disables incremental fair-share solving (E6 ablation).
 	FullRecompute bool
 	// UseCalendarQueue selects the calendar event queue (E6 ablation).
+	//
+	// Deprecated: set EventQueue to eventq.BackendCalendar instead. A
+	// non-default EventQueue wins when both are set.
 	UseCalendarQueue bool
+	// EventQueue selects the kernel's event-queue backend (heap, calendar,
+	// timing wheel, or auto). Ignored when Kernel is set.
+	EventQueue eventq.Backend
 	// RateEpsilon is the relative rate-change threshold below which rate
 	// changes do not reschedule events (default 1%).
 	RateEpsilon float64
@@ -283,6 +296,14 @@ func (s *Simulator) sched(proto event) {
 	s.k.Schedule(e)
 }
 
+// schedTimer schedules a pooled copy of proto as a cancelable timer.
+func (s *Simulator) schedTimer(proto event) simcore.Timer {
+	e := s.pool.Get()
+	*e = proto
+	e.sim = s
+	return s.k.ScheduleCancelable(e)
+}
+
 // resLedger tracks cumulative bits and the current aggregate rate of one
 // resource (link direction), backing port counters and stats replies.
 type resLedger struct {
@@ -326,8 +347,11 @@ type Simulator struct {
 	dirtyFlows   map[FlowID]*Flow
 	batchPending bool
 
-	// per-switch scheduled expiry instants, to avoid duplicate events
-	expiryAt map[netgraph.NodeID]simtime.Time
+	// per-switch scheduled expiry instants, to avoid duplicate events;
+	// expiryTimer holds the outstanding check so a reschedule cancels it
+	// instead of stacking a second event beside it.
+	expiryAt    map[netgraph.NodeID]simtime.Time
+	expiryTimer map[netgraph.NodeID]simcore.Timer
 
 	// allocDirty defers fair-share re-solving: events at the same virtual
 	// instant (an epoch's worth of arrivals, say) trigger one solve when
@@ -377,28 +401,29 @@ func New(cfg Config) *Simulator {
 	k := cfg.Kernel
 	ownKernel := k == nil
 	if ownKernel {
-		k = simcore.New(simcore.Config{UseCalendarQueue: cfg.UseCalendarQueue})
+		k = simcore.New(simcore.Config{Backend: cfg.EventQueue, UseCalendarQueue: cfg.UseCalendarQueue})
 	}
 	net := cfg.Network
 	if net == nil {
 		net = dataplane.NewNetwork(cfg.Topology, cfg.Miss)
 	}
 	s := &Simulator{
-		cfg:        cfg,
-		topo:       cfg.Topology,
-		net:        net,
-		k:          k,
-		ownKernel:  ownKernel,
-		alloc:      fairshare.New(),
-		flows:      make(map[FlowID]*Flow),
-		waiting:    make(map[netgraph.NodeID]map[FlowID]*Flow),
-		flowsAt:    make(map[netgraph.NodeID]map[FlowID]*Flow),
-		ledgers:    make(map[fairshare.ResourceID]*resLedger),
-		col:        stats.NewCollector(cfg.StatsEvery),
-		ctrl:       cfg.Controller,
-		dirtyFlows: make(map[FlowID]*Flow),
-		expiryAt:   make(map[netgraph.NodeID]simtime.Time),
-		fstate:     dataplane.NewFailureState(cfg.Topology),
+		cfg:         cfg,
+		topo:        cfg.Topology,
+		net:         net,
+		k:           k,
+		ownKernel:   ownKernel,
+		alloc:       fairshare.New(),
+		flows:       make(map[FlowID]*Flow),
+		waiting:     make(map[netgraph.NodeID]map[FlowID]*Flow),
+		flowsAt:     make(map[netgraph.NodeID]map[FlowID]*Flow),
+		ledgers:     make(map[fairshare.ResourceID]*resLedger),
+		col:         stats.NewCollector(cfg.StatsEvery),
+		ctrl:        cfg.Controller,
+		dirtyFlows:  make(map[FlowID]*Flow),
+		expiryAt:    make(map[netgraph.NodeID]simtime.Time),
+		expiryTimer: make(map[netgraph.NodeID]simcore.Timer),
+		fstate:      dataplane.NewFailureState(cfg.Topology),
 	}
 	s.alloc.Epsilon = cfg.RateEpsilon
 	s.ctx = NewContext(s)
@@ -581,9 +606,13 @@ func (s *Simulator) dispatch(e *event) {
 		s.handleArrival(e.demand)
 	case evComplete:
 		if e.flow.gen == e.gen && e.flow.state != StateDone {
+			e.flow.completion = simcore.Timer{}
 			s.handleComplete(e.flow)
 		}
 	case evRamp:
+		// At most one ramp is in flight per flow (the ramping guard), so
+		// the firing event is the one f.ramp points at.
+		e.flow.ramp = simcore.Timer{}
 		if e.flow.state == StateActive {
 			s.handleRamp(e.flow)
 		} else {

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"horse/internal/dataplane"
+	"horse/internal/eventq"
 	"horse/internal/fairshare"
 	"horse/internal/flowsim"
 	"horse/internal/netgraph"
@@ -57,7 +58,12 @@ type Config struct {
 	// StatsEvery samples flow-level link utilization at this period.
 	StatsEvery simtime.Duration
 	// UseCalendarQueue selects the shared kernel's calendar queue.
+	//
+	// Deprecated: set EventQueue to eventq.BackendCalendar instead. A
+	// non-default EventQueue wins when both are set.
 	UseCalendarQueue bool
+	// EventQueue selects the shared kernel's event-queue backend.
+	EventQueue eventq.Backend
 	// RateEpsilon is the fair-share significance threshold; it also gates
 	// how often the packet engine's residual capacities recompute.
 	RateEpsilon float64
@@ -110,7 +116,7 @@ func New(cfg Config) *Simulator {
 	if cfg.Topology == nil {
 		panic("hybrid: Config.Topology is required")
 	}
-	k := simcore.New(simcore.Config{UseCalendarQueue: cfg.UseCalendarQueue})
+	k := simcore.New(simcore.Config{Backend: cfg.EventQueue, UseCalendarQueue: cfg.UseCalendarQueue})
 	net := dataplane.NewNetwork(cfg.Topology, cfg.Miss)
 	s := &Simulator{cfg: cfg, k: k, net: net}
 	s.pkt = packetsim.New(packetsim.Config{

@@ -10,6 +10,7 @@ package packetsim
 import (
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
+	"horse/internal/simcore"
 	"horse/internal/simtime"
 )
 
@@ -202,8 +203,11 @@ func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
 	if cur := s.expiryAt[dp]; cur != simtime.Never && cur <= next && cur >= s.k.Now() {
 		return // an earlier (or equal) check is already scheduled
 	}
+	// The outstanding check (if any) is later than next: replace it
+	// instead of stacking a second event beside it.
+	s.k.Cancel(s.expiryTimer[dp])
 	s.expiryAt[dp] = next
-	s.sched(event{at: next, kind: evExpiry, node: dp})
+	s.expiryTimer[dp] = s.schedTimer(event{at: next, kind: evExpiry, node: dp})
 }
 
 // handleExpiry evicts expired entries (idle timers see the per-packet
@@ -212,6 +216,7 @@ func (s *Simulator) scheduleExpiry(dp netgraph.NodeID) {
 // simply misses and punts again — the packet-granular re-resolution.
 func (s *Simulator) handleExpiry(dp netgraph.NodeID) {
 	s.expiryAt[dp] = simtime.Never
+	s.expiryTimer[dp] = simcore.Timer{}
 	sw := s.net.Switches[dp]
 	if sw == nil {
 		return

@@ -5,6 +5,7 @@ import (
 
 	"horse/internal/header"
 	"horse/internal/netgraph"
+	"horse/internal/simcore"
 	"horse/internal/simtime"
 	"horse/internal/stats"
 )
@@ -57,7 +58,9 @@ func (s *Simulator) senderStop(f *pktFlow) {
 	}
 	f.senderStopped = true
 	f.deadlineDoneAt = s.k.Now()
-	f.rtoGen++ // cancel timers
+	f.rtoGen++ // backstop
+	s.k.Cancel(f.rto)
+	f.rto = simcore.Timer{}
 }
 
 // emit injects a packet at the flow's source host.
@@ -365,11 +368,12 @@ func (s *Simulator) handleAck(f *pktFlow, ackSeq int) {
 	}
 }
 
-// armRTO (re)schedules the retransmission timer. Every arm bumps rtoGen,
-// so all previously scheduled evRTO events are logically cancelled: the
-// dispatch gate (see dispatch and handleRTO) fires only the event whose
-// stamp matches the flow's current generation.
+// armRTO (re)schedules the retransmission timer. Every arm removes the
+// previous event from the queue outright (true cancellation); the rtoGen
+// stamp and dispatch gate stay as a defensive backstop.
 func (s *Simulator) armRTO(f *pktFlow) {
+	s.k.Cancel(f.rto)
+	f.rto = simcore.Timer{}
 	if f.inFlight == 0 {
 		f.rtoAt = simtime.Never
 		f.rtoGen++
@@ -378,7 +382,7 @@ func (s *Simulator) armRTO(f *pktFlow) {
 	rto := s.cfg.RTOMin
 	f.rtoAt = s.k.Now().Add(rto)
 	f.rtoGen++
-	s.sched(event{at: f.rtoAt, kind: evRTO, flow: f, gen: f.rtoGen})
+	f.rto = s.schedTimer(event{at: f.rtoAt, kind: evRTO, flow: f, gen: f.rtoGen})
 }
 
 // handleRTO retransmits from sendBase with a collapsed window. Callers

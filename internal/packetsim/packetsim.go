@@ -41,6 +41,7 @@ import (
 	"math"
 
 	"horse/internal/dataplane"
+	"horse/internal/eventq"
 	"horse/internal/flowsim"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
@@ -85,7 +86,14 @@ type Config struct {
 	ControlLatency simtime.Duration
 	// UseCalendarQueue selects the calendar event queue (shared-kernel
 	// ablation switch; ignored when Kernel is supplied).
+	//
+	// Deprecated: set EventQueue to eventq.BackendCalendar instead. A
+	// non-default EventQueue wins when both are set.
 	UseCalendarQueue bool
+	// EventQueue selects the event-queue backend (heap, calendar, timing
+	// wheel, or auto) for the engine's kernel and, in sharded runs, every
+	// per-shard kernel. Ignored when Kernel is supplied.
+	EventQueue eventq.Backend
 
 	// Shards > 1 runs the engine on the sharded multi-core executor:
 	// the topology is edge-cut partitioned into up to Shards parts, each
@@ -162,7 +170,8 @@ type Simulator struct {
 	ctrl           flowsim.Controller
 	ctx            *flowsim.Context
 	punted         [][]*puntedPkt
-	expiryAt       []simtime.Time // Never = no check scheduled
+	expiryAt       []simtime.Time  // Never = no check scheduled
+	expiryTimer    []simcore.Timer // outstanding check; owner-shard writes only
 	meters         []map[openflow.MeterID]*meterBucket
 	statsReqAt     []simtime.Time // last PortStatsRequest per tx direction
 	statsReqTxBits []float64      // tx bits at that request
@@ -263,7 +272,11 @@ type pktFlow struct {
 	dupAcks  int
 	inFlight int
 	rtoAt    simtime.Time
-	rtoGen   uint64
+	rtoGen   uint64 // backstop: invalidates stale evRTO events
+	// rto is the outstanding retransmission timer: every re-arm cancels
+	// the previous event outright instead of leaving a corpse to fire as
+	// a gen-stamped no-op. Written only by the sender shard.
+	rto simcore.Timer
 
 	// Receiver-owned state.
 	recvNext int          // next expected seq (TCP cumulative ACK edge)
@@ -385,7 +398,7 @@ func New(cfg Config) *Simulator {
 	k := cfg.Kernel
 	ownKernel := k == nil
 	if ownKernel {
-		k = simcore.New(simcore.Config{UseCalendarQueue: cfg.UseCalendarQueue})
+		k = simcore.New(simcore.Config{Backend: cfg.EventQueue, UseCalendarQueue: cfg.UseCalendarQueue})
 	}
 	net := cfg.Network
 	if net == nil {
@@ -414,6 +427,7 @@ func New(cfg Config) *Simulator {
 
 		punted:         make([][]*puntedPkt, nNodes),
 		expiryAt:       make([]simtime.Time, nNodes),
+		expiryTimer:    make([]simcore.Timer, nNodes),
 		meters:         make([]map[openflow.MeterID]*meterBucket, nNodes),
 		statsReqAt:     make([]simtime.Time, nDirs),
 		statsReqTxBits: make([]float64, nDirs),
@@ -678,6 +692,9 @@ func (s *Simulator) dispatch(e *event) {
 		peer, peerPort := l.Peer(dirFromNode(l, e.dir))
 		s.arrive(e.pkt, peer, peerPort)
 	case evRTO:
+		// armRTO cancels before re-arming, so at most one RTO event is in
+		// flight per flow and the firing one is what f.rto points at.
+		e.flow.rto = simcore.Timer{}
 		if e.flow.rtoGen == e.gen && !e.flow.srcDead && !e.flow.senderStopped {
 			s.handleRTO(e.flow)
 		}

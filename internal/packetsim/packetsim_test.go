@@ -211,14 +211,15 @@ func TestPacketVsFlowLevelAgreement(t *testing.T) {
 	}
 }
 
-// TestRTOGenerationCancelsStaleTimer is the regression test for the
-// rtoGen stamp: the final cumulative ACK zeroes the in-flight count and
-// re-arms (cancelling) the timer, so an RTO event that was armed before
-// the final ACK and is still queued when the transfer completes must be a
-// no-op when it fires — no retransmission, no state change. Completion is
-// purely message-driven (the sender learns it from the ACK stream, never
-// from receiver state), which is what keeps the sender and receiver
-// shards independent in sharded runs.
+// TestRTOGenerationCancelsStaleTimer is the regression test for RTO
+// cancellation: the final cumulative ACK zeroes the in-flight count and
+// re-arms the timer, which removes the queued RTO event outright (true
+// cancellation — before the Canceler rework the corpse stayed queued and
+// fired as a gen-stamped no-op). The queue must therefore be empty at
+// completion, and draining anything left must not retransmit or mutate
+// sender state. Completion is purely message-driven (the sender learns it
+// from the ACK stream, never from receiver state), which is what keeps
+// the sender and receiver shards independent in sharded runs.
 func TestRTOGenerationCancelsStaleTimer(t *testing.T) {
 	topo := dumbbell(1e9)
 	k := simcore.New(simcore.Config{})
@@ -238,8 +239,11 @@ func TestRTOGenerationCancelsStaleTimer(t *testing.T) {
 	if f.recvDoneAt == simtime.Never || f.inFlight > 0 {
 		t.Fatalf("flow did not complete while stepping (recvDoneAt=%v inFlight=%d)", f.recvDoneAt, f.inFlight)
 	}
-	if k.Len() == 0 {
-		t.Fatal("no events left at completion; the stale-RTO window never existed")
+	if f.rto != (simcore.Timer{}) {
+		t.Error("rto timer handle not cleared by the final ACK's re-arm")
+	}
+	if n := k.Len(); n != 0 {
+		t.Errorf("%d events still queued at completion; cancellation left a corpse", n)
 	}
 	sent, nextSeq, gen := f.sentBits, f.nextSeq, f.rtoGen
 	k.Run(simtime.Never) // fire everything that was still queued

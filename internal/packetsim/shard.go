@@ -72,7 +72,7 @@ func (s *Simulator) initShards() {
 	for i := range clones {
 		c := new(Simulator)
 		*c = *s // share topology, network, and the dense state arrays
-		c.k = simcore.New(simcore.Config{UseCalendarQueue: s.cfg.UseCalendarQueue})
+		c.k = simcore.New(simcore.Config{Backend: s.cfg.EventQueue, UseCalendarQueue: s.cfg.UseCalendarQueue})
 		c.pool = simcore.Pool[event]{}
 		c.col = stats.NewCollector(s.cfg.StatsEvery)
 		c.shardID = int32(i)
@@ -166,6 +166,18 @@ func (s *Simulator) sched(proto event) {
 		e.sim = nil // rewired to the owner at delivery
 		s.outbox = append(s.outbox, outMsg{target: home, ev: e})
 	}
+}
+
+// schedTimer schedules a pooled copy of proto as a cancelable timer on
+// this clone's own kernel. Only valid for event kinds that are emitted on
+// their owning shard (evRTO from the sender's dispatch, evExpiry from the
+// switch owner's dispatch) — those never take the outbox hop, so the
+// handle can be cancelled locally later.
+func (s *Simulator) schedTimer(proto event) simcore.Timer {
+	e := s.pool.Get()
+	*e = proto
+	e.sim = s
+	return s.k.ScheduleCancelable(e)
 }
 
 // routePending delivers the events scheduled before Begin (Load and the

@@ -9,6 +9,7 @@ import (
 	"horse/internal/addr"
 	"horse/internal/controller"
 	"horse/internal/dataplane"
+	"horse/internal/eventq"
 	"horse/internal/flowsim"
 	"horse/internal/header"
 	"horse/internal/netgraph"
@@ -66,10 +67,16 @@ func snapshot(s *Simulator, col *stats.Collector) shardRunResult {
 // runGolden runs the golden fat-tree (pre-installed routes, no
 // controller, stats sampling on) at the given shard count.
 func runGolden(shards int) shardRunResult {
+	return runGoldenQueue(shards, eventq.BackendHeap)
+}
+
+// runGoldenQueue is runGolden with an explicit event-queue backend.
+func runGoldenQueue(shards int, q eventq.Backend) shardRunResult {
 	topo, tr := goldenFatTree()
 	sim := New(Config{
 		Topology: topo, Miss: dataplane.MissDrop, Shards: shards,
 		StatsEvery: 20 * simtime.Millisecond,
+		EventQueue: q,
 	})
 	installMACRoutes(sim.Network())
 	sim.Load(tr)
@@ -299,6 +306,24 @@ func TestShardDeterminismFailures(t *testing.T) {
 			}
 			diffRuns(t, "failures-repeat/"+pol.name, runFailures(4, pol.mk), runFailures(4, pol.mk), 4)
 		})
+	}
+}
+
+// TestShardDeterminismBackends crosses the executor contract with the
+// event-queue backend: the golden scenario must reproduce the serial
+// heap run byte-for-byte at Shards ∈ {1, 4} × backend ∈ {heap, wheel}.
+// Each per-shard kernel owns a queue of the selected backend, and true
+// timer cancellation (RTOs, expiry checks) must not perturb dispatch
+// order at any shard count.
+func TestShardDeterminismBackends(t *testing.T) {
+	serial := runGolden(0)
+	if len(serial.records) == 0 {
+		t.Fatal("golden scenario produced no records")
+	}
+	for _, q := range []eventq.Backend{eventq.BackendHeap, eventq.BackendWheel} {
+		for _, shards := range []int{1, 4} {
+			diffRuns(t, "backend/"+q.String(), serial, runGoldenQueue(shards, q), shards)
+		}
 	}
 }
 

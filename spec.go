@@ -99,6 +99,20 @@ func SpecOptions(o wire.OptionsSpec) ([]Option, error) {
 	if o.CalendarQueue {
 		opts = append(opts, WithCalendarQueue())
 	}
+	switch o.EventQueue {
+	case "":
+		// The default (heap) — no option.
+	case wire.EventQueueHeap:
+		opts = append(opts, WithEventQueue(EventQueueHeap))
+	case wire.EventQueueCalendar:
+		opts = append(opts, WithEventQueue(EventQueueCalendar))
+	case wire.EventQueueWheel:
+		opts = append(opts, WithEventQueue(EventQueueWheel))
+	case wire.EventQueueAuto:
+		opts = append(opts, WithEventQueue(EventQueueAuto))
+	default:
+		return nil, &BuildError{Option: "WithEventQueue", Reason: fmt.Sprintf("unknown event queue %q", o.EventQueue)}
+	}
 	if o.Shards != 0 {
 		opts = append(opts, WithShards(o.Shards))
 	}
