@@ -17,6 +17,7 @@ race:
 	$(GO) test -race ./internal/runner/... ./internal/eventq/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/... ./internal/service/...
 	$(GO) test -race -run 'TestParallel|TestE8Parallel|TestE6Shape' ./internal/experiments/...
 	$(GO) test -race -run 'TestShardDeterminism' ./internal/packetsim/
+	$(GO) test -race -run 'TestStreamEquivalence' .
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
@@ -32,11 +33,12 @@ bench-baseline:
 bench-compare:
 	$(GO) run ./cmd/horsebench -quick -parallel 1 -json BENCH_new.json -compare BENCH_baseline.json
 
-# A short native-fuzzing pass over the trace codec and the timing-wheel
-# cascade/overflow paths (seed corpora checked in under each package's
-# testdata/fuzz).
+# A short native-fuzzing pass over the trace codec, the windowed
+# streaming reader, and the timing-wheel cascade/overflow paths (seed
+# corpora checked in under each package's testdata/fuzz).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
+	$(GO) test -run='^$$' -fuzz=FuzzStreamVsReadCSV -fuzztime=1000x ./internal/traffic/
 	$(GO) test -run='^$$' -fuzz=FuzzWheelVsHeap -fuzztime=1000x ./internal/eventq/
 
 # End-to-end daemon smoke: horsed on a unix socket, horsectl submit with

@@ -329,9 +329,41 @@ type PoissonSpec struct {
 
 // WorkloadSpec serializes the session workload: explicit demands, a
 // generated Poisson trace, or both (explicit demands load first).
+//
+// Stream selects bounded-memory ingestion: the daemon feeds the engine
+// through a traffic.Reader (see Reader) instead of materializing the
+// whole trace, so arbitrarily long generated workloads run in O(1)
+// input memory. Streamed sessions load demands in global start-time
+// order; retained sessions load explicit demands first.
 type WorkloadSpec struct {
 	Demands []DemandSpec `json:"demands,omitempty"`
 	Poisson *PoissonSpec `json:"poisson,omitempty"`
+	Stream  bool         `json:"stream,omitempty"`
+}
+
+// config validates the Poisson parameters against a topology.
+func (p *PoissonSpec) config(topo *netgraph.Topology) (traffic.PoissonConfig, error) {
+	if p.Lambda <= 0 {
+		return traffic.PoissonConfig{}, specErr("workload.poisson.lambda", "non-positive rate %g", p.Lambda)
+	}
+	if p.HorizonNs <= 0 {
+		return traffic.PoissonConfig{}, specErr("workload.poisson.horizon_ns", "non-positive horizon %d", p.HorizonNs)
+	}
+	if p.TCPFraction < 0 || p.TCPFraction > 1 {
+		return traffic.PoissonConfig{}, specErr("workload.poisson.tcp_fraction", "fraction %g outside [0, 1]", p.TCPFraction)
+	}
+	sizes, err := p.Size.dist()
+	if err != nil {
+		return traffic.PoissonConfig{}, err
+	}
+	return traffic.PoissonConfig{
+		Hosts:       topo.Hosts(),
+		Lambda:      p.Lambda,
+		Horizon:     simtime.Duration(p.HorizonNs),
+		Sizes:       sizes,
+		TCPFraction: p.TCPFraction,
+		CBRRateBps:  p.CBRRateBps,
+	}, nil
 }
 
 // Trace materializes the workload against a topology.
@@ -345,33 +377,51 @@ func (w WorkloadSpec) Trace(topo *netgraph.Topology) (traffic.Trace, error) {
 		tr = append(tr, dem)
 	}
 	if p := w.Poisson; p != nil {
-		if p.Lambda <= 0 {
-			return nil, specErr("workload.poisson.lambda", "non-positive rate %g", p.Lambda)
-		}
-		if p.HorizonNs <= 0 {
-			return nil, specErr("workload.poisson.horizon_ns", "non-positive horizon %d", p.HorizonNs)
-		}
-		if p.TCPFraction < 0 || p.TCPFraction > 1 {
-			return nil, specErr("workload.poisson.tcp_fraction", "fraction %g outside [0, 1]", p.TCPFraction)
-		}
-		sizes, err := p.Size.dist()
+		cfg, err := p.config(topo)
 		if err != nil {
 			return nil, err
 		}
-		gen := traffic.NewGenerator(p.Seed)
-		tr = append(tr, gen.PoissonArrivals(traffic.PoissonConfig{
-			Hosts:       topo.Hosts(),
-			Lambda:      p.Lambda,
-			Horizon:     simtime.Duration(p.HorizonNs),
-			Sizes:       sizes,
-			TCPFraction: p.TCPFraction,
-			CBRRateBps:  p.CBRRateBps,
-		})...)
+		tr = append(tr, traffic.NewGenerator(p.Seed).PoissonArrivals(cfg)...)
 	}
 	if len(tr) == 0 {
 		return nil, specErr("workload", "empty (need demands or a poisson generator)")
 	}
 	return tr, nil
+}
+
+// Reader streams the workload against a topology in global start-time
+// order: explicit demands (sorted) merged with the Poisson generator's
+// arrival stream, one demand buffered per source — the bounded-memory
+// counterpart of Trace for sessions submitted with Stream. A Poisson-only
+// workload streams the byte-identical sequence Trace materializes.
+func (w WorkloadSpec) Reader(topo *netgraph.Topology) (traffic.Reader, error) {
+	var rs []traffic.Reader
+	if len(w.Demands) > 0 {
+		var tr traffic.Trace
+		for i, d := range w.Demands {
+			dem, err := d.demand(topo, "workload.demands", i)
+			if err != nil {
+				return nil, err
+			}
+			tr = append(tr, dem)
+		}
+		tr.Sort()
+		rs = append(rs, traffic.TraceReader(tr))
+	}
+	if p := w.Poisson; p != nil {
+		cfg, err := p.config(topo)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, traffic.NewPoissonReader(p.Seed, cfg))
+	}
+	if len(rs) == 0 {
+		return nil, specErr("workload", "empty (need demands or a poisson generator)")
+	}
+	if len(rs) == 1 {
+		return rs[0], nil
+	}
+	return traffic.MergeReaders(rs...), nil
 }
 
 // Scenario event kinds on the wire (the scenario.Kind strings).

@@ -11,6 +11,7 @@ import (
 	"horse/internal/simevent"
 	"horse/internal/simtime"
 	"horse/internal/stats"
+	"horse/internal/traffic"
 )
 
 // Engine is the one simulator surface of Horse, implemented by all three
@@ -182,6 +183,11 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 		eng.(interface {
 			SetRecordSink(func(stats.FlowRecord))
 		}).SetRecordSink(o.sink)
+	}
+	if o.reader != nil {
+		eng.(interface {
+			SetTraceReader(traffic.Reader)
+		}).SetTraceReader(o.reader)
 	}
 	if o.progressFn != nil {
 		eng.(interface {

@@ -159,6 +159,8 @@ type (
 	MissBehavior = dataplane.MissBehavior
 	// Collector accumulates run statistics.
 	Collector = stats.Collector
+	// Counters is a point-in-time copy of a Collector's counters.
+	Counters = stats.Counters
 	// FlowRecord is the outcome of one data flow.
 	FlowRecord = stats.FlowRecord
 	// TCPParams tunes the flow-level TCP model.
@@ -250,6 +252,9 @@ type (
 	LogNormal = traffic.LogNormal
 	// FixedSize draws a constant flow size.
 	FixedSize = traffic.FixedSize
+	// TraceReader streams demands one at a time in nondecreasing Start
+	// order — the bounded-memory workload input (WithTraceReader).
+	TraceReader = traffic.Reader
 )
 
 // Traffic constructors.
@@ -262,7 +267,23 @@ var (
 	ParetoWeights = traffic.ParetoWeights
 	// ReadTraceCSV parses a trace file.
 	ReadTraceCSV = traffic.ReadCSV
+	// NewTraceCSVReader streams a trace file through a bounded reorder
+	// window (0 means DefaultTraceWindow) instead of parsing it whole.
+	NewTraceCSVReader = traffic.NewCSVReader
+	// NewPoissonReader streams the same workload PoissonArrivals would
+	// materialize, one demand at a time.
+	NewPoissonReader = traffic.NewPoissonReader
+	// NewTraceReader adapts an in-memory sorted trace to a TraceReader.
+	NewTraceReader = traffic.TraceReader
+	// MergeTraceReaders merges sorted streams into one sorted stream.
+	MergeTraceReaders = traffic.MergeReaders
+	// ErrTraceOrder reports demands out of start-time order beyond the
+	// reader's reorder window.
+	ErrTraceOrder = traffic.ErrTraceOrder
 )
+
+// DefaultTraceWindow is the CSV reader's default reorder window.
+const DefaultTraceWindow = traffic.DefaultTraceWindow
 
 // IXP substrate.
 type (

@@ -19,7 +19,9 @@ package flowsim
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
+	"sort"
 
 	"horse/internal/dataplane"
 	"horse/internal/eventq"
@@ -232,7 +234,11 @@ type event struct {
 	sw     netgraph.NodeID
 	link   netgraph.LinkID
 	up     bool
-	fn     func()
+	// chain marks a reader-pulled arrival: firing it pulls the next
+	// demand from the trace reader (exactly one chained arrival is
+	// outstanding at a time).
+	chain bool
+	fn    func()
 }
 
 func (e *event) Time() simtime.Time { return e.at }
@@ -377,6 +383,15 @@ type Simulator struct {
 	observers  simevent.Observers
 	recordSink func(stats.FlowRecord)
 
+	// reader, when set, streams demands in one at a time (bounded-memory
+	// ingestion): exactly one chained arrival event is outstanding, and
+	// firing it pulls the next demand. readerLast enforces the
+	// nondecreasing-Start contract; readerErr holds the first reader
+	// failure (ingestion stops; Run surfaces it).
+	reader     traffic.Reader
+	readerLast simtime.Time
+	readerErr  error
+
 	begun    bool
 	finished bool
 }
@@ -509,6 +524,44 @@ func (s *Simulator) InjectAt(d traffic.Demand) {
 	s.sched(event{at: d.Start, kind: evArrival, demand: d})
 }
 
+// SetTraceReader streams the workload in from r instead of (or in
+// addition to) Load: demands are pulled one at a time as virtual time
+// reaches them, so arbitrarily long traces ingest with one demand
+// buffered. r must yield nondecreasing Start times. Because every
+// arrival — eager or streamed — carries the same order key and arrivals
+// dispatch FIFO among themselves, a streamed run's records are
+// byte-identical to Load of the same sequence. Install before Run; a
+// reader error stops ingestion and is returned by Run (or TraceErr).
+func (s *Simulator) SetTraceReader(r traffic.Reader) {
+	if s.begun {
+		panic("flowsim: SetTraceReader after Run")
+	}
+	s.reader = r
+}
+
+// TraceErr reports the first trace-reader failure, if any. Shared-kernel
+// drivers (hybrid) check it after the run; standalone Run returns it.
+func (s *Simulator) TraceErr() error { return s.readerErr }
+
+// pullArrival pulls the next demand from the trace reader and schedules
+// it as the single outstanding chained arrival.
+func (s *Simulator) pullArrival() {
+	d, err := s.reader.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.readerErr = err
+		}
+		return
+	}
+	if d.Start < s.readerLast {
+		s.readerErr = fmt.Errorf("flowsim: trace reader went backwards (%v after %v): %w",
+			d.Start, s.readerLast, traffic.ErrTraceOrder)
+		return
+	}
+	s.readerLast = d.Start
+	s.sched(event{at: d.Start, kind: evArrival, demand: d, chain: true})
+}
+
 // ScheduleLinkChange schedules a link failure (up=false) or recovery.
 func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool) {
 	s.sched(event{at: at, kind: evLinkChange, link: link, up: up})
@@ -543,7 +596,11 @@ func (s *Simulator) Run(ctx context.Context, until simtime.Time) (*stats.Collect
 	}
 	s.Begin()
 	err := s.k.RunContext(ctx, until)
-	return s.Finish(), err
+	col := s.Finish()
+	if err == nil {
+		err = s.readerErr
+	}
+	return col, err
 }
 
 // RunUntil is Run without a lifecycle: no cancellation, no error.
@@ -588,6 +645,9 @@ func (s *Simulator) Begin() {
 	if s.cfg.StatsEvery > 0 {
 		s.sched(event{at: simtime.Time(s.cfg.StatsEvery), kind: evStatsTick})
 	}
+	if s.reader != nil {
+		s.pullArrival()
+	}
 }
 
 // Finish settles and records every unfinished flow and returns the
@@ -604,6 +664,9 @@ func (s *Simulator) dispatch(e *event) {
 	switch e.kind {
 	case evArrival:
 		s.handleArrival(e.demand)
+		if e.chain {
+			s.pullArrival()
+		}
 	case evComplete:
 		if e.flow.gen == e.gen && e.flow.state != StateDone {
 			e.flow.completion = simcore.Timer{}
@@ -646,14 +709,20 @@ func (s *Simulator) dispatch(e *event) {
 	}
 }
 
-// finish settles and records every unfinished flow.
+// finish settles and records every unfinished flow, in flow-ID order so
+// the record sequence (and any record sink) is deterministic.
 func (s *Simulator) finish() {
 	s.drainAlloc()
 	s.finished = true
-	for _, f := range s.flows {
-		if f.state == StateDone {
-			continue
+	ids := make([]FlowID, 0, len(s.flows))
+	for id, f := range s.flows {
+		if f.state != StateDone {
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := s.flows[id]
 		s.settleFlow(f)
 		outcome := "running"
 		if f.state == StateWaiting {

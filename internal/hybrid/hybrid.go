@@ -24,6 +24,8 @@ package hybrid
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"sort"
 
 	"horse/internal/dataplane"
@@ -109,6 +111,25 @@ type Simulator struct {
 	// cannot re-stream.
 	sink   func(stats.FlowRecord)
 	merged *stats.Collector
+
+	// Streaming delivery state (sink != nil, armed by startStream): each
+	// sub-engine record renumbers to its trace ID as it finalizes and
+	// emits through streamCol's flow sink in load order, reordered by the
+	// streamNext/streamPending buffer. flowRank maps flow-engine IDs to
+	// trace indices, precomputed before the run (eager loads only — reader
+	// ingestion arrives already in arrival order, so flowIdx is the map).
+	streaming     bool
+	flowRank      []int
+	streamCol     *stats.Collector
+	streamNext    int
+	streamPending map[int]stats.FlowRecord
+
+	// Trace-reader ingestion: one demand buffered, pulled as virtual time
+	// reaches each start (see SetTraceReader).
+	reader     traffic.Reader
+	readerLast simtime.Time
+	readerErr  error
+	begun      bool
 }
 
 // New builds a hybrid simulator over the configured topology.
@@ -201,12 +222,16 @@ func (s *Simulator) Now() simtime.Time { return s.k.Now() }
 // shared state flips), so observers register there.
 func (s *Simulator) Observe(fn simevent.Observer) { s.flow.Observe(fn) }
 
-// SetRecordSink streams every merged stats.FlowRecord to sink at the end
-// of the run, in load (trace) order — the same records, in the same
-// order, Collector().Flows() would have held. The per-engine collectors
-// still buffer their own records internally (the hybrid must re-number
-// and merge across engines), so unlike the flow engine's sink this bounds
-// only the merged copy. Install before Run.
+// SetRecordSink streams every merged stats.FlowRecord to sink in load
+// (trace) order — the same records, in the same order,
+// Collector().Flows() would have held. Records are renumbered and
+// delivered incrementally as flows finalize: both sub-engines run with
+// their own sinks installed and evict per-flow state as they go, so a
+// multi-million-flow hybrid run holds no retained record set on either
+// side of the merge. Delivery is gated through a reorder buffer keyed by
+// trace index (a record emits once every lower trace index has emitted),
+// which in practice stays near-empty because completion order tracks
+// start order. Install before Run.
 func (s *Simulator) SetRecordSink(sink func(stats.FlowRecord)) { s.sink = sink }
 
 // SetProgress arms progress reporting off the shared kernel's pre-advance
@@ -241,16 +266,80 @@ func (s *Simulator) Split() (packetFlows, flowFlows int) {
 // number of times before Run; the selector index is cumulative.
 func (s *Simulator) Load(tr traffic.Trace) {
 	for _, d := range tr {
-		if s.cfg.PacketLevel != nil && s.cfg.PacketLevel(s.loaded, d) {
-			s.pkt.Load(traffic.Trace{d})
-			s.pktIdx = append(s.pktIdx, s.loaded)
-		} else {
-			s.flow.InjectAt(d)
-			s.flowIdx = append(s.flowIdx, s.loaded)
-			s.flowStarts = append(s.flowStarts, d.Start)
-		}
-		s.loaded++
+		s.loadDemand(d)
 	}
+}
+
+// loadDemand routes one demand to its engine and records the load-order
+// bookkeeping — the shared step of eager Load and streamed ingestion.
+func (s *Simulator) loadDemand(d traffic.Demand) {
+	if s.cfg.PacketLevel != nil && s.cfg.PacketLevel(s.loaded, d) {
+		s.pkt.Load(traffic.Trace{d})
+		s.pktIdx = append(s.pktIdx, s.loaded)
+	} else {
+		s.flow.InjectAt(d)
+		s.flowIdx = append(s.flowIdx, s.loaded)
+		s.flowStarts = append(s.flowStarts, d.Start)
+	}
+	s.loaded++
+}
+
+// SetTraceReader streams the workload in from r instead of (or after)
+// eager Load calls: demands are pulled one at a time as virtual time
+// reaches them and split across the engines exactly as Load would, so
+// arbitrarily long traces ingest with one demand buffered. r must yield
+// nondecreasing Start times; a reader error stops ingestion and is
+// returned by Run (or TraceErr). The ingest event carries the flow
+// engine's arrival order key, and each engine's first per-flow event
+// follows it under the sub-engine FIFO/key contracts, so a streamed run
+// reproduces the eager run's records byte for byte. Install before Run.
+func (s *Simulator) SetTraceReader(r traffic.Reader) {
+	if s.begun {
+		panic("hybrid: SetTraceReader after Run")
+	}
+	s.reader = r
+}
+
+// TraceErr reports the first trace-reader failure, if any (also folded
+// into Run's error).
+func (s *Simulator) TraceErr() error { return s.readerErr }
+
+// pullNext buffers the reader's next demand as an ingest event at its
+// start time — one outstanding demand, the bounded-lookahead invariant.
+func (s *Simulator) pullNext() {
+	d, err := s.reader.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.readerErr = err
+		}
+		return
+	}
+	if d.Start < s.readerLast {
+		s.readerErr = fmt.Errorf("hybrid: trace reader went backwards (%v after %v): %w",
+			d.Start, s.readerLast, traffic.ErrTraceOrder)
+		return
+	}
+	s.readerLast = d.Start
+	s.k.Schedule(&ingestEvent{s: s, at: d.Start, d: d})
+}
+
+// ingestEvent loads one streamed demand at its start instant and pulls
+// the next. Its order key is the flow engine's arrival key: a flow-level
+// demand's arrival follows it FIFO under the same key, and a
+// packet-level demand's first send sorts later at the same instant by
+// class — both exactly where the eager-loaded run dispatches them.
+type ingestEvent struct {
+	s  *Simulator
+	at simtime.Time
+	d  traffic.Demand
+}
+
+func (e *ingestEvent) Time() simtime.Time { return e.at }
+func (e *ingestEvent) OrderKey() uint64   { return simcore.OrderKey(simcore.ClassData+0, 0) }
+func (e *ingestEvent) Release()           {}
+func (e *ingestEvent) Fire() {
+	e.s.loadDemand(e.d)
+	e.s.pullNext()
 }
 
 // Run executes both engines until the shared queue drains, virtual time
@@ -258,13 +347,123 @@ func (s *Simulator) Load(tr traffic.Trace) {
 // (see Collector) — on cancellation a partial but consistent one,
 // together with ctx.Err(). Run may be called once.
 func (s *Simulator) Run(ctx context.Context, until simtime.Time) (*stats.Collector, error) {
+	s.begun = true
+	s.startStream()
 	s.flow.Begin()
 	s.pkt.Begin()
+	if s.reader != nil {
+		s.pullNext()
+	}
 	err := s.k.RunContext(ctx, until)
 	s.flow.Finish()
 	s.pkt.Finish()
-	s.merged = s.buildCollector(true)
+	s.finishStream()
+	if err == nil {
+		err = s.readerErr
+	}
+	s.merged = s.buildCollector()
 	return s.merged, err
+}
+
+// startStream arms incremental streamed delivery when a record sink is
+// installed: both sub-engines get sinks that renumber each record to its
+// trace ID and hand it to the reorder buffer, and (for eager loads) the
+// flow engine's arrival-rank → trace-index map is precomputed — the same
+// map the retained Records() derives by stable-sorting after the fact.
+func (s *Simulator) startStream() {
+	if s.sink == nil {
+		return
+	}
+	s.streaming = true
+	s.streamCol = stats.NewCollector(0)
+	s.streamCol.SetFlowSink(s.sink)
+	s.streamPending = make(map[int]stats.FlowRecord)
+	if s.reader == nil {
+		order := make([]int, len(s.flowIdx))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return s.flowStarts[order[a]] < s.flowStarts[order[b]]
+		})
+		s.flowRank = make([]int, len(order))
+		for i, o := range order {
+			s.flowRank[i] = s.flowIdx[o]
+		}
+	}
+	s.flow.SetRecordSink(func(r stats.FlowRecord) {
+		if idx, ok := s.flowTraceIndex(r.ID); ok {
+			s.streamEmit(idx, r)
+		}
+	})
+	s.pkt.SetRecordSink(func(r stats.FlowRecord) {
+		if r.ID >= 1 && int(r.ID) <= len(s.pktIdx) {
+			s.streamEmit(s.pktIdx[r.ID-1], r)
+		}
+	})
+}
+
+// flowTraceIndex maps a flow-engine record ID to its trace index. Reader
+// ingestion delivers demands in nondecreasing start order, so the flow
+// engine's arrival order equals ingestion order and flowIdx itself is
+// the map; eager loads use the precomputed rank map. IDs outside either
+// map (possible only on partial, canceled runs) report !ok.
+func (s *Simulator) flowTraceIndex(id int64) (int, bool) {
+	if s.reader != nil {
+		if id < 1 || int(id) > len(s.flowIdx) {
+			return 0, false
+		}
+		return s.flowIdx[id-1], true
+	}
+	if id < 1 || int(id) > len(s.flowRank) {
+		return 0, false
+	}
+	return s.flowRank[id-1], true
+}
+
+// streamEmit delivers one renumbered record in load order: records ahead
+// of the next expected trace index park in the reorder buffer and drain
+// the moment the gap closes.
+func (s *Simulator) streamEmit(idx int, r stats.FlowRecord) {
+	r.ID = int64(idx + 1)
+	if idx != s.streamNext {
+		s.streamPending[idx] = r
+		return
+	}
+	s.streamCol.AddFlow(r)
+	s.streamCol.CountOutcome(r)
+	s.streamNext++
+	for {
+		r2, ok := s.streamPending[s.streamNext]
+		if !ok {
+			return
+		}
+		delete(s.streamPending, s.streamNext)
+		s.streamCol.AddFlow(r2)
+		s.streamCol.CountOutcome(r2)
+		s.streamNext++
+	}
+}
+
+// finishStream flushes records still parked behind a trace index that
+// never produced one — a demand past the time bound, or a canceled run —
+// in ascending trace order, which keeps the overall stream identical to
+// the retained Records() sequence (it skips the same holes).
+func (s *Simulator) finishStream() {
+	if !s.streaming || len(s.streamPending) == 0 {
+		return
+	}
+	keys := make([]int, 0, len(s.streamPending))
+	for k := range s.streamPending {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		r := s.streamPending[k]
+		delete(s.streamPending, k)
+		s.streamCol.AddFlow(r)
+		s.streamCol.CountOutcome(r)
+	}
 }
 
 // RunUntil is Run without a lifecycle: no cancellation, no error.
@@ -277,7 +476,12 @@ func (s *Simulator) RunUntil(until simtime.Time) *stats.Collector {
 
 // Records returns one record per demand that produced one, ordered and
 // re-numbered by load order (ID = trace index + 1) regardless of which
-// engine simulated it — the comparable unit for fidelity sweeps.
+// engine simulated it — the comparable unit for fidelity sweeps. The
+// load-order map derives from whatever bookkeeping exists at call time,
+// so after a canceled Run it covers the partial trace: records whose IDs
+// fall outside the maps are skipped, never a panic. With a record sink
+// installed the sub-engines retain nothing and Records reports empty —
+// the records went to the sink.
 func (s *Simulator) Records() []stats.FlowRecord {
 	out := make([]stats.FlowRecord, 0, len(s.flowIdx)+len(s.pktIdx))
 	// The flow engine numbers flows in arrival order: stable-sort the
@@ -314,33 +518,29 @@ func (s *Simulator) Collector() *stats.Collector {
 	if s.merged != nil {
 		return s.merged
 	}
-	// Mid-run snapshots never stream: only the one collector Run builds
-	// at the end delivers to the record sink, so a Collector() call from
-	// a progress or observer hook cannot duplicate records in the stream.
-	return s.buildCollector(false)
+	// Mid-run snapshots cannot duplicate records in the stream: with a
+	// sink installed the records flow through streamEmit as flows
+	// finalize, and buildCollector only folds the accumulated tallies.
+	return s.buildCollector()
 }
 
-// buildCollector assembles the merged collector. stream=true routes the
-// records through the installed sink (the end-of-Run delivery); false
-// accumulates them in the snapshot.
-func (s *Simulator) buildCollector(stream bool) *stats.Collector {
+// buildCollector assembles the merged collector. With a record sink the
+// records were already streamed incrementally (streamEmit), so only the
+// outcome tallies fold in; otherwise the retained Records() accumulate.
+func (s *Simulator) buildCollector() *stats.Collector {
 	fc, pc := s.flow.Collector(), s.pkt.Collector()
 	col := stats.NewCollector(s.cfg.StatsEvery)
-	if stream && s.sink != nil {
-		col.SetFlowSink(s.sink)
-	}
 	for _, smp := range fc.LinkSeries() {
 		col.AddLinkSample(smp)
 	}
-	for _, r := range s.Records() {
-		col.AddFlow(r)
-		switch {
-		case r.Completed:
-			col.FlowsCompleted++
-		case r.Outcome == "dropped":
-			col.FlowsDropped++
-		case r.Outcome == "looped":
-			col.FlowsLooped++
+	if s.streaming {
+		col.FlowsCompleted = s.streamCol.FlowsCompleted
+		col.FlowsDropped = s.streamCol.FlowsDropped
+		col.FlowsLooped = s.streamCol.FlowsLooped
+	} else {
+		for _, r := range s.Records() {
+			col.AddFlow(r)
+			col.CountOutcome(r)
 		}
 	}
 	col.FlowsStarted = fc.FlowsStarted + pc.FlowsStarted

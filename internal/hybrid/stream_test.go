@@ -1,0 +1,160 @@
+package hybrid
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"horse/internal/controller"
+	"horse/internal/dataplane"
+	"horse/internal/eventq"
+	"horse/internal/simevent"
+	"horse/internal/simtime"
+	"horse/internal/stats"
+	"horse/internal/tcpmodel"
+	"horse/internal/traffic"
+)
+
+// hybridOpts selects the bounded-memory variants: streamed record sink
+// and/or trace-reader ingestion, plus the event-queue backend.
+type hybridOpts struct {
+	sink   bool
+	reader bool
+	queue  eventq.Backend
+}
+
+// runSplit runs the reactive dumbbell scenario at 50% packet fidelity
+// with the selected variants and returns the load-order records plus the
+// merged counter snapshot.
+func runSplit(t *testing.T, opt hybridOpts) ([]stats.FlowRecord, stats.Counters) {
+	t.Helper()
+	topo, tr := reactiveScenario()
+	hyb := New(Config{
+		Topology: topo, Miss: dataplane.MissController,
+		Controller:     controller.NewChain(&controller.ReactiveMAC{}),
+		ControlLatency: simtime.Millisecond,
+		TCP:            tcpmodel.Params{RTT: 2200 * simtime.Microsecond, MSS: 1500, InitialWindow: 10},
+		PacketLevel:    Fraction(0.5),
+		EventQueue:     opt.queue,
+	})
+	var streamed []stats.FlowRecord
+	if opt.sink {
+		hyb.SetRecordSink(func(r stats.FlowRecord) { streamed = append(streamed, r) })
+	}
+	if opt.reader {
+		hyb.SetTraceReader(traffic.TraceReader(tr))
+	} else {
+		hyb.Load(tr)
+	}
+	col := mustRun(hyb, simtime.Time(simtime.Minute))
+	if opt.sink {
+		if n := len(col.Flows()); n != 0 {
+			t.Fatalf("sink mode retained %d merged records", n)
+		}
+		if n := len(hyb.FlowCollector().Flows()) + len(hyb.PacketCollector().Flows()); n != 0 {
+			t.Fatalf("sink mode retained %d sub-engine records", n)
+		}
+		return streamed, col.Counters()
+	}
+	return hyb.Records(), col.Counters()
+}
+
+// diffCounters compares merged counter snapshots modulo EventsRun, which
+// legitimately differs under reader ingestion (each streamed demand costs
+// one ingest dispatch on the shared kernel).
+func diffCounters(t *testing.T, name string, want, got stats.Counters) {
+	t.Helper()
+	want.EventsRun, got.EventsRun = 0, 0
+	if want != got {
+		t.Errorf("%s: counters diverged:\nwant %+v\n got %+v", name, want, got)
+	}
+}
+
+// TestHybridStreamedMatchesRetained is the hybrid half of the
+// bounded-memory equivalence contract: the incrementally renumbered sink
+// stream must be byte-identical to the retained Records() order — and the
+// trace-reader ingestion path must reproduce the eager Load run — on both
+// event-queue backends, in every combination.
+func TestHybridStreamedMatchesRetained(t *testing.T) {
+	for _, q := range []eventq.Backend{eventq.BackendHeap, eventq.BackendWheel} {
+		name := map[eventq.Backend]string{eventq.BackendHeap: "heap", eventq.BackendWheel: "wheel"}[q]
+		want, wantC := runSplit(t, hybridOpts{queue: q})
+		if len(want) == 0 {
+			t.Fatal("retained run produced no records")
+		}
+		for _, opt := range []hybridOpts{
+			{sink: true, queue: q},
+			{reader: true, queue: q},
+			{sink: true, reader: true, queue: q},
+		} {
+			got, gotC := runSplit(t, opt)
+			label := name
+			if opt.sink {
+				label += "+sink"
+			}
+			if opt.reader {
+				label += "+reader"
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s: records diverged (%d vs %d)", label, len(want), len(got))
+				for i := range want {
+					if i < len(got) && want[i] != got[i] {
+						t.Errorf("%s: record %d:\nwant %+v\n got %+v", label, i, want[i], got[i])
+						break
+					}
+				}
+			}
+			diffCounters(t, label, wantC, gotC)
+		}
+	}
+}
+
+// TestHybridCancelPartialRecords is the regression for Records() after a
+// canceled Run: the partial bookkeeping must yield a consistent
+// load-order record set — never a panic on IDs the maps don't cover —
+// and the streamed path must flush its reorder buffer the same way.
+func TestHybridCancelPartialRecords(t *testing.T) {
+	run := func(sink bool) ([]stats.FlowRecord, error) {
+		topo, tr := reactiveScenario()
+		hyb := New(Config{
+			Topology: topo, Miss: dataplane.MissController,
+			Controller:     controller.NewChain(&controller.ReactiveMAC{}),
+			ControlLatency: simtime.Millisecond,
+			TCP:            tcpmodel.Params{RTT: 2200 * simtime.Microsecond, MSS: 1500, InitialWindow: 10},
+			PacketLevel:    Fraction(0.5),
+		})
+		var streamed []stats.FlowRecord
+		if sink {
+			hyb.SetRecordSink(func(r stats.FlowRecord) { streamed = append(streamed, r) })
+		}
+		hyb.SetTraceReader(traffic.TraceReader(tr))
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		hyb.SetProgress(5*simtime.Millisecond, func(simevent.Progress) {
+			if n++; n == 2 {
+				cancel()
+			}
+		})
+		_, err := hyb.Run(ctx, simtime.Time(simtime.Minute))
+		if sink {
+			return streamed, err
+		}
+		return hyb.Records(), err
+	}
+	retained, err := run(false)
+	if err != context.Canceled {
+		t.Fatalf("retained run: err = %v, want context.Canceled", err)
+	}
+	streamed, err := run(true)
+	if err != context.Canceled {
+		t.Fatalf("streamed run: err = %v, want context.Canceled", err)
+	}
+	if !reflect.DeepEqual(retained, streamed) {
+		t.Errorf("canceled runs diverged: retained %d records, streamed %d", len(retained), len(streamed))
+	}
+	for i := 1; i < len(retained); i++ {
+		if retained[i].ID <= retained[i-1].ID {
+			t.Errorf("records out of load order at %d: %d after %d", i, retained[i].ID, retained[i-1].ID)
+		}
+	}
+}

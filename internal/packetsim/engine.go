@@ -61,6 +61,9 @@ func (s *Simulator) senderStop(f *pktFlow) {
 	f.rtoGen++ // backstop
 	s.k.Cancel(f.rto)
 	f.rto = simcore.Timer{}
+	// The deadline candidate may be the last event this flow ever sees
+	// (no packets in flight): queue a finalize check.
+	s.noteFin(f)
 }
 
 // emit injects a packet at the flow's source host.
@@ -71,6 +74,9 @@ func (s *Simulator) emit(f *pktFlow, seq int, retrans bool) {
 		f.srcDead = true
 		return
 	}
+	// The packet is born: live until deliver consumes it or dropPacket
+	// accounts its death (every loss path funnels through one of them).
+	s.liveBy[f.idx]++
 	// Host NIC → switch: enqueue on the host's side of the access link.
 	s.enqueue(p, s.hostDir(f.demand.Src))
 }
@@ -282,6 +288,10 @@ func (s *Simulator) keyOf(p *packet) header.FlowKey {
 // writes.
 func (s *Simulator) deliver(p *packet, host netgraph.NodeID) {
 	f := p.flow
+	// The packet ends its life here on every path below (any ACK it
+	// spawns is a new birth); its flow may now be finalizable.
+	s.liveBy[f.idx]--
+	s.noteFin(f)
 	if p.ack {
 		if host == f.demand.Src {
 			s.handleAck(f, p.ackSeq)
@@ -298,6 +308,7 @@ func (s *Simulator) deliver(p *packet, host netgraph.NodeID) {
 			// exactly this; the sender learns completion only from the
 			// ACK stream — no out-of-band state crosses the shards.
 			ack := &packet{flow: f, ack: true, ackSeq: f.recvNext, bits: AckPacketBits}
+			s.liveBy[f.idx]++
 			s.enqueue(ack, s.hostDir(f.demand.Dst))
 			return
 		}
@@ -308,6 +319,7 @@ func (s *Simulator) deliver(p *packet, host netgraph.NodeID) {
 			f.recvNext++
 		}
 		ack := &packet{flow: f, ack: true, ackSeq: f.recvNext, bits: AckPacketBits}
+		s.liveBy[f.idx]++
 		s.enqueue(ack, s.hostDir(f.demand.Dst))
 		if f.recvNext >= f.packets {
 			f.recvDoneAt = s.k.Now()
@@ -411,6 +423,8 @@ func (s *Simulator) losePacket(p *packet) {
 // dropPacket accounts for a lost packet. TCP recovers via dup-ACKs/RTO;
 // CBR/UDP losses resolve the packet where it died.
 func (s *Simulator) dropPacket(p *packet) {
+	s.liveBy[p.flow.idx]--
+	s.noteFin(p.flow)
 	if p.ack {
 		return // lost ACKs are recovered by later cumulative ACKs or RTO
 	}
@@ -420,12 +434,23 @@ func (s *Simulator) dropPacket(p *packet) {
 	s.resolveUDP(p.flow)
 }
 
-// record emits the flow's statistics record, assembling completion from
-// the single-writer candidates: the earliest of the deadline stop
+// record emits the flow's statistics record at Finish.
+func (s *Simulator) record(f *pktFlow, sims []*Simulator) {
+	r, _ := s.assemble(f, sims)
+	s.col.AddFlow(r)
+}
+
+// assemble builds the flow's statistics record, assembling completion
+// from the single-writer candidates: the earliest of the deadline stop
 // (sender), the full receive (receiver), and — for UDP — the last packet
 // resolution once every packet is accounted for. That earliest candidate
 // is exactly the completion a serial run's first-finisher logic hits.
-func (s *Simulator) record(f *pktFlow, sims []*Simulator) {
+// final reports whether the record is time-invariant — a completed,
+// live-source flow assembles identically whenever it is read, so the
+// incremental finalize path may emit and evict it mid-run; srcDead and
+// still-running outcomes date their records s.k.Now() and must wait for
+// Finish.
+func (s *Simulator) assemble(f *pktFlow, sims []*Simulator) (stats.FlowRecord, bool) {
 	punts := 0
 	var resolved int64
 	resolvedLast := simtime.Time(0)
@@ -463,7 +488,7 @@ func (s *Simulator) record(f *pktFlow, sims []*Simulator) {
 	case !completed:
 		outcome = "running"
 	}
-	s.col.AddFlow(stats.FlowRecord{
+	return stats.FlowRecord{
 		ID:        f.id,
 		Arrival:   f.arrival,
 		End:       end,
@@ -472,7 +497,100 @@ func (s *Simulator) record(f *pktFlow, sims []*Simulator) {
 		Completed: completed,
 		Outcome:   outcome,
 		Punts:     punts,
-	})
+	}, outcome == "completed"
+}
+
+// senderQuiesced reports that the flow can never emit another packet: its
+// source is dead, its deadline stopped it, or the transfer is fully acked
+// (TCP) / fully emitted (CBR). Every field is sender-owned; the
+// coordinator reads them at drain points, after the owning window.
+func senderQuiesced(f *pktFlow) bool {
+	if f.srcDead || f.senderStopped {
+		return true
+	}
+	if f.tcp {
+		return f.sendBase >= f.packets
+	}
+	return f.nextSeq >= f.packets
+}
+
+// noteFin queues a finalize check for f at this clone's next drain point
+// (end of the current dispatch in serial runs, the window barrier in
+// sharded ones). Duplicates are fine: tryFinalize is idempotent.
+func (s *Simulator) noteFin(f *pktFlow) {
+	if f.done {
+		return
+	}
+	s.finHints = append(s.finHints, f.idx)
+}
+
+// drainFin runs the queued finalize checks of every clone. Called on the
+// coordinator (or the serial engine) only, at single-threaded points
+// where all clone writes are published: after each dispatch serially,
+// at window barriers (exchange) sharded.
+func (s *Simulator) drainFin() {
+	if s.finished || s.simsAll == nil {
+		return
+	}
+	for _, c := range s.simsAll {
+		if len(c.finHints) == 0 {
+			continue
+		}
+		for _, idx := range c.finHints {
+			s.tryFinalize(idx)
+		}
+		c.finHints = c.finHints[:0]
+	}
+}
+
+// tryFinalize records flow idx the moment its record can no longer
+// change — sender quiesced, zero packets live on any clone, and a
+// completed outcome — and evicts its state. Incomplete flows (srcDead,
+// still running at the horizon) date their records at Finish instead.
+func (s *Simulator) tryFinalize(idx int32) {
+	f := s.flows[idx]
+	if f == nil || f.done || !senderQuiesced(f) {
+		return
+	}
+	live := int32(0)
+	for _, c := range s.simsAll {
+		live += c.liveBy[idx]
+	}
+	if live != 0 {
+		return
+	}
+	r, final := s.assemble(f, s.simsAll)
+	if !final {
+		return
+	}
+	f.done = true
+	f.received = nil
+	s.flows[idx] = nil
+	s.emitFinal(idx, r)
+}
+
+// emitFinal emits r once every lower-indexed flow has emitted, parking
+// it otherwise, so AddFlow order is exactly flow-ID order — the same
+// sequence the all-at-Finish path produces.
+func (s *Simulator) emitFinal(idx int32, r stats.FlowRecord) {
+	if idx != s.finNext {
+		if s.finPending == nil {
+			s.finPending = make(map[int32]stats.FlowRecord)
+		}
+		s.finPending[idx] = r
+		return
+	}
+	s.col.AddFlow(r)
+	s.finNext++
+	for {
+		r2, ok := s.finPending[s.finNext]
+		if !ok {
+			return
+		}
+		delete(s.finPending, s.finNext)
+		s.col.AddFlow(r2)
+		s.finNext++
+	}
 }
 
 // sampleStats snapshots per-direction throughput state for the directions

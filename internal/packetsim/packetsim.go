@@ -38,6 +38,8 @@ package packetsim
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math"
 
 	"horse/internal/dataplane"
@@ -184,6 +186,34 @@ type Simulator struct {
 	udpRes  []int32
 	udpLast []simtime.Time
 
+	// liveBy counts this clone's packet births minus deaths per flow; the
+	// cross-clone sum is the flow's packets still in flight anywhere.
+	// finHints queues flow indices whose finalize condition may have
+	// flipped, drained by the coordinator after each dispatch (serial) or
+	// at window barriers (sharded) — the points where cross-clone reads
+	// are safe.
+	liveBy   []int32
+	finHints []int32
+
+	// Incremental-finalize state (coordinator-only). A flow whose sender
+	// has quiesced, whose packets have all resolved, and whose record is
+	// time-invariant is recorded immediately and its state evicted;
+	// finNext/finPending reorder emissions into flow-ID order so the
+	// record stream stays byte-identical to the all-at-Finish path.
+	// simsAll caches allSims() for the per-dispatch drain.
+	simsAll    []*Simulator
+	finNext    int32
+	finPending map[int32]stats.FlowRecord
+
+	// Streaming ingestion (coordinator-only): reader, when set, pulls
+	// demands in one at a time through chained evIngest events on the
+	// coordinator kernel — which in sharded runs also bounds every
+	// window, so no shard outruns an arrival that has not loaded yet.
+	reader     traffic.Reader
+	readerLast simtime.Time
+	readerErr  error
+	nextDemand traffic.Demand
+
 	// Sharding. nshards <= 1 means the serial path: clones == {self}.
 	// observers receive applied network-dynamics events (the public
 	// Observe hook); in sharded runs the handlers — and therefore the
@@ -288,6 +318,11 @@ type pktFlow struct {
 	// Sender CBR state.
 	cbrInterval simtime.Duration
 	sentBits    float64
+
+	// done marks a flow already recorded (and evicted) by the incremental
+	// finalize path. Written only by the coordinator at drain points;
+	// shard clones read it no earlier than the following window.
+	done bool
 }
 
 // deadline returns the flow's absolute deadline, or Never.
@@ -314,6 +349,7 @@ const (
 	evLinkChange
 	evSwitchChange
 	evCtrlChange
+	evIngest // pull the next demand from the trace reader
 )
 
 // event is the pooled kernel envelope of this engine.
@@ -362,6 +398,13 @@ func (e *event) OrderKey() uint64 {
 		return simcore.OrderKey(simcore.ClassData+1, uint32(e.dir))
 	case evSend:
 		return simcore.OrderKey(simcore.ClassData+2, uint32(e.flow.idx))
+	case evIngest:
+		// e.dir carries the flow index this ingest will assign, stamped
+		// at schedule time: the ingest sorts exactly where the eager-
+		// loaded evSend would have, and the evSend it schedules follows
+		// it FIFO under the same key — so streamed ingestion preserves
+		// the eager dispatch order event for event.
+		return simcore.OrderKey(simcore.ClassData+2, uint32(e.dir))
 	case evRTO:
 		return simcore.OrderKey(simcore.ClassData+3, uint32(e.flow.idx))
 	default: // evStats
@@ -369,8 +412,18 @@ func (e *event) OrderKey() uint64 {
 	}
 }
 
-// Fire implements simcore.Event.
-func (e *event) Fire() { e.sim.dispatch(e) }
+// Fire implements simcore.Event. After the dispatch, the serial engine
+// (and, for global-kernel events, the sharded coordinator — which only
+// fires between windows) drains queued finalize hints: end-of-dispatch is
+// the earliest point where a flow's just-flipped completion state is
+// fully written.
+func (e *event) Fire() {
+	s := e.sim
+	s.dispatch(e)
+	if s.nshards <= 1 || s.isCoordinator {
+		s.drainFin()
+	}
+}
 
 // Release implements simcore.Event: recycle the envelope. Generation
 // stamps (pktFlow.rtoGen) checked in dispatch keep recycled envelopes from
@@ -512,38 +565,94 @@ func (s *Simulator) EventsDispatched() uint64 {
 // Load schedules the demands.
 func (s *Simulator) Load(tr traffic.Trace) {
 	for _, d := range tr {
-		f := &pktFlow{
-			id:       int64(len(s.flows) + 1),
-			idx:      int32(len(s.flows)),
-			demand:   d,
-			arrival:  d.Start,
-			tcp:      d.TCP,
-			cwnd:     10,
-			ssthresh: math.Inf(1),
-			received: make(map[int]bool),
-			rtoAt:    simtime.Never,
-
-			deadlineDoneAt: simtime.Never,
-			recvDoneAt:     simtime.Never,
-		}
-		if math.IsInf(d.SizeBits, 1) {
-			// Open-ended CBR flows run until their deadline.
-			f.packets = math.MaxInt32
-		} else {
-			f.packets = int(math.Ceil(d.SizeBits / DataPacketBits))
-			if f.packets == 0 {
-				f.packets = 1
-			}
-		}
-		if !f.tcp && d.RateBps > 0 && !math.IsInf(d.RateBps, 1) {
-			f.cbrInterval = simtime.TransferTime(DataPacketBits, d.RateBps)
-		}
-		if s.partOf != nil {
-			f.home = s.partOf[d.Src]
-		}
-		s.flows = append(s.flows, f)
-		s.sched(event{at: d.Start, kind: evSend, flow: f})
+		s.loadOne(d)
 	}
+}
+
+// loadOne admits one demand: builds its flow, grows the per-clone
+// accounting arrays when the run has already begun (streamed ingestion),
+// and schedules the first send. Runs on the coordinator — pre-Run, or
+// between windows via evIngest.
+func (s *Simulator) loadOne(d traffic.Demand) {
+	f := &pktFlow{
+		id:       int64(len(s.flows) + 1),
+		idx:      int32(len(s.flows)),
+		demand:   d,
+		arrival:  d.Start,
+		tcp:      d.TCP,
+		cwnd:     10,
+		ssthresh: math.Inf(1),
+		received: make(map[int]bool),
+		rtoAt:    simtime.Never,
+
+		deadlineDoneAt: simtime.Never,
+		recvDoneAt:     simtime.Never,
+	}
+	if math.IsInf(d.SizeBits, 1) {
+		// Open-ended CBR flows run until their deadline.
+		f.packets = math.MaxInt32
+	} else {
+		f.packets = int(math.Ceil(d.SizeBits / DataPacketBits))
+		if f.packets == 0 {
+			f.packets = 1
+		}
+	}
+	if !f.tcp && d.RateBps > 0 && !math.IsInf(d.RateBps, 1) {
+		f.cbrInterval = simtime.TransferTime(DataPacketBits, d.RateBps)
+	}
+	if s.partOf != nil {
+		f.home = s.partOf[d.Src]
+	}
+	s.flows = append(s.flows, f)
+	if s.begun {
+		for _, c := range s.allSims() {
+			c.puntsBy = append(c.puntsBy, 0)
+			c.udpRes = append(c.udpRes, 0)
+			c.udpLast = append(c.udpLast, 0)
+			c.liveBy = append(c.liveBy, 0)
+		}
+	}
+	s.sched(event{at: d.Start, kind: evSend, flow: f})
+}
+
+// SetTraceReader streams the workload in from r instead of (or after) a
+// Load: exactly one demand is buffered, pulled through chained evIngest
+// events on the coordinator kernel as virtual time reaches each arrival.
+// Ingestion preserves the eager dispatch order exactly (see the evIngest
+// order key), and in sharded runs the pending ingest bounds every window,
+// so records stay byte-identical to Load of the same sequence — for
+// demands that start within the run's horizon. r must yield nondecreasing
+// Start times. Install before Run; a reader error stops ingestion and is
+// returned by Run (or TraceErr).
+func (s *Simulator) SetTraceReader(r traffic.Reader) {
+	if s.begun {
+		panic("packetsim: SetTraceReader after Run")
+	}
+	s.reader = r
+}
+
+// TraceErr reports the first trace-reader failure, if any. Shared-kernel
+// drivers (hybrid) check it after the run; standalone Run returns it.
+func (s *Simulator) TraceErr() error { return s.readerErr }
+
+// pullIngest pulls the next demand and schedules its ingest event at the
+// demand's start instant, stamping the flow index it will assign.
+func (s *Simulator) pullIngest() {
+	d, err := s.reader.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.readerErr = err
+		}
+		return
+	}
+	if d.Start < s.readerLast {
+		s.readerErr = fmt.Errorf("packetsim: trace reader went backwards (%v after %v): %w",
+			d.Start, s.readerLast, traffic.ErrTraceOrder)
+		return
+	}
+	s.readerLast = d.Start
+	s.nextDemand = d
+	s.sched(event{at: d.Start, kind: evIngest, dir: int32(len(s.flows))})
 }
 
 // ScheduleLinkChange schedules a link failure (up=false) or recovery. On
@@ -586,7 +695,11 @@ func (s *Simulator) Run(ctx context.Context, until simtime.Time) (*stats.Collect
 	} else {
 		err = s.k.RunContext(ctx, until)
 	}
-	return s.Finish(), err
+	col := s.Finish()
+	if err == nil {
+		err = s.readerErr
+	}
+	return col, err
 }
 
 // RunUntil is Run without a lifecycle: no cancellation, no error.
@@ -603,10 +716,11 @@ func (s *Simulator) RunUntil(until simtime.Time) *stats.Collector {
 func (s *Simulator) Observe(fn simevent.Observer) { s.observers.Add(fn) }
 
 // SetRecordSink streams every stats.FlowRecord to sink instead of
-// accumulating it in the collector. The packet engine records flows at
-// Finish in flow-ID (load) order — after the sharded barrier merge — so
-// the stream is byte-identical to what Collector().Flows() would have
-// held, for any shard count. Install before Run.
+// accumulating it in the collector. Records emit in flow-ID (load) order:
+// most flows finalize — and free their state — the moment their outcome
+// freezes mid-run, and Finish emits whatever remains, so the stream is
+// byte-identical to what Collector().Flows() would have held, for any
+// shard count. Install before Run.
 func (s *Simulator) SetRecordSink(sink func(stats.FlowRecord)) {
 	s.col.SetFlowSink(sink)
 }
@@ -634,10 +748,12 @@ func (s *Simulator) Begin() {
 		panic("packetsim: Run called twice")
 	}
 	s.begun = true
-	for _, c := range s.allSims() {
+	s.simsAll = s.allSims()
+	for _, c := range s.simsAll {
 		c.puntsBy = make([]int32, len(s.flows))
 		c.udpRes = make([]int32, len(s.flows))
 		c.udpLast = make([]simtime.Time, len(s.flows))
+		c.liveBy = make([]int32, len(s.flows))
 	}
 	if s.nshards > 1 {
 		s.routePending()
@@ -658,19 +774,32 @@ func (s *Simulator) Begin() {
 			s.sched(event{at: simtime.Time(s.cfg.StatsEvery), kind: evStats, node: netgraph.NodeID(i)})
 		}
 	}
+	if s.reader != nil {
+		s.pullIngest()
+	}
 }
 
 // Finish merges the shards' collectors and accounting, records every
-// flow, and returns the collector; calling it again is a no-op.
+// flow not already emitted by the incremental finalize path, and returns
+// the collector; calling it again is a no-op. Emission order is flow-ID
+// order throughout: the incrementally finalized prefix already streamed
+// in ID order, and this loop continues from finNext.
 func (s *Simulator) Finish() *stats.Collector {
 	if s.finished {
 		return s.col
 	}
+	s.drainFin()
 	s.finished = true
 	s.mergeShards()
 	sims := s.allSims()
-	for _, f := range s.flows {
-		s.record(f, sims)
+	for idx := int(s.finNext); idx < len(s.flows); idx++ {
+		if r, ok := s.finPending[int32(idx)]; ok {
+			// Finalized early but held for ID order: emit as recorded.
+			delete(s.finPending, int32(idx))
+			s.col.AddFlow(r)
+			continue
+		}
+		s.record(s.flows[idx], sims)
 	}
 	return s.col
 }
@@ -722,5 +851,8 @@ func (s *Simulator) dispatch(e *event) {
 		s.handleSwitchChange(e.node, e.up)
 	case evCtrlChange:
 		s.handleCtrlChange(e.up)
+	case evIngest:
+		s.loadOne(s.nextDemand)
+		s.pullIngest()
 	}
 }

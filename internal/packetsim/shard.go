@@ -105,7 +105,7 @@ func (s *Simulator) allSims() []*Simulator {
 // coordinator-executed topology changes).
 func (s *Simulator) homeOf(proto *event) int32 {
 	switch proto.kind {
-	case evLinkChange, evSwitchChange, evCtrlChange:
+	case evLinkChange, evSwitchChange, evCtrlChange, evIngest:
 		return homeGlobal
 	case evToController, evTimer:
 		return 0
@@ -198,6 +198,9 @@ func (s *Simulator) routePending() {
 // immaterial. Runs single-threaded between windows.
 func (s *Simulator) exchange() {
 	s.reportShardProgress()
+	// The window just completed published every clone's flow-state writes
+	// (runner barrier): safe point for the cross-clone finalize drain.
+	s.drainFin()
 	var msgs []outMsg
 	for _, c := range s.clones {
 		msgs = append(msgs, c.outbox...)

@@ -108,6 +108,20 @@ func (c *Collector) RerouteTimes() []simtime.Time { return c.reroutes }
 // Flows returns all finished flow records.
 func (c *Collector) Flows() []FlowRecord { return c.flows }
 
+// CountOutcome tallies a record's terminal outcome into the completion
+// counters — the fold a merging driver (hybrid) applies per record, so a
+// streamed run accumulates the same totals the retained path counts.
+func (c *Collector) CountOutcome(r FlowRecord) {
+	switch {
+	case r.Completed:
+		c.FlowsCompleted++
+	case r.Outcome == "dropped":
+		c.FlowsDropped++
+	case r.Outcome == "looped":
+		c.FlowsLooped++
+	}
+}
+
 // Counters is a point-in-time copy of a Collector's event counters — the
 // value type the service daemon's status and done summaries encode onto
 // the wire. Counters stay valid with a flow sink installed (when Flows

@@ -1,0 +1,251 @@
+package traffic
+
+import (
+	"container/heap"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+
+	"horse/internal/simtime"
+)
+
+// Reader streams a demand trace one flow at a time, in nondecreasing
+// Start order, so engines can ingest workloads of any length without
+// materializing them. Next returns io.EOF after the last demand; any
+// other error ends the stream (engines surface it from Run). A Reader is
+// single-consumer and not safe for concurrent use.
+type Reader interface {
+	Next() (Demand, error)
+}
+
+// ErrTraceOrder reports a demand that cannot be emitted in nondecreasing
+// Start order — for the windowed CSV reader, a row displaced further than
+// the lookahead window can repair.
+var ErrTraceOrder = errors.New("trace out of start-time order")
+
+// DefaultTraceWindow is the lookahead window NewCSVReader uses when the
+// caller passes window <= 0: large enough to absorb the local jitter of
+// logged traces, small enough to keep ingestion memory bounded.
+const DefaultTraceWindow = 1024
+
+// TraceReader adapts an in-memory trace to the streaming interface. The
+// trace must already be sorted (Trace.Sort); the slice is not copied.
+func TraceReader(tr Trace) Reader { return &sliceReader{tr: tr} }
+
+type sliceReader struct {
+	tr Trace
+	i  int
+}
+
+func (r *sliceReader) Next() (Demand, error) {
+	if r.i >= len(r.tr) {
+		return Demand{}, io.EOF
+	}
+	d := r.tr[r.i]
+	r.i++
+	return d, nil
+}
+
+// heapItem pairs a parsed demand with its input sequence number.
+type heapItem struct {
+	d   Demand
+	seq int
+}
+
+// demandHeap is a min-heap on (Start, arrival sequence): the sequence
+// tiebreak keeps equal-Start rows in input order, so an already-sorted
+// input streams through byte-identically to ReadCSV.
+type demandHeap []heapItem
+
+func (h demandHeap) Len() int { return len(h) }
+func (h demandHeap) Less(i, j int) bool {
+	if h[i].d.Start != h[j].d.Start {
+		return h[i].d.Start < h[j].d.Start
+	}
+	return h[i].seq < h[j].seq
+}
+func (h demandHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *demandHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *demandHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// windowReader re-sorts a nearly-sorted source through a bounded
+// lookahead heap and enforces the Reader ordering contract.
+type windowReader struct {
+	pull    func() (Demand, error)
+	window  int
+	h       demandHeap
+	seq     int
+	last    simtime.Time
+	started bool
+	err     error
+	done    bool // source exhausted; drain the heap
+}
+
+func newWindowReader(pull func() (Demand, error), window int) *windowReader {
+	if window <= 0 {
+		window = DefaultTraceWindow
+	}
+	return &windowReader{pull: pull, window: window}
+}
+
+func (r *windowReader) Next() (Demand, error) {
+	if r.err != nil {
+		return Demand{}, r.err
+	}
+	for !r.done && len(r.h) < r.window {
+		d, err := r.pull()
+		if err == io.EOF {
+			r.done = true
+			break
+		}
+		if err != nil {
+			r.err = err
+			return Demand{}, err
+		}
+		heap.Push(&r.h, heapItem{d, r.seq})
+		r.seq++
+	}
+	if len(r.h) == 0 {
+		r.err = io.EOF
+		return Demand{}, io.EOF
+	}
+	min := heap.Pop(&r.h).(heapItem)
+	if r.started && min.d.Start < r.last {
+		r.err = fmt.Errorf("traffic: row %d starts at %v, after later rows already emitted (lookahead window %d): %w",
+			min.seq+1, min.d.Start, r.window, ErrTraceOrder)
+		return Demand{}, r.err
+	}
+	r.started = true
+	r.last = min.d.Start
+	return min.d, nil
+}
+
+// NewCSVReader streams a trace written by WriteCSV, holding at most
+// window parsed rows (DefaultTraceWindow when window <= 0) in a lookahead
+// buffer that re-sorts rows displaced by less than the window. Inputs in
+// nondecreasing Start order stream through in exactly ReadCSV's row
+// order; a row out of order by more than the window fails with
+// ErrTraceOrder. The header is validated eagerly.
+func NewCSVReader(r io.Reader, window int) (Reader, error) {
+	cr := csv.NewReader(r)
+	hdr, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("traffic: empty trace file")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("traffic: reading trace: %w", err)
+	}
+	if len(hdr) != len(traceHeader) || hdr[0] != traceHeader[0] {
+		return nil, fmt.Errorf("traffic: unrecognized trace header %v", hdr)
+	}
+	line := 1 // header consumed
+	pull := func() (Demand, error) {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return Demand{}, io.EOF
+		}
+		if err != nil {
+			return Demand{}, fmt.Errorf("traffic: reading trace: %w", err)
+		}
+		line++
+		d, err := parseTraceRow(row, line)
+		if err != nil {
+			return Demand{}, err
+		}
+		return d, nil
+	}
+	return newWindowReader(pull, window), nil
+}
+
+// NewPoissonReader generates the same arrival stream as
+// Generator.PoissonArrivals — identical seed and config give the
+// byte-identical demand sequence — without materializing the trace. An
+// invalid config (as in PoissonArrivals) yields an empty stream.
+func NewPoissonReader(seed int64, cfg PoissonConfig) Reader {
+	return &poissonReader{
+		g:   NewGenerator(seed),
+		cfg: cfg,
+		ok:  len(cfg.Hosts) >= 2 && cfg.Lambda > 0 && cfg.Horizon > 0,
+	}
+}
+
+type poissonReader struct {
+	g   *Generator
+	cfg PoissonConfig
+	t   simtime.Time
+	ok  bool
+}
+
+func (p *poissonReader) Next() (Demand, error) {
+	if !p.ok {
+		return Demand{}, io.EOF
+	}
+	d, ok := p.g.nextPoisson(p.cfg, &p.t)
+	if !ok {
+		p.ok = false
+		return Demand{}, io.EOF
+	}
+	return d, nil
+}
+
+// MergeReaders interleaves already-sorted streams into one sorted stream,
+// breaking Start ties by reader position. Any source error (other than
+// io.EOF) ends the merged stream with that error.
+func MergeReaders(rs ...Reader) Reader {
+	m := &mergeReader{rs: rs, heads: make([]Demand, len(rs)), live: make([]bool, len(rs))}
+	for i := range rs {
+		m.advance(i)
+	}
+	return m
+}
+
+type mergeReader struct {
+	rs    []Reader
+	heads []Demand
+	live  []bool
+	err   error
+}
+
+func (m *mergeReader) advance(i int) {
+	d, err := m.rs[i].Next()
+	switch {
+	case err == io.EOF:
+		m.live[i] = false
+	case err != nil:
+		m.live[i] = false
+		if m.err == nil {
+			m.err = err
+		}
+	default:
+		m.heads[i] = d
+		m.live[i] = true
+	}
+}
+
+func (m *mergeReader) Next() (Demand, error) {
+	if m.err != nil {
+		return Demand{}, m.err
+	}
+	best := -1
+	for i, ok := range m.live {
+		if ok && (best < 0 || m.heads[i].Start < m.heads[best].Start) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Demand{}, io.EOF
+	}
+	d := m.heads[best]
+	m.advance(best)
+	if m.err != nil {
+		return Demand{}, m.err
+	}
+	return d, nil
+}

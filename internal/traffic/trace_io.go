@@ -65,68 +65,79 @@ func ReadCSV(r io.Reader) (Trace, error) {
 	if len(rows[0]) != len(traceHeader) || rows[0][0] != traceHeader[0] {
 		return nil, fmt.Errorf("traffic: unrecognized trace header %v", rows[0])
 	}
+	var tr Trace
+	for ln, row := range rows[1:] {
+		d, err := parseTraceRow(row, ln+2)
+		if err != nil {
+			return nil, err
+		}
+		tr = append(tr, d)
+	}
+	return tr, nil
+}
+
+// parseTraceRow decodes one data row (line is the 1-based file line, for
+// errors). Shared by ReadCSV and the windowed NewCSVReader so both accept
+// exactly the same inputs.
+func parseTraceRow(row []string, line int) (Demand, error) {
+	fail := func(err error) (Demand, error) {
+		return Demand{}, fmt.Errorf("traffic: trace line %d: %w", line, err)
+	}
 	pf := func(s string) (float64, error) {
 		if s == "inf" {
 			return math.Inf(1), nil
 		}
 		return strconv.ParseFloat(s, 64)
 	}
-	var tr Trace
-	for ln, row := range rows[1:] {
-		fail := func(err error) (Trace, error) {
-			return nil, fmt.Errorf("traffic: trace line %d: %w", ln+2, err)
-		}
-		start, err := strconv.ParseFloat(row[0], 64)
-		if err != nil {
-			return fail(err)
-		}
-		src, err := strconv.Atoi(row[1])
-		if err != nil {
-			return fail(err)
-		}
-		dst, err := strconv.Atoi(row[2])
-		if err != nil {
-			return fail(err)
-		}
-		proto, err := strconv.Atoi(row[3])
-		if err != nil {
-			return fail(err)
-		}
-		sport, err := strconv.Atoi(row[4])
-		if err != nil {
-			return fail(err)
-		}
-		dport, err := strconv.Atoi(row[5])
-		if err != nil {
-			return fail(err)
-		}
-		size, err := pf(row[6])
-		if err != nil {
-			return fail(err)
-		}
-		rate, err := pf(row[7])
-		if err != nil {
-			return fail(err)
-		}
-		durS, err := strconv.ParseFloat(row[8], 64)
-		if err != nil {
-			return fail(err)
-		}
-		tcp, err := strconv.ParseBool(row[9])
-		if err != nil {
-			return fail(err)
-		}
-		d := Demand{
-			Src: netgraph.NodeID(src), Dst: netgraph.NodeID(dst),
-			Start:    simtime.AtSeconds(start),
-			SizeBits: size, RateBps: rate,
-			Duration: simtime.FromSeconds(durS),
-			TCP:      tcp,
-		}
-		d.Key = keyFor(d, uint8(proto), uint16(sport), uint16(dport))
-		tr = append(tr, d)
+	start, err := strconv.ParseFloat(row[0], 64)
+	if err != nil {
+		return fail(err)
 	}
-	return tr, nil
+	src, err := strconv.Atoi(row[1])
+	if err != nil {
+		return fail(err)
+	}
+	dst, err := strconv.Atoi(row[2])
+	if err != nil {
+		return fail(err)
+	}
+	proto, err := strconv.Atoi(row[3])
+	if err != nil {
+		return fail(err)
+	}
+	sport, err := strconv.Atoi(row[4])
+	if err != nil {
+		return fail(err)
+	}
+	dport, err := strconv.Atoi(row[5])
+	if err != nil {
+		return fail(err)
+	}
+	size, err := pf(row[6])
+	if err != nil {
+		return fail(err)
+	}
+	rate, err := pf(row[7])
+	if err != nil {
+		return fail(err)
+	}
+	durS, err := strconv.ParseFloat(row[8], 64)
+	if err != nil {
+		return fail(err)
+	}
+	tcp, err := strconv.ParseBool(row[9])
+	if err != nil {
+		return fail(err)
+	}
+	d := Demand{
+		Src: netgraph.NodeID(src), Dst: netgraph.NodeID(dst),
+		Start:    simtime.AtSeconds(start),
+		SizeBits: size, RateBps: rate,
+		Duration: simtime.FromSeconds(durS),
+		TCP:      tcp,
+	}
+	d.Key = keyFor(d, uint8(proto), uint16(sport), uint16(dport))
+	return d, nil
 }
 
 func keyFor(d Demand, proto uint8, sport, dport uint16) header.FlowKey {

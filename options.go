@@ -41,6 +41,7 @@ type options struct {
 	packetLevel   func(i int, d traffic.Demand) bool
 	packetSet     bool
 	timeline      *Scenario
+	reader        traffic.Reader
 	sink          func(FlowRecord)
 	progressFn    ProgressFunc
 	progressEvery Duration
@@ -367,6 +368,26 @@ func WithRecordSink(sink func(FlowRecord)) Option {
 			return &BuildError{Option: "WithRecordSink", Reason: "nil sink (omit the option to collect in memory)"}
 		}
 		o.sink = sink
+		return nil
+	}
+}
+
+// WithTraceReader streams the workload in from r instead of an eager
+// Load: the engine pulls one demand at a time as virtual time reaches
+// each start, so arbitrarily long traces ingest with bounded memory —
+// the input-side counterpart of WithRecordSink. r must yield demands in
+// nondecreasing Start order (NewTraceCSVReader buffers a bounded window
+// to absorb local disorder; an out-of-window row fails the run with
+// ErrTraceOrder). Streamed runs produce byte-identical records to Load
+// of the same sequence at every fidelity, shard count, and event-queue
+// backend. Load may still be called for extra demands; they schedule
+// eagerly alongside the stream.
+func WithTraceReader(r TraceReader) Option {
+	return func(o *options) error {
+		if r == nil {
+			return &BuildError{Option: "WithTraceReader", Reason: "nil reader (use Load for in-memory traces)"}
+		}
+		o.reader = r
 		return nil
 	}
 }

@@ -56,7 +56,22 @@ if [ "$records" -le 0 ]; then
 fi
 echo "service-smoke: streamed $records records"
 
-# 2. A heavy session canceled mid-run: the daemon must report the
+# 2. The same session with streamed ingestion ("stream": true): the
+# daemon feeds the engine through the bounded trace reader instead of
+# materializing the Poisson trace, and must stream the identical record
+# set over the wire.
+sed 's/"workload": {"poisson"/"workload": {"stream": true, "poisson"/' \
+    "$workdir/spec.json" >"$workdir/spec-stream.json"
+ctl submit -name smoke-stream -watch -flows "$workdir/flows-stream.csv" \
+    "$workdir/spec-stream.json" 2>"$workdir/submit-stream.log"
+if ! cmp -s "$workdir/flows.csv" "$workdir/flows-stream.csv"; then
+    echo "service-smoke: streamed-ingestion records differ from eager load" >&2
+    cat "$workdir/submit-stream.log" >&2
+    exit 1
+fi
+echo "service-smoke: streamed ingestion matched eager records"
+
+# 3. A heavy session canceled mid-run: the daemon must report the
 # canceled state with a partial-but-consistent summary.
 cat >"$workdir/heavy.json" <<'EOF'
 {
@@ -83,7 +98,7 @@ if [ "$state" != "canceled" ]; then
 fi
 echo "service-smoke: canceled $sid mid-run"
 
-# 3. Graceful shutdown: SIGTERM must drain and exit zero.
+# 4. Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$daemon_pid"
 rc=0
 wait "$daemon_pid" || rc=$?

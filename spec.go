@@ -155,9 +155,20 @@ func NewFromSpec(spec *wire.SessionSpec, extra ...Option) (Engine, Time, error) 
 		return nil, 0, err
 	}
 	opts = append(opts, extra...)
-	tr, err := spec.Workload.Trace(topo)
-	if err != nil {
-		return nil, 0, err
+	// Streamed workloads ingest through a bounded reader option; retained
+	// ones materialize the trace and Load it below.
+	var tr Trace
+	if spec.Workload.Stream {
+		r, err := spec.Workload.Reader(topo)
+		if err != nil {
+			return nil, 0, err
+		}
+		opts = append(opts, WithTraceReader(r))
+	} else {
+		tr, err = spec.Workload.Trace(topo)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	tl, err := wire.Timeline(spec.Scenario, topo)
 	if err != nil {
@@ -168,7 +179,9 @@ func NewFromSpec(spec *wire.SessionSpec, extra ...Option) (Engine, Time, error) 
 	if err != nil {
 		return nil, 0, err
 	}
-	eng.Load(tr)
+	if tr != nil {
+		eng.Load(tr)
+	}
 	if tl != nil {
 		if err := tl.Apply(eng, until); err != nil {
 			return nil, 0, err

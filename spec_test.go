@@ -103,6 +103,83 @@ func TestNewFromSpecParity(t *testing.T) {
 	}
 }
 
+// TestNewFromSpecStreamed pins the daemon's bounded-memory ingestion
+// path: a Poisson-only workload submitted with Stream (fed through
+// WorkloadSpec.Reader → WithTraceReader) must produce records
+// byte-identical to the same spec materialized eagerly, and a streamed
+// spec with sorted explicit demands must match their eager load. A
+// streamed session mixing demands and Poisson is also exercised — it
+// must run clean even though its load-order numbering (global start
+// order) legitimately differs from the demands-first eager order.
+func TestNewFromSpecStreamed(t *testing.T) {
+	poisson := func(stream bool) *wire.SessionSpec {
+		return &wire.SessionSpec{
+			Topology: wire.TopoSpec{Kind: wire.TopoLeafSpine, Leaves: 2, Spines: 2, Hosts: 2},
+			Workload: wire.WorkloadSpec{
+				Poisson: &wire.PoissonSpec{
+					Seed: 7, Lambda: 300, HorizonNs: int64(200 * horse.Millisecond),
+					Size: wire.SizeSpec{Kind: "fixed", Bits: 8e5}, CBRRateBps: 1e8,
+				},
+				Stream: stream,
+			},
+			Options: wire.OptionsSpec{
+				Controller: []wire.AppSpec{{Kind: wire.AppProactiveMAC}},
+				Miss:       "controller",
+			},
+			UntilNs: int64(10 * horse.Second),
+		}
+	}
+	run := func(spec *wire.SessionSpec) []horse.FlowRecord {
+		eng, until, err := horse.NewFromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := eng.Run(context.Background(), until)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col.Flows()
+	}
+	want := run(poisson(false))
+	if len(want) == 0 {
+		t.Fatal("poisson workload produced no records")
+	}
+	got := run(poisson(true))
+	if len(want) != len(got) {
+		t.Fatalf("streamed run: %d records, eager: %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("record %d differs:\n eager %+v\nstream %+v", i, want[i], got[i])
+		}
+	}
+
+	// Sorted explicit demands: streamed == eager (specFixture's demands
+	// are already in start order).
+	eagerFix := run(specFixture())
+	streamFix := specFixture()
+	streamFix.Workload.Stream = true
+	gotFix := run(streamFix)
+	if len(eagerFix) != len(gotFix) {
+		t.Fatalf("streamed fixture: %d records, eager: %d", len(gotFix), len(eagerFix))
+	}
+	for i := range eagerFix {
+		if eagerFix[i] != gotFix[i] {
+			t.Fatalf("fixture record %d differs:\n eager %+v\nstream %+v", i, eagerFix[i], gotFix[i])
+		}
+	}
+
+	// Mixed demands + Poisson streams in global start order; the session
+	// must run clean with every demand accounted.
+	mixed := poisson(true)
+	mixed.Workload.Demands = []wire.DemandSpec{
+		{Src: "h0", Dst: "h3", SizeBits: 8e5, RateBps: 1e8},
+	}
+	if n := len(run(mixed)); n != len(want)+1 {
+		t.Fatalf("mixed streamed run: %d records, want %d", n, len(want)+1)
+	}
+}
+
 func TestNewFromSpecValidation(t *testing.T) {
 	barely := func(mut func(*wire.SessionSpec)) *wire.SessionSpec {
 		s := specFixture()

@@ -1,0 +1,179 @@
+package horse_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"horse"
+)
+
+// streamVariant selects the bounded-memory paths under test at the façade
+// level: output streaming (WithRecordSink), input streaming
+// (WithTraceReader), or both, against the retained baseline.
+type streamVariant struct {
+	name   string
+	sink   bool
+	reader bool
+}
+
+var streamVariants = []streamVariant{
+	{name: "retained"},
+	{name: "sink", sink: true},
+	{name: "reader", reader: true},
+	{name: "sink+reader", sink: true, reader: true},
+}
+
+// streamCase is one cell of the equivalence matrix.
+type streamCase struct {
+	fidelity horse.Fidelity
+	shards   int
+	queue    horse.EventQueue
+}
+
+// streamMatrix is the battery's fidelity × shards × backend coverage.
+// The Hybrid coupler shares one kernel and runs serial by design (New
+// rejects WithShards on it), so its shard dimension collapses to the
+// serial run.
+func streamMatrix() []streamCase {
+	var cases []streamCase
+	for _, q := range []horse.EventQueue{horse.EventQueueHeap, horse.EventQueueWheel} {
+		for _, shards := range []int{1, 4} {
+			cases = append(cases,
+				streamCase{horse.Flow, shards, q},
+				streamCase{horse.Packet, shards, q})
+		}
+		cases = append(cases, streamCase{horse.Hybrid, 0, q})
+	}
+	return cases
+}
+
+func (c streamCase) String() string {
+	return fmt.Sprintf("%v/shards=%d/%v", c.fidelity, c.shards, c.queue)
+}
+
+// runStream executes one scenario cell and returns the record sequence
+// (from the sink when streaming, the collector otherwise) plus the
+// counter snapshot.
+func runStream(t *testing.T, c streamCase, v streamVariant,
+	topo *horse.Topology, tr horse.Trace, tl *horse.Scenario,
+	until horse.Time) ([]horse.FlowRecord, horse.Counters) {
+	t.Helper()
+	opts := []horse.Option{
+		horse.WithFidelity(c.fidelity),
+		horse.WithController(horse.NewChain(&horse.ProactiveMAC{})),
+		horse.WithMiss(horse.MissController),
+		horse.WithEventQueue(c.queue),
+	}
+	if c.shards > 0 {
+		opts = append(opts, horse.WithShards(c.shards))
+	}
+	if c.fidelity == horse.Hybrid {
+		opts = append(opts, horse.WithPacketFraction(0.5))
+	}
+	if tl != nil {
+		opts = append(opts, horse.WithScenario(tl))
+	}
+	var streamed []horse.FlowRecord
+	if v.sink {
+		opts = append(opts, horse.WithRecordSink(func(r horse.FlowRecord) {
+			streamed = append(streamed, r)
+		}))
+	}
+	if v.reader {
+		opts = append(opts, horse.WithTraceReader(horse.NewTraceReader(tr)))
+	}
+	eng, err := horse.New(topo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.reader {
+		eng.Load(tr)
+	}
+	col, err := eng.Run(context.Background(), until)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.sink {
+		if n := len(col.Flows()); n != 0 {
+			t.Fatalf("%s/%s: sink mode retained %d records", c, v.name, n)
+		}
+		return streamed, col.Counters()
+	}
+	return col.Flows(), col.Counters()
+}
+
+// diffStream compares a variant against the retained baseline of the same
+// cell: record sequences byte-identical, counters equal. EventsRun is
+// excluded for reader variants — streamed ingestion dispatches one ingest
+// event per demand on the Packet and Hybrid engines by design.
+func diffStream(t *testing.T, label string, v streamVariant,
+	wantR, gotR []horse.FlowRecord, wantC, gotC horse.Counters) {
+	t.Helper()
+	if !reflect.DeepEqual(wantR, gotR) {
+		t.Errorf("%s: records diverged (%d retained vs %d %s)", label, len(wantR), len(gotR), v.name)
+		for i := range wantR {
+			if i < len(gotR) && wantR[i] != gotR[i] {
+				t.Errorf("%s: first divergence at record %d:\nwant %+v\n got %+v",
+					label, i, wantR[i], gotR[i])
+				break
+			}
+		}
+		return
+	}
+	if v.reader {
+		wantC.EventsRun, gotC.EventsRun = 0, 0
+	}
+	if wantC != gotC {
+		t.Errorf("%s: counters diverged:\nwant %+v\n got %+v", label, wantC, gotC)
+	}
+}
+
+// TestStreamEquivalenceBattery is the cross-path equivalence contract of
+// the bounded-memory PR: on the golden fat-tree workload, every streaming
+// variant (record sink, trace reader, both) reproduces the retained run
+// byte-for-byte at fidelity {Flow, Packet, Hybrid} × shards {1, 4} ×
+// event queue {heap, wheel}. CI runs this battery under -race.
+func TestStreamEquivalenceBattery(t *testing.T) {
+	topo, tr := fatTreeWorkload()
+	until := horse.Time(2 * horse.Second)
+	for _, c := range streamMatrix() {
+		t.Run(c.String(), func(t *testing.T) {
+			want, wantC := runStream(t, c, streamVariants[0], topo, tr, nil, until)
+			if len(want) == 0 {
+				t.Fatal("retained baseline produced no records")
+			}
+			for _, v := range streamVariants[1:] {
+				got, gotC := runStream(t, c, v, topo, tr, nil, until)
+				diffStream(t, c.String()+"/"+v.name, v, want, got, wantC, gotC)
+			}
+		})
+	}
+}
+
+// TestStreamEquivalenceFailures reruns the battery's variants against the
+// scripted-failure scenario (mid-run link outage with recovery) at one
+// representative cell per fidelity: reconvergence churn — loss, reroutes,
+// punts — must not perturb streamed/retained parity.
+func TestStreamEquivalenceFailures(t *testing.T) {
+	topo, tr, tl := failureWorkload()
+	until := horse.Time(4 * horse.Second)
+	cases := []streamCase{
+		{horse.Flow, 1, horse.EventQueueHeap},
+		{horse.Packet, 4, horse.EventQueueWheel},
+		{horse.Hybrid, 0, horse.EventQueueHeap},
+	}
+	for _, c := range cases {
+		t.Run(c.String(), func(t *testing.T) {
+			want, wantC := runStream(t, c, streamVariants[0], topo, tr, tl, until)
+			if len(want) == 0 {
+				t.Fatal("retained baseline produced no records")
+			}
+			for _, v := range streamVariants[1:] {
+				got, gotC := runStream(t, c, v, topo, tr, tl, until)
+				diffStream(t, c.String()+"/"+v.name, v, want, got, wantC, gotC)
+			}
+		})
+	}
+}
