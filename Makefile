@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare fuzz-smoke service-smoke lint ci api api-check
+.PHONY: all build test race bench bench-baseline bench-compare scaling-gate fuzz-smoke service-smoke lint ci api api-check
 
 all: build
 
@@ -14,9 +14,11 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/eventq/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/... ./internal/service/...
+	$(GO) test -race ./internal/runner/... ./internal/eventq/... ./internal/fairshare/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/... ./internal/service/...
 	$(GO) test -race -run 'TestParallel|TestE8Parallel|TestE6Shape' ./internal/experiments/...
 	$(GO) test -race -run 'TestShardDeterminism' ./internal/packetsim/
+	$(GO) test -race -run 'TestBalanceDeterminismMatrix|TestScriptedStealMigrates|TestControllerShardingComponents' ./internal/packetsim/
+	$(GO) test -race -run 'TestParallelMatchesSerial' ./internal/fairshare/
 	$(GO) test -race -run 'TestStreamEquivalence' .
 
 bench:
@@ -33,13 +35,22 @@ bench-baseline:
 bench-compare:
 	$(GO) run ./cmd/horsebench -quick -parallel 1 -json BENCH_new.json -compare BENCH_baseline.json
 
+# The CI scaling-gate, locally: E9 at the quick grid gated against the
+# committed baseline's speedup floor (plus its deterministic columns).
+scaling-gate:
+	$(GO) run ./cmd/horsebench -quick -only E9 -parallel 1 -json BENCH_scaling.json -compare BENCH_baseline.json
+
 # A short native-fuzzing pass over the trace codec, the windowed
-# streaming reader, and the timing-wheel cascade/overflow paths (seed
-# corpora checked in under each package's testdata/fuzz).
+# streaming reader, the timing-wheel cascade/overflow paths, and the
+# steal-schedule determinism property (any legal migration schedule
+# yields byte-identical records). Seed corpora are f.Add'd in the fuzz
+# targets plus any checked-in testdata/fuzz entries; the steal fuzzer
+# runs fewer iterations because every exec simulates two full windows.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
 	$(GO) test -run='^$$' -fuzz=FuzzStreamVsReadCSV -fuzztime=1000x ./internal/traffic/
 	$(GO) test -run='^$$' -fuzz=FuzzWheelVsHeap -fuzztime=1000x ./internal/eventq/
+	$(GO) test -run='^$$' -fuzz=FuzzStealSchedule -fuzztime=150x ./internal/packetsim/
 
 # End-to-end daemon smoke: horsed on a unix socket, horsectl submit with
 # streamed records, a mid-run cancel, and a SIGTERM drain.

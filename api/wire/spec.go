@@ -78,13 +78,14 @@ func (l *LinkSpec) validate(field string) error {
 
 // Topology kinds.
 const (
-	TopoLinear    = "linear"
-	TopoStar      = "star"
-	TopoLeafSpine = "leafspine"
-	TopoFatTree   = "fattree"
-	TopoRing      = "ring"
-	TopoDumbbell  = "dumbbell"
-	TopoRandom    = "random"
+	TopoLinear     = "linear"
+	TopoStar       = "star"
+	TopoLeafSpine  = "leafspine"
+	TopoFatTree    = "fattree"
+	TopoRing       = "ring"
+	TopoDumbbell   = "dumbbell"
+	TopoRandom     = "random"
+	TopoStarOfFats = "starfattree"
 )
 
 // TopoSpec names one of the deterministic topology builders and its
@@ -94,10 +95,10 @@ const (
 // network (node IDs, names, link IDs and all).
 type TopoSpec struct {
 	// Kind selects the builder: linear|star|leafspine|fattree|ring|
-	// dumbbell|random.
+	// dumbbell|random|starfattree.
 	Kind string `json:"kind"`
-	// N is the switch count (linear/ring/random), host count (star), or
-	// hosts per side (dumbbell).
+	// N is the switch count (linear/ring/random), host count (star),
+	// hosts per side (dumbbell), or tree count (starfattree).
 	N int `json:"n,omitempty"`
 	// Leaves/Spines/Hosts parameterize leafspine (Hosts = hosts per leaf).
 	Leaves int `json:"leaves,omitempty"`
@@ -158,6 +159,14 @@ func (t TopoSpec) Build() (*netgraph.Topology, error) {
 			return nil, specErr("topology.k", "fat-tree arity must be even and >= 2, got %d", t.K)
 		}
 		return netgraph.FatTree(t.K, host), nil
+	case TopoStarOfFats:
+		if err := pos("topology.n", t.N); err != nil {
+			return nil, err
+		}
+		if t.K < 2 || t.K%2 != 0 {
+			return nil, specErr("topology.k", "fat-tree arity must be even and >= 2, got %d", t.K)
+		}
+		return netgraph.StarOfFatTrees(t.N, t.K, host), nil
 	case TopoRing:
 		if err := pos("topology.n", t.N); err != nil {
 			return nil, err
@@ -541,6 +550,13 @@ const (
 	EventQueueAuto     = "auto"
 )
 
+// Shard-balancing mode names on the wire (OptionsSpec.ShardBalancing).
+const (
+	BalanceUniform  = "uniform"
+	BalanceWeighted = "weighted"
+	BalanceSteal    = "steal"
+)
+
 // Controller app kinds.
 const (
 	AppProactiveMAC = "proactive-mac"
@@ -596,6 +612,10 @@ type OptionsSpec struct {
 	Shards int `json:"shards,omitempty"`
 	// ShardWorkers bounds the shard worker pool (packet engine).
 	ShardWorkers *int `json:"shard_workers,omitempty"`
+	// ShardBalancing selects the sharded packet engine's load balancing:
+	// "" (default uniform) | "uniform" | "weighted" | "steal". Results are
+	// byte-identical across modes; only wall-clock time differs.
+	ShardBalancing string `json:"shard_balancing,omitempty"`
 	// QueuePackets sets the drop-tail queue capacity (pointer so 0 is
 	// expressible).
 	QueuePackets *int `json:"queue_packets,omitempty"`

@@ -158,6 +158,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			EventQueue:       eventq.Backend(o.eventQueue),
 			Shards:           o.shards,
 			ShardWorkers:     o.shardWorkers,
+			Balance:          packetsim.BalanceMode(o.balance),
 		})
 	case Hybrid:
 		eng = hybrid.New(hybrid.Config{

@@ -30,6 +30,14 @@ var (
 	fullE9Shards     = []int{1, 2, 4, 8}
 )
 
+// Quick-grid constants for -quick -only runs. These must match the grids
+// experiments.QuickWith hands the same spec, or a -compare against a
+// quick-suite baseline fails on row count — a loud, self-detecting drift.
+var (
+	quickE9Arities = []int{4}
+	quickE9Shards  = []int{1, 4}
+)
+
 // Main parses args, runs the selected experiments, prints the tables to
 // stdout, and optionally writes a horse-bench/v1 JSON report. name
 // prefixes error messages. The returned code is the process exit code.
@@ -79,6 +87,9 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 			return []*experiments.Table{experiments.E8With(opts, fullE8MTBFs, fullE8Recoveries)}
 		},
 		"E9": func() []*experiments.Table {
+			if *quick {
+				return []*experiments.Table{experiments.E9With(opts, quickE9Arities, quickE9Shards)}
+			}
 			return []*experiments.Table{experiments.E9With(opts, fullE9Arities, fullE9Shards)}
 		},
 	}[strings.ToUpper(*only)]
@@ -114,6 +125,23 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 		var err error
 		if baseline, err = LoadReport(*compare); err != nil {
 			return fail(err)
+		}
+		// A single-experiment run gates just that table: restrict the
+		// baseline to it so the other tables don't read as lost coverage,
+		// and drop the suite wall — one experiment is not the whole suite.
+		if *only != "" {
+			id := strings.ToUpper(*only)
+			kept := baseline.Tables[:0]
+			for _, t := range baseline.Tables {
+				if t.ID == id {
+					kept = append(kept, t)
+				}
+			}
+			if len(kept) == 0 {
+				return fail(fmt.Errorf("baseline %s has no %s table to gate against", *compare, id))
+			}
+			baseline.Tables = kept
+			baseline.WallMS = 0
 		}
 	}
 

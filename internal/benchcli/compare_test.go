@@ -21,10 +21,10 @@ func sampleReport() *experiments.Report {
 		},
 		{
 			ID:      "E9",
-			Columns: []string{"fat-tree-k", "shards", "events", "wall-ms", "events/ms", "parity"},
+			Columns: []string{"fat-tree-k", "shards", "events", "wall-ms", "events/ms", "shard-speedup", "parity"},
 			Rows: [][]string{
-				{"4", "1", "50000", "100.0", "500.00", "identical"},
-				{"4", "2", "50000", "60.0", "833.33", "identical"},
+				{"4", "1", "50000", "100.0", "500.00", "1.00", "identical"},
+				{"4", "2", "50000", "60.0", "833.33", "1.67", "identical"},
 			},
 		},
 	}, 1, 900*time.Millisecond)
@@ -140,6 +140,28 @@ func TestCompareSpeedupPasses(t *testing.T) {
 	}
 }
 
+// TestCompareSpeedupScalingGate: the "speedup" column is the sharded
+// scaling floor — a multi-shard arm whose speedup over the serial arm
+// collapses fails the gate even when absolute walls stay in tolerance.
+func TestCompareSpeedupScalingGate(t *testing.T) {
+	within := sampleReport()
+	within.Tables[1].Rows[1][5] = "1.55" // -7% on a 20% tolerance
+	if bad := Compare(sampleReport(), within, DefaultCompareTol); len(bad) != 0 {
+		t.Fatalf("in-tolerance speedup dip flagged: %v", bad)
+	}
+	collapsed := sampleReport()
+	collapsed.Tables[1].Rows[1][5] = "1.00" // 4-shard arm scaling no better than serial
+	bad := Compare(sampleReport(), collapsed, DefaultCompareTol)
+	if len(bad) != 1 || !strings.Contains(bad[0], "speedup") {
+		t.Fatalf("speedup collapse not flagged exactly once: %v", bad)
+	}
+	// Timing comparability rules apply: a -parallel mismatch ungates it.
+	collapsed.Parallel = 8
+	if bad := Compare(sampleReport(), collapsed, DefaultCompareTol); len(bad) != 0 {
+		t.Fatalf("speedup gated across differing -parallel: %v", bad)
+	}
+}
+
 func TestCompareEventDriftFails(t *testing.T) {
 	cur := sampleReport()
 	cur.Tables[0].Rows[1][1] = "200001" // one extra event
@@ -151,7 +173,7 @@ func TestCompareEventDriftFails(t *testing.T) {
 
 func TestCompareParityDivergenceFails(t *testing.T) {
 	cur := sampleReport()
-	cur.Tables[1].Rows[1][5] = "DIVERGED"
+	cur.Tables[1].Rows[1][6] = "DIVERGED"
 	bad := Compare(sampleReport(), cur, DefaultCompareTol)
 	if len(bad) != 1 || !strings.Contains(bad[0], "DIVERGED") {
 		t.Fatalf("parity divergence not flagged exactly once: %v", bad)

@@ -73,6 +73,34 @@ func (c *Chain) Handle(ctx *flowsim.Context, msg openflow.Message) {
 	}
 }
 
+// ForkableApp is the app-level analogue of flowsim.Forker: ForkApp
+// returns an independent instance equivalent to a freshly constructed
+// one. An app should implement it only when its reactions are
+// component-local up to idempotent re-installs (see flowsim.Forker for
+// the exact contract) — apps that accumulate cross-switch state callers
+// read after a run (Monitor) must not.
+type ForkableApp interface {
+	App
+	ForkApp() App
+}
+
+// Fork implements flowsim.Forker: a Chain forks iff every app does. The
+// sharded packet engine uses it to run one controller instance per
+// connected component; a nil return keeps the single-instance path.
+func (c *Chain) Fork() flowsim.Controller {
+	apps := make([]App, len(c.Apps))
+	for i, a := range c.Apps {
+		f, ok := a.(ForkableApp)
+		if !ok {
+			return nil
+		}
+		if apps[i] = f.ForkApp(); apps[i] == nil {
+			return nil
+		}
+	}
+	return &Chain{Apps: apps}
+}
+
 // InstallPolicyDefaults installs the table-0 MatchAll→goto(forwarding)
 // entry on every switch. Forwarding apps call it from Start; it is
 // idempotent (re-adding replaces the identical entry).

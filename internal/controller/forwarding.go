@@ -23,6 +23,11 @@ type ProactiveMAC struct {
 // Name implements App.
 func (*ProactiveMAC) Name() string { return "proactive-mac" }
 
+// ForkApp implements ForkableApp: rule installation derives purely from
+// the topology, and the PortStatus resync re-installs identical rules, so
+// per-component instances compose to exactly the serial behavior.
+func (p *ProactiveMAC) ForkApp() App { return &ProactiveMAC{Cost: p.Cost} }
+
 // Start implements flowsim.Controller.
 func (p *ProactiveMAC) Start(ctx *flowsim.Context) {
 	InstallPolicyDefaults(ctx)
@@ -93,6 +98,13 @@ type ReactiveMAC struct {
 
 // Name implements App.
 func (*ReactiveMAC) Name() string { return "reactive-mac" }
+
+// ForkApp implements ForkableApp: reactive installs follow PacketIns,
+// which are per-switch and therefore component-local, and the resync
+// reaction re-installs only the idempotent table-0 defaults.
+func (r *ReactiveMAC) ForkApp() App {
+	return &ReactiveMAC{IdleTimeout: r.IdleTimeout, Cost: r.Cost}
+}
 
 // Start implements flowsim.Controller.
 func (r *ReactiveMAC) Start(ctx *flowsim.Context) {

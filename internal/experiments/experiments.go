@@ -996,7 +996,10 @@ func e8Spec(o Options, mtbfs, recoveries []simtime.Duration) *spec {
 // fat-tree fabrics of growing arity, swept over shard counts, measuring
 // events/sec and the speedup against the serial engine — with an in-cell
 // byte-parity check of Records() against the serial reference, since the
-// sharded executor's contract is "same records at any K".
+// sharded executor's contract is "same records at any K". A second,
+// partition-hostile cell (a star of fat-trees with the load skewed onto
+// one tree) sweeps the balancing modes: uniform edge-cut vs
+// event-rate-weighted partitioning vs barrier work stealing.
 func E9ShardScaling(arities, shardCounts []int) *Table {
 	return E9With(Options{}, arities, shardCounts)
 }
@@ -1024,13 +1027,38 @@ func e9Scenario(k int) (*netgraph.Topology, traffic.Trace) {
 	return topo, tr
 }
 
+// e9SkewScenario builds the partition-hostile E9 cell: a star of three
+// k=4 fat-trees where the Poisson load runs at full per-host intensity
+// inside tree 0 and only a light cross-tree background touches the hub
+// cut. Uniform edge-cut partitions are even by switch count here but
+// wildly uneven by event rate — the scenario the balancing modes exist
+// for.
+func e9SkewScenario() (*netgraph.Topology, traffic.Trace) {
+	topo := netgraph.StarOfFatTrees(3, 4, netgraph.Gig)
+	hosts := topo.Hosts() // tree t owns hosts[16t : 16t+16]
+	g := traffic.NewGenerator(131)
+	hot := g.PoissonArrivals(traffic.PoissonConfig{
+		Hosts: hosts[:16], Lambda: 40 * 16,
+		Horizon: 200 * simtime.Millisecond,
+		Sizes:   traffic.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+	})
+	bg := g.PoissonArrivals(traffic.PoissonConfig{
+		Hosts: hosts[16:], Lambda: 2 * 32,
+		Horizon: 200 * simtime.Millisecond,
+		Sizes:   traffic.FixedSize(5e5), CBRRateBps: 2e7,
+	})
+	tr := append(hot, bg...)
+	tr.Sort()
+	return topo, tr
+}
+
 func e9Spec(o Options, arities, shardCounts []int) *spec {
 	sp := &spec{table: &Table{
 		ID:    "E9",
-		Title: "Sharded multi-core scaling: fat-tree size × shard count",
+		Title: "Sharded multi-core scaling: fabric × shard count × balancing",
 		Columns: []string{
-			"fat-tree-k", "switches", "hosts", "flows", "shards", "queue",
-			"pkt-hops", "events", "wall-ms", "events/ms", "speedup", "parity",
+			"topo", "fat-tree-k", "switches", "hosts", "flows", "shards", "queue",
+			"balance", "pkt-hops", "events", "wall-ms", "events/ms", "shard-speedup", "parity",
 		},
 	}}
 	for _, k := range arities {
@@ -1063,41 +1091,102 @@ func e9Spec(o Options, arities, shardCounts []int) *spec {
 						col, sim, wall = run(shards, q)
 					}
 					recs := col.Flows()
-					parity := "identical"
-					if len(recs) != len(ref) {
-						parity = "DIVERGED"
-					} else {
-						for i := range recs {
-							if recs[i] != ref[i] {
-								parity = "DIVERGED"
-								break
-							}
-						}
-					}
 					topo := sim.Topology()
 					ev := sim.EventsDispatched()
 					rows = append(rows, []string{
+						"fat-tree",
 						fmt.Sprintf("%d", k),
 						fmt.Sprintf("%d", len(topo.Switches())),
 						fmt.Sprintf("%d", len(topo.Hosts())),
 						fmt.Sprintf("%d", len(recs)),
 						fmt.Sprintf("%d", shards),
 						q.String(),
+						"uniform",
 						di(sim.PacketsForwarded()), di(ev), ms(wall),
 						f2(float64(ev) / math.Max(float64(wall.Microseconds())/1000, 1)),
 						f2(float64(wallRef) / math.Max(float64(wall), 1)),
-						parity,
+						e9Parity(recs, ref),
 					})
 				}
 			}
 			return rows
 		})
 	}
+	sp.cell("skewed-star", func() [][]string {
+		var rows [][]string
+		run := func(shards int, b horse.ShardBalancing) (*stats.Collector, *packetsim.Simulator, time.Duration) {
+			topo, tr := e9SkewScenario()
+			opts := []horse.Option{
+				horse.WithFidelity(horse.Packet),
+				horse.WithMiss(dataplane.MissDrop),
+				horse.WithShards(shards),
+				horse.WithEventQueue(horse.EventQueueHeap),
+			}
+			if shards > 1 {
+				opts = append(opts, horse.WithShardBalancing(b))
+			}
+			eng := mustEngine(horse.New(topo, opts...))
+			installMACRoutes(eng.Network())
+			eng.Load(tr)
+			start := o.now()
+			col, _ := eng.Run(context.Background(), e9Window)
+			return col, eng.(*packetsim.Simulator), o.since(start)
+		}
+		// Serial heap reference; every balancing arm must reproduce it
+		// byte-for-byte — the pinned invariant of weighted partitioning
+		// and barrier stealing.
+		colRef, simRef, wallRef := run(1, horse.BalanceUniform)
+		ref := colRef.Flows()
+		for _, b := range []horse.ShardBalancing{horse.BalanceUniform, horse.BalanceWeighted, horse.BalanceSteal} {
+			for _, shards := range shardCounts {
+				if b != horse.BalanceUniform && shards < 2 {
+					continue // balancing is a no-op on a single shard
+				}
+				col, sim, wall := colRef, simRef, wallRef
+				if shards != 1 {
+					col, sim, wall = run(shards, b)
+				}
+				recs := col.Flows()
+				topo := sim.Topology()
+				ev := sim.EventsDispatched()
+				rows = append(rows, []string{
+					"star-of-trees",
+					"4",
+					fmt.Sprintf("%d", len(topo.Switches())),
+					fmt.Sprintf("%d", len(topo.Hosts())),
+					fmt.Sprintf("%d", len(recs)),
+					fmt.Sprintf("%d", shards),
+					"heap",
+					b.String(),
+					di(sim.PacketsForwarded()), di(ev), ms(wall),
+					f2(float64(ev) / math.Max(float64(wall.Microseconds())/1000, 1)),
+					f2(float64(wallRef) / math.Max(float64(wall), 1)),
+					e9Parity(recs, ref),
+				})
+			}
+		}
+		return rows
+	})
 	sp.table.Notes = append(sp.table.Notes,
-		"expected shape: events/ms grows with shard count on multi-core hardware (speedup > 1 for K > 1); parity stays identical at every K and every queue backend",
+		"expected shape: events/ms grows with shard count on multi-core hardware (speedup > 1 for K > 1); parity stays identical at every K, every queue backend, and every balancing mode",
+		"skewed star: weighted/steal arms should beat the uniform arm at the same shard count — uniform edge-cut leaves the hot tree behind few shards",
 		"wall times are contended when sibling cells share the pool; the speedup column divides same-cell runs, and CI runners with few cores report speedup ~1",
 	)
 	return sp
+}
+
+// e9Parity byte-compares an arm's flow records against the cell's serial
+// reference.
+func e9Parity(recs, ref []stats.FlowRecord) string {
+	if len(recs) != len(ref) {
+		return "DIVERGED"
+	}
+	for i := range recs {
+		if recs[i] != ref[i] {
+			return "DIVERGED"
+		}
+	}
+	return "identical"
 }
 
 // All runs every experiment at report scale.
@@ -1135,6 +1224,6 @@ func QuickWith(o Options) []*Table {
 		e7Spec(o, []float64{0, 0.5, 1}),
 		e8Spec(o, []simtime.Duration{500 * simtime.Millisecond},
 			[]simtime.Duration{200 * simtime.Millisecond}),
-		e9Spec(o, []int{4}, []int{1, 2}),
+		e9Spec(o, []int{4}, []int{1, 4}),
 	})
 }

@@ -196,6 +196,40 @@ func TestE8Shape(t *testing.T) {
 	}
 }
 
+// TestE9Shape pins the scaling table's structure: the fat-tree cell
+// sweeps queue backends at uniform balance, the skewed-star cell sweeps
+// balancing modes, and every arm holds byte-parity with its serial
+// reference.
+func TestE9Shape(t *testing.T) {
+	tb := E9ShardScaling([]int{4}, []int{1, 4})
+	// fat-tree: 2 queues × 2 shard counts; skewed star: uniform × {1,4}
+	// plus weighted and steal at 4 shards only.
+	if len(tb.Rows) != 4+4 {
+		t.Fatalf("rows = %d, want 8", len(tb.Rows))
+	}
+	topo := colIndex(tb, "topo")
+	balance := colIndex(tb, "balance")
+	parity := colIndex(tb, "parity")
+	ev := colIndex(tb, "events")
+	seen := map[string]bool{}
+	for i, row := range tb.Rows {
+		if row[parity] != "identical" {
+			t.Errorf("row %d (%s/%s) parity = %q", i, row[topo], row[balance], row[parity])
+		}
+		if cell(t, tb, i, ev) == 0 {
+			t.Errorf("row %d ran no events", i)
+		}
+		if row[topo] == "star-of-trees" {
+			seen[row[balance]] = true
+		}
+	}
+	for _, b := range []string{"uniform", "weighted", "steal"} {
+		if !seen[b] {
+			t.Errorf("skewed-star cell missing a %q arm", b)
+		}
+	}
+}
+
 // TestE8ParallelDeterminism: the resilience table is byte-identical for
 // any worker count — the scenario half of the parallel-determinism
 // property, on the frozen-clock harness.

@@ -1,0 +1,113 @@
+package fairshare
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomTwins constructs two identical allocators with a multi-
+// component sharing graph: nComp disjoint resource groups, flows routed
+// only within their group.
+func buildRandomTwins(rng *rand.Rand, nComp, resPer, flowsPer int) (a, b *Allocator) {
+	a, b = New(), New()
+	a.Epsilon, b.Epsilon = 0, 0
+	for c := 0; c < nComp; c++ {
+		base := ResourceID(c * resPer)
+		for r := 0; r < resPer; r++ {
+			cap := float64(rng.Intn(10)+1) * 1e8
+			a.SetCapacity(base+ResourceID(r), cap)
+			b.SetCapacity(base+ResourceID(r), cap)
+		}
+		for f := 0; f < flowsPer; f++ {
+			id := FlowID(c*flowsPer + f)
+			k := rng.Intn(min(3, resPer)) + 1
+			var rs []ResourceID
+			for len(rs) < k {
+				r := base + ResourceID(rng.Intn(resPer))
+				dup := false
+				for _, have := range rs {
+					dup = dup || have == r
+				}
+				if !dup {
+					rs = append(rs, r)
+				}
+			}
+			demand := Unlimited
+			if rng.Float64() < 0.3 {
+				demand = float64(rng.Intn(5)+1) * 1e7
+			}
+			a.AddFlow(id, demand, rs)
+			b.AddFlow(id, demand, rs)
+		}
+	}
+	return a, b
+}
+
+// TestParallelMatchesSerial: RecomputeAllParallel must return exactly the
+// serial change list — same flows, same order, same rates — and leave
+// every flow at the serial rate, for varying worker counts and component
+// shapes, across repeated mutate/recompute rounds.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, nComp := range []int{1, 2, 7} {
+			par, ser := buildRandomTwins(rng, nComp, 6, 20)
+			for round := 0; round < 10; round++ {
+				cp := par.RecomputeAllParallel(workers)
+				cs := ser.RecomputeAll()
+				if len(cp) != len(cs) {
+					t.Fatalf("workers=%d comps=%d round=%d: %d changes parallel, %d serial",
+						workers, nComp, round, len(cp), len(cs))
+				}
+				for i := range cs {
+					if cp[i].ID != cs[i].ID || !almost(cp[i].NewRate, cs[i].NewRate) {
+						t.Fatalf("workers=%d comps=%d round=%d change %d: parallel %+v serial %+v",
+							workers, nComp, round, i, cp[i], cs[i])
+					}
+				}
+				for f := 0; f < nComp*20; f++ {
+					if !almost(par.Rate(FlowID(f)), ser.Rate(FlowID(f))) {
+						t.Fatalf("flow %d: parallel=%g serial=%g",
+							f, par.Rate(FlowID(f)), ser.Rate(FlowID(f)))
+					}
+				}
+				if par.FlowsVisited != ser.FlowsVisited || par.FullSolves != ser.FullSolves {
+					t.Fatalf("stats diverge: parallel (%d, %d) serial (%d, %d)",
+						par.FlowsVisited, par.FullSolves, ser.FlowsVisited, ser.FullSolves)
+				}
+				// Mutate both twins identically before the next round.
+				for i := 0; i < 8; i++ {
+					id := FlowID(rng.Intn(nComp * 20))
+					switch rng.Intn(3) {
+					case 0:
+						par.RemoveFlow(id)
+						ser.RemoveFlow(id)
+					case 1:
+						d := float64(rng.Intn(9)+1) * 1e7
+						par.SetDemand(id, d)
+						ser.SetDemand(id, d)
+					case 2:
+						r := ResourceID(rng.Intn(nComp * 6))
+						cap := float64(rng.Intn(10)+1) * 1e8
+						par.SetCapacity(r, cap)
+						ser.SetCapacity(r, cap)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNoComponents: an allocator with no routed flows must not
+// panic or spin.
+func TestParallelNoComponents(t *testing.T) {
+	a := New()
+	a.SetCapacity(1, 1e9)
+	a.AddFlow(1, 5e8, nil) // routeless flow: rate = demand, no component
+	if got := a.RecomputeAllParallel(4); len(got) != 0 {
+		t.Fatalf("expected no changes, got %v", got)
+	}
+	if a.Rate(1) != 5e8 {
+		t.Fatalf("routeless flow rate = %g", a.Rate(1))
+	}
+}

@@ -330,9 +330,16 @@ func (s *Simulator) drainAlloc() {
 	}
 	s.allocDirty = false
 	var changed []fairshare.Changed
-	if s.cfg.FullRecompute {
+	switch {
+	case s.cfg.FullRecompute && s.cfg.Shards > 1:
+		// Sharing-graph components solve independently; fan them across
+		// the same worker count the settle pool uses. Identical output to
+		// RecomputeAll (the allocator stitches changes back into
+		// component order), so determinism is unaffected.
+		changed = s.alloc.RecomputeAllParallel(s.cfg.Shards)
+	case s.cfg.FullRecompute:
 		changed = s.alloc.RecomputeAll()
-	} else {
+	default:
 		changed = s.alloc.Recompute()
 	}
 	if len(changed) == 0 && len(s.shiftPending) == 0 {

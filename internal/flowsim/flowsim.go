@@ -127,6 +127,21 @@ type Controller interface {
 	Handle(ctx *Context, msg openflow.Message)
 }
 
+// Forker is an optional Controller capability used by the sharded packet
+// engine to partition control-plane state per connected component: Fork
+// returns an independent instance equivalent to a freshly constructed one
+// (no shared mutable state with the receiver), or nil when this
+// controller cannot fork. A controller should declare Fork only when its
+// reactions are component-local up to idempotent re-installs: each forked
+// instance runs under a scoped Context that silently drops sends to
+// switches outside its component, and the union of the instances'
+// surviving messages must equal the multiset a single serial instance
+// would have produced.
+type Forker interface {
+	Controller
+	Fork() Controller
+}
+
 // NopController is a Controller that does nothing (pure proactive
 // pre-installed state or drop-everything runs).
 type NopController struct{}

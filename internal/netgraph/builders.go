@@ -121,6 +121,56 @@ func FatTree(k int, link LinkSpec) *Topology {
 	return t
 }
 
+// StarOfFatTrees builds n k-ary fat-trees joined by a central hub switch:
+// every core switch of every tree connects to the hub with the same link
+// spec. Node names carry a per-tree prefix ("t0_core0", "t1_h3", ...);
+// the hub is "hub". The fabric is deliberately partition-hostile: a
+// uniform edge-cut split puts one tree per part and looks balanced by
+// switch count, but a workload concentrated on one tree makes that tree's
+// shard the wall-clock bottleneck — the scenario weighted partitioning
+// and window-barrier work stealing exist to fix.
+func StarOfFatTrees(n, k int, link LinkSpec) *Topology {
+	if n < 1 {
+		panic("netgraph: star-of-fat-trees needs at least 1 tree")
+	}
+	if k < 2 || k%2 != 0 {
+		panic("netgraph: fat-tree arity must be even and >= 2")
+	}
+	t := New()
+	hub := t.AddSwitch("hub")
+	half := k / 2
+	hostIdx := 0
+	for tree := 0; tree < n; tree++ {
+		pfx := fmt.Sprintf("t%d_", tree)
+		core := make([]NodeID, half*half)
+		for i := range core {
+			core[i] = t.AddSwitch(fmt.Sprintf("%score%d", pfx, i))
+			t.Connect(core[i], hub, link.BandwidthBps, link.Delay)
+		}
+		for p := 0; p < k; p++ {
+			aggs := make([]NodeID, half)
+			for a := 0; a < half; a++ {
+				aggs[a] = t.AddSwitch(fmt.Sprintf("%sagg%d_%d", pfx, p, a))
+				for c := 0; c < half; c++ {
+					t.Connect(aggs[a], core[a*half+c], link.BandwidthBps, link.Delay)
+				}
+			}
+			for e := 0; e < half; e++ {
+				edge := t.AddSwitch(fmt.Sprintf("%sedge%d_%d", pfx, p, e))
+				for _, agg := range aggs {
+					t.Connect(edge, agg, link.BandwidthBps, link.Delay)
+				}
+				for h := 0; h < half; h++ {
+					host := t.AddHost(fmt.Sprintf("h%d", hostIdx))
+					hostIdx++
+					t.Connect(edge, host, link.BandwidthBps, link.Delay)
+				}
+			}
+		}
+	}
+	return t
+}
+
 // Ring builds n switches in a cycle, one host per switch. Rings exercise
 // path diversity (two disjoint paths between any pair).
 func Ring(n int, hostLink, trunk LinkSpec) *Topology {

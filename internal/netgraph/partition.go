@@ -24,6 +24,19 @@ import (
 // Disconnected leftovers are assigned round-robin to the smallest parts.
 // k <= 1, or k >= the switch count, degenerate to the obvious answers.
 func (t *Topology) PartitionK(k int) []int32 {
+	return t.PartitionWeightedK(k, nil)
+}
+
+// PartitionWeightedK is PartitionK with a per-node load weight: parts are
+// balanced by total switch weight instead of switch count, so an
+// event-rate-skewed workload (weights derived from offered traffic) yields
+// parts with even expected event load rather than even switch counts. The
+// weights slice is indexed by NodeID; only switch entries are read, and a
+// non-positive weight counts as 1 (a switch is never free to own). A nil
+// weights slice reproduces PartitionK exactly. Seeding, contiguous BFS
+// growth, and all tie-breaks are identical to PartitionK, so the result is
+// deterministic for a given (topology, weights) pair.
+func (t *Topology) PartitionWeightedK(k int, weights []float64) []int32 {
 	parts := make([]int32, len(t.nodes))
 	switches := t.Switches()
 	if k > len(switches) {
@@ -34,6 +47,16 @@ func (t *Topology) PartitionK(k int) []int32 {
 			parts[i] = 0
 		}
 		return parts
+	}
+	wOf := func(n NodeID) float64 {
+		if int(n) < len(weights) && weights[n] > 0 {
+			return weights[n]
+		}
+		return 1
+	}
+	totalW := 0.0
+	for _, n := range switches {
+		totalW += wOf(n)
 	}
 	const unassigned = int32(-1)
 	for i := range parts {
@@ -87,13 +110,16 @@ func (t *Topology) PartitionK(k int) []int32 {
 		bfsFrom(far)
 	}
 
-	// Balanced round-robin BFS growth from the seeds.
-	capPer := (len(switches) + k - 1) / k
-	size := make([]int, k)
+	// Balanced round-robin BFS growth from the seeds. The cap is the ideal
+	// per-part share of the total weight; a part stops claiming once it
+	// reaches the cap (a single claim may overshoot it — whole switches
+	// are never split).
+	capPer := totalW / float64(k)
+	size := make([]float64, k)
 	frontiers := make([][]NodeID, k)
 	claim := func(n NodeID, p int) {
 		parts[n] = int32(p)
-		size[p]++
+		size[p] += wOf(n)
 		frontiers[p] = append(frontiers[p], adj[n]...)
 	}
 	for p, s := range seeds {
@@ -174,6 +200,62 @@ func CutLookahead(t *Topology, parts []int32) simtime.Duration {
 		}
 	}
 	return min
+}
+
+// Components labels every node with the index of its connected component
+// over switch-switch links: switches are grouped by BFS in ascending-ID
+// order (so component indices are deterministic: the lowest switch ID in
+// a component orders it), and hosts follow their attached switch.
+// Isolated hosts land in component 0. The second result is the component
+// count (at least 1 when any node exists, 0 for an empty topology).
+func Components(t *Topology) ([]int32, int) {
+	comp := make([]int32, len(t.nodes))
+	for i := range comp {
+		comp[i] = -1
+	}
+	adj := make([][]NodeID, len(t.nodes))
+	for _, l := range t.links {
+		if t.nodes[l.A].Kind == KindSwitch && t.nodes[l.B].Kind == KindSwitch {
+			adj[l.A] = append(adj[l.A], l.B)
+			adj[l.B] = append(adj[l.B], l.A)
+		}
+	}
+	n := 0
+	for _, s := range t.Switches() {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = int32(n)
+		queue := []NodeID{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if comp[v] < 0 {
+					comp[v] = int32(n)
+					queue = append(queue, v)
+				}
+			}
+		}
+		n++
+	}
+	for _, nd := range t.nodes {
+		if nd.Kind != KindHost {
+			continue
+		}
+		if sw, _ := t.AttachedSwitch(nd.ID); sw >= 0 {
+			comp[nd.ID] = comp[sw]
+		} else {
+			comp[nd.ID] = 0
+			if n == 0 {
+				n = 1
+			}
+		}
+	}
+	if n == 0 && len(t.nodes) > 0 {
+		n = 1
+	}
+	return comp, n
 }
 
 // CutSize returns how many links cross between different parts — the

@@ -1,0 +1,407 @@
+// Load balancing of the sharded packet engine: event-rate-weighted
+// partitioning at Begin, per-component controller homing, and
+// window-barrier work stealing. All three preserve the determinism
+// contract — Records() is byte-identical to the serial engine — because
+// ownership only ever changes at single-threaded points (Begin, window
+// barriers), every event keeps its (time, order key) pair across a
+// migration, and events sharing an exact (time, key) always belong to one
+// entity, so a whole-entity move never splits a FIFO tie group.
+package packetsim
+
+import (
+	"math"
+
+	"horse/internal/flowsim"
+	"horse/internal/netgraph"
+	"horse/internal/simcore"
+)
+
+// BalanceMode selects how a sharded run places and re-places work.
+type BalanceMode uint8
+
+const (
+	// BalanceUniform edge-cut partitions by switch count (the historical
+	// default).
+	BalanceUniform BalanceMode = iota
+	// BalanceWeighted partitions by demand-derived event-rate weights at
+	// Begin: each flow's estimated packet count loads its endpoint
+	// switches, so parts even out expected event load, not switch count.
+	BalanceWeighted
+	// BalanceSteal is BalanceWeighted plus window-barrier work stealing:
+	// when one shard's dispatch rate dominates, a whole switch group
+	// (switch + attached hosts + their flows and timers) migrates to the
+	// coldest shard between windows.
+	BalanceSteal
+)
+
+// openEndedEstimate is the packet-count weight assumed for an open-ended
+// flow with no duration (it runs to the horizon, which the partitioner
+// does not know): large enough to dominate short transfers, finite so a
+// single such flow cannot flatten every other weight.
+const openEndedEstimate = 1 << 14
+
+// flowPackets estimates how many data packets a flow will offer — the
+// per-flow event-rate weight of BalanceWeighted.
+func flowPackets(f *pktFlow) float64 {
+	if f.packets != math.MaxInt32 { // finite transfer
+		return float64(f.packets)
+	}
+	if f.demand.Duration > 0 && f.demand.RateBps > 0 {
+		return f.demand.RateBps * f.demand.Duration.Seconds() / DataPacketBits
+	}
+	return openEndedEstimate
+}
+
+// demandWeights derives per-switch event-rate weights from the loaded
+// demands: each flow's estimated packet count is charged to the switches
+// attached to its source and destination hosts (where its send, transmit,
+// arrival, and ACK events concentrate). Switches with no offered load keep
+// the partitioner's implicit weight of 1.
+func (s *Simulator) demandWeights() []float64 {
+	w := make([]float64, s.topo.NumNodes())
+	for _, f := range s.flows {
+		if f == nil {
+			continue
+		}
+		pk := flowPackets(f)
+		if sw, _ := s.topo.AttachedSwitch(f.demand.Src); sw >= 0 {
+			w[sw] += pk
+		}
+		if sw, _ := s.topo.AttachedSwitch(f.demand.Dst); sw >= 0 {
+			w[sw] += pk
+		}
+	}
+	return w
+}
+
+// rebalance replaces the uniform partition with the event-rate-weighted
+// one. It runs at Begin — demands are loaded, no event has been routed —
+// and mutates the shared partOf array in place so every clone sees the new
+// ownership. If the weighted cut admits no positive lookahead the uniform
+// partition stays (correctness over balance).
+func (s *Simulator) rebalance() {
+	if s.cfg.Balance == BalanceUniform {
+		return
+	}
+	parts := s.topo.PartitionWeightedK(s.nshards, s.demandWeights())
+	la := netgraph.CutLookahead(s.topo, parts)
+	if s.ctrl != nil && s.cfg.ControlLatency < la {
+		la = s.cfg.ControlLatency
+	}
+	if la <= 0 {
+		return
+	}
+	copy(s.partOf, parts)
+	s.lookahead = la
+	for _, f := range s.flows {
+		if f != nil {
+			f.home = s.partOf[f.demand.Src]
+		}
+	}
+}
+
+// startControllerSharded homes the control plane on the final partition
+// and starts it. Every connected component of the switch graph gets a home
+// shard — the one owning the plurality of its switches (ties to the lowest
+// shard) — and, when the controller can Fork, its own scoped instance
+// whose out-of-component sends are dropped: the union of the instances'
+// surviving messages equals the single serial instance's multiset. A
+// controller that cannot Fork runs as one instance on the overall
+// plurality shard — off shard 0, but shared by every component.
+func (s *Simulator) startControllerSharded() {
+	// Per-component plurality over the final partition.
+	own := make([]int, s.ncomp*s.nshards)
+	total := make([]int, s.nshards)
+	for _, sw := range s.topo.Switches() {
+		own[int(s.compOf[sw])*s.nshards+int(s.partOf[sw])]++
+		total[s.partOf[sw]]++
+	}
+	plurality := func(counts []int) int32 {
+		best := 0
+		for i, c := range counts {
+			if c > counts[best] {
+				best = i
+			}
+		}
+		return int32(best)
+	}
+	for c := 0; c < s.ncomp; c++ {
+		s.ctrlHome[c] = plurality(own[c*s.nshards : (c+1)*s.nshards])
+	}
+
+	var insts []flowsim.Controller
+	if s.ncomp > 1 {
+		if f, ok := s.ctrl.(flowsim.Forker); ok {
+			insts = make([]flowsim.Controller, s.ncomp)
+			insts[0] = s.ctrl
+			for c := 1; c < s.ncomp; c++ {
+				if insts[c] = f.Fork(); insts[c] == nil {
+					insts = nil
+					break
+				}
+			}
+		}
+	}
+	if insts == nil {
+		// Single instance: one home for everything.
+		h := plurality(total)
+		hc := s.clones[h]
+		for c := 0; c < s.ncomp; c++ {
+			s.ctrlHome[c] = h
+			s.ctrlBy[c] = s.ctrl
+			s.ctrlCtx[c] = hc.ctx
+		}
+		s.ctrl.Start(hc.ctx)
+		return
+	}
+	for c := 0; c < s.ncomp; c++ {
+		comp := int32(c)
+		s.ctrlBy[c] = insts[c]
+		s.ctrlCtx[c] = flowsim.NewScopedContext(s.clones[s.ctrlHome[c]],
+			func(dp netgraph.NodeID) bool { return s.compOf[dp] == comp })
+	}
+	for c := 0; c < s.ncomp; c++ {
+		s.ctrlBy[c].Start(s.ctrlCtx[c])
+	}
+}
+
+// Steal policy knobs. Conservative on purpose: a migration is cheap but
+// not free (it drains the hot kernel once), and oscillation would churn
+// partitions without moving the wall-clock needle.
+const (
+	// stealMinEvents is the minimum hot-shard window delta worth acting
+	// on — below it the window is too small for imbalance to matter.
+	stealMinEvents = 256
+	// stealRatio is how many times the coldest shard's delta the hottest
+	// must exceed before a steal triggers.
+	stealRatio = 2
+	// stealCooldown is how many barriers to wait after a migration before
+	// measuring again (the moved entities need a window to show up in the
+	// new owner's counters).
+	stealCooldown = 8
+)
+
+// stealChoice is one scripted migration: move switch sw (and its group) to
+// shard dest. Tests drive stealScript with fuzzed choices to pin down that
+// ANY legal steal schedule yields byte-identical records.
+type stealChoice struct {
+	sw   netgraph.NodeID
+	dest int32
+}
+
+// maybeSteal runs on the coordinator at a window barrier (single-threaded;
+// the runner join published every clone's writes). It updates the
+// per-shard load deltas and migrates at most one switch group from the
+// hottest to the coldest shard when the imbalance clears the thresholds.
+func (s *Simulator) maybeSteal() {
+	s.stealRound++
+	if s.lastDisp == nil {
+		s.lastDisp = make([]uint64, s.nshards)
+		s.stealDelta = make([]uint64, s.nshards)
+	}
+	for i, c := range s.clones {
+		d := c.k.Dispatched()
+		s.stealDelta[i] = d - s.lastDisp[i]
+		s.lastDisp[i] = d
+	}
+	if s.stealScript != nil {
+		for _, c := range s.stealScript(s.stealRound) {
+			s.tryMigrate(c.sw, c.dest)
+		}
+		return
+	}
+	if s.stealCool > 0 {
+		s.stealCool--
+		return
+	}
+	hot, cold := 0, 0
+	for i := 1; i < s.nshards; i++ {
+		if s.stealDelta[i] > s.stealDelta[hot] {
+			hot = i
+		}
+		if s.stealDelta[i] < s.stealDelta[cold] {
+			cold = i
+		}
+	}
+	if hot == cold || s.stealDelta[hot] < stealMinEvents ||
+		s.stealDelta[hot] < stealRatio*s.stealDelta[cold] {
+		return
+	}
+	sw := s.stealCandidate(int32(hot), int32(cold))
+	if sw < 0 {
+		return
+	}
+	if s.tryMigrate(sw, int32(cold)) {
+		s.stealCool = stealCooldown
+	}
+}
+
+// stealCandidate picks the switch to migrate from hot to cold: the
+// lowest-ID hot-owned switch adjacent to a cold-owned one (keeps regions
+// contiguous and the cut small), else the lowest-ID hot-owned switch. A
+// hot shard down to its last switch yields nothing.
+func (s *Simulator) stealCandidate(hot, cold int32) netgraph.NodeID {
+	nHot := 0
+	first := netgraph.NodeID(-1)
+	for _, sw := range s.topo.Switches() {
+		if s.partOf[sw] == hot {
+			nHot++
+			if first < 0 {
+				first = sw
+			}
+		}
+	}
+	if nHot <= 1 {
+		return -1
+	}
+	best := netgraph.NodeID(-1)
+	for _, l := range s.topo.Links() {
+		if s.topo.Node(l.A).Kind != netgraph.KindSwitch || s.topo.Node(l.B).Kind != netgraph.KindSwitch {
+			continue
+		}
+		cand := netgraph.NodeID(-1)
+		switch {
+		case s.partOf[l.A] == hot && s.partOf[l.B] == cold:
+			cand = l.A
+		case s.partOf[l.B] == hot && s.partOf[l.A] == cold:
+			cand = l.B
+		}
+		if cand >= 0 && (best < 0 || cand < best) {
+			best = cand
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return first
+}
+
+// tryMigrate moves ownership of sw — and its whole entity group: attached
+// hosts, flows sourced at those hosts, and their timers — to shard dest.
+// It runs only between windows and keeps the determinism contract:
+//
+//  1. The move is validated first: a cut that would admit no positive
+//     lookahead is rejected (no safe window would exist).
+//  2. Every pending cancelable timer living in the source kernel is
+//     cancelled and its re-arm state collected. This must cover ALL of
+//     the source shard's timers, not just the migrating group's, because
+//     draining the kernel (step 4) invalidates eventq handles — a stale
+//     handle would leave a corpse event that fires for its former owner.
+//  3. Ownership flips in the shared partOf array and flow homes refresh.
+//  4. The source kernel is drained once: events now homed elsewhere move
+//     to the new owner in dequeue order — their (time, key) pairs are
+//     untouched and per-entity FIFO is preserved — and the rest re-push
+//     in dequeue order, preserving their relative order exactly.
+//  5. Timers re-arm on their (possibly new) owner's kernel with the
+//     original firing time and generation stamp.
+//  6. The conservative lookahead is recomputed for the new cut and
+//     installed on the executor for the next window.
+//
+// It reports whether the migration happened (scripted schedules probe
+// illegal moves freely; they are rejected without side effects).
+func (s *Simulator) tryMigrate(sw netgraph.NodeID, dest int32) bool {
+	if sw < 0 || int(sw) >= len(s.partOf) || dest < 0 || int(dest) >= s.nshards {
+		return false
+	}
+	if s.topo.Node(sw).Kind != netgraph.KindSwitch {
+		return false
+	}
+	src := s.partOf[sw]
+	if src == dest {
+		return false
+	}
+	group := []netgraph.NodeID{sw}
+	for _, n := range s.topo.Hosts() {
+		if at, _ := s.topo.AttachedSwitch(n); at == sw {
+			group = append(group, n)
+		}
+	}
+
+	// 1. Validate the post-move cut before touching anything.
+	for _, n := range group {
+		s.partOf[n] = dest
+	}
+	la := netgraph.CutLookahead(s.topo, s.partOf)
+	if s.ctrl != nil && s.cfg.ControlLatency < la {
+		la = s.cfg.ControlLatency
+	}
+	for _, n := range group {
+		s.partOf[n] = src
+	}
+	if la <= 0 {
+		return false
+	}
+
+	// 2. Cancel every pending cancelable timer on the source kernel.
+	hc := s.clones[src]
+	var exps []netgraph.NodeID
+	for dp := netgraph.NodeID(0); int(dp) < len(s.expiryTimer); dp++ {
+		if s.partOf[dp] != src {
+			continue
+		}
+		if hc.k.Cancel(s.expiryTimer[dp]) {
+			exps = append(exps, dp)
+		}
+		s.expiryTimer[dp] = simcore.Timer{}
+	}
+	var rtos []*pktFlow
+	for _, f := range s.flows {
+		if f == nil || f.home != src {
+			continue
+		}
+		if hc.k.Cancel(f.rto) {
+			rtos = append(rtos, f)
+		}
+		f.rto = simcore.Timer{}
+	}
+
+	// 3. Flip ownership.
+	for _, n := range group {
+		s.partOf[n] = dest
+	}
+	for _, f := range s.flows {
+		if f != nil {
+			f.home = s.partOf[f.demand.Src]
+		}
+	}
+
+	// 4. Drain the source kernel once, moving what now lives elsewhere.
+	moved := hc.k.Extract(func(ev simcore.Event) bool {
+		return s.homeOf(ev.(*event)) != src
+	})
+	for _, ev := range moved {
+		e := ev.(*event)
+		c := s.clones[s.homeOf(e)]
+		e.sim = c
+		c.k.Schedule(e)
+	}
+
+	// 5. Re-arm the timers on their owners, preserving (time, gen).
+	for _, dp := range exps {
+		oc := s.clones[s.partOf[dp]]
+		e := oc.pool.Get()
+		*e = event{at: s.expiryAt[dp], kind: evExpiry, node: dp, sim: oc}
+		s.expiryTimer[dp] = oc.k.ScheduleCancelable(e)
+	}
+	for _, f := range rtos {
+		oc := s.clones[f.home]
+		e := oc.pool.Get()
+		*e = event{at: f.rtoAt, kind: evRTO, flow: f, gen: f.rtoGen, sim: oc}
+		f.rto = oc.k.ScheduleCancelable(e)
+	}
+
+	// 6. New cut, new horizon.
+	s.lookahead = la
+	s.exec.SetLookahead(la)
+	return true
+}
+
+// ShardLoads returns the per-shard dispatched-event counts of a sharded
+// run — the load-balance histogram the skew soak exports. Nil for serial
+// runs; valid after Run.
+func (s *Simulator) ShardLoads() []uint64 {
+	if s.exec == nil {
+		return nil
+	}
+	return s.exec.ShardDispatched()
+}

@@ -30,9 +30,12 @@ func (s *Simulator) SendToSwitch(msg openflow.Message) {
 	s.sched(event{at: s.k.Now().Add(s.cfg.ControlLatency), kind: evToSwitch, msg: msg, node: msg.Datapath()})
 }
 
-// After implements flowsim.Engine: fn runs on the controller after d.
+// After implements flowsim.Engine: fn runs on the controller after d. The
+// event carries the scheduling clone's shard (dir is unused by evTimer
+// otherwise) so a sharded run fires the timer on the controller instance
+// that armed it, whichever shard that instance is homed on.
 func (s *Simulator) After(d simtime.Duration, fn func()) {
-	s.sched(event{at: s.k.Now().Add(d), kind: evTimer, fn: fn})
+	s.sched(event{at: s.k.Now().Add(d), kind: evTimer, fn: fn, dir: s.shardID})
 }
 
 // sendToController delivers a switch-originated message: to the punt sink

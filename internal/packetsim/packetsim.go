@@ -107,6 +107,13 @@ type Config struct {
 	// ShardWorkers bounds the worker pool driving shard windows (0 means
 	// one worker per shard).
 	ShardWorkers int
+	// Balance selects the shard load-balancing mode: BalanceUniform
+	// edge-cut partitions by switch count (the historical default),
+	// BalanceWeighted partitions by demand-derived event-rate weights at
+	// Begin, and BalanceSteal additionally migrates whole-entity ownership
+	// from hot shards to idle ones at window barriers. Records() stays
+	// byte-identical to the serial engine under every mode.
+	Balance BalanceMode
 
 	// Kernel attaches the engine to an externally owned simulation kernel
 	// (hybrid runs). Nil means the engine creates and drives its own.
@@ -235,6 +242,32 @@ type Simulator struct {
 	pendingProtos []event // events scheduled before Begin (sharded runs)
 	lookahead     simtime.Duration
 	dispatched    uint64 // total events across kernels, set after a sharded Run
+
+	// Controller sharding (nshards > 1). compOf labels every node with its
+	// switch-graph connected component, ctrlHome maps component → owning
+	// shard, and ctrlBy/ctrlCtx hold each component's controller instance
+	// and its (scoped) context. The backing arrays are allocated before
+	// clone construction so every clone shares them; elements mutate only
+	// at single-threaded points (Begin). Single-component topologies, and
+	// controllers that cannot Fork, collapse to one instance — placed on
+	// the shard owning the plurality of switches instead of pinned to 0.
+	compOf   []int32
+	ncomp    int
+	ctrlHome []int32
+	ctrlBy   []flowsim.Controller
+	ctrlCtx  []*flowsim.Context
+
+	// Work stealing (coordinator-only, BalanceSteal). exec exposes
+	// SetLookahead for post-migration horizon updates; lastDisp holds
+	// per-shard dispatch counters at the previous barrier; stealScript,
+	// when set (tests), overrides the steal policy with an explicit
+	// schedule — any legal schedule yields byte-identical records.
+	exec        *shardExec
+	lastDisp    []uint64
+	stealDelta  []uint64
+	stealCool   int
+	stealRound  int
+	stealScript func(round int) []stealChoice
 
 	begun    bool
 	finished bool
@@ -756,18 +789,23 @@ func (s *Simulator) Begin() {
 		c.liveBy = make([]int32, len(s.flows))
 	}
 	if s.nshards > 1 {
+		// Demands are loaded: replace the uniform partition with the
+		// event-rate-weighted one (when configured) before any pending
+		// event is routed to an owner.
+		s.rebalance()
 		s.routePending()
 	}
 	if s.ctrl != nil {
-		// In sharded runs the controller lives on shard 0: Start must
-		// hand out that clone's context, so After-closures captured by
-		// apps schedule through shard 0's own clock and routing (a
-		// coordinator context would push into live kernels mid-window).
-		ctx := s.ctx
 		if s.nshards > 1 {
-			ctx = s.clones[0].ctx
+			// The controller is homed per connected component (scoped
+			// per-component instances when it can Fork, one relocated
+			// instance otherwise); Start hands out each home clone's
+			// context, so After-closures captured by apps schedule
+			// through that shard's own clock and routing.
+			s.startControllerSharded()
+		} else {
+			s.ctrl.Start(s.ctx)
 		}
-		s.ctrl.Start(ctx)
 	}
 	if s.cfg.StatsEvery > 0 {
 		for i := 0; i < s.nshards; i++ {
@@ -839,6 +877,13 @@ func (s *Simulator) dispatch(e *event) {
 			// reattach (the link change it announced goes pending).
 			s.notePending(e.msg)
 			return
+		}
+		if s.nshards > 1 && len(s.ctrlBy) > 0 {
+			comp := s.compOf[e.node]
+			if c := s.ctrlBy[comp]; c != nil {
+				c.Handle(s.ctrlCtx[comp], e.msg)
+				return
+			}
 		}
 		s.ctrl.Handle(s.ctx, e.msg)
 	case evExpiry:

@@ -33,6 +33,10 @@ import (
 // changes, which mutate state owned by many shards).
 const homeGlobal = int32(-1)
 
+// shardExec aliases the executor type so Simulator fields declared in
+// packetsim.go need no extra import.
+type shardExec = shard.Executor
+
 // outMsg is one cross-shard event awaiting barrier delivery.
 type outMsg struct {
 	target int32
@@ -68,6 +72,14 @@ func (s *Simulator) initShards() {
 	s.partOf = parts
 	s.lookahead = la
 	s.isCoordinator = true
+	// Controller-sharding tables, allocated before clone construction so
+	// every clone shares the backing arrays; Begin fills the elements in
+	// place (single-threaded). Until then ctrlHome is all zeros, i.e. the
+	// historical shard-0 pinning.
+	s.compOf, s.ncomp = netgraph.Components(s.topo)
+	s.ctrlHome = make([]int32, s.ncomp)
+	s.ctrlBy = make([]flowsim.Controller, s.ncomp)
+	s.ctrlCtx = make([]*flowsim.Context, s.ncomp)
 	clones := make([]*Simulator, n)
 	for i := range clones {
 		c := new(Simulator)
@@ -84,8 +96,8 @@ func (s *Simulator) initShards() {
 	}
 	for _, c := range clones {
 		c.clones = clones
-		// The controller runs on shard 0: its Handle calls fire there, so
-		// its Context must resolve Now() against that shard's clock.
+		// Each clone's Context resolves Now() against its own clock; the
+		// clone homing a controller instance hands its Context to it.
 		c.ctx = flowsim.NewContext(c)
 	}
 	s.clones = clones
@@ -107,8 +119,14 @@ func (s *Simulator) homeOf(proto *event) int32 {
 	switch proto.kind {
 	case evLinkChange, evSwitchChange, evCtrlChange, evIngest:
 		return homeGlobal
-	case evToController, evTimer:
-		return 0
+	case evToController:
+		// The component's controller home (all zeros pre-Begin — the
+		// historical shard-0 pinning).
+		return s.ctrlHome[s.compOf[proto.node]]
+	case evTimer:
+		// Controller timers fire where they were armed: After stamps the
+		// scheduling clone's shard, so a timer stays with its instance.
+		return proto.dir
 	case evSend, evRTO:
 		return proto.flow.home
 	case evTxDone:
@@ -214,6 +232,7 @@ func (s *Simulator) exchange() {
 		c.pendingStatus = c.pendingStatus[:0]
 	}
 	if len(msgs) == 0 {
+		s.stealBarrier()
 		return
 	}
 	sort.SliceStable(msgs, func(i, j int) bool {
@@ -232,6 +251,18 @@ func (s *Simulator) exchange() {
 		c := s.clones[m.target]
 		m.ev.sim = c
 		c.k.Schedule(m.ev)
+	}
+	s.stealBarrier()
+}
+
+// stealBarrier runs after the outbox merge at every barrier when work
+// stealing is enabled: it measures per-shard load and may migrate one
+// switch group from the hottest shard to the coldest (see balance.go).
+// exchange() calls it last so migrated events have already been merged
+// into their (old) owner's queue and move as one ordered block.
+func (s *Simulator) stealBarrier() {
+	if s.cfg.Balance == BalanceSteal && s.isCoordinator && s.exec != nil {
+		s.maybeSteal()
 	}
 }
 
@@ -282,6 +313,7 @@ func (s *Simulator) runSharded(ctx context.Context, until simtime.Time) error {
 		Parallel:  s.cfg.ShardWorkers,
 		Interrupt: interrupt,
 	}, s.k, kernels, s.exchange)
+	s.exec = x
 	x.Run(until)
 	s.dispatched = x.Dispatched()
 	if stopped {

@@ -119,6 +119,18 @@ func SpecOptions(o wire.OptionsSpec) ([]Option, error) {
 	if o.ShardWorkers != nil {
 		opts = append(opts, WithShardWorkers(*o.ShardWorkers))
 	}
+	switch o.ShardBalancing {
+	case "":
+		// The default (uniform) — no option.
+	case wire.BalanceUniform:
+		opts = append(opts, WithShardBalancing(BalanceUniform))
+	case wire.BalanceWeighted:
+		opts = append(opts, WithShardBalancing(BalanceWeighted))
+	case wire.BalanceSteal:
+		opts = append(opts, WithShardBalancing(BalanceSteal))
+	default:
+		return nil, &BuildError{Option: "WithShardBalancing", Reason: fmt.Sprintf("unknown balancing mode %q", o.ShardBalancing)}
+	}
 	if o.QueuePackets != nil {
 		opts = append(opts, WithQueuePackets(*o.QueuePackets))
 	}

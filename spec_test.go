@@ -204,6 +204,15 @@ func TestNewFromSpecValidation(t *testing.T) {
 			pf := 0.5
 			s.Options.PacketFraction = &pf
 		}), true},
+		{"bad balancing name", barely(func(s *wire.SessionSpec) {
+			s.Options.Fidelity = wire.FidelityPacket
+			s.Options.Shards = 4
+			s.Options.ShardBalancing = "lopsided"
+		}), true},
+		{"balancing without shards", barely(func(s *wire.SessionSpec) {
+			s.Options.Fidelity = wire.FidelityPacket
+			s.Options.ShardBalancing = wire.BalanceSteal
+		}), true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
