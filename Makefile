@@ -14,10 +14,11 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/eventq/... ./internal/fairshare/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/... ./internal/service/...
-	$(GO) test -race -run 'TestParallel|TestE8Parallel|TestE6Shape' ./internal/experiments/...
+	$(GO) test -race ./internal/runner/... ./internal/eventq/... ./internal/fairshare/... ./internal/flowsim/... ./internal/simcore/... ./internal/simcore/shard/... ./internal/packetsim/... ./internal/hybrid/... ./internal/scenario/... ./internal/service/... ./internal/linkmodel/...
+	$(GO) test -race -run 'TestParallel|TestE8Parallel|TestE6Shape|TestE10Parallel' ./internal/experiments/...
 	$(GO) test -race -run 'TestShardDeterminism' ./internal/packetsim/
 	$(GO) test -race -run 'TestBalanceDeterminismMatrix|TestScriptedStealMigrates|TestControllerShardingComponents' ./internal/packetsim/
+	$(GO) test -race -run 'TestLinkModelShardParity' ./internal/packetsim/
 	$(GO) test -race -run 'TestParallelMatchesSerial' ./internal/fairshare/
 	$(GO) test -race -run 'TestStreamEquivalence' .
 
@@ -41,16 +42,19 @@ scaling-gate:
 	$(GO) run ./cmd/horsebench -quick -only E9 -parallel 1 -json BENCH_scaling.json -compare BENCH_baseline.json
 
 # A short native-fuzzing pass over the trace codec, the windowed
-# streaming reader, the timing-wheel cascade/overflow paths, and the
+# streaming reader, the timing-wheel cascade/overflow paths, the
 # steal-schedule determinism property (any legal migration schedule
-# yields byte-identical records). Seed corpora are f.Add'd in the fuzz
-# targets plus any checked-in testdata/fuzz entries; the steal fuzzer
-# runs fewer iterations because every exec simulates two full windows.
+# yields byte-identical records), and the link-model parity property
+# (any model parameters, seed, shard count, backend, and balancing mode
+# reproduce the serial heap run). Seed corpora are f.Add'd in the fuzz
+# targets plus any checked-in testdata/fuzz entries; the simulation
+# fuzzers run fewer iterations because every exec runs full simulations.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=1000x ./internal/traffic/
 	$(GO) test -run='^$$' -fuzz=FuzzStreamVsReadCSV -fuzztime=1000x ./internal/traffic/
 	$(GO) test -run='^$$' -fuzz=FuzzWheelVsHeap -fuzztime=1000x ./internal/eventq/
 	$(GO) test -run='^$$' -fuzz=FuzzStealSchedule -fuzztime=150x ./internal/packetsim/
+	$(GO) test -run='^$$' -fuzz=FuzzLinkModelParity -fuzztime=25x ./internal/packetsim/
 
 # End-to-end daemon smoke: horsed on a unix socket, horsectl submit with
 # streamed records, a mid-run cancel, and a SIGTERM drain.

@@ -6,6 +6,7 @@ import (
 
 	"horse/internal/addr"
 	"horse/internal/header"
+	"horse/internal/linkmodel"
 	"horse/internal/netgraph"
 	"horse/internal/scenario"
 	"horse/internal/simtime"
@@ -442,7 +443,93 @@ const (
 	EventControllerDetach   = "controller-detach"
 	EventControllerReattach = "controller-reattach"
 	EventDemandSurge        = "demand-surge"
+	EventLinkDegrade        = "link-degrade"
+	EventLinkRestore        = "link-restore"
 )
+
+// Link-model kinds on the wire (the linkmodel Model names).
+const (
+	LinkModelBernoulli      = "bernoulli"
+	LinkModelGilbertElliott = "gilbert-elliott"
+	LinkModelAdaptiveRate   = "adaptive-rate"
+)
+
+// LinkModelSpec serializes one link-degradation model (the subject of
+// link-degrade events and the options' default link model).
+type LinkModelSpec struct {
+	// Kind selects the model: bernoulli|gilbert-elliott|adaptive-rate.
+	Kind string `json:"kind"`
+	// Loss is the per-frame corruption probability (bernoulli).
+	Loss float64 `json:"loss,omitempty"`
+	// PGoodBad/PBadGood/LossGood/LossBad parameterize gilbert-elliott.
+	PGoodBad float64 `json:"p_good_bad,omitempty"`
+	PBadGood float64 `json:"p_bad_good,omitempty"`
+	LossGood float64 `json:"loss_good,omitempty"`
+	LossBad  float64 `json:"loss_bad,omitempty"`
+	// Levels/Floor/EveryNs parameterize adaptive-rate.
+	Levels  int     `json:"levels,omitempty"`
+	Floor   float64 `json:"floor,omitempty"`
+	EveryNs int64   `json:"every_ns,omitempty"`
+}
+
+// Model compiles the spec into a linkmodel.Model, validating its
+// parameters; field names the spec location for error reporting.
+func (s LinkModelSpec) Model(field string) (linkmodel.Model, error) {
+	var m linkmodel.Model
+	switch s.Kind {
+	case LinkModelBernoulli:
+		m = linkmodel.BernoulliLoss{P: s.Loss}
+	case LinkModelGilbertElliott:
+		m = linkmodel.GilbertElliott{
+			PGoodBad: s.PGoodBad, PBadGood: s.PBadGood,
+			LossGood: s.LossGood, LossBad: s.LossBad,
+		}
+	case LinkModelAdaptiveRate:
+		m = linkmodel.AdaptiveRate{
+			Levels: s.Levels, Floor: s.Floor, Every: simtime.Duration(s.EveryNs),
+		}
+	case "":
+		return nil, specErr(field+".kind", "missing")
+	default:
+		return nil, specErr(field+".kind", "unknown kind %q", s.Kind)
+	}
+	if err := linkmodel.Validate(m); err != nil {
+		return nil, specErr(field, "%v", err)
+	}
+	return m, nil
+}
+
+// LinkModelForSpec installs a model on one link, referenced by its
+// endpoint node names like link events (OptionsSpec.LinkModelFor).
+type LinkModelForSpec struct {
+	LinkA string        `json:"link_a"`
+	LinkB string        `json:"link_b"`
+	Model LinkModelSpec `json:"model"`
+}
+
+// Resolve compiles the per-link entry against a topology; i indexes the
+// entry within options.link_model_for for error reporting.
+func (s LinkModelForSpec) Resolve(topo *netgraph.Topology, i int) (netgraph.LinkID, linkmodel.Model, error) {
+	field := fmt.Sprintf("options.link_model_for[%d]", i)
+	na, ok := topo.Lookup(s.LinkA)
+	if !ok {
+		return 0, nil, specErr(field+".link_a", "unknown node %q", s.LinkA)
+	}
+	nb, ok := topo.Lookup(s.LinkB)
+	if !ok {
+		return 0, nil, specErr(field+".link_b", "unknown node %q", s.LinkB)
+	}
+	for _, l := range topo.Links() {
+		if (l.A == na && l.B == nb) || (l.A == nb && l.B == na) {
+			m, err := s.Model.Model(field + ".model")
+			if err != nil {
+				return 0, nil, err
+			}
+			return l.ID, m, nil
+		}
+	}
+	return 0, nil, specErr(field, "no link between %q and %q", s.LinkA, s.LinkB)
+}
 
 // EventSpec serializes one scenario timeline event. Links are referenced
 // by their endpoint node names (builder-deterministic), switches by
@@ -458,6 +545,8 @@ type EventSpec struct {
 	// Surge is the injected burst (demand-surge events); demand starts
 	// are relative to AtNs.
 	Surge []DemandSpec `json:"surge,omitempty"`
+	// Model is the degradation installed by link-degrade events.
+	Model *LinkModelSpec `json:"model,omitempty"`
 }
 
 // Timeline compiles the event specs into a scenario timeline, resolving
@@ -492,6 +581,23 @@ func Timeline(events []EventSpec, topo *netgraph.Topology) (*scenario.Timeline, 
 			} else {
 				tl.SwitchRestart(at, sw)
 			}
+		case EventLinkDegrade, EventLinkRestore:
+			link, err := lookupLink(topo, e.LinkA, e.LinkB, i)
+			if err != nil {
+				return nil, err
+			}
+			if e.Kind == EventLinkRestore {
+				tl.LinkRestore(at, link)
+				break
+			}
+			if e.Model == nil {
+				return nil, specErr(fmt.Sprintf("scenario[%d].model", i), "missing (link-degrade installs a model)")
+			}
+			m, err := e.Model.Model(fmt.Sprintf("scenario[%d].model", i))
+			if err != nil {
+				return nil, err
+			}
+			tl.LinkDegrade(at, link, m)
 		case EventControllerDetach:
 			tl.ControllerDetach(at)
 		case EventControllerReattach:
@@ -624,6 +730,15 @@ type OptionsSpec struct {
 	// PacketFraction flags ~p of demands for packet-level simulation
 	// (hybrid).
 	PacketFraction *float64 `json:"packet_fraction,omitempty"`
+	// LinkModel installs a degradation model on every link from the
+	// start of the run (WithLinkModel).
+	LinkModel *LinkModelSpec `json:"link_model,omitempty"`
+	// LinkModelFor installs per-link models, layered after LinkModel
+	// (WithLinkModelFor); links are referenced by endpoint node names.
+	LinkModelFor []LinkModelForSpec `json:"link_model_for,omitempty"`
+	// LinkModelSeed seeds the models' corruption streams
+	// (WithLinkModelSeed; 0 means the default stream).
+	LinkModelSeed uint64 `json:"link_model_seed,omitempty"`
 }
 
 // Workers is the session's worker-budget cost: how many workers of the

@@ -366,6 +366,51 @@ func TestV1Fixtures(t *testing.T) {
 		}
 	})
 
+	// A v1 submit carrying link-degradation models: a default Bernoulli
+	// model, a per-link adaptive-rate override, a seed, and a
+	// degrade/restore scenario pair (additive v1 fields).
+	t.Run("submit-link-model", func(t *testing.T) {
+		f := decode(t, "submit-link-model.json")
+		var p SubmitParams
+		if err := json.Unmarshal(f.Params, &p); err != nil {
+			t.Fatal(err)
+		}
+		spec := p.Spec
+		o := spec.Options
+		if o.LinkModel == nil || o.LinkModel.Kind != LinkModelBernoulli || o.LinkModel.Loss != 0.005 {
+			t.Fatalf("link_model %+v", o.LinkModel)
+		}
+		if o.LinkModelSeed != 42 {
+			t.Fatalf("link_model_seed = %d, want 42", o.LinkModelSeed)
+		}
+		if len(o.LinkModelFor) != 1 || o.LinkModelFor[0].Model.Kind != LinkModelAdaptiveRate {
+			t.Fatalf("link_model_for %+v", o.LinkModelFor)
+		}
+		if len(spec.Scenario) != 2 ||
+			spec.Scenario[0].Kind != EventLinkDegrade || spec.Scenario[0].Model == nil ||
+			spec.Scenario[1].Kind != EventLinkRestore {
+			t.Fatalf("scenario %+v", spec.Scenario)
+		}
+		if spec.Scenario[0].Model.PBadGood != 0.2 {
+			t.Fatalf("degrade model %+v", spec.Scenario[0].Model)
+		}
+		// The fixture must stay compilable end to end: models, per-link
+		// resolution, and the scenario timeline.
+		topo, err := spec.Topology.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.LinkModel.Model("options.link_model"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := o.LinkModelFor[0].Resolve(topo, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Timeline(spec.Scenario, topo); err != nil {
+			t.Fatal(err)
+		}
+	})
+
 	t.Run("submit-result", func(t *testing.T) {
 		f := decode(t, "submit-result.json")
 		var st SessionStatus

@@ -16,22 +16,29 @@
 // session's flow records (CSV on stdout, -flows redirects to a file) and
 // prints the final summary in cmd/horse's format; without it, the
 // session ID prints immediately.
+//
+// run executes the same spec in-process, without a daemon, writing the
+// identical record CSV — the reference arm for wire-vs-local parity
+// checks (scripts/service-smoke.sh) and a way to dry-run a spec before
+// submitting it.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"horse"
 	"horse/api/wire"
 )
 
 func main() {
 	addr := flag.String("addr", "unix:/tmp/horsed.sock", "daemon address (unix:/path or tcp:host:port)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: horsectl [-addr ADDR] {submit|list|status|watch|cancel|retire} ...")
+		fmt.Fprintln(os.Stderr, "usage: horsectl [-addr ADDR] {submit|run|list|status|watch|cancel|retire} ...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,13 +47,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if cmd == "run" {
+		// In-process execution: no daemon, no dial.
+		if err := runLocal(args); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	c, err := wire.DialAddr(*addr)
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
 
-	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "submit":
 		err = submit(c, args)
@@ -92,6 +107,61 @@ func submit(c *wire.Client, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "horsectl: session %s %s\n", st.Session, st.State)
 	return drain(st.Session, stream, *flows)
+}
+
+// runLocal executes a session spec in-process through the same
+// spec-to-engine bridge the daemon uses (horse.NewFromSpec), streaming
+// records to the identical CSV the wire path produces. A spec that runs
+// locally and a spec submitted to horsed must yield byte-identical
+// record files — the determinism contract across the service boundary.
+func runLocal(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	flows := fs.String("flows", "", "write record CSV here (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run needs exactly one spec file (or - for stdin)")
+	}
+	var spec wire.SessionSpec
+	if err := readSpec(fs.Arg(0), &spec); err != nil {
+		return err
+	}
+
+	out := io.Writer(os.Stdout)
+	if *flows != "" {
+		f, err := os.Create(*flows)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	fmt.Fprintln(out, "id,arrival_s,end_s,size_bits,sent_bits,completed,outcome,path_len,punts")
+	var sinkErr error
+	eng, until, err := horse.NewFromSpec(&spec, horse.WithRecordSink(func(fr horse.FlowRecord) {
+		r := wire.FromRecord(fr)
+		if _, werr := fmt.Fprintf(out, "%d,%.9f,%.9f,%g,%g,%t,%s,%d,%d\n",
+			r.ID, float64(r.ArrivalNs)/1e9, float64(r.EndNs)/1e9,
+			float64(r.SizeBits), float64(r.SentBits),
+			r.Completed, r.Outcome, r.PathLen, r.Punts); werr != nil && sinkErr == nil {
+			sinkErr = werr
+		}
+	}))
+	if err != nil {
+		return err
+	}
+	col, err := eng.Run(context.Background(), until)
+	if err != nil {
+		return err
+	}
+	if sinkErr != nil {
+		return sinkErr
+	}
+	fmt.Fprintf(os.Stderr, "horsectl: run done at t=%.3fs\n", eng.Now().Seconds())
+	fmt.Fprintf(os.Stderr, "run:      %d events\n", col.EventsRun)
+	fmt.Fprintf(os.Stderr, "flows:    %d completed, %d dropped, %d looped, %d packet-ins, %d flow-mods\n",
+		col.FlowsCompleted, col.FlowsDropped, col.FlowsLooped,
+		col.PacketIns, col.FlowMods)
+	return nil
 }
 
 func watch(c *wire.Client, args []string) error {

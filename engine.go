@@ -6,6 +6,7 @@ import (
 	"horse/internal/eventq"
 	"horse/internal/flowsim"
 	"horse/internal/hybrid"
+	"horse/internal/linkmodel"
 	"horse/internal/packetsim"
 	"horse/internal/scenario"
 	"horse/internal/simevent"
@@ -90,6 +91,7 @@ const (
 	ObsLinkChange       = simevent.LinkChange
 	ObsSwitchChange     = simevent.SwitchChange
 	ObsControllerChange = simevent.ControllerChange
+	ObsLinkDegrade      = simevent.LinkDegrade
 )
 
 // DefaultProgressEvery is the reporting period WithProgress uses: one
@@ -129,6 +131,22 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 		return nil, err
 	}
 
+	// Link-degradation registry: built once here and handed to whichever
+	// engine(s) the fidelity selects, so all fidelities read one Set.
+	var links *linkmodel.Set
+	if o.linkSet {
+		links = linkmodel.NewSet(o.linkSeed, topo.NumLinks())
+		if o.linkDefault != nil {
+			links.SetDefault(o.linkDefault)
+		}
+		for _, p := range o.linkPer {
+			if int(p.link) < 0 || int(p.link) >= topo.NumLinks() {
+				return nil, &BuildError{Option: "WithLinkModelFor", Reason: fmt.Sprintf("unknown link %d", p.link)}
+			}
+			links.SetLink(p.link, p.m)
+		}
+	}
+
 	var eng Engine
 	switch o.fidelity {
 	case Flow:
@@ -144,6 +162,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			EventQueue:       eventq.Backend(o.eventQueue),
 			RateEpsilon:      o.rateEpsilon,
 			Shards:           o.shards,
+			Links:            links,
 		})
 	case Packet:
 		eng = packetsim.New(packetsim.Config{
@@ -159,6 +178,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			Shards:           o.shards,
 			ShardWorkers:     o.shardWorkers,
 			Balance:          packetsim.BalanceMode(o.balance),
+			Links:            links,
 		})
 	case Hybrid:
 		eng = hybrid.New(hybrid.Config{
@@ -174,6 +194,7 @@ func New(topo *Topology, opts ...Option) (Engine, error) {
 			QueuePackets:     o.queuePackets,
 			RTOMin:           o.rtoMin,
 			PacketLevel:      o.packetLevel,
+			Links:            links,
 		})
 	}
 

@@ -49,6 +49,7 @@ import (
 	"horse/internal/header"
 	"horse/internal/hybrid"
 	"horse/internal/ixp"
+	"horse/internal/linkmodel"
 	"horse/internal/metrics"
 	"horse/internal/netgraph"
 	"horse/internal/packetsim"
@@ -377,6 +378,27 @@ var (
 	// EvaluateScenario computes resilience metrics for a disturbed run.
 	EvaluateScenario = scenario.Evaluate
 )
+
+// Link-degradation models (WithLinkModel / Scenario.LinkDegrade): how
+// well an up link carries traffic, deterministic and seed-reproducible,
+// composed with scripted outages at every fidelity.
+type (
+	// LinkModel is one link-degradation model: per-frame corruption for
+	// the packet engine, a loss rate and capacity scale for the flow
+	// engine, both off one per-direction state in hybrid runs.
+	LinkModel = linkmodel.Model
+	// BernoulliLoss corrupts frames i.i.d. with probability P.
+	BernoulliLoss = linkmodel.BernoulliLoss
+	// GilbertElliott is the two-state bursty-loss channel.
+	GilbertElliott = linkmodel.GilbertElliott
+	// AdaptiveRate steps link capacity over discrete rate levels under
+	// block fading (SNR-driven rate adaptation).
+	AdaptiveRate = linkmodel.AdaptiveRate
+)
+
+// ValidateLinkModel reports whether a model's parameters are usable (the
+// same check New and Scenario.Validate run).
+var ValidateLinkModel = linkmodel.Validate
 
 // Metrics.
 type (

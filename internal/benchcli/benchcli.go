@@ -28,6 +28,7 @@ var (
 	fullE8Recoveries = []simtime.Duration{100 * simtime.Millisecond, 400 * simtime.Millisecond}
 	fullE9Arities    = []int{4, 8}
 	fullE9Shards     = []int{1, 2, 4, 8}
+	fullE10Shards    = []int{1, 4}
 )
 
 // Quick-grid constants for -quick -only runs. These must match the grids
@@ -45,7 +46,7 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run the reduced suite")
-	only := fs.String("only", "", "run a single experiment (E1..E9)")
+	only := fs.String("only", "", "run a single experiment (E1..E10)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent experiment cells")
 	jsonOut := fs.String("json", "", "write a horse-bench/v1 JSON report to this path (\"-\" = stdout)")
 	compare := fs.String("compare", "", "gate this run against a baseline horse-bench/v1 report; regressions exit 1")
@@ -91,6 +92,12 @@ func Main(name string, args []string, stdout, stderr io.Writer) int {
 				return []*experiments.Table{experiments.E9With(opts, quickE9Arities, quickE9Shards)}
 			}
 			return []*experiments.Table{experiments.E9With(opts, fullE9Arities, fullE9Shards)}
+		},
+		"E10": func() []*experiments.Table {
+			if *quick {
+				return []*experiments.Table{experiments.E10QuickWith(opts, fullE10Shards)}
+			}
+			return []*experiments.Table{experiments.E10With(opts, fullE10Shards)}
 		},
 	}[strings.ToUpper(*only)]
 	if !ok {

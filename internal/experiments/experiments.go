@@ -1189,6 +1189,219 @@ func e9Parity(recs, ref []stats.FlowRecord) string {
 	return "identical"
 }
 
+// E10DegradedLinks is the lossy-link evaluation: the link-degradation
+// models (internal/linkmodel) swept across loss regimes and all three
+// fidelities, measuring goodput, retransmit ratio, corruption drops, and
+// FCT stretch against a pristine-link baseline of the identical
+// workload — with in-cell byte-parity of every sharded/backend arm
+// against the serial heap reference, since the linkmodel contract is
+// "same records at any shard count and any queue backend, models on".
+func E10DegradedLinks(shardCounts []int) *Table {
+	return E10With(Options{}, shardCounts)
+}
+
+// E10With is E10DegradedLinks under explicit execution options.
+func E10With(o Options, shardCounts []int) *Table {
+	return runSpecs(o, []*spec{e10Spec(o, e10Models(), shardCounts)})[0]
+}
+
+// E10QuickWith is the reduced-model-grid E10 the Quick suite runs (the
+// -quick -only E10 arm must match it for baseline comparisons).
+func E10QuickWith(o Options, shardCounts []int) *Table {
+	return runSpecs(o, []*spec{e10Spec(o, e10QuickModels(), shardCounts)})[0]
+}
+
+// e10Model is one degradation arm of the E10 sweep.
+type e10Model struct {
+	name, param string
+	m           horse.LinkModel
+}
+
+// e10Models is the report-scale model grid: light and heavy Bernoulli
+// loss, a bursty Gilbert–Elliott channel, and SNR-stepped adaptive rate.
+func e10Models() []e10Model {
+	return []e10Model{
+		{"bernoulli", "p=0.01", horse.BernoulliLoss{P: 0.01}},
+		{"bernoulli", "p=0.05", horse.BernoulliLoss{P: 0.05}},
+		{"gilbert-elliott", "burst", horse.GilbertElliott{
+			PGoodBad: 0.05, PBadGood: 0.3, LossGood: 0.001, LossBad: 0.5,
+		}},
+		{"adaptive-rate", "4-level", horse.AdaptiveRate{
+			Levels: 4, Floor: 0.25, Every: 10 * simtime.Millisecond,
+		}},
+	}
+}
+
+// e10QuickModels is the reduced grid Quick (and the bench baseline) runs.
+func e10QuickModels() []e10Model {
+	return []e10Model{
+		{"bernoulli", "p=0.02", horse.BernoulliLoss{P: 0.02}},
+		{"adaptive-rate", "4-level", horse.AdaptiveRate{
+			Levels: 4, Floor: 0.25, Every: 10 * simtime.Millisecond,
+		}},
+	}
+}
+
+// e10Window bounds every E10 run.
+const e10Window = simtime.Time(2 * simtime.Second)
+
+// e10Scenario builds the fixed fabric and workload every E10 arm
+// degrades: a k=4 fat-tree under a cross-pod CBR/TCP Poisson load (the
+// E9 fabric at a gentler arrival rate, so loss — not queueing — is the
+// dominant effect being measured).
+func e10Scenario() (*netgraph.Topology, traffic.Trace) {
+	topo := netgraph.FatTree(4, netgraph.Gig)
+	g := traffic.NewGenerator(107)
+	tr := g.PoissonArrivals(traffic.PoissonConfig{
+		Hosts: topo.Hosts(), Lambda: 20 * float64(len(topo.Hosts())),
+		Horizon: 200 * simtime.Millisecond,
+		Sizes:   traffic.FixedSize(1e6), TCPFraction: 0.5, CBRRateBps: 2e7,
+	})
+	return topo, tr
+}
+
+func e10Spec(o Options, models []e10Model, shardCounts []int) *spec {
+	sp := &spec{table: &Table{
+		ID:    "E10",
+		Title: "Degraded links: loss model × fidelity × shards, vs pristine baseline",
+		Columns: []string{
+			"model", "param", "fidelity", "shards", "queue", "balance",
+			"completed", "goodput-mbps", "retx-ratio", "corrupted", "fct-stretch", "parity",
+		},
+	}}
+
+	// One run of the scenario at one fidelity. The E3 identical-state
+	// methodology: proactive MAC rules installed before the first arrival,
+	// so every fidelity forwards on the same paths and the deltas below
+	// measure the link models, not the control plane.
+	run := func(fid horse.Fidelity, m horse.LinkModel, shards int, q horse.EventQueue, b horse.ShardBalancing) *stats.Collector {
+		topo, tr := e10Scenario()
+		opts := []horse.Option{
+			horse.WithFidelity(fid),
+			horse.WithMiss(dataplane.MissDrop),
+			horse.WithController(controller.NewChain(&controller.ProactiveMAC{})),
+			horse.WithControlLatency(simtime.Microsecond),
+			horse.WithEventQueue(q),
+		}
+		if fid != horse.Packet {
+			// The fluid TCP model, RTT-matched to the fat-tree; the packet
+			// engine models TCP per packet and rejects the option.
+			opts = append(opts, horse.WithTCP(tcpmodel.Params{RTT: 500 * simtime.Microsecond, MSS: 1500, InitialWindow: 10}))
+		}
+		if fid == horse.Hybrid {
+			opts = append(opts, horse.WithPacketFraction(0.5))
+		} else if shards > 1 {
+			opts = append(opts, horse.WithShards(shards))
+		}
+		if b != horse.BalanceUniform {
+			opts = append(opts, horse.WithShardBalancing(b))
+		}
+		if m != nil {
+			opts = append(opts, horse.WithLinkModel(m), horse.WithLinkModelSeed(7))
+		}
+		eng := mustEngine(horse.New(topo, opts...))
+		eng.Load(tr)
+		col, _ := eng.Run(context.Background(), e10Window)
+		return col
+	}
+
+	// goodput in Mbps over the workload horizon, from completed flows.
+	goodput := func(col *stats.Collector) float64 {
+		var bits float64
+		for _, r := range col.Flows() {
+			if r.Completed {
+				bits += r.SentBits
+			}
+		}
+		return bits / e10Window.Seconds() / 1e6
+	}
+	retxRatio := func(col *stats.Collector) float64 {
+		if col.PacketsSent == 0 {
+			return 0
+		}
+		return float64(col.Retransmits) / float64(col.PacketsSent)
+	}
+	completed := func(col *stats.Collector) int {
+		n := 0
+		for _, r := range col.Flows() {
+			if r.Completed {
+				n++
+			}
+		}
+		return n
+	}
+
+	// One cell per (model, fidelity): the pristine baseline and the serial
+	// degraded reference are simulated once per cell and shared by every
+	// shard/backend arm; rows assemble in grid order, so the table stays
+	// byte-identical for any -parallel.
+	for _, mdl := range models {
+		for _, fid := range []horse.Fidelity{horse.Flow, horse.Packet, horse.Hybrid} {
+			mdl, fid := mdl, fid
+			sp.cell(fmt.Sprintf("%s-%s/%s", mdl.name, mdl.param, fid), func() [][]string {
+				clean := run(fid, nil, 1, horse.EventQueueHeap, horse.BalanceUniform)
+				cleanFCT := metrics.Mean(clean.FCTs())
+
+				// Serial heap run with the model on: the parity reference.
+				refCol := run(fid, mdl.m, 1, horse.EventQueueHeap, horse.BalanceUniform)
+				ref := refCol.Flows()
+
+				// The arm grid per fidelity: the packet engine sweeps
+				// shards × backend plus a BalanceSteal arm, the flow engine
+				// sweeps shards, the (serial-only) hybrid sweeps backends.
+				type arm struct {
+					shards int
+					q      horse.EventQueue
+					b      horse.ShardBalancing
+				}
+				var arms []arm
+				switch fid {
+				case horse.Packet:
+					for _, q := range []horse.EventQueue{horse.EventQueueHeap, horse.EventQueueWheel} {
+						for _, s := range shardCounts {
+							arms = append(arms, arm{s, q, horse.BalanceUniform})
+						}
+					}
+					if max := shardCounts[len(shardCounts)-1]; max > 1 {
+						arms = append(arms, arm{max, horse.EventQueueHeap, horse.BalanceSteal})
+					}
+				case horse.Flow:
+					for _, s := range shardCounts {
+						arms = append(arms, arm{s, horse.EventQueueHeap, horse.BalanceUniform})
+					}
+				case horse.Hybrid:
+					arms = append(arms, arm{1, horse.EventQueueHeap, horse.BalanceUniform}, arm{1, horse.EventQueueWheel, horse.BalanceUniform})
+				}
+
+				var rows [][]string
+				for _, a := range arms {
+					col := refCol
+					if a.shards != 1 || a.q != horse.EventQueueHeap || a.b != horse.BalanceUniform {
+						col = run(fid, mdl.m, a.shards, a.q, a.b)
+					}
+					stretch := 0.0
+					if cleanFCT > 0 {
+						stretch = metrics.Mean(col.FCTs()) / cleanFCT
+					}
+					rows = append(rows, []string{
+						mdl.name, mdl.param, fid.String(),
+						fmt.Sprintf("%d", a.shards), a.q.String(), a.b.String(),
+						fmt.Sprintf("%d", completed(col)), f2(goodput(col)),
+						f3(retxRatio(col)), di(col.PacketsCorrupted), f2(stretch),
+						e9Parity(col.Flows(), ref),
+					})
+				}
+				return rows
+			})
+		}
+	}
+	sp.table.Notes = append(sp.table.Notes,
+		"expected shape: goodput falls and retx-ratio/fct-stretch rise with loss; adaptive-rate degrades goodput with no corruption drops",
+		"contract: parity stays identical at every shard count, queue backend, and balancing mode with models enabled — the linkmodel streams are seed-deterministic and owner-shard-driven",
+	)
+	return sp
+}
+
 // All runs every experiment at report scale.
 func All() []*Table { return AllWith(Options{}) }
 
@@ -1206,6 +1419,7 @@ func AllWith(o Options) []*Table {
 		e8Spec(o, []simtime.Duration{500 * simtime.Millisecond, 2 * simtime.Second},
 			[]simtime.Duration{100 * simtime.Millisecond, 400 * simtime.Millisecond}),
 		e9Spec(o, []int{4, 8}, []int{1, 2, 4, 8}),
+		e10Spec(o, e10Models(), []int{1, 4}),
 	})
 }
 
@@ -1225,5 +1439,6 @@ func QuickWith(o Options) []*Table {
 		e8Spec(o, []simtime.Duration{500 * simtime.Millisecond},
 			[]simtime.Duration{200 * simtime.Millisecond}),
 		e9Spec(o, []int{4}, []int{1, 4}),
+		e10Spec(o, e10QuickModels(), []int{1, 4}),
 	})
 }

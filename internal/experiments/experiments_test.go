@@ -230,6 +230,75 @@ func TestE9Shape(t *testing.T) {
 	}
 }
 
+// TestE10Shape pins the degraded-link table's structure and physics: the
+// lossy arms corrupt frames and retransmit at packet level, the fluid
+// engine folds loss into FCT inflation without per-frame drops, the
+// adaptive-rate model degrades with zero corruption — and every
+// shard/backend/balancing arm holds byte-parity with its serial heap
+// reference, models enabled.
+func TestE10Shape(t *testing.T) {
+	tb := runSpecs(Options{}, []*spec{e10Spec(Options{}, e10QuickModels(), []int{1, 4})})[0]
+	// Per model: flow {1,4} + packet {1,4}×{heap,wheel}+steal + hybrid
+	// {heap,wheel} = 9 rows; the quick grid has two models.
+	if len(tb.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(tb.Rows))
+	}
+	model := colIndex(tb, "model")
+	fid := colIndex(tb, "fidelity")
+	parity := colIndex(tb, "parity")
+	corrupted := colIndex(tb, "corrupted")
+	retx := colIndex(tb, "retx-ratio")
+	completed := colIndex(tb, "completed")
+	stretch := colIndex(tb, "fct-stretch")
+	for i, r := range tb.Rows {
+		if r[parity] != "identical" {
+			t.Errorf("row %d (%s/%s) parity = %q", i, r[model], r[fid], r[parity])
+		}
+		if cell(t, tb, i, completed) == 0 {
+			t.Errorf("row %d completed no flows", i)
+		}
+		switch {
+		case r[model] == "bernoulli" && r[fid] != "flow":
+			// Packet-granular engines drop corrupted frames and retransmit.
+			if cell(t, tb, i, corrupted) == 0 {
+				t.Errorf("row %d (%s/%s): lossy run corrupted nothing", i, r[model], r[fid])
+			}
+			if cell(t, tb, i, retx) == 0 {
+				t.Errorf("row %d (%s/%s): lossy run never retransmitted", i, r[model], r[fid])
+			}
+		case r[model] == "bernoulli" && r[fid] == "flow":
+			// The fluid engine has no frames to corrupt; loss shows up as
+			// Mathis-capped throughput, i.e. FCT stretch.
+			if cell(t, tb, i, corrupted) != 0 {
+				t.Errorf("row %d: flow engine counted corrupted frames", i)
+			}
+			if cell(t, tb, i, stretch) <= 1 {
+				t.Errorf("row %d: lossy flow run fct-stretch %s, want > 1", i, r[stretch])
+			}
+		case r[model] == "adaptive-rate":
+			if cell(t, tb, i, corrupted) != 0 {
+				t.Errorf("row %d: adaptive-rate corrupted frames", i)
+			}
+			if cell(t, tb, i, stretch) < 1 {
+				t.Errorf("row %d: adaptive-rate fct-stretch %s < 1", i, r[stretch])
+			}
+		}
+	}
+}
+
+// TestE10ParallelDeterminism: the degraded-link table is byte-identical
+// for any worker count (no wall columns, so the comparison is exact).
+func TestE10ParallelDeterminism(t *testing.T) {
+	mk := func(par int) string {
+		o := Options{Parallel: par, Now: frozenClock}
+		return renderTables([]*Table{runSpecs(o, []*spec{e10Spec(o, e10QuickModels()[:1], []int{1, 4})})[0]})
+	}
+	seq, par := mk(1), mk(4)
+	if seq != par {
+		t.Fatalf("E10 diverged across worker counts:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 // TestE8ParallelDeterminism: the resilience table is byte-identical for
 // any worker count — the scenario half of the parallel-determinism
 // property, on the frozen-clock harness.

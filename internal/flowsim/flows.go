@@ -7,6 +7,7 @@ import (
 
 	"horse/internal/dataplane"
 	"horse/internal/fairshare"
+	"horse/internal/linkmodel"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/runner"
@@ -184,6 +185,7 @@ func (s *Simulator) activate(f *Flow, res dataplane.PathResult) {
 		}
 		f.resources = append(f.resources, r)
 	}
+	s.refreshPathLoss(f)
 
 	// Register flow-entry usage.
 	for _, e := range f.entries {
@@ -250,7 +252,9 @@ func (s *Simulator) deactivate(f *Flow) {
 }
 
 // currentDemand is the flow's offered load right now. TCP flows offer
-// their congestion-window cap; CBR flows offer the application rate.
+// their congestion-window cap, further bounded by the Mathis throughput
+// model when the path crosses lossy (degraded) links; CBR flows offer
+// the application rate.
 func (s *Simulator) currentDemand(f *Flow) float64 {
 	if !f.TCP {
 		return f.AppRateBps
@@ -258,7 +262,32 @@ func (s *Simulator) currentDemand(f *Flow) float64 {
 	if f.demandCap <= 0 {
 		f.demandCap = s.cfg.TCP.InitialRate()
 	}
-	return math.Min(f.AppRateBps, f.demandCap)
+	d := math.Min(f.AppRateBps, f.demandCap)
+	if f.pathLoss > 0 {
+		d = math.Min(d, s.cfg.TCP.MathisCap(f.pathLoss))
+	}
+	return d
+}
+
+// refreshPathLoss recomputes the flow's end-to-end frame-loss
+// probability from the link models along its current path (hops plus the
+// host ingress link): 1 - ∏(1 - loss_i), the survival product a frame
+// faces in the packet engine.
+func (s *Simulator) refreshPathLoss(f *Flow) {
+	if s.links.Empty() {
+		f.pathLoss = 0
+		return
+	}
+	deliver := 1.0
+	for _, h := range f.hops {
+		fwd := h.Link.A == h.Switch
+		deliver *= 1 - s.links.LossRate(h.Link.ID, fwd)
+	}
+	if hostLink := s.hostLink(f.Src); hostLink != nil {
+		fwd := hostLink.A == f.Src
+		deliver *= 1 - s.links.LossRate(hostLink.ID, fwd)
+	}
+	f.pathLoss = 1 - deliver
 }
 
 // settleFlow brings a flow's byte accounting up to now at its current rate.
@@ -691,12 +720,7 @@ func (s *Simulator) applyLinkChange(id netgraph.LinkID, up bool, silent netgraph
 		return
 	}
 	s.topo.SetLinkUp(id, up)
-	capacity := 0.0
-	if up {
-		capacity = l.BandwidthBps
-	}
-	s.alloc.SetCapacity(linkResource(id, true), capacity)
-	s.alloc.SetCapacity(linkResource(id, false), capacity)
+	s.reapplyLinkCapacity(l)
 	s.recomputeAndApply()
 
 	for _, end := range []netgraph.NodeID{l.A, l.B} {
@@ -738,6 +762,84 @@ func (s *Simulator) applyLinkChange(id netgraph.LinkID, up bool, silent netgraph
 	s.observers.Notify(simevent.Observation{
 		At: s.k.Now(), Kind: simevent.LinkChange, Link: id, Up: up,
 	})
+}
+
+// reapplyLinkCapacity pushes a link's current effective capacity — zero
+// while down, otherwise bandwidth scaled by the installed model's
+// RateScale at now — into the allocator, per direction.
+func (s *Simulator) reapplyLinkCapacity(l *netgraph.Link) {
+	for _, fwd := range []bool{true, false} {
+		c := 0.0
+		if l.Up {
+			c = l.BandwidthBps * s.links.RateScale(l.ID, fwd, s.k.Now())
+		}
+		s.alloc.SetCapacity(linkResource(l.ID, fwd), c)
+	}
+}
+
+// handleLinkDegrade applies a scheduled link-model change: m installs a
+// degradation model on both directions of the link (nil restores it).
+// The effective capacity re-applies immediately, crossing flows refresh
+// their Mathis loss caps, and time-varying models arm a rate-step timer.
+// Orthogonal to operational state: a link inside a scripted outage keeps
+// capacity 0 until it recovers, at which point the model's scale applies.
+func (s *Simulator) handleLinkDegrade(id netgraph.LinkID, m linkmodel.Model) {
+	s.links.SetLink(id, m)
+	s.modelGen[id]++
+	s.reapplyLinkCapacity(s.topo.Link(id))
+	for _, f := range s.flows {
+		if f.state != StateActive {
+			continue
+		}
+		crosses := false
+		for _, r := range f.resources {
+			if link, _, ok := ResourceLinkDir(r); ok && link == id {
+				crosses = true
+				break
+			}
+		}
+		if !crosses {
+			continue
+		}
+		s.refreshPathLoss(f)
+		s.alloc.SetDemand(fairshare.FlowID(f.ID), s.currentDemand(f))
+	}
+	s.recomputeAndApply()
+	s.armRateStep(id)
+	if s.cfg.OnLinkDegrade != nil {
+		s.cfg.OnLinkDegrade(id, m)
+	}
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.LinkDegrade, Link: id, Up: m == nil,
+	})
+}
+
+// armRateStep schedules the next fair-share capacity re-application for
+// a link carrying a time-varying model (AdaptiveRate), aligned to the
+// model's coherence-window boundaries. The timer invalidates itself
+// through modelGen when the link's model changes, and — like the stats
+// tick — only reschedules while other work remains, so a lone stepping
+// timer cannot keep an open-ended run alive.
+func (s *Simulator) armRateStep(id netgraph.LinkID) {
+	every := s.links.StepEvery(id, true)
+	if b := s.links.StepEvery(id, false); b > every {
+		every = b
+	}
+	if every <= 0 {
+		return
+	}
+	gen := s.modelGen[id]
+	at := simtime.Time((uint64(s.k.Now())/uint64(every) + 1) * uint64(every))
+	s.sched(event{at: at, kind: evTimer, fn: func() {
+		if s.modelGen[id] != gen {
+			return
+		}
+		s.reapplyLinkCapacity(s.topo.Link(id))
+		s.recomputeAndApply()
+		if s.k.Len() > 0 {
+			s.armRateStep(id)
+		}
+	}})
 }
 
 // handleSwitchChange applies a switch crash or restart: a crash wipes the

@@ -27,6 +27,7 @@ import (
 	"horse/internal/eventq"
 	"horse/internal/fairshare"
 	"horse/internal/header"
+	"horse/internal/linkmodel"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/simcore"
@@ -100,6 +101,9 @@ type Flow struct {
 	demandCap float64      // congestion-window cap in bits/second
 	caMode    bool         // true after the first loss episode (additive increase)
 	ramping   bool
+	// pathLoss is the end-to-end frame-loss probability along the current
+	// path from installed link models; it caps TCP demand via MathisCap.
+	pathLoss float64
 
 	punts       int
 	pathChanges int
@@ -179,6 +183,15 @@ type Config struct {
 	// RateEpsilon is the relative rate-change threshold below which rate
 	// changes do not reschedule events (default 1%).
 	RateEpsilon float64
+	// Links is the per-link-direction degradation registry (nil means
+	// every link is pristine). Installed models shape the fluid view two
+	// ways: LossRate caps TCP demand through tcpmodel.MathisCap, and
+	// RateScale scales the direction's fair-share capacity (re-applied
+	// every Model.StepEvery for time-varying models). A hybrid run passes
+	// the same Set to both engines so they see one channel; it composes
+	// with FailureState — a dead link has capacity 0 whatever its model
+	// says.
+	Links *linkmodel.Set
 
 	// Shards > 1 fans the settle scan of the rate-shift drain — the
 	// per-flow transferred-bits computation after every fair-share
@@ -211,6 +224,11 @@ type Config struct {
 	// the hook the hybrid coupler uses to flush the packet engine's
 	// dead-link queues under the shared clock.
 	OnLinkChange func(link netgraph.LinkID, up bool)
+	// OnLinkDegrade, when set, observes every applied link-model change
+	// (m is nil for a restore) — for co-resident engines that keep their
+	// own view of the degradation registry. Hybrid runs don't need it:
+	// both engines read one shared Set.
+	OnLinkDegrade func(link netgraph.LinkID, m linkmodel.Model)
 	// OnSwitchChange, when set, observes every applied switch
 	// crash/restart, after its link changes (which fire OnLinkChange).
 	OnSwitchChange func(sw netgraph.NodeID, up bool)
@@ -235,6 +253,7 @@ const (
 	evResolveBatch
 	evSwitchChange
 	evCtrlChange
+	evLinkDegrade
 )
 
 type event struct {
@@ -254,6 +273,7 @@ type event struct {
 	// outstanding at a time).
 	chain bool
 	fn    func()
+	model linkmodel.Model
 }
 
 func (e *event) Time() simtime.Time { return e.at }
@@ -266,7 +286,7 @@ func (e *event) Time() simtime.Time { return e.at }
 // where a standalone packet run would sort its own delivery.
 func (e *event) OrderKey() uint64 {
 	switch e.kind {
-	case evLinkChange:
+	case evLinkChange, evLinkDegrade:
 		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.link))
 	case evSwitchChange:
 		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.sw))
@@ -380,6 +400,12 @@ type Simulator struct {
 	// registered pre-advance hook.
 	allocDirty bool
 
+	// links is the degradation-model registry (never nil after New); a
+	// hybrid run shares it with the packet engine. modelGen invalidates
+	// outstanding rate-step timers when a link's model changes.
+	links    *linkmodel.Set
+	modelGen map[netgraph.LinkID]uint64
+
 	// fstate composes overlapping scripted outages (links, switches, and
 	// controller detach all nest by counting) and records the link
 	// changes a detached controller missed, so reattach can
@@ -454,19 +480,26 @@ func New(cfg Config) *Simulator {
 		expiryAt:    make(map[netgraph.NodeID]simtime.Time),
 		expiryTimer: make(map[netgraph.NodeID]simcore.Timer),
 		fstate:      dataplane.NewFailureState(cfg.Topology),
+		links:       cfg.Links,
+		modelGen:    make(map[netgraph.LinkID]uint64),
+	}
+	if s.links == nil {
+		s.links = linkmodel.NewSet(1, len(cfg.Topology.Links()))
 	}
 	s.alloc.Epsilon = cfg.RateEpsilon
 	s.ctx = NewContext(s)
 	// The kernel settles deferred fair-share work exactly when virtual
 	// time would advance, so all events at one instant share a solve.
 	s.k.AddPreAdvance(func() bool { return s.allocDirty }, s.drainAlloc)
-	// Declare every link direction to the allocator and ledger.
+	// Declare every link direction to the allocator and ledger. A model
+	// installed before the run scales the initial capacity too.
 	for _, l := range s.topo.Links() {
 		for _, fwd := range []bool{true, false} {
 			r := linkResource(l.ID, fwd)
-			s.alloc.SetCapacity(r, l.BandwidthBps)
+			s.alloc.SetCapacity(r, l.BandwidthBps*s.links.RateScale(l.ID, fwd, 0))
 			s.ledgers[r] = &resLedger{}
 		}
+		s.armRateStep(l.ID)
 	}
 	return s
 }
@@ -588,6 +621,15 @@ func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up
 // the controller must re-program it.
 func (s *Simulator) ScheduleSwitchChange(at simtime.Time, sw netgraph.NodeID, up bool) {
 	s.sched(event{at: at, kind: evSwitchChange, sw: sw, up: up})
+}
+
+// ScheduleLinkDegrade schedules a link-model change: m installs a
+// degradation model on both directions of the link at `at` (nil restores
+// the pristine link). Orthogonal to ScheduleLinkChange — FailureState
+// still decides up/down, and the model shapes traffic only while the
+// link is up.
+func (s *Simulator) ScheduleLinkDegrade(at simtime.Time, link netgraph.LinkID, m linkmodel.Model) {
+	s.sched(event{at: at, kind: evLinkDegrade, link: link, model: m})
 }
 
 // ScheduleControllerChange schedules a controller detach (attached=false)
@@ -721,6 +763,8 @@ func (s *Simulator) dispatch(e *event) {
 		s.handleSwitchChange(e.sw, e.up)
 	case evCtrlChange:
 		s.handleCtrlChange(e.up)
+	case evLinkDegrade:
+		s.handleLinkDegrade(e.link, e.model)
 	}
 }
 

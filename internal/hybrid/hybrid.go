@@ -32,6 +32,7 @@ import (
 	"horse/internal/eventq"
 	"horse/internal/fairshare"
 	"horse/internal/flowsim"
+	"horse/internal/linkmodel"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/packetsim"
@@ -73,6 +74,13 @@ type Config struct {
 	QueuePackets int
 	// RTOMin is the packet engine's minimum retransmission timeout.
 	RTOMin simtime.Duration
+	// Links is the per-link-direction degradation registry. A hybrid run
+	// hands ONE Set to both engines (nil means New builds a pristine one):
+	// the flow engine folds loss into its TCP demand caps and rate scaling
+	// into fair-share capacities, while the packet engine corrupts frames
+	// and scales transmitters off the same state, so both fidelities see
+	// one channel.
+	Links *linkmodel.Set
 
 	// PacketLevel flags the demands to simulate at packet granularity
 	// (called per Load with the demand's load order i). Nil means none —
@@ -139,6 +147,10 @@ func New(cfg Config) *Simulator {
 	}
 	k := simcore.New(simcore.Config{Backend: cfg.EventQueue, UseCalendarQueue: cfg.UseCalendarQueue})
 	net := dataplane.NewNetwork(cfg.Topology, cfg.Miss)
+	links := cfg.Links
+	if links == nil {
+		links = linkmodel.NewSet(1, len(cfg.Topology.Links()))
+	}
 	s := &Simulator{cfg: cfg, k: k, net: net}
 	s.pkt = packetsim.New(packetsim.Config{
 		Topology:     cfg.Topology,
@@ -147,6 +159,7 @@ func New(cfg Config) *Simulator {
 		Miss:         cfg.Miss,
 		QueuePackets: cfg.QueuePackets,
 		RTOMin:       cfg.RTOMin,
+		Links:        links,
 		PuntSink: func(msg openflow.Message) {
 			// Packet-engine punts enter the shared control plane with the
 			// same modeled latency as flow-level ones.
@@ -164,6 +177,7 @@ func New(cfg Config) *Simulator {
 		StatsEvery:       cfg.StatsEvery,
 		UseCalendarQueue: cfg.UseCalendarQueue,
 		RateEpsilon:      cfg.RateEpsilon,
+		Links:            links,
 		OnApply:          s.pkt.NotifyApplied,
 		OnRateShift:      s.applyRateShift,
 		// Topology dynamics apply once, at the flow engine (which owns
@@ -183,6 +197,14 @@ func New(cfg Config) *Simulator {
 // dead-link queues at the same instant.
 func (s *Simulator) ScheduleLinkChange(at simtime.Time, link netgraph.LinkID, up bool) {
 	s.flow.ScheduleLinkChange(at, link, up)
+}
+
+// ScheduleLinkDegrade schedules a link-model change across both engines:
+// the flow engine applies it (capacity re-scale, TCP loss caps) to the
+// shared Set, which the packet engine reads per frame — one channel,
+// both fidelities. Passing nil m restores the pristine link.
+func (s *Simulator) ScheduleLinkDegrade(at simtime.Time, link netgraph.LinkID, m linkmodel.Model) {
+	s.flow.ScheduleLinkDegrade(at, link, m)
 }
 
 // ScheduleSwitchChange schedules a switch crash or restart across both
@@ -549,6 +571,9 @@ func (s *Simulator) buildCollector() *stats.Collector {
 	col.RateChanges = fc.RateChanges
 	col.PathChanges = fc.PathChanges
 	col.PacketsLost = fc.PacketsLost + pc.PacketsLost
+	col.PacketsCorrupted = fc.PacketsCorrupted + pc.PacketsCorrupted
+	col.PacketsSent = fc.PacketsSent + pc.PacketsSent
+	col.Retransmits = fc.Retransmits + pc.Retransmits
 	for _, at := range fc.RerouteTimes() {
 		col.AddReroute(at)
 	}

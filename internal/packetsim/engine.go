@@ -74,6 +74,10 @@ func (s *Simulator) emit(f *pktFlow, seq int, retrans bool) {
 		f.srcDead = true
 		return
 	}
+	s.col.PacketsSent++
+	if retrans {
+		s.col.Retransmits++
+	}
 	// The packet is born: live until deliver consumes it or dropPacket
 	// accounts its death (every loss path funnels through one of them).
 	s.liveBy[f.idx]++
@@ -127,16 +131,22 @@ func (s *Simulator) enqueue(p *packet, dir int32) {
 // leftovers).
 const minResidualFrac = 0.01
 
-// txRate returns the transmit rate of a direction: line rate minus any
-// flow-level load the hybrid coupler reported for it.
+// txRate returns the transmit rate of a direction: line rate scaled by
+// the direction's link model (rate adaptation) minus any flow-level load
+// the hybrid coupler reported for it. RateScale is pure, so evaluating
+// it per transmission start perturbs nothing.
 func (s *Simulator) txRate(dir int32, op *outPort) float64 {
 	bw := op.link.BandwidthBps
+	if !s.links.Empty() {
+		bw *= s.links.RateScale(netgraph.LinkID(dir>>1), dir&1 == 0, s.k.Now())
+	}
 	if len(s.extLoad) == 0 {
 		return bw
 	}
+	full := bw
 	if load, ok := s.extLoad[dir]; ok {
 		bw -= load
-		if min := op.link.BandwidthBps * minResidualFrac; bw < min {
+		if min := full * minResidualFrac; bw < min {
 			bw = min
 		}
 	}
@@ -185,6 +195,22 @@ func (s *Simulator) txDone(dir int32, gen uint64) {
 	s.txBits[dir] += p.bits
 
 	if op.link.Up {
+		// Frame corruption consults the direction's link model exactly
+		// once per transmitted frame, here on the direction's owning
+		// shard — the single writer of its model state. A corrupted
+		// frame is counted separately from outage loss and then dropped
+		// like any other (TCP recovers it via dup-ACKs/RTO, UDP resolves
+		// the packet where it died).
+		if !s.links.Empty() && s.links.Corrupt(netgraph.LinkID(dir>>1), dir&1 == 0) {
+			s.col.PacketsCorrupted++
+			s.dropPacket(p)
+			if len(op.queue) > 0 {
+				s.startTx(dir, op)
+			} else {
+				op.busy = false
+			}
+			return
+		}
 		// The arrival event carries the direction's epoch at transmit
 		// time; a link failure between now and delivery bumps it and the
 		// packet is lost mid-propagation. Epochs mutate only between

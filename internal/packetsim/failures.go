@@ -18,6 +18,7 @@ package packetsim
 import (
 	"sort"
 
+	"horse/internal/linkmodel"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/simevent"
@@ -31,6 +32,20 @@ import (
 func (s *Simulator) handleLinkChange(id netgraph.LinkID, up bool) {
 	s.fstate.SetLink(id, up)
 	s.applyLinkState(id, s.fstate.LinkDesired(id), -1)
+}
+
+// handleLinkDegrade applies a scheduled link-model change: m installs a
+// degradation model on both directions of the link (nil restores it).
+// It is orthogonal to the operational state — FailureState still decides
+// up/down, and the model only shapes traffic while the link is up — so
+// no queue flush or PortStatus is involved. In sharded runs the handler
+// executes on the coordinator between windows, like every scripted
+// topology change.
+func (s *Simulator) handleLinkDegrade(id netgraph.LinkID, m linkmodel.Model) {
+	s.links.SetLink(id, m)
+	s.observers.Notify(simevent.Observation{
+		At: s.k.Now(), Kind: simevent.LinkDegrade, Link: id, Up: m == nil,
+	})
 }
 
 // applyLinkState moves a link to the given operational state (no-op when

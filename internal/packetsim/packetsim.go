@@ -45,6 +45,7 @@ import (
 	"horse/internal/dataplane"
 	"horse/internal/eventq"
 	"horse/internal/flowsim"
+	"horse/internal/linkmodel"
 	"horse/internal/netgraph"
 	"horse/internal/openflow"
 	"horse/internal/simcore"
@@ -80,6 +81,14 @@ type Config struct {
 	StatsEvery simtime.Duration
 	// RTOMin is the minimum retransmission timeout (default 200 ms).
 	RTOMin simtime.Duration
+	// Links is the per-link-direction degradation registry: frames are
+	// corrupted at the transmitter per the direction's model (counted as
+	// PacketsCorrupted, separate from outage loss) and transmit rates
+	// scale by the model's RateScale. Nil means every link is pristine;
+	// hybrid runs pass the same Set to both engines. Degradation
+	// composes with FailureState: a dead link loses packets outright
+	// whatever its model says.
+	Links *linkmodel.Set
 
 	// Controller attaches a control plane (nil means none). The same
 	// implementations that drive the flow-level engine work here.
@@ -173,6 +182,13 @@ type Simulator struct {
 	// between windows; in-window pendings buffer per clone.
 	fstate        *dataplane.FailureState
 	pendingStatus []openflow.Message
+
+	// links is the degradation registry (never nil; empty when no model
+	// is installed). Clones share it: each direction's corruption state
+	// is advanced only inside its transmitter's txDone, which runs on
+	// the direction's owning shard, and scripted degrade events execute
+	// on the coordinator between windows.
+	links *linkmodel.Set
 
 	// Control plane state. Dense per-node state is written only by the
 	// node's owning shard; the controller itself runs on shard 0.
@@ -383,22 +399,24 @@ const (
 	evSwitchChange
 	evCtrlChange
 	evIngest // pull the next demand from the trace reader
+	evLinkDegrade
 )
 
 // event is the pooled kernel envelope of this engine.
 type event struct {
-	at   simtime.Time
-	kind evKind
-	sim  *Simulator
-	flow *pktFlow
-	pkt  *packet
-	dir  int32 // link direction (evTxDone: transmitter; evArriveNode: traveled)
-	node netgraph.NodeID
-	gen  uint64
-	msg  openflow.Message
-	fn   func()
-	link netgraph.LinkID
-	up   bool
+	at    simtime.Time
+	kind  evKind
+	sim   *Simulator
+	flow  *pktFlow
+	pkt   *packet
+	dir   int32 // link direction (evTxDone: transmitter; evArriveNode: traveled)
+	node  netgraph.NodeID
+	gen   uint64
+	msg   openflow.Message
+	fn    func()
+	link  netgraph.LinkID
+	up    bool
+	model linkmodel.Model
 }
 
 func (e *event) Time() simtime.Time { return e.at }
@@ -411,7 +429,7 @@ func (e *event) Time() simtime.Time { return e.at }
 // reproducible too.
 func (e *event) OrderKey() uint64 {
 	switch e.kind {
-	case evLinkChange:
+	case evLinkChange, evLinkDegrade:
 		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.link))
 	case evSwitchChange:
 		return simcore.OrderKey(simcore.ClassTopoChange, uint32(e.node))
@@ -509,6 +527,7 @@ func New(cfg Config) *Simulator {
 		extLoad:   make(map[int32]float64),
 
 		fstate: dataplane.NewFailureState(topo),
+		links:  cfg.Links,
 		ctrl:   cfg.Controller,
 
 		punted:         make([][]*puntedPkt, nNodes),
@@ -523,6 +542,9 @@ func New(cfg Config) *Simulator {
 	}
 	for i := range s.expiryAt {
 		s.expiryAt[i] = simtime.Never
+	}
+	if s.links == nil {
+		s.links = linkmodel.NewSet(1, topo.NumLinks())
 	}
 	// (node, port) → transmit direction index.
 	s.dirAt = make([][]int32, nNodes)
@@ -709,6 +731,15 @@ func (s *Simulator) ScheduleSwitchChange(at simtime.Time, sw netgraph.NodeID, up
 // reattach, parked packets re-announce themselves with fresh PacketIns.
 func (s *Simulator) ScheduleControllerChange(at simtime.Time, attached bool) {
 	s.sched(event{at: at, kind: evCtrlChange, up: attached})
+}
+
+// ScheduleLinkDegrade schedules a link-model change on both directions of
+// a link: m non-nil installs (or replaces) the degradation model, nil
+// restores the link to pristine. Degradation composes with scripted
+// outages — a degraded link that fails loses packets like any dead link,
+// and keeps corrupting frames once it recovers.
+func (s *Simulator) ScheduleLinkDegrade(at simtime.Time, link netgraph.LinkID, m linkmodel.Model) {
+	s.sched(event{at: at, kind: evLinkDegrade, link: link, model: m})
 }
 
 // Run executes until the queue drains, virtual time passes until, or ctx
@@ -899,5 +930,7 @@ func (s *Simulator) dispatch(e *event) {
 	case evIngest:
 		s.loadOne(s.nextDemand)
 		s.pullIngest()
+	case evLinkDegrade:
+		s.handleLinkDegrade(e.link, e.model)
 	}
 }

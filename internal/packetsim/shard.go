@@ -117,7 +117,7 @@ func (s *Simulator) allSims() []*Simulator {
 // coordinator-executed topology changes).
 func (s *Simulator) homeOf(proto *event) int32 {
 	switch proto.kind {
-	case evLinkChange, evSwitchChange, evCtrlChange, evIngest:
+	case evLinkChange, evSwitchChange, evCtrlChange, evIngest, evLinkDegrade:
 		return homeGlobal
 	case evToController:
 		// The component's controller home (all zeros pre-Begin — the
@@ -336,6 +336,9 @@ func (s *Simulator) mergeShards() {
 		s.col.PacketIns += c.col.PacketIns
 		s.col.FlowMods += c.col.FlowMods
 		s.col.PacketsLost += c.col.PacketsLost
+		s.col.PacketsCorrupted += c.col.PacketsCorrupted
+		s.col.PacketsSent += c.col.PacketsSent
+		s.col.Retransmits += c.col.Retransmits
 		samples = append(samples, c.col.LinkSeries()...)
 		for _, m := range c.pendingStatus {
 			s.fstate.NotePendingStatus(m)

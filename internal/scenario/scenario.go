@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"horse/internal/dataplane"
+	"horse/internal/linkmodel"
 	"horse/internal/metrics"
 	"horse/internal/netgraph"
 	"horse/internal/simcore"
@@ -60,6 +61,13 @@ const (
 	ControllerReattach
 	// DemandSurge injects an extra traffic burst at the event time.
 	DemandSurge
+	// LinkDegrade installs a degradation model (loss, burst, rate
+	// adaptation) on both directions of a link. The link stays up: the
+	// model shapes how well it carries traffic, composing with scripted
+	// outages through dataplane.FailureState.
+	LinkDegrade
+	// LinkRestore clears a degraded link back to pristine.
+	LinkRestore
 )
 
 func (k Kind) String() string {
@@ -78,6 +86,10 @@ func (k Kind) String() string {
 		return "controller-reattach"
 	case DemandSurge:
 		return "demand-surge"
+	case LinkDegrade:
+		return "link-degrade"
+	case LinkRestore:
+		return "link-restore"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -86,8 +98,11 @@ func (k Kind) String() string {
 type Event struct {
 	At   simtime.Time
 	Kind Kind
-	// Link is the subject of LinkDown/LinkUp.
+	// Link is the subject of LinkDown/LinkUp/LinkDegrade/LinkRestore.
 	Link netgraph.LinkID
+	// Model is the degradation installed by LinkDegrade (required there,
+	// unused elsewhere).
+	Model linkmodel.Model
 	// Switch is the subject of SwitchFail/SwitchRestart.
 	Switch netgraph.NodeID
 	// Demands is the DemandSurge burst; each demand's Start is relative
@@ -130,6 +145,11 @@ type Engine interface {
 	// ScheduleControllerChange schedules a controller detach
 	// (attached=false) or reattach.
 	ScheduleControllerChange(at simtime.Time, attached bool)
+	// ScheduleLinkDegrade schedules a link-model change: m installs a
+	// degradation model on both directions of the link (nil restores the
+	// pristine link). Orthogonal to ScheduleLinkChange: FailureState still
+	// decides up/down, and the model shapes traffic only while up.
+	ScheduleLinkDegrade(at simtime.Time, link netgraph.LinkID, m linkmodel.Model)
 	// Observe registers an observer of applied network dynamics.
 	Observe(fn simevent.Observer)
 }
@@ -193,6 +213,21 @@ func (t *Timeline) ControllerOutage(from, to simtime.Time) *Timeline {
 	return t.ControllerDetach(from).ControllerReattach(to)
 }
 
+// LinkDegrade scripts a degradation model installing on link at time at.
+func (t *Timeline) LinkDegrade(at simtime.Time, link netgraph.LinkID, m linkmodel.Model) *Timeline {
+	return t.add(Event{At: at, Kind: LinkDegrade, Link: link, Model: m})
+}
+
+// LinkRestore scripts a degraded link returning to pristine at time at.
+func (t *Timeline) LinkRestore(at simtime.Time, link netgraph.LinkID) *Timeline {
+	return t.add(Event{At: at, Kind: LinkRestore, Link: link})
+}
+
+// DegradeWindow scripts a degradation at `from` with restore at `to`.
+func (t *Timeline) DegradeWindow(from, to simtime.Time, link netgraph.LinkID, m linkmodel.Model) *Timeline {
+	return t.LinkDegrade(from, link, m).LinkRestore(to, link)
+}
+
 // Surge scripts a traffic burst: every demand in tr is injected with its
 // Start shifted by at (a demand with Start 0 arrives exactly at at).
 func (t *Timeline) Surge(at simtime.Time, tr traffic.Trace) *Timeline {
@@ -225,9 +260,17 @@ func (e *EventError) Error() string {
 // Validate checks every timeline event against a topology and a run
 // horizon (simtime.Never disables the horizon check): event times must be
 // non-negative and at or before the horizon, links and switches must
-// exist (and switch events must name a switch, not a host). It returns
-// the first offending event, in time order.
+// exist (and switch events must name a switch, not a host), degradations
+// must carry a valid model, and no two link events may target the same
+// link at the same instant (same-instant duplicates would apply in
+// insertion order — a silent race in the script, rejected loudly
+// instead). It returns the first offending event, in time order.
 func (t *Timeline) Validate(topo *netgraph.Topology, horizon simtime.Time) error {
+	type linkInstant struct {
+		at   simtime.Time
+		link netgraph.LinkID
+	}
+	seen := make(map[linkInstant]Kind)
 	for i, e := range t.Events() {
 		fail := func(reason string) error {
 			return &EventError{Index: i, Event: e, Reason: reason}
@@ -239,9 +282,23 @@ func (t *Timeline) Validate(topo *netgraph.Topology, horizon simtime.Time) error
 			return fail(fmt.Sprintf("scheduled after the run horizon %v", horizon))
 		}
 		switch e.Kind {
-		case LinkDown, LinkUp:
+		case LinkDown, LinkUp, LinkDegrade, LinkRestore:
 			if int(e.Link) < 0 || int(e.Link) >= topo.NumLinks() {
 				return fail(fmt.Sprintf("unknown link %d", e.Link))
+			}
+			key := linkInstant{e.At, e.Link}
+			if prev, dup := seen[key]; dup {
+				return fail(fmt.Sprintf("duplicate same-instant event on link %d (already has %s at %v)",
+					e.Link, prev, e.At))
+			}
+			seen[key] = e.Kind
+			if e.Kind == LinkDegrade {
+				if e.Model == nil {
+					return fail("LinkDegrade without a model")
+				}
+				if err := linkmodel.Validate(e.Model); err != nil {
+					return fail(err.Error())
+				}
 			}
 		case SwitchFail, SwitchRestart:
 			if int(e.Switch) < 0 || int(e.Switch) >= topo.NumNodes() {
@@ -282,6 +339,10 @@ func (t *Timeline) Apply(eng Engine, horizon simtime.Time) error {
 			eng.ScheduleControllerChange(e.At, false)
 		case ControllerReattach:
 			eng.ScheduleControllerChange(e.At, true)
+		case LinkDegrade:
+			eng.ScheduleLinkDegrade(e.At, e.Link, e.Model)
+		case LinkRestore:
+			eng.ScheduleLinkDegrade(e.At, e.Link, nil)
 		case DemandSurge:
 			shifted := make(traffic.Trace, len(e.Demands))
 			for i, d := range e.Demands {

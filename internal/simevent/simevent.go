@@ -26,6 +26,9 @@ const (
 	// ControllerChange reports the control channel detaching (Up=false)
 	// or reattaching (Up=true).
 	ControllerChange
+	// LinkDegrade reports an applied link-model change: a degrade
+	// installs a model (Up=false), a restore clears it (Up=true).
+	LinkDegrade
 )
 
 func (k Kind) String() string {
@@ -36,6 +39,8 @@ func (k Kind) String() string {
 		return "switch-change"
 	case ControllerChange:
 		return "controller-change"
+	case LinkDegrade:
+		return "link-degrade"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -59,6 +64,8 @@ func (o Observation) String() string {
 	switch o.Kind {
 	case LinkChange:
 		return fmt.Sprintf("%v link %d up=%v", o.At, o.Link, o.Up)
+	case LinkDegrade:
+		return fmt.Sprintf("%v link %d restored=%v", o.At, o.Link, o.Up)
 	case SwitchChange:
 		return fmt.Sprintf("%v switch %d up=%v", o.At, o.Switch, o.Up)
 	default:

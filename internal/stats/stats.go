@@ -68,6 +68,17 @@ type Collector struct {
 	// packet-level engine (queued or in flight on a link that died, or
 	// offered to a dead link before recovery).
 	PacketsLost uint64
+	// PacketsCorrupted counts frames a link model corrupted at the
+	// transmitter in the packet-level engine — degradation loss, kept
+	// separate from the outage loss in PacketsLost.
+	PacketsCorrupted uint64
+	// PacketsSent counts packet emissions by senders in the packet-level
+	// engine (first transmissions plus retransmissions) — the
+	// denominator of the retransmit ratio.
+	PacketsSent uint64
+	// Retransmits counts TCP retransmissions (RTO and fast retransmit)
+	// in the packet-level engine.
+	Retransmits uint64
 }
 
 // NewCollector returns a collector sampling link utilization at the given
@@ -127,17 +138,20 @@ func (c *Collector) CountOutcome(r FlowRecord) {
 // the wire. Counters stay valid with a flow sink installed (when Flows
 // is empty by design), so a streamed session still reports totals.
 type Counters struct {
-	FlowsStarted   uint64
-	FlowsCompleted uint64
-	FlowsDropped   uint64
-	FlowsLooped    uint64
-	FlowsStuck     uint64
-	PacketIns      uint64
-	FlowMods       uint64
-	RateChanges    uint64
-	EventsRun      uint64
-	PathChanges    uint64
-	PacketsLost    uint64
+	FlowsStarted     uint64
+	FlowsCompleted   uint64
+	FlowsDropped     uint64
+	FlowsLooped      uint64
+	FlowsStuck       uint64
+	PacketIns        uint64
+	FlowMods         uint64
+	RateChanges      uint64
+	EventsRun        uint64
+	PathChanges      uint64
+	PacketsLost      uint64
+	PacketsCorrupted uint64
+	PacketsSent      uint64
+	Retransmits      uint64
 }
 
 // Counters snapshots the collector's counters. Call it only when the run
@@ -145,17 +159,20 @@ type Counters struct {
 // the simulation goroutine).
 func (c *Collector) Counters() Counters {
 	return Counters{
-		FlowsStarted:   c.FlowsStarted,
-		FlowsCompleted: c.FlowsCompleted,
-		FlowsDropped:   c.FlowsDropped,
-		FlowsLooped:    c.FlowsLooped,
-		FlowsStuck:     c.FlowsStuck,
-		PacketIns:      c.PacketIns,
-		FlowMods:       c.FlowMods,
-		RateChanges:    c.RateChanges,
-		EventsRun:      c.EventsRun,
-		PathChanges:    c.PathChanges,
-		PacketsLost:    c.PacketsLost,
+		FlowsStarted:     c.FlowsStarted,
+		FlowsCompleted:   c.FlowsCompleted,
+		FlowsDropped:     c.FlowsDropped,
+		FlowsLooped:      c.FlowsLooped,
+		FlowsStuck:       c.FlowsStuck,
+		PacketIns:        c.PacketIns,
+		FlowMods:         c.FlowMods,
+		RateChanges:      c.RateChanges,
+		EventsRun:        c.EventsRun,
+		PathChanges:      c.PathChanges,
+		PacketsLost:      c.PacketsLost,
+		PacketsCorrupted: c.PacketsCorrupted,
+		PacketsSent:      c.PacketsSent,
+		Retransmits:      c.Retransmits,
 	}
 }
 

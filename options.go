@@ -5,6 +5,7 @@ import (
 
 	"horse/internal/eventq"
 	"horse/internal/hybrid"
+	"horse/internal/linkmodel"
 	"horse/internal/traffic"
 )
 
@@ -43,6 +44,10 @@ type options struct {
 	packetLevel   func(i int, d traffic.Demand) bool
 	packetSet     bool
 	timeline      *Scenario
+	linkDefault   LinkModel
+	linkPer       []linkModelFor
+	linkSeed      uint64
+	linkSet       bool
 	reader        traffic.Reader
 	sink          func(FlowRecord)
 	progressFn    ProgressFunc
@@ -385,6 +390,60 @@ func WithPacketSelector(sel func(i int, d Demand) bool) Option {
 		}
 		o.packetLevel = sel
 		o.packetSet = true
+		return nil
+	}
+}
+
+// linkModelFor is one WithLinkModelFor installation, applied in option
+// order after any WithLinkModel default.
+type linkModelFor struct {
+	link LinkID
+	m    LinkModel
+}
+
+// WithLinkModel installs a degradation model on every link from the
+// start of the run (any fidelity): the packet engine corrupts frames and
+// scales transmitters per the model, the flow engine folds its loss rate
+// into TCP demand caps and its rate scale into fair-share capacities,
+// and a hybrid run drives both engines off one shared state. The model
+// validates eagerly; per-link overrides layer on via WithLinkModelFor,
+// and scripted changes via Scenario.LinkDegrade/LinkRestore.
+func WithLinkModel(m LinkModel) Option {
+	return func(o *options) error {
+		if err := linkmodel.Validate(m); err != nil {
+			return &BuildError{Option: "WithLinkModel", Reason: err.Error()}
+		}
+		o.linkDefault = m
+		o.linkSet = true
+		return nil
+	}
+}
+
+// WithLinkModelFor installs a degradation model on one link (any
+// fidelity); it may repeat, and overrides any WithLinkModel default for
+// that link. The link is validated against the topology in New.
+func WithLinkModelFor(link LinkID, m LinkModel) Option {
+	return func(o *options) error {
+		if err := linkmodel.Validate(m); err != nil {
+			return &BuildError{Option: "WithLinkModelFor", Reason: err.Error()}
+		}
+		o.linkPer = append(o.linkPer, linkModelFor{link: link, m: m})
+		o.linkSet = true
+		return nil
+	}
+}
+
+// WithLinkModelSeed seeds the link models' corruption streams (default
+// 1). Two runs with the same seed, workload, and models draw identical
+// per-direction corruption sequences at every fidelity, shard count, and
+// event-queue backend; changing the seed redraws them.
+func WithLinkModelSeed(seed uint64) Option {
+	return func(o *options) error {
+		if seed == 0 {
+			return &BuildError{Option: "WithLinkModelSeed", Reason: "seed 0 is reserved (the default stream); pick any nonzero seed"}
+		}
+		o.linkSeed = seed
+		o.linkSet = true
 		return nil
 	}
 }

@@ -71,7 +71,29 @@ if ! cmp -s "$workdir/flows.csv" "$workdir/flows-stream.csv"; then
 fi
 echo "service-smoke: streamed ingestion matched eager records"
 
-# 3. A heavy session canceled mid-run: the daemon must report the
+# 3. A lossy-link session (default Bernoulli model, a mid-run
+# Gilbert–Elliott degrade/restore window) submitted over the wire must
+# stream records byte-identical to the same spec run in-process with
+# `horsectl run` — the determinism contract across the service boundary,
+# link models included.
+ctl submit -name lossy -watch -flows "$workdir/flows-lossy.csv" \
+    examples/specs/degraded-links.json 2>"$workdir/submit-lossy.log"
+"$workdir/horsectl" run -flows "$workdir/flows-lossy-local.csv" \
+    examples/specs/degraded-links.json 2>"$workdir/run-lossy.log"
+if ! cmp -s "$workdir/flows-lossy.csv" "$workdir/flows-lossy-local.csv"; then
+    echo "service-smoke: lossy-link wire records differ from in-process run" >&2
+    cat "$workdir/submit-lossy.log" "$workdir/run-lossy.log" >&2
+    exit 1
+fi
+lossy=$(($(wc -l <"$workdir/flows-lossy.csv") - 1))
+if [ "$lossy" -le 0 ]; then
+    echo "service-smoke: lossy-link session streamed no records" >&2
+    cat "$workdir/submit-lossy.log" >&2
+    exit 1
+fi
+echo "service-smoke: lossy-link wire run matched in-process ($lossy records)"
+
+# 4. A heavy session canceled mid-run: the daemon must report the
 # canceled state with a partial-but-consistent summary.
 cat >"$workdir/heavy.json" <<'EOF'
 {
@@ -98,7 +120,7 @@ if [ "$state" != "canceled" ]; then
 fi
 echo "service-smoke: canceled $sid mid-run"
 
-# 4. Graceful shutdown: SIGTERM must drain and exit zero.
+# 5. Graceful shutdown: SIGTERM must drain and exit zero.
 kill -TERM "$daemon_pid"
 rc=0
 wait "$daemon_pid" || rc=$?

@@ -140,6 +140,18 @@ func SpecOptions(o wire.OptionsSpec) ([]Option, error) {
 	if o.PacketFraction != nil {
 		opts = append(opts, WithPacketFraction(*o.PacketFraction))
 	}
+	if o.LinkModel != nil {
+		m, err := o.LinkModel.Model("options.link_model")
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithLinkModel(m))
+	}
+	if o.LinkModelSeed != 0 {
+		opts = append(opts, WithLinkModelSeed(o.LinkModelSeed))
+	}
+	// Per-link entries (OptionsSpec.LinkModelFor) reference links by node
+	// name and resolve in NewFromSpec, where the topology exists.
 	return opts, nil
 }
 
@@ -165,6 +177,13 @@ func NewFromSpec(spec *wire.SessionSpec, extra ...Option) (Engine, Time, error) 
 	opts, err := SpecOptions(spec.Options)
 	if err != nil {
 		return nil, 0, err
+	}
+	for i, lm := range spec.Options.LinkModelFor {
+		link, m, err := lm.Resolve(topo, i)
+		if err != nil {
+			return nil, 0, err
+		}
+		opts = append(opts, WithLinkModelFor(link, m))
 	}
 	opts = append(opts, extra...)
 	// Streamed workloads ingest through a bounded reader option; retained
